@@ -1,0 +1,59 @@
+//! §IV-A ablation: incremental vs bisection deadline search, and the
+//! capacitated-flow oracle vs literal `G_D` replication with each matching
+//! engine.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semimatch_core::exact::{exact_unit, exact_unit_replicated, SearchStrategy};
+use semimatch_gen::rng::Xoshiro256;
+use semimatch_gen::{fewg_manyg, hilo_permuted};
+use semimatch_matching::Algorithm;
+
+fn bench_exact(c: &mut Criterion) {
+    let mut rng = Xoshiro256::seed_from_u64(42);
+    // n/p = 20 keeps the optimum well above the trivial bound, which is
+    // where the search strategies separate.
+    let instances = vec![
+        ("hilo-5120x256", hilo_permuted(5120, 256, 32, 10, &mut rng)),
+        ("fewgmanyg-5120x256", fewg_manyg(5120, 256, 32, 10, &mut rng)),
+    ];
+    let mut group = c.benchmark_group("exact");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for (name, g) in &instances {
+        for (label, strategy) in [
+            ("incremental", SearchStrategy::Incremental),
+            ("bisection", SearchStrategy::Bisection),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, name), g, |b, g| {
+                b.iter(|| exact_unit(g, strategy).unwrap().makespan)
+            });
+        }
+        group.bench_with_input(
+            BenchmarkId::new("replicated-push-relabel", name),
+            g,
+            |b, g| {
+                b.iter(|| {
+                    exact_unit_replicated(g, Algorithm::PushRelabel, SearchStrategy::Bisection)
+                        .unwrap()
+                        .makespan
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("replicated-hopcroft-karp", name),
+            g,
+            |b, g| {
+                b.iter(|| {
+                    exact_unit_replicated(g, Algorithm::HopcroftKarp, SearchStrategy::Bisection)
+                        .unwrap()
+                        .makespan
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Generator throughput: HiLo, FewgManyg, and the two-step hypergraph
+//! generator at paper scale.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semimatch_gen::hyper::{hyper_instance, HyperKind, HyperParams};
+use semimatch_gen::rng::Xoshiro256;
+use semimatch_gen::{fewg_manyg, hilo_permuted};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    group.bench_function(BenchmarkId::new("hilo", "5120x1024"), |b| {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        b.iter(|| hilo_permuted(5120, 1024, 32, 10, &mut rng).num_edges())
+    });
+    group.bench_function(BenchmarkId::new("fewg_manyg", "5120x1024"), |b| {
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        b.iter(|| fewg_manyg(5120, 1024, 32, 10, &mut rng).num_edges())
+    });
+    for kind in [HyperKind::FewgManyg, HyperKind::HiLo] {
+        let params = HyperParams { kind, n: 5120, p: 1024, g: 32, dv: 5, dh: 10 };
+        group.bench_function(BenchmarkId::new("hyper", format!("{kind:?}-5120x1024")), |b| {
+            let mut rng = Xoshiro256::seed_from_u64(3);
+            b.iter(|| hyper_instance(params, &mut rng).total_pins())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

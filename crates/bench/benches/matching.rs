@@ -1,0 +1,51 @@
+//! Maximum-matching engine shoot-out on the two bipartite generator
+//! families — the substrate the paper takes from MatchMaker (§IV-A uses
+//! push-relabel; we compare all engines).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semimatch_gen::rng::Xoshiro256;
+use semimatch_gen::{fewg_manyg, hilo_permuted};
+use semimatch_matching::{maximum_matching, maximum_matching_with_init, Algorithm, Init};
+
+fn bench_matching(c: &mut Criterion) {
+    let mut rng = Xoshiro256::seed_from_u64(42);
+    let instances = vec![
+        ("hilo-4096", hilo_permuted(4096, 1024, 32, 10, &mut rng)),
+        ("fewgmanyg-4096", fewg_manyg(4096, 1024, 32, 10, &mut rng)),
+    ];
+    let mut group = c.benchmark_group("matching");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for (name, g) in &instances {
+        for algo in Algorithm::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), name),
+                g,
+                |b, g| b.iter(|| maximum_matching(g, algo).cardinality()),
+            );
+        }
+        // Lookahead ablation: the MatchMaker study's headline optimization.
+        group.bench_with_input(BenchmarkId::new("dfs-plain", name), g, |b, g| {
+            b.iter(|| semimatch_matching::dfs::dfs_plain(g).cardinality())
+        });
+        // Initialization ablation (the paper's reference [16]): how much
+        // does the jump-start matter for the strongest engine?
+        for init in Init::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(format!("hk-init-{}", init.name()), name),
+                g,
+                |b, g| {
+                    b.iter(|| {
+                        maximum_matching_with_init(g, Algorithm::HopcroftKarp, init)
+                            .cardinality()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! §V-B timing reproduction: the four `SINGLEPROC-UNIT` greedy heuristics
+//! vs the exact algorithm on both generator families (paper sizes
+//! n = 5120, p = 1024, d = 10).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semimatch_core::exact::{exact_unit, SearchStrategy};
+use semimatch_core::BiHeuristic;
+use semimatch_gen::rng::Xoshiro256;
+use semimatch_gen::{fewg_manyg, hilo_permuted};
+
+fn bench_singleproc(c: &mut Criterion) {
+    let mut rng = Xoshiro256::seed_from_u64(42);
+    let instances = vec![
+        ("hilo-20-4", hilo_permuted(5120, 1024, 32, 10, &mut rng)),
+        ("fewgmanyg-20-4", fewg_manyg(5120, 1024, 32, 10, &mut rng)),
+    ];
+    let mut group = c.benchmark_group("singleproc");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for (name, g) in &instances {
+        for h in BiHeuristic::ALL {
+            group.bench_with_input(BenchmarkId::new(h.label(), name), g, |b, g| {
+                b.iter(|| h.run(g).unwrap().makespan(g))
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("exact-bisection", name), g, |b, g| {
+            b.iter(|| exact_unit(g, SearchStrategy::Bisection).unwrap().makespan)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_singleproc);
+criterion_main!(benches);

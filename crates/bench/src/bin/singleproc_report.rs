@@ -1,0 +1,47 @@
+//! Regenerates the **§V-B / technical-report tables** for
+//! `SINGLEPROC-UNIT`: exact optimum vs basic/sorted/double-sorted/expected
+//! greedy, on HiLo and FewgManyg for d ∈ {2, 5, 10} and g ∈ {32, 128}
+//! (detailed results for d = 10, as in the paper).
+
+use semimatch_bench::singleproc::{bi_grid, singleproc_row};
+use semimatch_bench::{emit_report, markdown_table, Options};
+
+fn main() {
+    let opts = Options::from_args();
+    let mut report = format!(
+        "# SINGLEPROC-UNIT — exact vs greedy heuristics\n\nscale = {}, instances = {}, seed = {}\n\nRatios are makespan / M_opt (median over instances); times are mean seconds.\n\n",
+        opts.scale, opts.instances, opts.seed
+    );
+    for d in [2u32, 5, 10] {
+        for g in [32u32, 128] {
+            let grid = bi_grid(d, g);
+            let rows: Vec<Vec<String>> = grid
+                .iter()
+                .map(|cfg| {
+                    let r = singleproc_row(cfg, &opts);
+                    let mut row = vec![r.name.clone(), r.opt.to_string()];
+                    row.extend(r.ratios.iter().map(|x| format!("{x:.3}")));
+                    row.push(format!("{:.4}", r.exact_time));
+                    row.push(format!("{:.4}", r.times.iter().sum::<f64>()));
+                    row
+                })
+                .collect();
+            report.push_str(&format!("## d = {d}, g = {g}\n\n"));
+            report.push_str(&markdown_table(
+                &[
+                    "Instance",
+                    "M_opt",
+                    "basic",
+                    "sorted",
+                    "double",
+                    "expected",
+                    "t_exact (s)",
+                    "t_heur Σ (s)",
+                ],
+                &rows,
+            ));
+            report.push('\n');
+        }
+    }
+    emit_report("singleproc_report.md", &report);
+}

@@ -1,0 +1,34 @@
+//! Regenerates **Table I**: random hypergraph instance statistics
+//! (`|V1|`, `|V2|`, median `|N|`, median `Σ_h |h ∩ V2|`).
+
+use semimatch_bench::{emit_report, markdown_table, stats_row, Options};
+use semimatch_gen::params::table1_grid;
+use semimatch_gen::weights::WeightScheme;
+
+fn main() {
+    let opts = Options::from_args();
+    let grid = table1_grid(WeightScheme::Unit);
+    let rows: Vec<Vec<String>> = grid
+        .iter()
+        .map(|cfg| {
+            let s = stats_row(cfg, &opts);
+            vec![
+                s.name,
+                s.n_tasks.to_string(),
+                s.n_procs.to_string(),
+                s.n_hedges.to_string(),
+                s.pins.to_string(),
+            ]
+        })
+        .collect();
+    let mut report = String::from("# Table I — random hypergraph instances\n\n");
+    report.push_str(&format!(
+        "scale = {}, instances = {}, seed = {}\n\n",
+        opts.scale, opts.instances, opts.seed
+    ));
+    report.push_str(&markdown_table(
+        &["Instance", "|V1|", "|V2|", "|N|", "Σ|h∩V2|"],
+        &rows,
+    ));
+    emit_report("table1.md", &report);
+}

@@ -1,0 +1,16 @@
+//! Regenerates **Table II**: quality (makespan / LB) and running time of
+//! SGH, VGH, EGH, EVG on the **unweighted** random hypergraphs.
+
+use semimatch_bench::{run_quality_table, Options};
+use semimatch_gen::params::table1_grid;
+use semimatch_gen::weights::WeightScheme;
+
+fn main() {
+    let opts = Options::from_args();
+    run_quality_table(
+        "Table II — unweighted (MULTIPROC-UNIT)",
+        "table2.md",
+        &table1_grid(WeightScheme::Unit),
+        &opts,
+    );
+}

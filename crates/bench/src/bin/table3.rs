@@ -1,0 +1,16 @@
+//! Regenerates **Table III**: quality and running time under the
+//! **related** weights `w_h = ⌈s_min·s_max / s_h⌉`.
+
+use semimatch_bench::{run_quality_table, Options};
+use semimatch_gen::params::table1_grid;
+use semimatch_gen::weights::WeightScheme;
+
+fn main() {
+    let opts = Options::from_args();
+    run_quality_table(
+        "Table III — related weights (MULTIPROC)",
+        "table3.md",
+        &table1_grid(WeightScheme::Related),
+        &opts,
+    );
+}

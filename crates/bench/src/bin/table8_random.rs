@@ -1,0 +1,17 @@
+//! Regenerates the technical report's **Table 8** analogue: quality and
+//! running time under **uniform random** weights (the paper's cross-check
+//! data set; EVG is reported to win clearly here).
+
+use semimatch_bench::{run_quality_table, Options};
+use semimatch_gen::params::table1_grid;
+use semimatch_gen::weights::WeightScheme;
+
+fn main() {
+    let opts = Options::from_args();
+    run_quality_table(
+        "TR Table 8 — random weights (MULTIPROC)",
+        "table8_random.md",
+        &table1_grid(WeightScheme::Random),
+        &opts,
+    );
+}

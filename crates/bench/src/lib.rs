@@ -1,0 +1,355 @@
+//! # semimatch-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper (see DESIGN.md §5 for the experiment index). Binaries:
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1` | Table I (instance statistics) |
+//! | `table2` | Table II (unweighted quality/time) |
+//! | `table3` | Table III (related weights) |
+//! | `table8_random` | TR Table 8 (random weights) |
+//! | `singleproc_report` | §V-B / TR tables (SINGLEPROC-UNIT) |
+//! | `figures` | Figs. 1–5 worst-case behaviour |
+//! | `ranking_sweep` | §V-C ranking-stability claim |
+//!
+//! All binaries accept `--scale K` (divide n and p by K), `--instances M`
+//! (instances per configuration, default 10) and `--seed S` (master seed,
+//! default 42), and write a markdown report to `results/`.
+//!
+//! The harness follows the paper's protocol: median over the instances for
+//! quality columns, mean wall-clock seconds for time rows. Instances run
+//! in parallel via rayon (the algorithms themselves stay sequential).
+
+pub mod singleproc;
+
+use std::time::Instant;
+
+use rayon::prelude::*;
+use semimatch_core::hyper::HyperHeuristic;
+use semimatch_core::lower_bound::lower_bound_multiproc;
+use semimatch_core::quality::{mean_f64, median_f64, median_u64, ratio};
+use semimatch_gen::params::Config;
+use semimatch_graph::HypergraphStats;
+
+/// Command-line options shared by all experiment binaries.
+#[derive(Clone, Copy, Debug)]
+pub struct Options {
+    /// Divide the paper's n and p by this factor (1 = full size).
+    pub scale: u32,
+    /// Instances per configuration (the paper uses 10).
+    pub instances: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { scale: 1, instances: 10, seed: 42 }
+    }
+}
+
+impl Options {
+    /// Parses `--scale K --instances M --seed S` from `std::env::args`.
+    /// Unknown flags abort with a usage message.
+    pub fn from_args() -> Options {
+        let mut opts = Options::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            let value = args.get(i + 1).unwrap_or_else(|| usage(flag));
+            match flag {
+                "--scale" => opts.scale = value.parse().unwrap_or_else(|_| usage(flag)),
+                "--instances" => opts.instances = value.parse().unwrap_or_else(|_| usage(flag)),
+                "--seed" => opts.seed = value.parse().unwrap_or_else(|_| usage(flag)),
+                _ => usage(flag),
+            }
+            i += 2;
+        }
+        opts
+    }
+}
+
+fn usage(flag: &str) -> ! {
+    eprintln!("unknown or malformed flag {flag}; expected --scale K --instances M --seed S");
+    std::process::exit(2)
+}
+
+/// Scales a configuration down by `Options::scale`, preserving the n/p
+/// ratio and group divisibility.
+pub fn scale_config(mut c: Config, scale: u32) -> Config {
+    if scale > 1 {
+        let g = c.family.groups();
+        c.n = (c.n / scale).max(g);
+        c.p = ((c.p / scale).max(g) / g).max(1) * g;
+    }
+    c
+}
+
+/// Row label: the Table I name at full scale, explicit sizes otherwise
+/// (the `n/256` convention would collide after scaling).
+pub fn row_name(cfg: &Config, scale: u32) -> String {
+    if scale == 1 {
+        cfg.name()
+    } else {
+        format!(
+            "{}-n{}-p{}-MP{}",
+            cfg.family.prefix(),
+            cfg.n,
+            cfg.p,
+            cfg.weights.suffix()
+        )
+    }
+}
+
+/// One row of Table II/III/TR-8: medians over instances.
+#[derive(Clone, Debug)]
+pub struct QualityRow {
+    /// Instance name, e.g. `FG-20-4-MP-W`.
+    pub name: String,
+    /// Median lower bound LB (Eq. 1).
+    pub lb: u64,
+    /// Median `makespan / LB` per heuristic, in [`HyperHeuristic::ALL`] order.
+    pub ratios: Vec<f64>,
+    /// Mean wall-clock seconds per heuristic.
+    pub times: Vec<f64>,
+}
+
+/// Runs the four `MULTIPROC` heuristics on every instance of `cfg`.
+pub fn quality_row(cfg: &Config, opts: &Options) -> QualityRow {
+    let cfg = scale_config(*cfg, opts.scale);
+    let per_instance: Vec<(u64, Vec<f64>, Vec<f64>)> = (0..opts.instances)
+        .into_par_iter()
+        .map(|i| {
+            let h = cfg.instance(opts.seed, i);
+            let lb = lower_bound_multiproc(&h).expect("generated instances are covered");
+            let mut ratios = Vec::with_capacity(HyperHeuristic::ALL.len());
+            let mut times = Vec::with_capacity(HyperHeuristic::ALL.len());
+            for heuristic in HyperHeuristic::ALL {
+                let start = Instant::now();
+                let hm = heuristic.run(&h).expect("generated instances are covered");
+                times.push(start.elapsed().as_secs_f64());
+                ratios.push(ratio(hm.makespan(&h), lb));
+            }
+            (lb, ratios, times)
+        })
+        .collect();
+    aggregate(row_name(&cfg, opts.scale), per_instance)
+}
+
+fn aggregate(name: String, per_instance: Vec<(u64, Vec<f64>, Vec<f64>)>) -> QualityRow {
+    let k = per_instance.first().map_or(0, |(_, r, _)| r.len());
+    let mut lbs: Vec<u64> = per_instance.iter().map(|&(lb, _, _)| lb).collect();
+    let ratios = (0..k)
+        .map(|j| {
+            let mut xs: Vec<f64> = per_instance.iter().map(|(_, r, _)| r[j]).collect();
+            median_f64(&mut xs)
+        })
+        .collect();
+    let times = (0..k)
+        .map(|j| {
+            let xs: Vec<f64> = per_instance.iter().map(|(_, _, t)| t[j]).collect();
+            mean_f64(&xs)
+        })
+        .collect();
+    QualityRow { name, lb: median_u64(&mut lbs), ratios, times }
+}
+
+/// One row of Table I: structural medians over instances.
+#[derive(Clone, Debug)]
+pub struct StatsRow {
+    /// Instance name.
+    pub name: String,
+    /// `|V1|`, `|V2|` (identical across instances).
+    pub n_tasks: u32,
+    /// Number of processors.
+    pub n_procs: u32,
+    /// Median `|N|`.
+    pub n_hedges: u64,
+    /// Median `Σ_h |h ∩ V2|`.
+    pub pins: u64,
+}
+
+/// Generates the instances of `cfg` and reports Table I columns.
+pub fn stats_row(cfg: &Config, opts: &Options) -> StatsRow {
+    let cfg = scale_config(*cfg, opts.scale);
+    let collected: Vec<(u64, u64)> = (0..opts.instances)
+        .into_par_iter()
+        .map(|i| {
+            let h = cfg.instance(opts.seed, i);
+            let s = HypergraphStats::of(&h);
+            (s.n_hedges as u64, s.total_pins as u64)
+        })
+        .collect();
+    let mut hedges: Vec<u64> = collected.iter().map(|&(h, _)| h).collect();
+    let mut pins: Vec<u64> = collected.iter().map(|&(_, p)| p).collect();
+    StatsRow {
+        name: row_name(&cfg, opts.scale),
+        n_tasks: cfg.n,
+        n_procs: cfg.p,
+        n_hedges: median_u64(&mut hedges),
+        pins: median_u64(&mut pins),
+    }
+}
+
+/// Renders a markdown table.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push('|');
+    for h in headers {
+        out.push_str(&format!(" {h} |"));
+    }
+    out.push('\n');
+    out.push('|');
+    for _ in headers {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push('|');
+        for cell in row {
+            out.push_str(&format!(" {cell} |"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes `content` under `results/` (created on demand) and echoes it to
+/// stdout.
+pub fn emit_report(filename: &str, content: &str) {
+    println!("{content}");
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(filename);
+        if let Err(e) = std::fs::write(&path, content) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+/// Shared driver for Tables II, III and TR-8 (they differ only in the
+/// weight scheme): runs the grid, formats the FewgManyg and HiLo halves
+/// with their footers, and emits the report.
+pub fn run_quality_table(title: &str, filename: &str, grid: &[Config], opts: &Options) {
+    let (fm, hl): (Vec<_>, Vec<_>) = grid.iter().partition(|c| {
+        matches!(
+            c.family,
+            semimatch_gen::params::Family::Fg | semimatch_gen::params::Family::Mg
+        )
+    });
+    let mut report = format!(
+        "# {title}\n\nscale = {}, instances = {}, seed = {}\n\n",
+        opts.scale, opts.instances, opts.seed
+    );
+    for (label, configs) in [("FewgManyg", fm), ("HiLo", hl)] {
+        let rows: Vec<QualityRow> = configs.iter().map(|c| quality_row(c, opts)).collect();
+        let mut table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                let mut row = vec![r.name.clone(), r.lb.to_string()];
+                row.extend(r.ratios.iter().map(|x| format!("{x:.2}")));
+                row
+            })
+            .collect();
+        let (avg_q, avg_t) = footer(&rows);
+        let mut qrow = vec!["Average quality".to_string(), String::new()];
+        qrow.extend(avg_q.iter().map(|x| format!("{x:.2}")));
+        table.push(qrow);
+        let mut trow = vec!["Average time (s)".to_string(), String::new()];
+        trow.extend(avg_t.iter().map(|x| format!("{x:.3}")));
+        table.push(trow);
+        report.push_str(&format!("## {label}\n\n"));
+        report.push_str(&markdown_table(
+            &["Instance", "LB", "SGH", "VGH", "EGH", "EVG"],
+            &table,
+        ));
+        report.push('\n');
+    }
+    emit_report(filename, &report);
+}
+
+/// Column-wise averages of the quality rows (the paper's "Average quality"
+/// and "Average time" footer lines).
+pub fn footer(rows: &[QualityRow]) -> (Vec<f64>, Vec<f64>) {
+    let k = rows.first().map_or(0, |r| r.ratios.len());
+    let avg_quality = (0..k)
+        .map(|j| mean_f64(&rows.iter().map(|r| r.ratios[j]).collect::<Vec<_>>()))
+        .collect();
+    let avg_time = (0..k)
+        .map(|j| mean_f64(&rows.iter().map(|r| r.times[j]).collect::<Vec<_>>()))
+        .collect();
+    (avg_quality, avg_time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semimatch_gen::params::Family;
+    use semimatch_gen::weights::WeightScheme;
+
+    fn tiny_cfg() -> Config {
+        Config {
+            family: Family::Fg,
+            n: 160,
+            p: 32,
+            dv: 3,
+            dh: 4,
+            weights: WeightScheme::Related,
+        }
+    }
+
+    #[test]
+    fn quality_row_is_deterministic_and_sane() {
+        let opts = Options { scale: 1, instances: 3, seed: 7 };
+        let a = quality_row(&tiny_cfg(), &opts);
+        let b = quality_row(&tiny_cfg(), &opts);
+        assert_eq!(a.lb, b.lb);
+        assert_eq!(a.ratios, b.ratios);
+        assert_eq!(a.ratios.len(), 4);
+        for &r in &a.ratios {
+            assert!(r >= 1.0 - 1e-9, "heuristics cannot beat the lower bound: {r}");
+            assert!(r < 50.0, "ratio {r} is implausible");
+        }
+    }
+
+    #[test]
+    fn stats_row_matches_config() {
+        let opts = Options { scale: 1, instances: 3, seed: 7 };
+        let s = stats_row(&tiny_cfg(), &opts);
+        assert_eq!(s.n_tasks, 160);
+        assert_eq!(s.n_procs, 32);
+        assert!(s.n_hedges >= 160, "every task has ≥ 1 configuration");
+        assert!(s.pins >= s.n_hedges);
+    }
+
+    #[test]
+    fn scaling_preserves_divisibility() {
+        let scaled = scale_config(tiny_cfg(), 4);
+        assert_eq!(scaled.p % scaled.family.groups(), 0);
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let table =
+            markdown_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("| a |"));
+        assert!(lines[2].contains("| 1 |"));
+    }
+
+    #[test]
+    fn footer_averages() {
+        let rows = vec![
+            QualityRow { name: "x".into(), lb: 1, ratios: vec![1.0, 2.0], times: vec![0.1, 0.2] },
+            QualityRow { name: "y".into(), lb: 1, ratios: vec![3.0, 4.0], times: vec![0.3, 0.4] },
+        ];
+        let (q, t) = footer(&rows);
+        assert_eq!(q, vec![2.0, 3.0]);
+        assert!((t[0] - 0.2).abs() < 1e-12 && (t[1] - 0.3).abs() < 1e-12);
+    }
+}

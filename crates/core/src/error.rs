@@ -1,0 +1,74 @@
+//! Error type for the semi-matching algorithms.
+
+use std::fmt;
+
+/// Errors surfaced by solvers and heuristics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A task has no eligible processor / no configuration at all: the
+    /// instance admits no schedule.
+    UncoveredTask(u32),
+    /// A solution vector has the wrong length for the instance.
+    LengthMismatch {
+        /// Expected number of tasks.
+        expected: usize,
+        /// Provided length.
+        got: usize,
+    },
+    /// A task was allocated an edge/hyperedge it is not incident to.
+    ForeignAllocation {
+        /// The offending task.
+        task: u32,
+        /// The edge or hyperedge id.
+        alloc: u32,
+    },
+    /// The exhaustive solver exceeded its node budget.
+    BudgetExceeded,
+    /// The algorithm requires unit weights but the instance is weighted.
+    RequiresUnitWeights,
+    /// Malformed text while parsing a serialized solution.
+    Parse {
+        /// 1-based line number of the offending token.
+        line: usize,
+        /// Parser message.
+        msg: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UncoveredTask(t) => {
+                write!(f, "task {t} has no eligible processor; the instance is infeasible")
+            }
+            CoreError::LengthMismatch { expected, got } => {
+                write!(f, "solution length {got} does not match task count {expected}")
+            }
+            CoreError::ForeignAllocation { task, alloc } => {
+                write!(f, "task {task} allocated to edge/hyperedge {alloc} it is not incident to")
+            }
+            CoreError::BudgetExceeded => write!(f, "exhaustive search exceeded its node budget"),
+            CoreError::RequiresUnitWeights => {
+                write!(f, "this algorithm is defined for unit weights only")
+            }
+            CoreError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offender() {
+        assert!(CoreError::UncoveredTask(5).to_string().contains('5'));
+        assert!(CoreError::ForeignAllocation { task: 1, alloc: 9 }.to_string().contains('9'));
+        assert!(CoreError::LengthMismatch { expected: 4, got: 3 }.to_string().contains('4'));
+    }
+}

@@ -1,0 +1,20 @@
+//! Exact algorithms.
+//!
+//! * [`mod@unit`] — the paper's exact algorithm for `SINGLEPROC-UNIT` (§IV-A):
+//!   repeated maximum matchings in the deadline graph `G_D`, with the
+//!   incremental deadline search of the paper and the bisection variant it
+//!   mentions; the deadline subproblem is solved either by capacitated
+//!   max-flow or by literal `G_D` replication.
+//! * [`harvey`] — an independent second exact algorithm via cost-reducing
+//!   paths (Harvey, Ladner, Lovász, Tamir 2006), used to cross-validate.
+//! * [`brute_force`] — branch-and-bound exhaustive search for small
+//!   (weighted, hypergraph) instances; the ground truth for every
+//!   heuristic test and for the Theorem 1 reduction.
+
+pub mod brute_force;
+pub mod harvey;
+pub mod unit;
+
+pub use brute_force::{brute_force_multiproc, brute_force_singleproc};
+pub use harvey::harvey_exact;
+pub use unit::{exact_unit, exact_unit_replicated, ExactResult, SearchStrategy};

@@ -1,0 +1,95 @@
+//! Algorithm 1: basic-greedy.
+
+use semimatch_graph::Bipartite;
+
+use crate::error::{CoreError, Result};
+use crate::problem::SemiMatching;
+
+/// Basic-greedy (Algorithm 1): visit tasks in input order, assign each to
+/// the incident processor with the smallest current load. `O(|E|)`.
+///
+/// The paper shows (Fig. 1, Fig. 3) that this heuristic has no
+/// approximation guarantee.
+pub fn basic_greedy(g: &Bipartite) -> Result<SemiMatching> {
+    let order: Vec<u32> = (0..g.n_left()).collect();
+    greedy_in_order(g, &order)
+}
+
+/// Shared core of basic- and sorted-greedy: min-load assignment along a
+/// caller-chosen task order. Ties go to the first (smallest-id) processor.
+pub(crate) fn greedy_in_order(g: &Bipartite, order: &[u32]) -> Result<SemiMatching> {
+    let mut loads = vec![0u64; g.n_right() as usize];
+    let mut edge_of = vec![0u32; g.n_left() as usize];
+    for &v in order {
+        let mut best_edge = None;
+        let mut best_load = u64::MAX;
+        for e in g.edge_range(v) {
+            let u = g.edge_right(e);
+            if loads[u as usize] < best_load {
+                best_load = loads[u as usize];
+                best_edge = Some(e);
+            }
+        }
+        let e = best_edge.ok_or(CoreError::UncoveredTask(v))?;
+        edge_of[v as usize] = e;
+        loads[g.edge_right(e) as usize] += g.weight(e);
+    }
+    Ok(SemiMatching { edge_of })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_worst_case() {
+        // T0 picks P0 (tie, smallest id); T1 is then forced onto P0 too:
+        // makespan 2 while the optimum is 1 — the paper's Fig. 1 story.
+        let g = Bipartite::from_edges(2, 2, &[(0, 0), (0, 1), (1, 0)]).unwrap();
+        let sm = basic_greedy(&g).unwrap();
+        sm.validate(&g).unwrap();
+        assert_eq!(sm.makespan(&g), 2);
+    }
+
+    #[test]
+    fn balances_when_possible() {
+        // 4 tasks all eligible everywhere on 2 processors → 2 + 2.
+        let g = Bipartite::from_edges(
+            4,
+            2,
+            &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1), (3, 0), (3, 1)],
+        )
+        .unwrap();
+        let sm = basic_greedy(&g).unwrap();
+        assert_eq!(sm.makespan(&g), 2);
+        let loads = sm.loads(&g);
+        assert_eq!(loads, vec![2, 2]);
+    }
+
+    #[test]
+    fn uses_weights_in_loads() {
+        let g = Bipartite::from_weighted_edges(
+            2,
+            2,
+            &[(0, 0), (0, 1), (1, 0), (1, 1)],
+            &[10, 10, 1, 1],
+        )
+        .unwrap();
+        let sm = basic_greedy(&g).unwrap();
+        // T0 → P0 (w 10); T1 then sees loads (10, 0) → P1 (w 1).
+        assert_eq!(sm.loads(&g), vec![10, 1]);
+    }
+
+    #[test]
+    fn uncovered_task_errors() {
+        let g = Bipartite::from_edges(2, 1, &[(0, 0)]).unwrap();
+        assert_eq!(basic_greedy(&g).unwrap_err(), CoreError::UncoveredTask(1));
+    }
+
+    #[test]
+    fn empty_instance() {
+        let g = Bipartite::from_edges(0, 3, &[]).unwrap();
+        let sm = basic_greedy(&g).unwrap();
+        assert_eq!(sm.makespan(&g), 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Lexicographic comparison of modified load vectors.
+//!
+//! The vector heuristics (§IV-D3/4) rank candidate hyperedges by the
+//! *entire* load vector sorted in descending order. Materializing and
+//! sorting a length-`|V2|` vector per candidate costs
+//! `O(d_v |V2| log |V2|)` per task; the paper notes a sorted-list variant
+//! that avoids this. We implement the idea as a **multiset symmetric
+//! difference** comparison: two candidates share the same base multiset of
+//! loads and each touches only its own pins, so the lexicographic order of
+//! the full sorted vectors is decided entirely by
+//!
+//! * the *new* values each candidate writes, and
+//! * the *old* values of positions the **other** candidate touches
+//!   (they stay unchanged under this candidate but not under the other).
+//!
+//! Formally, with `S_A`, `S_B` the touched index sets: compare
+//! `L_A = sort↓({new_A(u) : u ∈ S_A} ∪ {old(u) : u ∈ S_B∖S_A})` against
+//! `L_B = sort↓({new_B(u) : u ∈ S_B} ∪ {old(u) : u ∈ S_A∖S_B})`
+//! element-wise. Equal multiplicities cancel pairwise, so this equals the
+//! comparison of the full vectors, at cost `O((|S_A|+|S_B|) log)`.
+
+use std::cmp::Ordering;
+
+/// Element-wise comparison of two descending-sorted sequences
+/// (lexicographic; shorter-prefix-equal falls back to length, which never
+/// happens for equal-cardinality multisets).
+pub fn cmp_sorted_desc<T: PartialOrd>(a: &[T], b: &[T]) -> Ordering {
+    for (x, y) in a.iter().zip(b.iter()) {
+        if x < y {
+            return Ordering::Less;
+        }
+        if x > y {
+            return Ordering::Greater;
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+/// Scratch buffers reused across comparisons to avoid allocation in the
+/// inner loop (perf-book guidance).
+#[derive(Default)]
+pub struct LexScratch {
+    la: Vec<u64>,
+    lb: Vec<u64>,
+}
+
+impl LexScratch {
+    /// Compares the resulting load vectors of candidates A and B over the
+    /// shared `loads` base.
+    ///
+    /// Candidate A adds `w_a` to every processor in `pins_a` (sorted,
+    /// duplicate-free), candidate B likewise. Returns the order of the
+    /// resulting descending-sorted global load vectors.
+    pub fn cmp_candidates(
+        &mut self,
+        loads: &[u64],
+        pins_a: &[u32],
+        w_a: u64,
+        pins_b: &[u32],
+        w_b: u64,
+    ) -> Ordering {
+        self.la.clear();
+        self.lb.clear();
+        // Merge-walk the two sorted pin lists.
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < pins_a.len() || j < pins_b.len() {
+            match (pins_a.get(i), pins_b.get(j)) {
+                (Some(&ua), Some(&ub)) if ua == ub => {
+                    let old = loads[ua as usize];
+                    self.la.push(old + w_a);
+                    self.lb.push(old + w_b);
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&ua), Some(&ub)) if ua < ub => {
+                    let old = loads[ua as usize];
+                    self.la.push(old + w_a);
+                    self.lb.push(old);
+                    i += 1;
+                }
+                (Some(_), Some(&ub)) => {
+                    let old = loads[ub as usize];
+                    self.la.push(old);
+                    self.lb.push(old + w_b);
+                    j += 1;
+                }
+                (Some(&ua), None) => {
+                    let old = loads[ua as usize];
+                    self.la.push(old + w_a);
+                    self.lb.push(old);
+                    i += 1;
+                }
+                (None, Some(&ub)) => {
+                    let old = loads[ub as usize];
+                    self.la.push(old);
+                    self.lb.push(old + w_b);
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        self.la.sort_unstable_by(|x, y| y.cmp(x));
+        self.lb.sort_unstable_by(|x, y| y.cmp(x));
+        cmp_sorted_desc(&self.la, &self.lb)
+    }
+}
+
+/// Reference implementation: materializes the full resulting load vector of
+/// a candidate, sorted descending. Used by the naive heuristics and by the
+/// property tests that pin the optimized comparator.
+pub fn full_sorted_vector(loads: &[u64], pins: &[u32], w: u64) -> Vec<u64> {
+    let mut v = loads.to_vec();
+    for &u in pins {
+        v[u as usize] += w;
+    }
+    v.sort_unstable_by(|x, y| y.cmp(x));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_cmp(loads: &[u64], pa: &[u32], wa: u64, pb: &[u32], wb: u64) -> Ordering {
+        let va = full_sorted_vector(loads, pa, wa);
+        let vb = full_sorted_vector(loads, pb, wb);
+        cmp_sorted_desc(&va, &vb)
+    }
+
+    #[test]
+    fn cmp_sorted_desc_basics() {
+        assert_eq!(cmp_sorted_desc(&[3, 1], &[3, 1]), Ordering::Equal);
+        assert_eq!(cmp_sorted_desc(&[3, 2], &[3, 1]), Ordering::Greater);
+        assert_eq!(cmp_sorted_desc(&[2, 2], &[3, 0]), Ordering::Less);
+    }
+
+    #[test]
+    fn agrees_with_reference_on_disjoint_pins() {
+        let loads = vec![5, 0, 2, 7];
+        let mut s = LexScratch::default();
+        let got = s.cmp_candidates(&loads, &[0], 1, &[2], 1);
+        // A: {6,0,2,7}→[7,6,2,0]; B: {5,0,3,7}→[7,5,3,0]. A > B at index 1.
+        assert_eq!(got, Ordering::Greater);
+        assert_eq!(got, reference_cmp(&loads, &[0], 1, &[2], 1));
+    }
+
+    #[test]
+    fn agrees_with_reference_on_overlapping_pins() {
+        let loads = vec![4, 4, 1];
+        let mut s = LexScratch::default();
+        for (pa, wa, pb, wb) in [
+            (vec![0u32, 1], 2u64, vec![1u32, 2], 2u64),
+            (vec![0, 1, 2], 1, vec![1], 3),
+            (vec![2], 5, vec![0, 1, 2], 1),
+            (vec![0], 1, vec![0], 2),
+        ] {
+            let got = s.cmp_candidates(&loads, &pa, wa, &pb, wb);
+            let want = reference_cmp(&loads, &pa, wa, &pb, wb);
+            assert_eq!(got, want, "pins {pa:?} w{wa} vs {pb:?} w{wb}");
+        }
+    }
+
+    #[test]
+    fn identical_candidates_are_equal() {
+        let loads = vec![1, 2, 3];
+        let mut s = LexScratch::default();
+        assert_eq!(s.cmp_candidates(&loads, &[0, 2], 4, &[0, 2], 4), Ordering::Equal);
+    }
+
+    #[test]
+    fn different_weight_same_pins() {
+        let loads = vec![0, 0];
+        let mut s = LexScratch::default();
+        assert_eq!(s.cmp_candidates(&loads, &[0], 1, &[0], 2), Ordering::Less);
+    }
+
+    #[test]
+    fn exhaustive_small_cross_check() {
+        // All pin subsets of a 3-processor universe with loads and weights
+        // from small ranges: optimized == reference everywhere.
+        let subsets: Vec<Vec<u32>> =
+            vec![vec![0], vec![1], vec![2], vec![0, 1], vec![0, 2], vec![1, 2], vec![0, 1, 2]];
+        let mut s = LexScratch::default();
+        for loads in [[0u64, 0, 0], [1, 0, 2], [3, 3, 3], [5, 1, 0]] {
+            for pa in &subsets {
+                for pb in &subsets {
+                    for wa in 1..=3u64 {
+                        for wb in 1..=3u64 {
+                            let got = s.cmp_candidates(&loads, pa, wa, pb, wb);
+                            let want = reference_cmp(&loads, pa, wa, pb, wb);
+                            assert_eq!(
+                                got, want,
+                                "loads {loads:?} A={pa:?}+{wa} B={pb:?}+{wb}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! # semimatch-core
+//!
+//! Semi-matching algorithms for scheduling parallel tasks under resource
+//! constraints — the primary contribution of Benoit, Langguth, Uçar
+//! (IPDPSW 2013), re-implemented in Rust.
+//!
+//! ## Problems
+//!
+//! * `SINGLEPROC` — sequential tasks restricted to processor subsets: a
+//!   semi-matching in a weighted bipartite graph ([`problem::SemiMatching`]).
+//! * `MULTIPROC` — parallel tasks choosing among processor-set
+//!   configurations: a semi-matching in a bipartite hypergraph
+//!   ([`problem::HyperMatching`]). NP-complete even with unit weights
+//!   (Theorem 1; executable in [`reduction`]).
+//!
+//! ## Algorithms
+//!
+//! * exact (`SINGLEPROC-UNIT`): [`exact::exact_unit`] (matching-based,
+//!   §IV-A) and [`exact::harvey_exact`] (cost-reducing paths) —
+//!   independent and cross-checked;
+//! * exact (anything, small): [`exact::brute_force_multiproc`];
+//! * bipartite heuristics (§IV-B): [`greedy::basic::basic_greedy`],
+//!   [`greedy::sorted::sorted_greedy`],
+//!   [`greedy::double_sorted::double_sorted`],
+//!   [`greedy::expected::expected_greedy`];
+//! * hypergraph heuristics (§IV-D): [`hyper::sgh`], [`hyper::egh`],
+//!   [`hyper::vgh`], [`hyper::evg`];
+//! * the lower bound of §IV-C: [`lower_bound::lower_bound_multiproc`];
+//! * beyond the paper: local-search [`refine`] and iterated local search,
+//!   the Graham LPT baseline ([`greedy::lpt`]), load-profile [`analysis`],
+//!   and solution serialization ([`solution_io`]).
+//!
+//! ```
+//! use semimatch_graph::Hypergraph;
+//! use semimatch_core::hyper::HyperHeuristic;
+//! use semimatch_core::lower_bound::lower_bound_multiproc;
+//!
+//! // Fig. 2 of the paper.
+//! let h = Hypergraph::from_configs(
+//!     3,
+//!     &[vec![vec![0], vec![1, 2]], vec![vec![0]], vec![vec![2]], vec![vec![2]]],
+//! )
+//! .unwrap();
+//! let hm = HyperHeuristic::Evg.run(&h).unwrap();
+//! let lb = lower_bound_multiproc(&h).unwrap();
+//! assert!(hm.makespan(&h) >= lb);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod error;
+pub mod exact;
+pub mod greedy;
+pub mod hyper;
+pub mod lower_bound;
+pub mod problem;
+pub mod quality;
+pub mod reduction;
+pub mod refine;
+pub mod solution_io;
+
+pub use error::{CoreError, Result};
+pub use hyper::HyperHeuristic;
+pub use problem::{HyperMatching, SemiMatching};
+
+/// Selector for the four `SINGLEPROC` heuristics (report plumbing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BiHeuristic {
+    /// basic-greedy (Algorithm 1).
+    Basic,
+    /// sorted-greedy.
+    Sorted,
+    /// double-sorted (Algorithm 2).
+    DoubleSorted,
+    /// expected-greedy (Algorithm 3).
+    Expected,
+}
+
+impl BiHeuristic {
+    /// All four, in the paper's presentation order.
+    pub const ALL: [BiHeuristic; 4] = [
+        BiHeuristic::Basic,
+        BiHeuristic::Sorted,
+        BiHeuristic::DoubleSorted,
+        BiHeuristic::Expected,
+    ];
+
+    /// Stable short name.
+    pub fn label(self) -> &'static str {
+        match self {
+            BiHeuristic::Basic => "basic",
+            BiHeuristic::Sorted => "sorted",
+            BiHeuristic::DoubleSorted => "double-sorted",
+            BiHeuristic::Expected => "expected",
+        }
+    }
+
+    /// Runs the heuristic.
+    pub fn run(self, g: &semimatch_graph::Bipartite) -> Result<SemiMatching> {
+        match self {
+            BiHeuristic::Basic => greedy::basic::basic_greedy(g),
+            BiHeuristic::Sorted => greedy::sorted::sorted_greedy(g),
+            BiHeuristic::DoubleSorted => greedy::double_sorted::double_sorted(g),
+            BiHeuristic::Expected => greedy::expected::expected_greedy(g),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semimatch_graph::Bipartite;
+
+    #[test]
+    fn all_bipartite_heuristics_are_valid_and_bounded() {
+        let g = Bipartite::from_edges(
+            6,
+            3,
+            &[(0, 0), (0, 1), (1, 0), (2, 1), (2, 2), (3, 2), (4, 0), (4, 2), (5, 1)],
+        )
+        .unwrap();
+        let lb = lower_bound::lower_bound_singleproc(&g).unwrap();
+        let opt = exact::exact_unit(&g, exact::SearchStrategy::Bisection).unwrap().makespan;
+        for h in BiHeuristic::ALL {
+            let sm = h.run(&g).unwrap();
+            sm.validate(&g).unwrap();
+            let m = sm.makespan(&g);
+            assert!(lb <= opt && opt <= m, "{}: lb {lb} opt {opt} makespan {m}", h.label());
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<_> = BiHeuristic::ALL.iter().map(|h| h.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 4);
+    }
+}

@@ -1,0 +1,156 @@
+//! Lower bounds on the optimal makespan (§IV-C).
+//!
+//! The paper's bound (Eq. 1) lets every task take its globally cheapest
+//! configuration (`time_i = min_h w_h · |h ∩ V2|`) and spreads the total
+//! work perfectly over the `p` processors:
+//!
+//! ```text
+//! LB = (1/p) · Σ_i time_i
+//! ```
+//!
+//! We additionally take the maximum with two trivial bounds — some task
+//! must pay at least its cheapest per-processor time, and loads are
+//! integral — and report `⌈·⌉` since all weights are integers.
+
+use semimatch_graph::{Bipartite, Hypergraph};
+
+use crate::error::{CoreError, Result};
+
+/// The paper's Eq. 1 for `MULTIPROC`, as an exact rational `⌈Σ time_i / p⌉`,
+/// combined with the single-task bound `max_i min_h w_h`.
+pub fn lower_bound_multiproc(h: &Hypergraph) -> Result<u64> {
+    let mut total: u128 = 0;
+    let mut single_task = 0u64;
+    for t in 0..h.n_tasks() {
+        let range = h.hedges_of(t);
+        if range.is_empty() {
+            return Err(CoreError::UncoveredTask(t));
+        }
+        let mut best_time = u64::MAX;
+        let mut best_weight = u64::MAX;
+        for hid in range {
+            let time = h.weight(hid) * h.hedge_size(hid) as u64;
+            best_time = best_time.min(time);
+            best_weight = best_weight.min(h.weight(hid));
+        }
+        total += best_time as u128;
+        single_task = single_task.max(best_weight);
+    }
+    let p = h.n_procs().max(1) as u128;
+    let averaged = total.div_ceil(p) as u64;
+    Ok(averaged.max(single_task))
+}
+
+/// Eq. 1 as a real number (no ceiling), for reporting.
+pub fn lower_bound_multiproc_f64(h: &Hypergraph) -> Result<f64> {
+    let mut total: f64 = 0.0;
+    for t in 0..h.n_tasks() {
+        let range = h.hedges_of(t);
+        if range.is_empty() {
+            return Err(CoreError::UncoveredTask(t));
+        }
+        let best = range
+            .map(|hid| (h.weight(hid) * h.hedge_size(hid) as u64) as f64)
+            .fold(f64::INFINITY, f64::min);
+        total += best;
+    }
+    Ok(total / h.n_procs().max(1) as f64)
+}
+
+/// The same bound specialized to `SINGLEPROC`: `time_i = min_e w(e)`.
+pub fn lower_bound_singleproc(g: &Bipartite) -> Result<u64> {
+    let mut total: u128 = 0;
+    let mut single_task = 0u64;
+    for t in 0..g.n_left() {
+        let range = g.edge_range(t);
+        if range.is_empty() {
+            return Err(CoreError::UncoveredTask(t));
+        }
+        let best = range.map(|e| g.weight(e)).min().expect("non-empty");
+        total += best as u128;
+        single_task = single_task.max(best);
+    }
+    let p = g.n_right().max(1) as u128;
+    Ok((total.div_ceil(p) as u64).max(single_task))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_bipartite_bound_is_ceil_n_over_p() {
+        // 5 unit tasks, 2 processors → ⌈5/2⌉ = 3.
+        let g = Bipartite::from_edges(
+            5,
+            2,
+            &[(0, 0), (1, 0), (2, 1), (3, 1), (4, 0), (4, 1)],
+        )
+        .unwrap();
+        assert_eq!(lower_bound_singleproc(&g).unwrap(), 3);
+    }
+
+    #[test]
+    fn single_heavy_task_dominates() {
+        let g =
+            Bipartite::from_weighted_edges(2, 4, &[(0, 0), (1, 1)], &[100, 1]).unwrap();
+        // Averaged bound would be ⌈101/4⌉ = 26, but task 0 costs 100 anywhere.
+        assert_eq!(lower_bound_singleproc(&g).unwrap(), 100);
+    }
+
+    #[test]
+    fn multiproc_uses_cheapest_total_work() {
+        // One task: {P0} at weight 6 (work 6) or {P0,P1,P2} at weight 3
+        // (work 9). time = 6; LB = max(⌈6/3⌉, 3) = 3 (cheapest per-proc
+        // weight is 3).
+        let h = Hypergraph::from_hyperedges(
+            1,
+            3,
+            vec![(0, vec![0], 6), (0, vec![0, 1, 2], 3)],
+        )
+        .unwrap();
+        assert_eq!(lower_bound_multiproc(&h).unwrap(), 3);
+        let f = lower_bound_multiproc_f64(&h).unwrap();
+        assert!((f - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncovered_task_is_an_error() {
+        let h = Hypergraph::from_hyperedges(2, 1, vec![(0, vec![0], 1)]).unwrap();
+        assert_eq!(lower_bound_multiproc(&h).unwrap_err(), CoreError::UncoveredTask(1));
+        let g = Bipartite::from_edges(2, 1, &[(0, 0)]).unwrap();
+        assert_eq!(lower_bound_singleproc(&g).unwrap_err(), CoreError::UncoveredTask(1));
+    }
+
+    #[test]
+    fn bound_never_exceeds_any_feasible_makespan() {
+        use crate::problem::HyperMatching;
+        let h = Hypergraph::from_hyperedges(
+            3,
+            2,
+            vec![
+                (0, vec![0], 2),
+                (0, vec![0, 1], 1),
+                (1, vec![1], 3),
+                (2, vec![0], 1),
+                (2, vec![1], 4),
+            ],
+        )
+        .unwrap();
+        let lb = lower_bound_multiproc(&h).unwrap();
+        // Enumerate all semi-matchings: 2 × 1 × 2 choices.
+        for c0 in [0u32, 1] {
+            for c2 in [3u32, 4] {
+                let hm = HyperMatching { hedge_of: vec![c0, 2, c2] };
+                hm.validate(&h).unwrap();
+                assert!(hm.makespan(&h) >= lb);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_instance() {
+        let h = Hypergraph::from_hyperedges(0, 4, vec![]).unwrap();
+        assert_eq!(lower_bound_multiproc(&h).unwrap(), 0);
+    }
+}

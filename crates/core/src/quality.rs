@@ -1,0 +1,85 @@
+//! Quality metrics and the paper's median-of-10 aggregation.
+
+/// `makespan / lower_bound` as a real ratio (the entries of Tables II/III).
+pub fn ratio(makespan: u64, lower_bound: u64) -> f64 {
+    if lower_bound == 0 {
+        if makespan == 0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        makespan as f64 / lower_bound as f64
+    }
+}
+
+/// Median of a sample (averaging the middle pair for even sizes), as the
+/// paper reports for its ten instances per configuration.
+pub fn median_f64(xs: &mut [f64]) -> f64 {
+    assert!(!xs.is_empty(), "median of empty sample");
+    xs.sort_unstable_by(|a, b| a.total_cmp(b));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+/// Median of integer samples, rounding the midpoint of the middle pair
+/// toward the smaller value (matches how integer columns like `|N|` in
+/// Table I read).
+pub fn median_u64(xs: &mut [u64]) -> u64 {
+    assert!(!xs.is_empty(), "median of empty sample");
+    xs.sort_unstable();
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2
+    }
+}
+
+/// Arithmetic mean.
+pub fn mean_f64(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of empty sample");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_basics() {
+        assert!((ratio(14, 10) - 1.4).abs() < 1e-12);
+        assert_eq!(ratio(0, 0), 1.0);
+        assert!(ratio(5, 0).is_infinite());
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median_u64(&mut [3, 1, 2]), 2);
+        assert_eq!(median_u64(&mut [4, 1, 2, 3]), 2);
+        assert!((median_f64(&mut [1.0, 9.0, 5.0]) - 5.0).abs() < 1e-12);
+        assert!((median_f64(&mut [1.0, 2.0, 3.0, 4.0]) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_is_order_free() {
+        let mut a = [5u64, 1, 4, 2, 3];
+        let mut b = [3u64, 4, 2, 1, 5];
+        assert_eq!(median_u64(&mut a), median_u64(&mut b));
+    }
+
+    #[test]
+    fn mean_basics() {
+        assert!((mean_f64(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "median of empty sample")]
+    fn empty_median_panics() {
+        median_f64(&mut []);
+    }
+}

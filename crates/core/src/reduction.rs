@@ -1,0 +1,119 @@
+//! Executable Theorem 1: X3C ⇄ `MULTIPROC-UNIT` solution mappings.
+//!
+//! The reduction instance (built by `semimatch_gen::x3c::X3c::to_multiproc`)
+//! has `q` tasks over `3q` processors; every task owns the same list of
+//! `|C|` configurations — the triples of the X3C collection, in order.
+//! This module maps solutions across the reduction in both directions,
+//! which is exactly the two halves of the NP-completeness proof:
+//!
+//! * a schedule of makespan 1 selects `q` pairwise-disjoint triples whose
+//!   union has `3q` elements — an exact cover;
+//! * an exact cover, used as one configuration per task, loads every
+//!   processor exactly once — makespan 1.
+
+use semimatch_graph::Hypergraph;
+
+use crate::error::{CoreError, Result};
+use crate::problem::HyperMatching;
+
+/// Builds the makespan-1 schedule corresponding to an exact cover.
+///
+/// `cover[t]` is the index (into the shared triple list of length
+/// `n_triples`) assigned to task `t`; the reduction instance's hyperedge
+/// ids are `t · n_triples + cover[t]`.
+pub fn cover_to_schedule(
+    h: &Hypergraph,
+    cover: &[usize],
+    n_triples: usize,
+) -> Result<HyperMatching> {
+    if cover.len() != h.n_tasks() as usize {
+        return Err(CoreError::LengthMismatch {
+            expected: h.n_tasks() as usize,
+            got: cover.len(),
+        });
+    }
+    let hedge_of: Vec<u32> = cover
+        .iter()
+        .enumerate()
+        .map(|(t, &c)| (t * n_triples + c) as u32)
+        .collect();
+    let hm = HyperMatching { hedge_of };
+    hm.validate(h)?;
+    Ok(hm)
+}
+
+/// Extracts the exact cover encoded by a makespan-1 schedule of a
+/// reduction instance; `None` when the makespan exceeds 1 (no cover is
+/// implied). Triple indices are recovered as `hedge_id mod n_triples`.
+pub fn schedule_to_cover(
+    h: &Hypergraph,
+    hm: &HyperMatching,
+    n_triples: usize,
+) -> Result<Option<Vec<usize>>> {
+    hm.validate(h)?;
+    if hm.makespan(h) > 1 {
+        return Ok(None);
+    }
+    Ok(Some(hm.hedge_of.iter().map(|&hid| hid as usize % n_triples).collect()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semimatch_graph::HypergraphBuilder;
+
+    /// Hand-rolled reduction instance (mirrors X3c::to_multiproc without a
+    /// dependency on semimatch-gen): 2 tasks, 6 processors, triples
+    /// C = {0,1,2}, {3,4,5}, {1,2,3}.
+    fn reduction_instance() -> (Hypergraph, usize) {
+        let triples: Vec<Vec<u32>> = vec![vec![0, 1, 2], vec![3, 4, 5], vec![1, 2, 3]];
+        let mut b = HypergraphBuilder::new(2, 6);
+        for t in 0..2u32 {
+            for tri in &triples {
+                b.config(t, tri.clone());
+            }
+        }
+        (b.build().unwrap(), triples.len())
+    }
+
+    #[test]
+    fn cover_gives_makespan_one() {
+        let (h, k) = reduction_instance();
+        // Exact cover: task 0 takes triple 0, task 1 takes triple 1.
+        let hm = cover_to_schedule(&h, &[0, 1], k).unwrap();
+        assert_eq!(hm.makespan(&h), 1);
+        let loads = hm.loads(&h);
+        assert!(loads.iter().all(|&l| l == 1), "every element covered exactly once");
+    }
+
+    #[test]
+    fn overlapping_choice_is_not_a_cover() {
+        let (h, k) = reduction_instance();
+        // Triples 0 and 2 overlap on elements 1, 2.
+        let hm = cover_to_schedule(&h, &[0, 2], k).unwrap();
+        assert!(hm.makespan(&h) > 1);
+        assert_eq!(schedule_to_cover(&h, &hm, k).unwrap(), None);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (h, k) = reduction_instance();
+        let hm = cover_to_schedule(&h, &[0, 1], k).unwrap();
+        let back = schedule_to_cover(&h, &hm, k).unwrap().unwrap();
+        assert_eq!(back, vec![0, 1]);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let (h, k) = reduction_instance();
+        assert!(cover_to_schedule(&h, &[0], k).is_err());
+    }
+
+    #[test]
+    fn brute_force_agrees_with_cover_existence() {
+        use crate::exact::brute_force::brute_force_multiproc;
+        let (h, _) = reduction_instance();
+        let (opt, _) = brute_force_multiproc(&h, 100_000).unwrap();
+        assert_eq!(opt, 1, "a cover exists, so the optimal makespan is 1");
+    }
+}

@@ -1,0 +1,106 @@
+//! Plain-text serialization of solutions.
+//!
+//! Format (`.sol`), mirroring the instance formats of `semimatch-graph`:
+//!
+//! ```text
+//! % semimatch solution
+//! <n_tasks>
+//! <hyperedge id of task 0>
+//! <hyperedge id of task 1>
+//! …
+//! ```
+//!
+//! Lets schedules produced by this library (or by an external solver) be
+//! stored, exchanged, and independently re-validated — see the CLI's
+//! `solve --save` and `verify` commands.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+use semimatch_graph::Hypergraph;
+
+use crate::error::{CoreError, Result};
+use crate::problem::HyperMatching;
+
+/// Writes `hm` in the `.sol` text format.
+pub fn write_solution<W: Write>(hm: &HyperMatching, w: W) -> std::io::Result<()> {
+    let mut out = BufWriter::new(w);
+    writeln!(out, "% semimatch solution")?;
+    writeln!(out, "{}", hm.hedge_of.len())?;
+    for &hid in &hm.hedge_of {
+        writeln!(out, "{hid}")?;
+    }
+    out.flush()
+}
+
+/// Reads a `.sol` file and validates it against `h`.
+pub fn read_solution<R: Read>(h: &Hypergraph, r: R) -> Result<HyperMatching> {
+    let reader = BufReader::new(r);
+    let mut numbers: Vec<u32> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line
+            .map_err(|e| CoreError::Parse { line: lineno + 1, msg: e.to_string() })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') || trimmed.starts_with('#') {
+            continue;
+        }
+        numbers.push(
+            trimmed
+                .parse::<u32>()
+                .map_err(|e| CoreError::Parse { line: lineno + 1, msg: e.to_string() })?,
+        );
+    }
+    let Some((&count, rest)) = numbers.split_first() else {
+        return Err(CoreError::Parse { line: 0, msg: "missing task count".into() });
+    };
+    if rest.len() != count as usize {
+        return Err(CoreError::LengthMismatch { expected: count as usize, got: rest.len() });
+    }
+    let hm = HyperMatching { hedge_of: rest.to_vec() };
+    hm.validate(h)?;
+    Ok(hm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Hypergraph {
+        Hypergraph::from_hyperedges(
+            2,
+            3,
+            vec![(0, vec![0], 1), (0, vec![1, 2], 2), (1, vec![2], 3)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let h = sample();
+        let hm = HyperMatching { hedge_of: vec![1, 2] };
+        let mut buf = Vec::new();
+        write_solution(&hm, &mut buf).unwrap();
+        let back = read_solution(&h, &buf[..]).unwrap();
+        assert_eq!(back, hm);
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let h = sample();
+        let text = "% header\n2\n% middle\n0\n2\n";
+        let hm = read_solution(&h, text.as_bytes()).unwrap();
+        assert_eq!(hm.hedge_of, vec![0, 2]);
+    }
+
+    #[test]
+    fn invalid_solutions_rejected() {
+        let h = sample();
+        // Wrong owner: hyperedge 2 belongs to task 1, not task 0.
+        assert!(read_solution(&h, "2\n2\n2\n".as_bytes()).is_err());
+        // Count mismatch.
+        assert!(read_solution(&h, "2\n0\n".as_bytes()).is_err());
+        // Garbage.
+        assert!(read_solution(&h, "x\n".as_bytes()).is_err());
+        // Empty.
+        assert!(read_solution(&h, "".as_bytes()).is_err());
+    }
+}

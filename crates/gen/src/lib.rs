@@ -1,0 +1,49 @@
+//! # semimatch-gen
+//!
+//! Instance generators for the semi-matching scheduling experiments:
+//!
+//! * [`mod@hilo`] and [`mod@fewg_manyg`] — the two random bipartite families of
+//!   §V-A1 (Cherkassky et al., JEA 1998), used for `SINGLEPROC-UNIT`;
+//! * [`hyper`] — the two-step hypergraph generator of §V-A2 for
+//!   `MULTIPROC`, with the [`weights`] schemes (unit / related / random);
+//! * [`adversarial`] — the worst-case constructions of Figs. 1–5;
+//! * [`x3c`] — Exact Cover by 3-Sets instances and the Theorem 1 reduction;
+//! * [`params`] — the Table I grid and naming (`FG-20-4-MP-W`, …);
+//! * [`rng`] — a self-contained xoshiro256++ so every instance is
+//!   bit-reproducible forever (see DESIGN.md §6).
+//!
+//! ```
+//! use semimatch_gen::params::{Config, Family};
+//! use semimatch_gen::weights::WeightScheme;
+//!
+//! let cfg = Config {
+//!     family: Family::Fg,
+//!     n: 1280,
+//!     p: 256,
+//!     dv: 5,
+//!     dh: 10,
+//!     weights: WeightScheme::Unit,
+//! };
+//! assert_eq!(cfg.name(), "FG-5-1-MP");
+//! let h = cfg.instance(42, 0); // master seed 42, protocol instance 0
+//! assert_eq!(h.n_tasks(), 1280);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod adversarial;
+pub mod binomial;
+pub mod fewg_manyg;
+pub mod hilo;
+pub mod hyper;
+pub mod params;
+pub mod rng;
+pub mod weights;
+pub mod x3c;
+
+pub use fewg_manyg::fewg_manyg;
+pub use hilo::{hilo, hilo_permuted};
+pub use hyper::{hyper_instance, HyperKind, HyperParams};
+pub use params::{Config, Family, SIZE_GRID};
+pub use rng::Xoshiro256;
+pub use weights::{apply_weights, WeightScheme};

@@ -1,0 +1,305 @@
+//! The paper's experimental grid and instance naming (Table I).
+//!
+//! Names follow `<GEN>-<n/256>-<p/256>-MP[<suffix>]`, e.g. `FG-20-4-MP-W`:
+//! FewgManyg with few groups, n = 5120, p = 1024, related weights.
+//!
+//! | prefix | step-2 generator | groups |
+//! |--------|------------------|--------|
+//! | `FG`   | FewgManyg        | 32     |
+//! | `MG`   | FewgManyg        | 128    |
+//! | `HLF`  | HiLo             | 32     |
+//! | `HLM`  | HiLo             | 128    |
+
+use semimatch_graph::Hypergraph;
+
+use crate::hyper::{hyper_instance, HyperKind, HyperParams};
+use crate::rng::Xoshiro256;
+use crate::weights::{apply_weights, WeightScheme};
+
+/// The four instance families of Table I.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// FewgManyg, g = 32.
+    Fg,
+    /// FewgManyg, g = 128.
+    Mg,
+    /// HiLo, g = 32.
+    Hlf,
+    /// HiLo, g = 128.
+    Hlm,
+}
+
+impl Family {
+    /// All four families in Table I order.
+    pub const ALL: [Family; 4] = [Family::Fg, Family::Mg, Family::Hlf, Family::Hlm];
+
+    /// Table prefix.
+    pub fn prefix(self) -> &'static str {
+        match self {
+            Family::Fg => "FG",
+            Family::Mg => "MG",
+            Family::Hlf => "HLF",
+            Family::Hlm => "HLM",
+        }
+    }
+
+    /// Step-2 generator.
+    pub fn kind(self) -> HyperKind {
+        match self {
+            Family::Fg | Family::Mg => HyperKind::FewgManyg,
+            Family::Hlf | Family::Hlm => HyperKind::HiLo,
+        }
+    }
+
+    /// Number of groups.
+    pub fn groups(self) -> u32 {
+        match self {
+            Family::Fg | Family::Hlf => 32,
+            Family::Mg | Family::Hlm => 128,
+        }
+    }
+}
+
+/// A fully specified experiment configuration (one row of Tables I–III).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Config {
+    /// Instance family (generator + group count).
+    pub family: Family,
+    /// Number of tasks.
+    pub n: u32,
+    /// Number of processors.
+    pub p: u32,
+    /// Mean configurations per task.
+    pub dv: u32,
+    /// Step-2 degree parameter.
+    pub dh: u32,
+    /// Weight scheme.
+    pub weights: WeightScheme,
+}
+
+impl Config {
+    /// Table row name, e.g. `FG-20-4-MP-W`.
+    pub fn name(&self) -> String {
+        format!(
+            "{}-{}-{}-MP{}",
+            self.family.prefix(),
+            self.n / 256,
+            self.p / 256,
+            self.weights.suffix()
+        )
+    }
+
+    /// Parses a Table-name like `FG-20-4-MP` or `HLM-80-16-MP-W` back into
+    /// a configuration (with the paper's detail parameters dv = 5,
+    /// dh = 10). The inverse of [`Config::name`].
+    pub fn from_name(name: &str) -> Option<Config> {
+        let mut parts = name.split('-');
+        let family = match parts.next()? {
+            "FG" => Family::Fg,
+            "MG" => Family::Mg,
+            "HLF" => Family::Hlf,
+            "HLM" => Family::Hlm,
+            _ => return None,
+        };
+        let n: u32 = parts.next()?.parse().ok()?;
+        let p: u32 = parts.next()?.parse().ok()?;
+        if parts.next()? != "MP" {
+            return None;
+        }
+        let weights = match parts.next() {
+            None => WeightScheme::Unit,
+            Some("W") => WeightScheme::Related,
+            Some("R") => WeightScheme::Random,
+            Some(_) => return None,
+        };
+        if parts.next().is_some() || n == 0 || p == 0 {
+            return None;
+        }
+        Some(Config { family, n: n * 256, p: p * 256, dv: 5, dh: 10, weights })
+    }
+
+    /// The generator parameter bundle.
+    pub fn hyper_params(&self) -> HyperParams {
+        HyperParams {
+            kind: self.family.kind(),
+            n: self.n,
+            p: self.p,
+            g: self.family.groups(),
+            dv: self.dv,
+            dh: self.dh,
+        }
+    }
+
+    /// Generates the `index`-th of the ten protocol instances.
+    ///
+    /// Streams are derived from `master_seed` and the instance index, so
+    /// every row of every table is reproducible in isolation.
+    pub fn instance(&self, master_seed: u64, index: u64) -> Hypergraph {
+        let root = Xoshiro256::seed_from_u64(master_seed ^ config_tag(self));
+        let mut rng = root.stream(index);
+        let mut h = hyper_instance(self.hyper_params(), &mut rng);
+        apply_weights(&mut h, self.weights, &mut rng);
+        h
+    }
+}
+
+/// Stable 64-bit tag mixed into the seed so that different configurations
+/// draw decorrelated streams even under the same master seed.
+fn config_tag(c: &Config) -> u64 {
+    let fam = match c.family {
+        Family::Fg => 1u64,
+        Family::Mg => 2,
+        Family::Hlf => 3,
+        Family::Hlm => 4,
+    };
+    let w = match c.weights {
+        WeightScheme::Unit => 1u64,
+        WeightScheme::Related => 2,
+        WeightScheme::Random => 3,
+    };
+    fam.wrapping_mul(0x9E3779B97F4A7C15)
+        ^ (c.n as u64).wrapping_mul(0xA0761D6478BD642F)
+        ^ (c.p as u64).wrapping_mul(0xE7037ED1A0B428DB)
+        ^ (c.dv as u64).wrapping_mul(0x8EBC6AF09C88C6E3)
+        ^ (c.dh as u64).wrapping_mul(0x589965CC75374CC3)
+        ^ w.wrapping_mul(0x1D8E4E27C47D124F)
+}
+
+/// The `(n, p)` grid of §V-A: all pairs with `n ≥ 5p`.
+pub const SIZE_GRID: [(u32, u32); 6] =
+    [(1280, 256), (5120, 256), (5120, 1024), (20480, 256), (20480, 1024), (20480, 4096)];
+
+/// The 24 rows of Table I (both FewgManyg and both HiLo families over the
+/// size grid) with the paper's detailed parameters `dv = 5`, `dh = 10`.
+pub fn table1_grid(weights: WeightScheme) -> Vec<Config> {
+    let mut out = Vec::with_capacity(24);
+    for family in [Family::Fg, Family::Mg] {
+        for &(n, p) in &SIZE_GRID {
+            out.push(Config { family, n, p, dv: 5, dh: 10, weights });
+        }
+    }
+    for family in [Family::Hlf, Family::Hlm] {
+        for &(n, p) in &SIZE_GRID {
+            out.push(Config { family, n, p, dv: 5, dh: 10, weights });
+        }
+    }
+    out
+}
+
+/// A proportionally scaled-down grid for tests and quick runs
+/// (`scale` divides both n and p; n/p ratios are preserved).
+pub fn scaled_grid(weights: WeightScheme, scale: u32) -> Vec<Config> {
+    table1_grid(weights)
+        .into_iter()
+        .map(|mut c| {
+            c.n = (c.n / scale).max(c.family.groups());
+            c.p = (c.p / scale).max(c.family.groups());
+            // Keep p divisible by g.
+            let g = c.family.groups();
+            c.p = (c.p / g).max(1) * g;
+            c
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_table1() {
+        let c = Config {
+            family: Family::Fg,
+            n: 1280,
+            p: 256,
+            dv: 5,
+            dh: 10,
+            weights: WeightScheme::Unit,
+        };
+        assert_eq!(c.name(), "FG-5-1-MP");
+        let c = Config {
+            family: Family::Hlm,
+            n: 20480,
+            p: 4096,
+            dv: 5,
+            dh: 10,
+            weights: WeightScheme::Related,
+        };
+        assert_eq!(c.name(), "HLM-80-16-MP-W");
+    }
+
+    #[test]
+    fn from_name_inverts_name() {
+        for weights in [WeightScheme::Unit, WeightScheme::Related, WeightScheme::Random] {
+            for cfg in table1_grid(weights) {
+                let back = Config::from_name(&cfg.name()).unwrap();
+                assert_eq!(back, cfg, "{}", cfg.name());
+            }
+        }
+        assert!(Config::from_name("XX-5-1-MP").is_none());
+        assert!(Config::from_name("FG-5-1").is_none());
+        assert!(Config::from_name("FG-5-1-MP-Z").is_none());
+        assert!(Config::from_name("FG-0-1-MP").is_none());
+        assert!(Config::from_name("FG-5-1-MP-W-extra").is_none());
+    }
+
+    #[test]
+    fn grid_has_24_rows_with_table1_names() {
+        let grid = table1_grid(WeightScheme::Unit);
+        assert_eq!(grid.len(), 24);
+        let names: Vec<String> = grid.iter().map(Config::name).collect();
+        for expected in [
+            "FG-5-1-MP",
+            "MG-20-1-MP",
+            "FG-80-16-MP",
+            "HLF-5-1-MP",
+            "HLM-80-4-MP",
+            "HLM-80-16-MP",
+        ] {
+            assert!(names.iter().any(|n| n == expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn instances_are_reproducible_and_stream_dependent() {
+        let c = Config {
+            family: Family::Mg,
+            n: 256,
+            p: 128,
+            dv: 3,
+            dh: 4,
+            weights: WeightScheme::Related,
+        };
+        let a = c.instance(42, 0);
+        let b = c.instance(42, 0);
+        assert_eq!(a, b);
+        let c2 = c.instance(42, 1);
+        assert_ne!(a, c2);
+        a.validate().unwrap();
+    }
+
+    #[test]
+    fn weight_scheme_is_applied() {
+        let base = Config {
+            family: Family::Fg,
+            n: 128,
+            p: 64,
+            dv: 3,
+            dh: 4,
+            weights: WeightScheme::Unit,
+        };
+        let unit = base.instance(7, 0);
+        assert!(unit.is_unit());
+        let related = Config { weights: WeightScheme::Related, ..base }.instance(7, 0);
+        assert!(!related.is_unit());
+    }
+
+    #[test]
+    fn scaled_grid_keeps_divisibility() {
+        for c in scaled_grid(WeightScheme::Unit, 16) {
+            assert_eq!(c.p % c.family.groups(), 0, "{}", c.name());
+            let h = c.instance(1, 0);
+            h.validate().unwrap();
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Hyperedge weight schemes (§V-A2).
+//!
+//! * **Unit** — all `w_h = 1` (`MULTIPROC-UNIT`, Table II).
+//! * **Related** — `w_h = ⌈s_min · s_max / s_h⌉` where `s_h = |h ∩ V2|`:
+//!   the more processors a configuration uses, the smaller its per-processor
+//!   time, "as would be the case in most realistic settings" (Table III).
+//! * **Random** — uniform integers in `[1, s_min · s_max]`, matching the
+//!   scale of the related scheme; the paper's technical report uses random
+//!   weights as a cross-check data set (TR Table 8).
+
+use semimatch_graph::Hypergraph;
+
+use crate::rng::Xoshiro256;
+
+/// Weight scheme selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WeightScheme {
+    /// All weights 1 (`MULTIPROC-UNIT`).
+    Unit,
+    /// Related weights `⌈s_min·s_max / s_h⌉`.
+    Related,
+    /// Uniform random weights in `[1, s_min·s_max]`.
+    Random,
+}
+
+impl WeightScheme {
+    /// Table-name suffix: `""`, `"-W"`, `"-R"`.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            WeightScheme::Unit => "",
+            WeightScheme::Related => "-W",
+            WeightScheme::Random => "-R",
+        }
+    }
+}
+
+/// Applies `scheme` to `h` in place.
+///
+/// `rng` is only consulted by [`WeightScheme::Random`].
+pub fn apply_weights(h: &mut Hypergraph, scheme: WeightScheme, rng: &mut Xoshiro256) {
+    let n = h.n_hedges();
+    let weights: Vec<u64> = match scheme {
+        WeightScheme::Unit => vec![1; n as usize],
+        WeightScheme::Related => {
+            let (smin, smax) = h.size_extrema().unwrap_or((1, 1));
+            (0..n).map(|hid| related_weight(smin, smax, h.hedge_size(hid))).collect()
+        }
+        WeightScheme::Random => {
+            let (smin, smax) = h.size_extrema().unwrap_or((1, 1));
+            let hi = (smin as u64) * (smax as u64);
+            (0..n).map(|_| rng.range_inclusive(1, hi.max(1))).collect()
+        }
+    };
+    h.set_weights(weights).expect("scheme weights are positive and sized correctly");
+}
+
+/// The paper's related-weight formula `⌈s_min · s_max / s_h⌉`.
+#[inline]
+pub fn related_weight(s_min: u32, s_max: u32, s_h: u32) -> u64 {
+    let num = (s_min as u64) * (s_max as u64);
+    let den = s_h as u64;
+    num.div_ceil(den)
+}
+
+/// Assigns uniform random edge weights in `[1, max_weight]` to a bipartite
+/// graph — the weighted `SINGLEPROC` setting (NP-complete per Low 2006),
+/// which the paper leaves to its `MULTIPROC` experiments; this repository
+/// evaluates it in the `weighted_singleproc` extension report.
+pub fn apply_random_edge_weights(
+    g: &mut semimatch_graph::Bipartite,
+    max_weight: u64,
+    rng: &mut Xoshiro256,
+) {
+    let ws: Vec<u64> =
+        (0..g.num_edges()).map(|_| rng.range_inclusive(1, max_weight.max(1))).collect();
+    g.set_weights(ws).expect("positive weights of matching length");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Hypergraph {
+        Hypergraph::from_hyperedges(
+            2,
+            6,
+            vec![
+                (0, vec![0], 1),
+                (0, vec![1, 2, 3], 1),
+                (1, vec![4, 5], 1),
+                (1, vec![0, 1, 2], 1),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn related_formula() {
+        assert_eq!(related_weight(1, 3, 1), 3);
+        assert_eq!(related_weight(1, 3, 2), 2); // ceil(3/2)
+        assert_eq!(related_weight(1, 3, 3), 1);
+        assert_eq!(related_weight(2, 10, 4), 5);
+        assert_eq!(related_weight(2, 10, 3), 7); // ceil(20/3)
+    }
+
+    #[test]
+    fn related_weights_are_antitone_in_size() {
+        let mut h = sample();
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        apply_weights(&mut h, WeightScheme::Related, &mut rng);
+        // sizes: 1, 3, 2, 3 ; smin=1, smax=3 → weights 3, 1, 2, 1.
+        assert_eq!(h.weights(), &[3, 1, 2, 1]);
+        // Bigger configurations never cost more per processor.
+        for a in 0..h.n_hedges() {
+            for b in 0..h.n_hedges() {
+                if h.hedge_size(a) <= h.hedge_size(b) {
+                    assert!(h.weight(a) >= h.weight(b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unit_scheme_resets() {
+        let mut h = sample();
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        apply_weights(&mut h, WeightScheme::Related, &mut rng);
+        assert!(!h.is_unit());
+        apply_weights(&mut h, WeightScheme::Unit, &mut rng);
+        assert!(h.is_unit());
+    }
+
+    #[test]
+    fn random_weights_in_range_and_seeded() {
+        let mut h1 = sample();
+        let mut h2 = sample();
+        apply_weights(&mut h1, WeightScheme::Random, &mut Xoshiro256::seed_from_u64(3));
+        apply_weights(&mut h2, WeightScheme::Random, &mut Xoshiro256::seed_from_u64(3));
+        assert_eq!(h1.weights(), h2.weights());
+        let hi = 3; // smin·smax = 1·3
+        assert!(h1.weights().iter().all(|&w| (1..=hi).contains(&w)));
+    }
+
+    #[test]
+    fn suffixes() {
+        assert_eq!(WeightScheme::Unit.suffix(), "");
+        assert_eq!(WeightScheme::Related.suffix(), "-W");
+        assert_eq!(WeightScheme::Random.suffix(), "-R");
+    }
+
+    #[test]
+    fn random_edge_weights_are_seeded_and_bounded() {
+        let base = semimatch_graph::Bipartite::from_edges(
+            3,
+            2,
+            &[(0, 0), (0, 1), (1, 0), (2, 1)],
+        )
+        .unwrap();
+        let mut a = base.clone();
+        let mut b = base.clone();
+        apply_random_edge_weights(&mut a, 20, &mut Xoshiro256::seed_from_u64(5));
+        apply_random_edge_weights(&mut b, 20, &mut Xoshiro256::seed_from_u64(5));
+        assert_eq!(a, b);
+        assert!(a.weights().iter().all(|&w| (1..=20).contains(&w)));
+        assert!(!a.is_unit() || a.weights().iter().all(|&w| w == 1));
+    }
+
+    #[test]
+    fn related_weight_total_work_is_roughly_invariant() {
+        // w_h · s_h ≈ s_min·s_max: the total work of a configuration does
+        // not depend much on how many processors it spans.
+        let mut h = sample();
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        apply_weights(&mut h, WeightScheme::Related, &mut rng);
+        for hid in 0..h.n_hedges() {
+            let work = h.weight(hid) * h.hedge_size(hid) as u64;
+            assert!((3..=4).contains(&work), "work {work} for size {}", h.hedge_size(hid));
+        }
+    }
+}

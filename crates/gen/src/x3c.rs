@@ -1,0 +1,239 @@
+//! Exact Cover by 3-Sets (X3C) instances and the Theorem 1 reduction.
+//!
+//! Theorem 1 of the paper proves `MULTIPROC-UNIT` NP-complete by reduction
+//! from X3C: given `|X| = 3q` elements and a collection `C` of 3-element
+//! subsets, build `q` tasks over `3q` processors where *every* task may use
+//! *any* triple of `C` as a configuration; an exact cover exists iff a
+//! schedule of makespan 1 exists. This module makes the reduction — and
+//! both directions of its correctness proof — executable.
+
+use semimatch_graph::{Hypergraph, HypergraphBuilder};
+
+use crate::rng::Xoshiro256;
+
+/// An X3C instance: `3q` elements and a collection of 3-element subsets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct X3c {
+    /// Number of elements (always a multiple of 3).
+    pub n_elements: u32,
+    /// The collection `C` (each triple sorted ascending).
+    pub triples: Vec<[u32; 3]>,
+}
+
+impl X3c {
+    /// Creates an instance, normalizing and validating the triples.
+    pub fn new(n_elements: u32, mut triples: Vec<[u32; 3]>) -> Self {
+        assert!(n_elements.is_multiple_of(3), "X3C needs |X| divisible by 3");
+        for t in &mut triples {
+            t.sort_unstable();
+            assert!(t[0] < t[1] && t[1] < t[2], "triples must have distinct elements");
+            assert!(t[2] < n_elements, "element out of range");
+        }
+        X3c { n_elements, triples }
+    }
+
+    /// `q = |X| / 3`: the size any exact cover must have.
+    pub fn q(&self) -> u32 {
+        self.n_elements / 3
+    }
+
+    /// Decides X3C by backtracking over the first uncovered element.
+    ///
+    /// Exponential in the worst case (the problem is NP-complete) but
+    /// fine at test scale. Returns a witness cover when one exists.
+    pub fn exact_cover(&self) -> Option<Vec<usize>> {
+        // Index triples by their smallest member for the standard
+        // "branch on the first uncovered element" scheme.
+        let mut by_element: Vec<Vec<usize>> = vec![Vec::new(); self.n_elements as usize];
+        for (i, t) in self.triples.iter().enumerate() {
+            for &e in t {
+                by_element[e as usize].push(i);
+            }
+        }
+        let mut covered = vec![false; self.n_elements as usize];
+        let mut chosen = Vec::new();
+        if self.backtrack(&by_element, &mut covered, &mut chosen) {
+            Some(chosen)
+        } else {
+            None
+        }
+    }
+
+    fn backtrack(
+        &self,
+        by_element: &[Vec<usize>],
+        covered: &mut [bool],
+        chosen: &mut Vec<usize>,
+    ) -> bool {
+        let e = match covered.iter().position(|&c| !c) {
+            None => return true,
+            Some(e) => e,
+        };
+        for &i in &by_element[e] {
+            let t = &self.triples[i];
+            if t.iter().any(|&x| covered[x as usize]) {
+                continue;
+            }
+            for &x in t {
+                covered[x as usize] = true;
+            }
+            chosen.push(i);
+            if self.backtrack(by_element, covered, chosen) {
+                return true;
+            }
+            chosen.pop();
+            for &x in t {
+                covered[x as usize] = false;
+            }
+        }
+        false
+    }
+
+    /// Verifies that `cover` (indices into `triples`) is an exact cover.
+    pub fn is_exact_cover(&self, cover: &[usize]) -> bool {
+        let mut seen = vec![false; self.n_elements as usize];
+        for &i in cover {
+            let Some(t) = self.triples.get(i) else { return false };
+            for &x in t {
+                if seen[x as usize] {
+                    return false;
+                }
+                seen[x as usize] = true;
+            }
+        }
+        seen.iter().all(|&s| s)
+    }
+
+    /// The Theorem 1 reduction: `q` tasks on `3q` processors, every task
+    /// eligible for every triple, all weights 1, deadline `D = 1`.
+    pub fn to_multiproc(&self) -> Hypergraph {
+        let q = self.q();
+        let mut b =
+            HypergraphBuilder::with_capacity(q, self.n_elements, (q as usize) * self.triples.len());
+        for task in 0..q {
+            for t in &self.triples {
+                b.config(task, t.to_vec());
+            }
+        }
+        b.build().expect("reduction output is structurally valid")
+    }
+}
+
+/// Random *planted* X3C instance: a hidden exact cover plus `extra` random
+/// triples (always solvable).
+pub fn planted(q: u32, extra: usize, rng: &mut Xoshiro256) -> X3c {
+    let n = 3 * q;
+    let mut elements: Vec<u32> = (0..n).collect();
+    rng.shuffle(&mut elements);
+    let mut triples: Vec<[u32; 3]> = elements
+        .chunks_exact(3)
+        .map(|c| {
+            let mut t = [c[0], c[1], c[2]];
+            t.sort_unstable();
+            t
+        })
+        .collect();
+    let mut pool = Vec::new();
+    let mut guard = 0;
+    while triples.len() < q as usize + extra {
+        let pick = rng.sample_distinct(n as u64, 3, &mut pool);
+        let mut t = [pick[0] as u32, pick[1] as u32, pick[2] as u32];
+        t.sort_unstable();
+        if !triples.contains(&t) {
+            triples.push(t);
+        }
+        guard += 1;
+        if guard > 100 * (q as usize + extra) {
+            break; // tiny universes can run out of distinct triples
+        }
+    }
+    rng.shuffle(&mut triples);
+    X3c::new(n, triples)
+}
+
+/// Random (not necessarily solvable) X3C instance with `m` distinct triples.
+pub fn random(q: u32, m: usize, rng: &mut Xoshiro256) -> X3c {
+    let n = 3 * q;
+    let mut triples: Vec<[u32; 3]> = Vec::with_capacity(m);
+    let mut pool = Vec::new();
+    let mut guard = 0;
+    while triples.len() < m {
+        let pick = rng.sample_distinct(n as u64, 3, &mut pool);
+        let mut t = [pick[0] as u32, pick[1] as u32, pick[2] as u32];
+        t.sort_unstable();
+        if !triples.contains(&t) {
+            triples.push(t);
+        }
+        guard += 1;
+        if guard > 100 * m + 100 {
+            break;
+        }
+    }
+    X3c::new(n, triples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solvable_instance() {
+        let x = X3c::new(6, vec![[0, 1, 2], [3, 4, 5], [0, 3, 4]]);
+        let cover = x.exact_cover().expect("cover exists");
+        assert!(x.is_exact_cover(&cover));
+        assert_eq!(cover.len(), 2);
+    }
+
+    #[test]
+    fn unsolvable_instance() {
+        // Elements 0..6 but every triple contains element 0.
+        let x = X3c::new(6, vec![[0, 1, 2], [0, 3, 4], [0, 4, 5]]);
+        assert!(x.exact_cover().is_none());
+    }
+
+    #[test]
+    fn planted_instances_are_solvable() {
+        for seed in 0..5 {
+            let mut rng = Xoshiro256::seed_from_u64(seed);
+            let x = planted(4, 6, &mut rng);
+            assert_eq!(x.n_elements, 12);
+            let cover = x.exact_cover().expect("planted cover must exist");
+            assert!(x.is_exact_cover(&cover));
+        }
+    }
+
+    #[test]
+    fn reduction_shape() {
+        let x = X3c::new(6, vec![[0, 1, 2], [3, 4, 5], [1, 2, 3]]);
+        let h = x.to_multiproc();
+        assert_eq!(h.n_tasks(), 2);
+        assert_eq!(h.n_procs(), 6);
+        assert_eq!(h.n_hedges(), 6); // q · |C|
+        assert!(h.is_unit());
+        for hid in 0..h.n_hedges() {
+            assert_eq!(h.hedge_size(hid), 3);
+        }
+        h.validate().unwrap();
+    }
+
+    #[test]
+    fn cover_checker_rejects_overlap_and_gaps() {
+        let x = X3c::new(6, vec![[0, 1, 2], [2, 3, 4], [3, 4, 5]]);
+        assert!(!x.is_exact_cover(&[0, 1])); // overlap at 2
+        assert!(!x.is_exact_cover(&[0])); // gap
+        assert!(x.is_exact_cover(&[0, 2]));
+        assert!(!x.is_exact_cover(&[0, 99])); // bogus index
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by 3")]
+    fn bad_universe_size_panics() {
+        X3c::new(7, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct elements")]
+    fn degenerate_triple_panics() {
+        X3c::new(6, vec![[1, 1, 2]]);
+    }
+}

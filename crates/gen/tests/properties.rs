@@ -1,0 +1,120 @@
+//! Property tests for the instance generators.
+
+use proptest::prelude::*;
+use semimatch_gen::hyper::{hyper_instance, HyperKind, HyperParams};
+use semimatch_gen::rng::Xoshiro256;
+use semimatch_gen::weights::{apply_weights, related_weight, WeightScheme};
+use semimatch_gen::{fewg_manyg, hilo, hilo_permuted};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hilo_degree_bound_and_determinism(
+        groups in 1u32..6,
+        pg in 1u32..6,
+        per_group in 1u32..12,
+        d in 1u32..8,
+    ) {
+        let n = groups * per_group;
+        let p = groups * pg;
+        let a = hilo(n, p, groups, d);
+        let b = hilo(n, p, groups, d);
+        prop_assert_eq!(&a, &b, "HiLo is deterministic");
+        a.validate().unwrap();
+        for v in 0..a.n_left() {
+            let deg = a.deg_left(v);
+            prop_assert!(deg >= 1, "every task is covered");
+            // At most (d+1) per group, at most two groups.
+            prop_assert!(deg <= 2 * (d + 1).min(pg));
+        }
+    }
+
+    #[test]
+    fn hilo_permutation_preserves_degree_multiset(
+        seed in 0u64..1000,
+        groups in 1u32..5,
+        pg in 1u32..5,
+        per_group in 1u32..10,
+        d in 1u32..6,
+    ) {
+        let n = groups * per_group;
+        let p = groups * pg;
+        let base = hilo(n, p, groups, d);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let perm = hilo_permuted(n, p, groups, d, &mut rng);
+        perm.validate().unwrap();
+        let mut da: Vec<u32> = (0..n).map(|v| base.deg_left(v)).collect();
+        let mut db: Vec<u32> = (0..n).map(|v| perm.deg_left(v)).collect();
+        da.sort_unstable();
+        db.sort_unstable();
+        prop_assert_eq!(da, db);
+        prop_assert_eq!(base.num_edges(), perm.num_edges());
+    }
+
+    #[test]
+    fn fewg_manyg_respects_window(
+        seed in 0u64..1000,
+        groups in 1u32..6,
+        pg in 1u32..5,
+        n in 4u32..48,
+        d in 1u32..8,
+    ) {
+        let p = groups * pg;
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let g = fewg_manyg(n, p, groups, d, &mut rng);
+        g.validate().unwrap();
+        let window = groups.min(3) * pg;
+        for v in 0..g.n_left() {
+            let deg = g.deg_left(v);
+            prop_assert!(deg >= 1);
+            prop_assert!(deg <= window, "degree {deg} exceeds window {window}");
+        }
+    }
+
+    #[test]
+    fn hyper_instances_cover_all_tasks(
+        seed in 0u64..500,
+        kind_hilo in proptest::bool::ANY,
+        dv in 1u32..5,
+        dh in 1u32..6,
+    ) {
+        let kind = if kind_hilo { HyperKind::HiLo } else { HyperKind::FewgManyg };
+        let params = HyperParams { kind, n: 48, p: 16, g: 4, dv, dh };
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let h = hyper_instance(params, &mut rng);
+        h.validate().unwrap();
+        prop_assert!(h.uncovered_tasks().is_empty());
+        prop_assert!(h.n_hedges() >= h.n_tasks(), "≥ 1 configuration per task");
+    }
+
+    #[test]
+    fn related_weights_formula_properties(
+        smin in 1u32..10,
+        extra in 0u32..10,
+        sh in 1u32..20,
+    ) {
+        let smax = smin + extra;
+        let sh = sh.min(smax).max(smin.min(sh)).max(1);
+        let w = related_weight(smin, smax, sh);
+        prop_assert!(w >= 1);
+        // Work w·s stays within one s of the nominal smin·smax budget.
+        let work = w * sh as u64;
+        let nominal = (smin as u64) * (smax as u64);
+        prop_assert!(work >= nominal, "ceil rounding never loses work");
+        prop_assert!(work < nominal + sh as u64);
+    }
+
+    #[test]
+    fn weight_schemes_are_seed_deterministic(seed in 0u64..500) {
+        let params =
+            HyperParams { kind: HyperKind::FewgManyg, n: 32, p: 16, g: 4, dv: 2, dh: 3 };
+        let mut r1 = Xoshiro256::seed_from_u64(seed);
+        let mut r2 = Xoshiro256::seed_from_u64(seed);
+        let mut h1 = hyper_instance(params, &mut r1);
+        let mut h2 = hyper_instance(params, &mut r2);
+        apply_weights(&mut h1, WeightScheme::Random, &mut r1);
+        apply_weights(&mut h2, WeightScheme::Random, &mut r2);
+        prop_assert_eq!(h1, h2);
+    }
+}

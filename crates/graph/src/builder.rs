@@ -1,0 +1,166 @@
+//! Incremental builders for [`Bipartite`] and [`Hypergraph`].
+//!
+//! Generators and converters construct graphs edge by edge; the builders
+//! accumulate into growable buffers and validate once at [`build`] time,
+//! which keeps the hot insertion path allocation-light.
+//!
+//! [`build`]: BipartiteBuilder::build
+
+use crate::bipartite::Bipartite;
+use crate::error::Result;
+use crate::hypergraph::Hypergraph;
+
+/// Accumulates weighted edges for a [`Bipartite`] graph.
+#[derive(Clone, Debug, Default)]
+pub struct BipartiteBuilder {
+    n_left: u32,
+    n_right: u32,
+    edges: Vec<(u32, u32)>,
+    weights: Vec<u64>,
+}
+
+impl BipartiteBuilder {
+    /// Creates a builder for a graph with fixed vertex counts.
+    pub fn new(n_left: u32, n_right: u32) -> Self {
+        BipartiteBuilder { n_left, n_right, edges: Vec::new(), weights: Vec::new() }
+    }
+
+    /// Pre-allocates for `m` expected edges.
+    pub fn with_capacity(n_left: u32, n_right: u32, m: usize) -> Self {
+        BipartiteBuilder {
+            n_left,
+            n_right,
+            edges: Vec::with_capacity(m),
+            weights: Vec::with_capacity(m),
+        }
+    }
+
+    /// Adds a unit-weight edge.
+    #[inline]
+    pub fn edge(&mut self, left: u32, right: u32) -> &mut Self {
+        self.weighted_edge(left, right, 1)
+    }
+
+    /// Adds a weighted edge. Validation happens at [`build`](Self::build).
+    #[inline]
+    pub fn weighted_edge(&mut self, left: u32, right: u32, weight: u64) -> &mut Self {
+        self.edges.push((left, right));
+        self.weights.push(weight);
+        self
+    }
+
+    /// Number of edges accumulated so far.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when no edges were added.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Validates and assembles the CSR graph.
+    pub fn build(self) -> Result<Bipartite> {
+        Bipartite::from_weighted_edges(self.n_left, self.n_right, &self.edges, &self.weights)
+    }
+}
+
+/// Accumulates hyperedges for a [`Hypergraph`].
+#[derive(Clone, Debug, Default)]
+pub struct HypergraphBuilder {
+    n_tasks: u32,
+    n_procs: u32,
+    hedges: Vec<(u32, Vec<u32>, u64)>,
+}
+
+impl HypergraphBuilder {
+    /// Creates a builder for a hypergraph with fixed vertex counts.
+    pub fn new(n_tasks: u32, n_procs: u32) -> Self {
+        HypergraphBuilder { n_tasks, n_procs, hedges: Vec::new() }
+    }
+
+    /// Pre-allocates for `h` expected hyperedges.
+    pub fn with_capacity(n_tasks: u32, n_procs: u32, h: usize) -> Self {
+        HypergraphBuilder { n_tasks, n_procs, hedges: Vec::with_capacity(h) }
+    }
+
+    /// Adds a unit-weight configuration (hyperedge) for `task`.
+    #[inline]
+    pub fn config(&mut self, task: u32, procs: Vec<u32>) -> &mut Self {
+        self.weighted_config(task, procs, 1)
+    }
+
+    /// Adds a weighted configuration for `task`.
+    #[inline]
+    pub fn weighted_config(&mut self, task: u32, procs: Vec<u32>, weight: u64) -> &mut Self {
+        self.hedges.push((task, procs, weight));
+        self
+    }
+
+    /// Number of hyperedges accumulated so far.
+    pub fn len(&self) -> usize {
+        self.hedges.len()
+    }
+
+    /// True when no hyperedges were added.
+    pub fn is_empty(&self) -> bool {
+        self.hedges.is_empty()
+    }
+
+    /// Validates and assembles the hypergraph.
+    pub fn build(self) -> Result<Hypergraph> {
+        Hypergraph::from_hyperedges(self.n_tasks, self.n_procs, self.hedges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bipartite_builder_roundtrip() {
+        let mut b = BipartiteBuilder::with_capacity(2, 2, 3);
+        b.edge(0, 0).edge(0, 1).weighted_edge(1, 0, 4);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.weight(2), 4);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn bipartite_builder_propagates_errors() {
+        let mut b = BipartiteBuilder::new(1, 1);
+        b.edge(0, 0).edge(0, 0);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn hypergraph_builder_roundtrip() {
+        let mut b = HypergraphBuilder::with_capacity(2, 3, 3);
+        b.config(0, vec![0]).config(0, vec![1, 2]).weighted_config(1, vec![2], 7);
+        assert_eq!(b.len(), 3);
+        let h = b.build().unwrap();
+        assert_eq!(h.n_hedges(), 3);
+        assert_eq!(h.weight(2), 7);
+        h.validate().unwrap();
+    }
+
+    #[test]
+    fn hypergraph_builder_propagates_errors() {
+        let mut b = HypergraphBuilder::new(1, 1);
+        b.config(0, vec![]);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn empty_builders() {
+        assert!(BipartiteBuilder::new(0, 0).is_empty());
+        let g = BipartiteBuilder::new(3, 3).build().unwrap();
+        assert_eq!(g.num_edges(), 0);
+        let h = HypergraphBuilder::new(3, 3).build().unwrap();
+        assert_eq!(h.n_hedges(), 0);
+        assert_eq!(h.uncovered_tasks(), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Graphviz (DOT) export for small instances.
+//!
+//! Renders the task–processor structure for papers, debugging, and the
+//! examples; weights become edge labels, hyperedges become labeled boxes
+//! (the standard bipartite expansion of a hypergraph).
+
+use std::io::{BufWriter, Write};
+
+use crate::bipartite::Bipartite;
+use crate::error::Result;
+use crate::hypergraph::Hypergraph;
+
+/// Writes `g` as an undirected bipartite DOT graph.
+///
+/// Tasks are boxes `T0, T1, …` on the left rank; processors are circles
+/// `P0, P1, …`. Non-unit weights appear as edge labels.
+pub fn write_dot_bipartite<W: Write>(g: &Bipartite, w: W) -> Result<()> {
+    let mut out = BufWriter::new(w);
+    writeln!(out, "graph semimatch {{")?;
+    writeln!(out, "  rankdir=LR;")?;
+    writeln!(out, "  subgraph tasks {{ rank=source; node [shape=box];")?;
+    for v in 0..g.n_left() {
+        writeln!(out, "    T{v};")?;
+    }
+    writeln!(out, "  }}")?;
+    writeln!(out, "  subgraph procs {{ rank=sink; node [shape=circle];")?;
+    for u in 0..g.n_right() {
+        writeln!(out, "    P{u};")?;
+    }
+    writeln!(out, "  }}")?;
+    for (_, v, u, weight) in g.edges() {
+        if weight == 1 {
+            writeln!(out, "  T{v} -- P{u};")?;
+        } else {
+            writeln!(out, "  T{v} -- P{u} [label=\"{weight}\"];")?;
+        }
+    }
+    writeln!(out, "}}")?;
+    out.flush()?;
+    Ok(())
+}
+
+/// Writes `h` as a DOT graph using the bipartite expansion: every
+/// hyperedge becomes a small diamond node `h<i>` linked to its task and to
+/// each of its processors, labeled with its weight.
+pub fn write_dot_hypergraph<W: Write>(h: &Hypergraph, w: W) -> Result<()> {
+    let mut out = BufWriter::new(w);
+    writeln!(out, "graph semimatch {{")?;
+    writeln!(out, "  rankdir=LR;")?;
+    writeln!(out, "  node [shape=box]; ")?;
+    for t in 0..h.n_tasks() {
+        writeln!(out, "  T{t};")?;
+    }
+    writeln!(out, "  node [shape=circle];")?;
+    for p in 0..h.n_procs() {
+        writeln!(out, "  P{p};")?;
+    }
+    writeln!(out, "  node [shape=diamond, width=0.2, height=0.2];")?;
+    for hid in 0..h.n_hedges() {
+        let weight = h.weight(hid);
+        if weight == 1 {
+            writeln!(out, "  h{hid} [label=\"\"];")?;
+        } else {
+            writeln!(out, "  h{hid} [label=\"{weight}\"];")?;
+        }
+        writeln!(out, "  T{} -- h{hid};", h.task_of(hid))?;
+        for &p in h.procs_of(hid) {
+            writeln!(out, "  h{hid} -- P{p};")?;
+        }
+    }
+    writeln!(out, "}}")?;
+    out.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bipartite_dot_contains_all_parts() {
+        let g = Bipartite::from_weighted_edges(2, 2, &[(0, 0), (0, 1), (1, 0)], &[1, 5, 2])
+            .unwrap();
+        let mut buf = Vec::new();
+        write_dot_bipartite(&g, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("graph semimatch {"));
+        assert!(text.contains("T0 -- P0;"), "unit edge unlabeled");
+        assert!(text.contains("T0 -- P1 [label=\"5\"]"), "weighted edge labeled");
+        assert!(text.contains("T1 -- P0 [label=\"2\"]"));
+        assert!(text.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn hypergraph_dot_expands_hyperedges() {
+        let h = Hypergraph::from_hyperedges(
+            2,
+            3,
+            vec![(0, vec![0], 1), (0, vec![1, 2], 4), (1, vec![2], 1)],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_dot_hypergraph(&h, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // Hyperedge 1 (weight 4) links T0 with P1 and P2.
+        assert!(text.contains("h1 [label=\"4\"]"));
+        assert!(text.contains("T0 -- h1;"));
+        assert!(text.contains("h1 -- P1;"));
+        assert!(text.contains("h1 -- P2;"));
+        // Three diamonds in total.
+        assert_eq!(text.matches("-- h").count(), 3);
+    }
+
+    #[test]
+    fn empty_graphs_are_valid_dot() {
+        let g = Bipartite::from_edges(0, 0, &[]).unwrap();
+        let mut buf = Vec::new();
+        write_dot_bipartite(&g, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("graph semimatch {"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Instance statistics (the quantities reported in Table I of the paper).
+
+use crate::bipartite::Bipartite;
+use crate::hypergraph::Hypergraph;
+
+/// Summary statistics of a bipartite graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BipartiteStats {
+    /// `|V1|` — number of tasks.
+    pub n_left: u32,
+    /// `|V2|` — number of processors.
+    pub n_right: u32,
+    /// `|E|` — number of edges.
+    pub n_edges: usize,
+    /// Minimum task degree.
+    pub min_deg_left: u32,
+    /// Maximum task degree.
+    pub max_deg_left: u32,
+    /// Mean task degree.
+    pub avg_deg_left: f64,
+    /// Minimum processor degree.
+    pub min_deg_right: u32,
+    /// Maximum processor degree.
+    pub max_deg_right: u32,
+    /// Mean processor degree.
+    pub avg_deg_right: f64,
+    /// Number of isolated tasks (degree 0; unschedulable).
+    pub isolated_left: u32,
+}
+
+impl BipartiteStats {
+    /// Computes statistics by a single scan of the degree arrays.
+    pub fn of(g: &Bipartite) -> Self {
+        let (mut min_l, mut max_l, mut iso) = (u32::MAX, 0u32, 0u32);
+        for v in 0..g.n_left() {
+            let d = g.deg_left(v);
+            min_l = min_l.min(d);
+            max_l = max_l.max(d);
+            if d == 0 {
+                iso += 1;
+            }
+        }
+        let (mut min_r, mut max_r) = (u32::MAX, 0u32);
+        for u in 0..g.n_right() {
+            let d = g.deg_right(u);
+            min_r = min_r.min(d);
+            max_r = max_r.max(d);
+        }
+        if g.n_left() == 0 {
+            min_l = 0;
+        }
+        if g.n_right() == 0 {
+            min_r = 0;
+        }
+        BipartiteStats {
+            n_left: g.n_left(),
+            n_right: g.n_right(),
+            n_edges: g.num_edges(),
+            min_deg_left: min_l,
+            max_deg_left: max_l,
+            avg_deg_left: ratio(g.num_edges(), g.n_left()),
+            min_deg_right: min_r,
+            max_deg_right: max_r,
+            avg_deg_right: ratio(g.num_edges(), g.n_right()),
+            isolated_left: iso,
+        }
+    }
+}
+
+/// Summary statistics of a hypergraph — the exact columns of Table I plus
+/// degree/size detail.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HypergraphStats {
+    /// `|V1|` — number of tasks.
+    pub n_tasks: u32,
+    /// `|V2|` — number of processors.
+    pub n_procs: u32,
+    /// `|N|` — number of hyperedges.
+    pub n_hedges: u32,
+    /// `Σ_h |h ∩ V2|` — total pins (Table I last column).
+    pub total_pins: usize,
+    /// Minimum number of configurations per task.
+    pub min_deg_task: u32,
+    /// Maximum number of configurations per task.
+    pub max_deg_task: u32,
+    /// Mean number of configurations per task.
+    pub avg_deg_task: f64,
+    /// Minimum hyperedge size `s_h`.
+    pub min_hedge_size: u32,
+    /// Maximum hyperedge size `s_h`.
+    pub max_hedge_size: u32,
+    /// Mean hyperedge size.
+    pub avg_hedge_size: f64,
+}
+
+impl HypergraphStats {
+    /// Computes statistics by scanning the CSR pointers.
+    pub fn of(h: &Hypergraph) -> Self {
+        let (mut min_d, mut max_d) = (u32::MAX, 0u32);
+        for t in 0..h.n_tasks() {
+            let d = h.deg_task(t);
+            min_d = min_d.min(d);
+            max_d = max_d.max(d);
+        }
+        if h.n_tasks() == 0 {
+            min_d = 0;
+        }
+        let (min_s, max_s) = h.size_extrema().unwrap_or((0, 0));
+        HypergraphStats {
+            n_tasks: h.n_tasks(),
+            n_procs: h.n_procs(),
+            n_hedges: h.n_hedges(),
+            total_pins: h.total_pins(),
+            min_deg_task: min_d,
+            max_deg_task: max_d,
+            avg_deg_task: ratio(h.n_hedges() as usize, h.n_tasks()),
+            min_hedge_size: min_s,
+            max_hedge_size: max_s,
+            avg_hedge_size: ratio(h.total_pins(), h.n_hedges()),
+        }
+    }
+}
+
+fn ratio(num: usize, den: u32) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bipartite_stats_small() {
+        let g = Bipartite::from_edges(3, 2, &[(0, 0), (0, 1), (1, 0)]).unwrap();
+        let s = BipartiteStats::of(&g);
+        assert_eq!(s.n_left, 3);
+        assert_eq!(s.n_right, 2);
+        assert_eq!(s.n_edges, 3);
+        assert_eq!(s.min_deg_left, 0);
+        assert_eq!(s.max_deg_left, 2);
+        assert_eq!(s.isolated_left, 1);
+        assert_eq!(s.min_deg_right, 1);
+        assert_eq!(s.max_deg_right, 2);
+        assert!((s.avg_deg_left - 1.0).abs() < 1e-12);
+        assert!((s.avg_deg_right - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bipartite_stats_empty() {
+        let g = Bipartite::from_edges(0, 0, &[]).unwrap();
+        let s = BipartiteStats::of(&g);
+        assert_eq!(s.min_deg_left, 0);
+        assert_eq!(s.avg_deg_left, 0.0);
+    }
+
+    #[test]
+    fn hypergraph_stats_fig2_columns() {
+        let h = Hypergraph::from_configs(
+            3,
+            &[
+                vec![vec![0], vec![1, 2]],
+                vec![vec![0, 1], vec![1]],
+                vec![vec![2]],
+                vec![vec![2]],
+            ],
+        )
+        .unwrap();
+        let s = HypergraphStats::of(&h);
+        assert_eq!(s.n_tasks, 4);
+        assert_eq!(s.n_procs, 3);
+        assert_eq!(s.n_hedges, 6);
+        assert_eq!(s.total_pins, 8);
+        assert_eq!(s.min_deg_task, 1);
+        assert_eq!(s.max_deg_task, 2);
+        assert_eq!(s.min_hedge_size, 1);
+        assert_eq!(s.max_hedge_size, 2);
+        assert!((s.avg_deg_task - 1.5).abs() < 1e-12);
+        assert!((s.avg_hedge_size - 8.0 / 6.0).abs() < 1e-12);
+    }
+}

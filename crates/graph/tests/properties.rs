@@ -1,0 +1,110 @@
+//! Property tests for the CSR data structures.
+
+use proptest::prelude::*;
+use semimatch_graph::io::{read_bipartite, read_hypergraph, write_bipartite, write_hypergraph};
+use semimatch_graph::{Bipartite, Hypergraph};
+
+/// A weighted edge list: `(left, right) → weight`, duplicate-free.
+type WeightedEdges = Vec<((u32, u32), u64)>;
+
+/// Arbitrary duplicate-free weighted edge list.
+fn edge_list() -> impl Strategy<Value = (u32, u32, WeightedEdges)> {
+    (1u32..24, 1u32..16).prop_flat_map(|(n, p)| {
+        proptest::collection::btree_map((0..n, 0..p), 1u64..100, 0..64).prop_map(
+            move |edges| {
+                let list: Vec<((u32, u32), u64)> = edges.into_iter().collect();
+                (n, p, list)
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn construction_is_input_order_independent((n, p, mut list) in edge_list()) {
+        let edges: Vec<(u32, u32)> = list.iter().map(|&(e, _)| e).collect();
+        let weights: Vec<u64> = list.iter().map(|&(_, w)| w).collect();
+        let a = Bipartite::from_weighted_edges(n, p, &edges, &weights).unwrap();
+        // Reverse the input order: the CSR result must be identical.
+        list.reverse();
+        let edges_r: Vec<(u32, u32)> = list.iter().map(|&(e, _)| e).collect();
+        let weights_r: Vec<u64> = list.iter().map(|&(_, w)| w).collect();
+        let b = Bipartite::from_weighted_edges(n, p, &edges_r, &weights_r).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn transpose_is_consistent((n, p, list) in edge_list()) {
+        let edges: Vec<(u32, u32)> = list.iter().map(|&(e, _)| e).collect();
+        let weights: Vec<u64> = list.iter().map(|&(_, w)| w).collect();
+        let g = Bipartite::from_weighted_edges(n, p, &edges, &weights).unwrap();
+        g.validate().unwrap();
+        // Degree sums agree on both sides with the edge count.
+        let left_sum: usize = (0..n).map(|v| g.deg_left(v) as usize).sum();
+        let right_sum: usize = (0..p).map(|u| g.deg_right(u) as usize).sum();
+        prop_assert_eq!(left_sum, g.num_edges());
+        prop_assert_eq!(right_sum, g.num_edges());
+        // Every edge id round-trips through its endpoints and weight.
+        for (e, v, u, w) in g.edges() {
+            prop_assert_eq!(g.edge_left(e), v);
+            prop_assert_eq!(g.edge_right(e), u);
+            prop_assert_eq!(g.weight(e), w);
+            prop_assert!(g.rneighbors(u).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bipartite_io_roundtrip((n, p, list) in edge_list()) {
+        let edges: Vec<(u32, u32)> = list.iter().map(|&(e, _)| e).collect();
+        let weights: Vec<u64> = list.iter().map(|&(_, w)| w).collect();
+        let g = Bipartite::from_weighted_edges(n, p, &edges, &weights).unwrap();
+        let mut buf = Vec::new();
+        write_bipartite(&g, &mut buf).unwrap();
+        prop_assert_eq!(read_bipartite(&buf[..]).unwrap(), g);
+    }
+
+    #[test]
+    fn hypergraph_grouping_and_io(
+        tasks in proptest::collection::vec(
+            proptest::collection::vec(
+                (proptest::collection::btree_set(0u32..12, 1..4), 1u64..50),
+                0..4,
+            ),
+            1..16,
+        )
+    ) {
+        let n = tasks.len() as u32;
+        let mut hedges = Vec::new();
+        for (t, configs) in tasks.iter().enumerate() {
+            for (set, w) in configs {
+                hedges.push((t as u32, set.iter().copied().collect::<Vec<u32>>(), *w));
+            }
+        }
+        let h = Hypergraph::from_hyperedges(n, 12, hedges).unwrap();
+        h.validate().unwrap();
+        // Grouping: hedges_of(t) has exactly the inserted count, in order.
+        for (t, configs) in tasks.iter().enumerate() {
+            prop_assert_eq!(h.deg_task(t as u32) as usize, configs.len());
+            for (k, hid) in h.hedges_of(t as u32).enumerate() {
+                let (set, w) = &configs[k];
+                let expect: Vec<u32> = set.iter().copied().collect();
+                prop_assert_eq!(h.procs_of(hid), &expect[..]);
+                prop_assert_eq!(h.weight(hid), *w);
+            }
+        }
+        // Pins total and transpose consistency.
+        let (ptr, list) = h.build_proc_transpose();
+        prop_assert_eq!(*ptr.last().unwrap(), h.total_pins());
+        for pr in 0..12u32 {
+            for &hid in &list[ptr[pr as usize]..ptr[pr as usize + 1]] {
+                prop_assert!(h.procs_of(hid).contains(&pr));
+            }
+        }
+        // I/O round-trip.
+        let mut buf = Vec::new();
+        write_hypergraph(&h, &mut buf).unwrap();
+        prop_assert_eq!(read_hypergraph(&buf[..]).unwrap(), h);
+    }
+}

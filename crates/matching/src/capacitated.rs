@@ -1,0 +1,202 @@
+//! Capacitated bipartite assignment: matchings in the deadline graph `G_D`.
+//!
+//! The paper's exact algorithm for `SINGLEPROC-UNIT` (§IV-A) asks for a
+//! maximum matching in `G_D`, the graph with `D` copies of every processor.
+//! A matching in `G_D` covering all tasks is exactly an assignment of each
+//! task to an eligible processor in which no processor receives more than
+//! `D` tasks. We solve this directly as a max-flow problem with processor
+//! capacities (see [`crate::flow`]), avoiding the `D`-fold blowup;
+//! [`crate::replicate`] keeps the explicit construction as a cross-check.
+
+use semimatch_graph::Bipartite;
+
+use crate::flow::FlowNetwork;
+use crate::matching::NONE;
+
+/// Result of a capacitated assignment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Assignment {
+    /// Processor assigned to each task, or [`NONE`] for unassigned tasks.
+    pub task_to_proc: Vec<u32>,
+    /// Number of tasks assigned to each processor.
+    pub loads: Vec<u32>,
+}
+
+impl Assignment {
+    /// Number of assigned tasks.
+    pub fn cardinality(&self) -> usize {
+        self.task_to_proc.iter().filter(|&&p| p != NONE).count()
+    }
+
+    /// True when every task is assigned.
+    pub fn is_complete(&self) -> bool {
+        self.task_to_proc.iter().all(|&p| p != NONE)
+    }
+
+    /// Largest processor load.
+    pub fn max_load(&self) -> u32 {
+        self.loads.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Checks structural consistency against the instance graph and a
+    /// uniform capacity.
+    pub fn validate(&self, g: &Bipartite, capacity: u32) -> Result<(), String> {
+        if self.task_to_proc.len() != g.n_left() as usize
+            || self.loads.len() != g.n_right() as usize
+        {
+            return Err("assignment length mismatch".into());
+        }
+        let mut loads = vec![0u32; g.n_right() as usize];
+        for (v, &p) in self.task_to_proc.iter().enumerate() {
+            if p == NONE {
+                continue;
+            }
+            if g.neighbors(v as u32).binary_search(&p).is_err() {
+                return Err(format!("task {v} assigned to non-eligible processor {p}"));
+            }
+            loads[p as usize] += 1;
+        }
+        if loads != self.loads {
+            return Err("stored loads are stale".into());
+        }
+        if let Some(u) = loads.iter().position(|&l| l > capacity) {
+            return Err(format!("processor {u} exceeds capacity: {} > {capacity}", loads[u]));
+        }
+        Ok(())
+    }
+}
+
+/// Maximum-cardinality assignment with uniform processor capacity.
+///
+/// Returns the largest set of tasks that can be placed so that every
+/// processor serves at most `capacity` tasks. Runs Dinic's algorithm on the
+/// unit-task flow network, `O(|E|·√|V|)`-ish in practice.
+pub fn max_assignment(g: &Bipartite, capacity: u32) -> Assignment {
+    max_assignment_with_capacities(g, &vec![capacity; g.n_right() as usize])
+}
+
+/// Maximum-cardinality assignment with per-processor capacities.
+pub fn max_assignment_with_capacities(g: &Bipartite, capacities: &[u32]) -> Assignment {
+    assert_eq!(capacities.len(), g.n_right() as usize, "one capacity per processor");
+    let n1 = g.n_left();
+    let n2 = g.n_right();
+    let source = 0u32;
+    let task_base = 1u32;
+    let proc_base = 1 + n1;
+    let sink = 1 + n1 + n2;
+    let mut net = FlowNetwork::new(sink as usize + 1);
+
+    for v in 0..n1 {
+        net.add_arc(source, task_base + v, 1);
+    }
+    // Record the arc id of every task→processor arc for extraction.
+    let mut edge_arcs: Vec<u32> = Vec::with_capacity(g.num_edges());
+    for v in 0..n1 {
+        for &u in g.neighbors(v) {
+            edge_arcs.push(net.add_arc(task_base + v, proc_base + u, 1));
+        }
+    }
+    for u in 0..n2 {
+        if capacities[u as usize] > 0 {
+            net.add_arc(proc_base + u, sink, capacities[u as usize] as u64);
+        }
+    }
+    net.max_flow(source, sink);
+
+    let mut task_to_proc = vec![NONE; n1 as usize];
+    let mut loads = vec![0u32; n2 as usize];
+    let mut k = 0usize;
+    for v in 0..n1 {
+        for &u in g.neighbors(v) {
+            if net.flow(edge_arcs[k]) > 0 {
+                task_to_proc[v as usize] = u;
+                loads[u as usize] += 1;
+            }
+            k += 1;
+        }
+    }
+    Assignment { task_to_proc, loads }
+}
+
+/// True when all tasks fit under the uniform `capacity` (i.e. `G_D` with
+/// `D = capacity` admits a matching covering `V1`).
+pub fn feasible(g: &Bipartite, capacity: u32) -> bool {
+    max_assignment(g, capacity).is_complete()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_one_is_plain_matching() {
+        let g = Bipartite::from_edges(2, 2, &[(0, 0), (0, 1), (1, 0)]).unwrap();
+        let a = max_assignment(&g, 1);
+        a.validate(&g, 1).unwrap();
+        assert!(a.is_complete());
+        assert_eq!(a.max_load(), 1);
+    }
+
+    #[test]
+    fn capacity_bounds_processor_load() {
+        // 5 tasks all eligible on P0 only.
+        let g =
+            Bipartite::from_edges(5, 1, &[(0, 0), (1, 0), (2, 0), (3, 0), (4, 0)]).unwrap();
+        let a2 = max_assignment(&g, 2);
+        a2.validate(&g, 2).unwrap();
+        assert_eq!(a2.cardinality(), 2);
+        let a5 = max_assignment(&g, 5);
+        assert!(a5.is_complete());
+        assert_eq!(a5.max_load(), 5);
+    }
+
+    #[test]
+    fn feasibility_threshold() {
+        // Fig. 3-like: optimal makespan is 1, so capacity 1 is feasible.
+        let g = Bipartite::from_edges(2, 2, &[(0, 0), (0, 1), (1, 0)]).unwrap();
+        assert!(feasible(&g, 1));
+        // Two tasks, one processor: needs capacity 2.
+        let g = Bipartite::from_edges(2, 1, &[(0, 0), (1, 0)]).unwrap();
+        assert!(!feasible(&g, 1));
+        assert!(feasible(&g, 2));
+    }
+
+    #[test]
+    fn per_processor_capacities() {
+        // Tasks 0,1,2 all eligible on both processors; cap(P0)=1, cap(P1)=2.
+        let g = Bipartite::from_edges(
+            3,
+            2,
+            &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)],
+        )
+        .unwrap();
+        let a = max_assignment_with_capacities(&g, &[1, 2]);
+        assert!(a.is_complete());
+        assert!(a.loads[0] <= 1);
+        assert!(a.loads[1] <= 2);
+    }
+
+    #[test]
+    fn zero_capacity_processor_unused() {
+        let g = Bipartite::from_edges(2, 2, &[(0, 0), (1, 0), (1, 1)]).unwrap();
+        let a = max_assignment_with_capacities(&g, &[0, 5]);
+        assert_eq!(a.loads[0], 0);
+        assert_eq!(a.cardinality(), 1); // only task 1 can go (to P1)
+    }
+
+    #[test]
+    fn isolated_task_stays_unassigned() {
+        let g = Bipartite::from_edges(3, 2, &[(0, 0), (2, 1)]).unwrap();
+        let a = max_assignment(&g, 3);
+        assert_eq!(a.task_to_proc[1], NONE);
+        assert_eq!(a.cardinality(), 2);
+    }
+
+    #[test]
+    fn validate_catches_stale_loads() {
+        let g = Bipartite::from_edges(1, 1, &[(0, 0)]).unwrap();
+        let mut a = max_assignment(&g, 1);
+        a.loads[0] = 9;
+        assert!(a.validate(&g, 1).is_err());
+    }
+}

@@ -1,0 +1,172 @@
+//! König vertex covers: certificates of matching maximality.
+//!
+//! By König's theorem the size of a maximum matching in a bipartite graph
+//! equals the size of a minimum vertex cover. Extracting a cover of the
+//! same size as a matching therefore *proves* the matching maximum — the
+//! test suites use this to certify every matching algorithm without
+//! trusting any of them.
+
+use semimatch_graph::Bipartite;
+
+use crate::matching::{Matching, NONE};
+
+/// A vertex cover of a bipartite graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VertexCover {
+    /// Chosen left vertices.
+    pub left: Vec<u32>,
+    /// Chosen right vertices.
+    pub right: Vec<u32>,
+}
+
+impl VertexCover {
+    /// Total number of chosen vertices.
+    pub fn size(&self) -> usize {
+        self.left.len() + self.right.len()
+    }
+
+    /// True when every edge of `g` has an endpoint in the cover.
+    pub fn covers(&self, g: &Bipartite) -> bool {
+        let mut in_l = vec![false; g.n_left() as usize];
+        let mut in_r = vec![false; g.n_right() as usize];
+        for &v in &self.left {
+            in_l[v as usize] = true;
+        }
+        for &u in &self.right {
+            in_r[u as usize] = true;
+        }
+        for v in 0..g.n_left() {
+            if in_l[v as usize] {
+                continue;
+            }
+            for &u in g.neighbors(v) {
+                if !in_r[u as usize] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Extracts a vertex cover from a matching via König's construction.
+///
+/// Let `Z` be the set of vertices reachable by alternating paths from the
+/// exposed left vertices. The cover is `(V1 \ Z) ∪ (V2 ∩ Z)`. Its size
+/// equals the matching cardinality **iff the matching is maximum**, so
+/// [`certify_maximum`] compares the two.
+pub fn koenig_cover(g: &Bipartite, m: &Matching) -> VertexCover {
+    let n1 = g.n_left() as usize;
+    let n2 = g.n_right() as usize;
+    let mut z_left = vec![false; n1];
+    let mut z_right = vec![false; n2];
+    let mut queue: Vec<u32> = Vec::new();
+    for v in 0..n1 {
+        if m.mate_left[v] == NONE {
+            z_left[v] = true;
+            queue.push(v as u32);
+        }
+    }
+    let mut head = 0;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        for &u in g.neighbors(v) {
+            // Travel unmatched edges left→right.
+            if m.mate_left[v as usize] == u || z_right[u as usize] {
+                continue;
+            }
+            z_right[u as usize] = true;
+            let w = m.mate_right[u as usize];
+            // Travel matched edges right→left.
+            if w != NONE && !z_left[w as usize] {
+                z_left[w as usize] = true;
+                queue.push(w);
+            }
+        }
+    }
+    let left = (0..n1 as u32).filter(|&v| !z_left[v as usize]).collect();
+    let right = (0..n2 as u32).filter(|&u| z_right[u as usize]).collect();
+    VertexCover { left, right }
+}
+
+/// Certifies that `m` is a **maximum** matching of `g`.
+///
+/// Returns the certifying cover on success; an error message describes any
+/// violation (invalid matching, cover misses an edge, or size mismatch —
+/// the last meaning `m` is not maximum).
+pub fn certify_maximum(g: &Bipartite, m: &Matching) -> Result<VertexCover, String> {
+    m.validate(g)?;
+    let cover = koenig_cover(g, m);
+    if !cover.covers(g) {
+        return Err("König construction failed to produce a cover".into());
+    }
+    let card = m.cardinality();
+    if cover.size() != card {
+        return Err(format!(
+            "cover size {} != matching cardinality {card}: matching is not maximum",
+            cover.size()
+        ));
+    }
+    Ok(cover)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfs::mc21;
+    use crate::greedy::greedy_init;
+
+    #[test]
+    fn certifies_maximum_matching() {
+        let g = Bipartite::from_edges(3, 3, &[(0, 0), (0, 1), (1, 0), (2, 2)]).unwrap();
+        let m = mc21(&g);
+        let cover = certify_maximum(&g, &m).unwrap();
+        assert_eq!(cover.size(), m.cardinality());
+        assert!(cover.covers(&g));
+    }
+
+    #[test]
+    fn rejects_non_maximum_matching() {
+        // Greedy on this graph can strand L1 (matching of size 1 < 2).
+        let g = Bipartite::from_edges(2, 2, &[(0, 0), (0, 1), (1, 0)]).unwrap();
+        let mut m = Matching::empty(2, 2);
+        m.couple(0, 0); // size 1, not maximum
+        assert!(certify_maximum(&g, &m).is_err());
+    }
+
+    #[test]
+    fn empty_matching_on_empty_graph_certifies() {
+        let g = Bipartite::from_edges(3, 3, &[]).unwrap();
+        let m = Matching::empty(3, 3);
+        let cover = certify_maximum(&g, &m).unwrap();
+        assert_eq!(cover.size(), 0);
+    }
+
+    #[test]
+    fn greedy_is_sometimes_maximum_and_then_certifies() {
+        let g = Bipartite::from_edges(2, 2, &[(0, 0), (1, 1)]).unwrap();
+        let m = greedy_init(&g);
+        assert_eq!(m.cardinality(), 2);
+        certify_maximum(&g, &m).unwrap();
+    }
+
+    #[test]
+    fn cover_check_detects_uncovered_edge() {
+        let g = Bipartite::from_edges(2, 2, &[(0, 0), (1, 1)]).unwrap();
+        let cover = VertexCover { left: vec![0], right: vec![] };
+        assert!(!cover.covers(&g));
+        let cover = VertexCover { left: vec![0], right: vec![1] };
+        assert!(cover.covers(&g));
+    }
+
+    #[test]
+    fn deficient_graph_cover() {
+        // Maximum matching 1, minimum cover 1 (R0).
+        let g = Bipartite::from_edges(3, 1, &[(0, 0), (1, 0), (2, 0)]).unwrap();
+        let m = mc21(&g);
+        let cover = certify_maximum(&g, &m).unwrap();
+        assert_eq!(cover.size(), 1);
+        assert_eq!(cover.right, vec![0]);
+    }
+}

@@ -1,0 +1,242 @@
+//! A small generic max-flow solver (Dinic's algorithm).
+//!
+//! The exact algorithm for `SINGLEPROC-UNIT` needs maximum matchings in the
+//! deadline-expanded graph `G_D`; rather than materializing `D` copies of
+//! every processor we solve the equivalent flow problem with processor
+//! capacities (see [`crate::capacitated`]). The solver is deliberately
+//! general: unit tests exercise it on classical flow networks as well.
+
+/// Adjacency-list flow network with residual arcs.
+#[derive(Clone, Debug)]
+pub struct FlowNetwork {
+    /// Head vertex of each arc. Arc `2k+1` is the residual twin of arc `2k`.
+    head: Vec<u32>,
+    /// Residual capacity of each arc.
+    cap: Vec<u64>,
+    /// Per-vertex arc lists (indices into `head`/`cap`).
+    adj: Vec<Vec<u32>>,
+}
+
+impl FlowNetwork {
+    /// Creates a network with `n` vertices and no arcs.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork { head: Vec::new(), cap: Vec::new(), adj: vec![Vec::new(); n] }
+    }
+
+    /// Number of vertices.
+    pub fn n_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Adds a directed arc `from → to` with the given capacity and returns
+    /// its arc id (the reverse residual arc is created automatically).
+    pub fn add_arc(&mut self, from: u32, to: u32, capacity: u64) -> u32 {
+        let id = self.head.len() as u32;
+        self.head.push(to);
+        self.cap.push(capacity);
+        self.head.push(from);
+        self.cap.push(0);
+        self.adj[from as usize].push(id);
+        self.adj[to as usize].push(id + 1);
+        id
+    }
+
+    /// Flow currently routed through arc `id` (capacity of its twin).
+    pub fn flow(&self, id: u32) -> u64 {
+        self.cap[id as usize ^ 1]
+    }
+
+    /// Residual capacity of arc `id`.
+    pub fn residual(&self, id: u32) -> u64 {
+        self.cap[id as usize]
+    }
+
+    /// Computes the maximum `source → sink` flow with Dinic's algorithm.
+    pub fn max_flow(&mut self, source: u32, sink: u32) -> u64 {
+        assert_ne!(source, sink, "source and sink must differ");
+        let n = self.adj.len();
+        let mut level: Vec<u32> = vec![u32::MAX; n];
+        let mut iter: Vec<u32> = vec![0; n];
+        let mut queue: Vec<u32> = Vec::with_capacity(n);
+        let mut total = 0u64;
+        loop {
+            // BFS: layer the residual graph.
+            level.iter_mut().for_each(|l| *l = u32::MAX);
+            level[source as usize] = 0;
+            queue.clear();
+            queue.push(source);
+            let mut head = 0;
+            while head < queue.len() {
+                let v = queue[head];
+                head += 1;
+                for &a in &self.adj[v as usize] {
+                    let to = self.head[a as usize];
+                    if self.cap[a as usize] > 0 && level[to as usize] == u32::MAX {
+                        level[to as usize] = level[v as usize] + 1;
+                        queue.push(to);
+                    }
+                }
+            }
+            if level[sink as usize] == u32::MAX {
+                return total;
+            }
+            // Blocking flow via iterative DFS with current-arc pointers.
+            iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let pushed = self.dfs_augment(source, sink, u64::MAX, &level, &mut iter);
+                if pushed == 0 {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+    }
+
+    /// One DFS from `source`: finds a single augmenting path in the level
+    /// graph and pushes its bottleneck. Iterative to avoid deep recursion.
+    fn dfs_augment(
+        &mut self,
+        source: u32,
+        sink: u32,
+        limit: u64,
+        level: &[u32],
+        iter: &mut [u32],
+    ) -> u64 {
+        // Stack of (vertex, arc taken to reach it); source has no entry arc.
+        let mut path: Vec<u32> = Vec::new(); // arcs on the current path
+        let mut v = source;
+        loop {
+            if v == sink {
+                // Bottleneck and augment.
+                let mut bottleneck = limit;
+                for &a in &path {
+                    bottleneck = bottleneck.min(self.cap[a as usize]);
+                }
+                for &a in &path {
+                    self.cap[a as usize] -= bottleneck;
+                    self.cap[(a ^ 1) as usize] += bottleneck;
+                }
+                return bottleneck;
+            }
+            let arcs = &self.adj[v as usize];
+            let mut advanced = false;
+            while (iter[v as usize] as usize) < arcs.len() {
+                let a = arcs[iter[v as usize] as usize];
+                let to = self.head[a as usize];
+                if self.cap[a as usize] > 0
+                    && level[to as usize] == level[v as usize].wrapping_add(1)
+                {
+                    path.push(a);
+                    v = to;
+                    advanced = true;
+                    break;
+                }
+                iter[v as usize] += 1;
+            }
+            if !advanced {
+                if v == source {
+                    return 0; // level graph exhausted
+                }
+                // Retreat: the vertex is dead for this phase.
+                let a = path.pop().expect("non-source vertex has an entry arc");
+                let prev = self.head[(a ^ 1) as usize];
+                iter[prev as usize] += 1;
+                v = prev;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_arc() {
+        let mut net = FlowNetwork::new(2);
+        let a = net.add_arc(0, 1, 7);
+        assert_eq!(net.max_flow(0, 1), 7);
+        assert_eq!(net.flow(a), 7);
+        assert_eq!(net.residual(a), 0);
+    }
+
+    #[test]
+    fn classic_diamond() {
+        // s=0, t=3; two routes with a cross arc.
+        let mut net = FlowNetwork::new(4);
+        net.add_arc(0, 1, 10);
+        net.add_arc(0, 2, 10);
+        net.add_arc(1, 2, 1);
+        net.add_arc(1, 3, 8);
+        net.add_arc(2, 3, 10);
+        assert_eq!(net.max_flow(0, 3), 18);
+    }
+
+    #[test]
+    fn needs_residual_arcs() {
+        // The textbook example where a greedy route must be partially undone.
+        let mut net = FlowNetwork::new(4);
+        net.add_arc(0, 1, 1);
+        net.add_arc(0, 2, 1);
+        net.add_arc(1, 2, 1);
+        net.add_arc(1, 3, 1);
+        net.add_arc(2, 3, 1);
+        assert_eq!(net.max_flow(0, 3), 2);
+    }
+
+    #[test]
+    fn disconnected_sink() {
+        let mut net = FlowNetwork::new(3);
+        net.add_arc(0, 1, 5);
+        assert_eq!(net.max_flow(0, 2), 0);
+    }
+
+    #[test]
+    fn bipartite_matching_as_flow() {
+        // 3 tasks, 2 processors, capacities 1: maximum matching is 2.
+        // Nodes: s=0, tasks 1..=3, procs 4..=5, t=6.
+        let mut net = FlowNetwork::new(7);
+        for v in 1..=3 {
+            net.add_arc(0, v, 1);
+        }
+        net.add_arc(1, 4, 1);
+        net.add_arc(2, 4, 1);
+        net.add_arc(3, 5, 1);
+        net.add_arc(4, 6, 1);
+        net.add_arc(5, 6, 1);
+        assert_eq!(net.max_flow(0, 6), 2);
+    }
+
+    #[test]
+    fn capacities_accumulate_on_sink_arcs() {
+        // 3 tasks, 1 processor with capacity 2 → flow 2.
+        let mut net = FlowNetwork::new(6);
+        for v in 1..=3 {
+            net.add_arc(0, v, 1);
+            net.add_arc(v, 4, 1);
+        }
+        net.add_arc(4, 5, 2);
+        assert_eq!(net.max_flow(0, 5), 2);
+    }
+
+    #[test]
+    fn flow_conservation() {
+        let mut net = FlowNetwork::new(5);
+        let arcs = [
+            net.add_arc(0, 1, 4),
+            net.add_arc(0, 2, 2),
+            net.add_arc(1, 2, 2),
+            net.add_arc(1, 3, 1),
+            net.add_arc(2, 3, 5),
+            net.add_arc(3, 4, 6),
+        ];
+        // Vertex 1 can forward at most 3 units (1→2 cap 2, 1→3 cap 1), so
+        // the maximum is 3 + 2 = 5.
+        let f = net.max_flow(0, 4);
+        assert_eq!(f, 5);
+        // Conservation at vertex 2: inflow == outflow.
+        let inflow = net.flow(arcs[1]) + net.flow(arcs[2]);
+        let outflow = net.flow(arcs[4]);
+        assert_eq!(inflow, outflow);
+    }
+}

@@ -1,0 +1,184 @@
+//! Hopcroft–Karp maximum matching in `O(√|V| · |E|)`.
+//!
+//! Phases of one global BFS (building level sets from all exposed left
+//! vertices) followed by DFS extraction of a maximal set of vertex-disjoint
+//! shortest augmenting paths.
+
+use semimatch_graph::Bipartite;
+
+use crate::greedy::greedy_init;
+use crate::matching::{Matching, NONE};
+
+const INF: u32 = u32::MAX;
+
+/// Maximum matching by Hopcroft–Karp, starting from a greedy matching.
+pub fn hopcroft_karp(g: &Bipartite) -> Matching {
+    hopcroft_karp_from(g, greedy_init(g))
+}
+
+/// Maximum matching by Hopcroft–Karp from a caller-supplied matching.
+pub fn hopcroft_karp_from(g: &Bipartite, mut m: Matching) -> Matching {
+    let n1 = g.n_left() as usize;
+    let mut dist: Vec<u32> = vec![INF; n1];
+    let mut queue: Vec<u32> = Vec::with_capacity(n1);
+    // DFS iterator state: cursor into each left vertex's neighbor list.
+    let mut cursor: Vec<u32> = vec![0; n1];
+    let mut stack: Vec<u32> = Vec::new();
+
+    loop {
+        // ---- BFS phase: layer left vertices by alternating distance. ----
+        queue.clear();
+        let mut found_free = false;
+        for v in 0..n1 {
+            if m.mate_left[v] == NONE {
+                dist[v] = 0;
+                queue.push(v as u32);
+            } else {
+                dist[v] = INF;
+            }
+        }
+        let mut head = 0;
+        let mut limit = INF; // depth of the shallowest augmenting path
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            if dist[v as usize] >= limit {
+                break;
+            }
+            for &u in g.neighbors(v) {
+                let w = m.mate_right[u as usize];
+                if w == NONE {
+                    // Shortest augmenting path depth reached.
+                    if limit == INF {
+                        limit = dist[v as usize] + 1;
+                    }
+                    found_free = true;
+                } else if dist[w as usize] == INF {
+                    dist[w as usize] = dist[v as usize] + 1;
+                    queue.push(w);
+                }
+            }
+        }
+        if !found_free {
+            break; // no augmenting path: matching is maximum
+        }
+
+        // ---- DFS phase: vertex-disjoint shortest augmenting paths. ----
+        for v in 0..n1 {
+            cursor[v] = g.edge_range(v as u32).start;
+        }
+        for v0 in 0..n1 {
+            if m.mate_left[v0] != NONE {
+                continue;
+            }
+            stack.clear();
+            stack.push(v0 as u32);
+            let mut free_u = NONE;
+            while let Some(&v) = stack.last() {
+                let range_end = g.edge_range(v).end;
+                let mut descended = false;
+                while cursor[v as usize] < range_end {
+                    let u = g.edge_right(cursor[v as usize]);
+                    cursor[v as usize] += 1;
+                    let w = m.mate_right[u as usize];
+                    if w == NONE {
+                        free_u = u;
+                        break;
+                    }
+                    // Follow only level-respecting arcs.
+                    if dist[w as usize] == dist[v as usize] + 1 {
+                        stack.push(w);
+                        descended = true;
+                        break;
+                    }
+                }
+                if free_u != NONE {
+                    break;
+                }
+                if !descended {
+                    // Dead end: exclude v from this phase entirely.
+                    dist[v as usize] = INF;
+                    stack.pop();
+                }
+            }
+            if free_u != NONE {
+                let mut u = free_u;
+                while let Some(v) = stack.pop() {
+                    let prev_u = m.mate_left[v as usize];
+                    m.mate_left[v as usize] = u;
+                    m.mate_right[u as usize] = v;
+                    // Path vertices may not be reused within the phase.
+                    dist[v as usize] = INF;
+                    if prev_u == NONE {
+                        break;
+                    }
+                    u = prev_u;
+                }
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+#[allow(clippy::type_complexity)] // edge-list test fixtures
+mod tests {
+    use super::*;
+    use crate::dfs::mc21;
+
+    #[test]
+    fn perfect_matching_on_cycle() {
+        // Even cycle L0-R0-L1-R1-...: perfect matching exists.
+        let n = 32u32;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            edges.push((i, i));
+            edges.push((i, (i + 1) % n));
+        }
+        let g = Bipartite::from_edges(n, n, &edges).unwrap();
+        let m = hopcroft_karp(&g);
+        m.validate(&g).unwrap();
+        assert_eq!(m.cardinality(), n as usize);
+    }
+
+    #[test]
+    fn agrees_with_dfs_on_assorted_graphs() {
+        let cases: Vec<(u32, u32, Vec<(u32, u32)>)> = vec![
+            (2, 2, vec![(0, 0), (0, 1), (1, 0)]),
+            (5, 4, vec![(0, 0), (1, 0), (2, 0), (3, 1), (3, 2), (4, 3), (0, 3)]),
+            (4, 4, vec![(0, 0), (0, 1), (1, 1), (1, 2), (2, 2), (2, 3), (3, 3), (3, 0)]),
+            (6, 3, vec![(0, 0), (1, 0), (2, 1), (3, 1), (4, 2), (5, 2)]),
+        ];
+        for (n1, n2, edges) in cases {
+            let g = Bipartite::from_edges(n1, n2, &edges).unwrap();
+            let a = hopcroft_karp(&g);
+            let b = mc21(&g);
+            a.validate(&g).unwrap();
+            assert_eq!(a.cardinality(), b.cardinality(), "edges {edges:?}");
+        }
+    }
+
+    #[test]
+    fn deficient_side_handled() {
+        let g = Bipartite::from_edges(3, 1, &[(0, 0), (1, 0), (2, 0)]).unwrap();
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.cardinality(), 1);
+        m.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn already_maximum_input_is_stable() {
+        let g = Bipartite::from_edges(2, 2, &[(0, 0), (1, 1)]).unwrap();
+        let mut init = Matching::empty(2, 2);
+        init.couple(0, 0);
+        init.couple(1, 1);
+        let m = hopcroft_karp_from(&g, init.clone());
+        assert_eq!(m, init);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Bipartite::from_edges(0, 5, &[]).unwrap();
+        assert_eq!(hopcroft_karp(&g).cardinality(), 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! The [`Matching`] type shared by every algorithm in this crate.
+
+use semimatch_graph::Bipartite;
+
+/// Sentinel for "unmatched".
+pub const NONE: u32 = u32::MAX;
+
+/// A (partial) matching in a bipartite graph.
+///
+/// `mate_left[v]` is the right vertex matched to left vertex `v` (or
+/// [`NONE`]); `mate_right[u]` mirrors it. All algorithms maintain the mirror
+/// invariant; [`Matching::validate`] checks it against a graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Matching {
+    /// Mate of each left vertex, or [`NONE`].
+    pub mate_left: Vec<u32>,
+    /// Mate of each right vertex, or [`NONE`].
+    pub mate_right: Vec<u32>,
+}
+
+impl Matching {
+    /// An empty matching for a graph with the given vertex counts.
+    pub fn empty(n_left: u32, n_right: u32) -> Self {
+        Matching {
+            mate_left: vec![NONE; n_left as usize],
+            mate_right: vec![NONE; n_right as usize],
+        }
+    }
+
+    /// Number of matched pairs.
+    pub fn cardinality(&self) -> usize {
+        self.mate_left.iter().filter(|&&m| m != NONE).count()
+    }
+
+    /// True when every left vertex is matched (a perfect matching on `V1`,
+    /// i.e. a feasible semi-matching with loads ≤ 1).
+    pub fn is_left_perfect(&self) -> bool {
+        self.mate_left.iter().all(|&m| m != NONE)
+    }
+
+    /// Matches `v` and `u`, breaking any previous matches of either side.
+    #[inline]
+    pub fn couple(&mut self, v: u32, u: u32) {
+        let old_u = self.mate_left[v as usize];
+        if old_u != NONE {
+            self.mate_right[old_u as usize] = NONE;
+        }
+        let old_v = self.mate_right[u as usize];
+        if old_v != NONE {
+            self.mate_left[old_v as usize] = NONE;
+        }
+        self.mate_left[v as usize] = u;
+        self.mate_right[u as usize] = v;
+    }
+
+    /// Checks internal consistency and that all matched pairs are edges of `g`.
+    pub fn validate(&self, g: &Bipartite) -> Result<(), String> {
+        if self.mate_left.len() != g.n_left() as usize
+            || self.mate_right.len() != g.n_right() as usize
+        {
+            return Err("mate array lengths do not match the graph".into());
+        }
+        for (v, &u) in self.mate_left.iter().enumerate() {
+            if u == NONE {
+                continue;
+            }
+            if u >= g.n_right() {
+                return Err(format!("mate_left[{v}] = {u} out of range"));
+            }
+            if self.mate_right[u as usize] != v as u32 {
+                return Err(format!("mate arrays disagree on pair ({v}, {u})"));
+            }
+            if g.neighbors(v as u32).binary_search(&u).is_err() {
+                return Err(format!("matched pair ({v}, {u}) is not an edge"));
+            }
+        }
+        for (u, &v) in self.mate_right.iter().enumerate() {
+            if v != NONE && self.mate_left[v as usize] != u as u32 {
+                return Err(format!("mate arrays disagree on pair ({v}, {u})"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Unmatched left vertices.
+    pub fn exposed_left(&self) -> impl Iterator<Item = u32> + '_ {
+        self.mate_left
+            .iter()
+            .enumerate()
+            .filter(|&(_, &m)| m == NONE)
+            .map(|(v, _)| v as u32)
+    }
+
+    /// Unmatched right vertices.
+    pub fn exposed_right(&self) -> impl Iterator<Item = u32> + '_ {
+        self.mate_right
+            .iter()
+            .enumerate()
+            .filter(|&(_, &m)| m == NONE)
+            .map(|(u, _)| u as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matching() {
+        let m = Matching::empty(3, 2);
+        assert_eq!(m.cardinality(), 0);
+        assert!(!m.is_left_perfect());
+        assert_eq!(m.exposed_left().count(), 3);
+        assert_eq!(m.exposed_right().count(), 2);
+    }
+
+    #[test]
+    fn couple_breaks_old_pairs() {
+        let mut m = Matching::empty(2, 2);
+        m.couple(0, 0);
+        m.couple(1, 1);
+        assert_eq!(m.cardinality(), 2);
+        // Steal 0's mate for 1: 1-0, leaving 0 and right 1 exposed.
+        m.couple(1, 0);
+        assert_eq!(m.mate_left[0], NONE);
+        assert_eq!(m.mate_right[1], NONE);
+        assert_eq!(m.mate_left[1], 0);
+        assert_eq!(m.cardinality(), 1);
+    }
+
+    #[test]
+    fn validate_catches_non_edges() {
+        let g = Bipartite::from_edges(2, 2, &[(0, 0), (1, 1)]).unwrap();
+        let mut m = Matching::empty(2, 2);
+        m.couple(0, 1); // not an edge
+        assert!(m.validate(&g).is_err());
+        let mut m = Matching::empty(2, 2);
+        m.couple(0, 0);
+        assert!(m.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn validate_catches_mirror_violation() {
+        let g = Bipartite::from_edges(2, 2, &[(0, 0), (1, 1)]).unwrap();
+        let mut m = Matching::empty(2, 2);
+        m.mate_left[0] = 0; // mate_right not updated
+        assert!(m.validate(&g).is_err());
+    }
+
+    #[test]
+    fn validate_catches_wrong_lengths() {
+        let g = Bipartite::from_edges(2, 2, &[(0, 0)]).unwrap();
+        let m = Matching::empty(3, 2);
+        assert!(m.validate(&g).is_err());
+    }
+}

@@ -1,0 +1,189 @@
+//! Push-relabel maximum matching with global relabeling.
+//!
+//! The bipartite specialization of Goldberg–Tarjan used by the paper (via
+//! the MatchMaker suite; see Kaya, Langguth, Manne, Uçar, *Push-relabel
+//! based algorithms for the maximum transversal problem*, C&OR 2013).
+//!
+//! Labels `ψ(u)` live on right vertices and lower-bound the alternating
+//! distance (counted in right vertices) from `u` to an exposed right vertex.
+//! An active (exposed) left vertex `v` matches the neighbor with minimum
+//! label, stealing it if necessary, and relabels that neighbor to
+//! `second_min + 1`. Periodic global relabeling recomputes exact distances
+//! by multi-source BFS from the exposed right vertices, which is what makes
+//! the method fast in practice.
+
+use semimatch_graph::Bipartite;
+
+use crate::greedy::greedy_init;
+use crate::matching::{Matching, NONE};
+
+/// Tuning: run a global relabel after this many relabel operations,
+/// expressed as a multiple of `n_right`.
+const GLOBAL_RELABEL_FREQ: f64 = 1.0;
+
+/// Maximum matching by push-relabel, starting from a greedy matching.
+pub fn push_relabel(g: &Bipartite) -> Matching {
+    push_relabel_from(g, greedy_init(g))
+}
+
+/// Maximum matching by push-relabel from a caller-supplied matching.
+pub fn push_relabel_from(g: &Bipartite, mut m: Matching) -> Matching {
+    let n2 = g.n_right() as usize;
+    let infinity = (n2 + 1) as u32; // label meaning "no exposed right reachable"
+    let mut psi: Vec<u32> = vec![0; n2];
+    global_relabel(g, &m, &mut psi, infinity);
+
+    // FIFO queue of active (exposed) left vertices.
+    let mut active: std::collections::VecDeque<u32> =
+        m.exposed_left().filter(|&v| g.deg_left(v) > 0).collect();
+    let mut relabels_since_global = 0usize;
+    let relabel_budget =
+        ((GLOBAL_RELABEL_FREQ * n2 as f64) as usize).max(16);
+
+    while let Some(v) = active.pop_front() {
+        if m.mate_left[v as usize] != NONE {
+            continue; // matched in the meantime
+        }
+        // Find minimum- and second-minimum-label neighbors.
+        let mut best = NONE;
+        let mut best_psi = u32::MAX;
+        let mut second_psi = u32::MAX;
+        for &u in g.neighbors(v) {
+            let p = psi[u as usize];
+            if p < best_psi {
+                second_psi = best_psi;
+                best_psi = p;
+                best = u;
+            } else if p < second_psi {
+                second_psi = p;
+            }
+        }
+        if best == NONE || best_psi >= infinity {
+            // No exposed right vertex reachable: v stays unmatched.
+            continue;
+        }
+        // Push: match v to `best`, dethroning its previous mate.
+        let prev = m.mate_right[best as usize];
+        m.couple(v, best);
+        if prev != NONE {
+            active.push_back(prev);
+        }
+        // Relabel `best` to one more than the second minimum (or to
+        // infinity when v had a single eligible neighbor).
+        let new_psi = if second_psi == u32::MAX {
+            infinity
+        } else {
+            (second_psi + 1).min(infinity)
+        };
+        if new_psi > psi[best as usize] {
+            psi[best as usize] = new_psi;
+            relabels_since_global += 1;
+            if relabels_since_global >= relabel_budget {
+                global_relabel(g, &m, &mut psi, infinity);
+                relabels_since_global = 0;
+            }
+        }
+    }
+    m
+}
+
+/// Multi-source BFS from exposed right vertices; exact alternating
+/// distances make every label tight.
+fn global_relabel(g: &Bipartite, m: &Matching, psi: &mut [u32], infinity: u32) {
+    psi.iter_mut().for_each(|p| *p = infinity);
+    let mut queue: Vec<u32> = Vec::new();
+    for u in 0..g.n_right() {
+        if m.mate_right[u as usize] == NONE {
+            psi[u as usize] = 0;
+            queue.push(u);
+        }
+    }
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        let du = psi[u as usize];
+        // Alternating step: a row v adjacent to u via a non-matching edge,
+        // whose own matched column then sits one level further.
+        for &v in g.rneighbors(u) {
+            let um = m.mate_left[v as usize];
+            if um != NONE && um != u && psi[um as usize] == infinity {
+                psi[um as usize] = du + 1;
+                queue.push(um);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::type_complexity)] // edge-list test fixtures
+mod tests {
+    use super::*;
+    use crate::dfs::mc21;
+    use crate::hopcroft_karp::hopcroft_karp;
+
+    #[test]
+    fn simple_augmentation() {
+        let g = Bipartite::from_edges(2, 2, &[(0, 0), (0, 1), (1, 0)]).unwrap();
+        let m = push_relabel(&g);
+        m.validate(&g).unwrap();
+        assert_eq!(m.cardinality(), 2);
+    }
+
+    #[test]
+    fn agrees_with_hk_and_dfs() {
+        let cases: Vec<(u32, u32, Vec<(u32, u32)>)> = vec![
+            (3, 3, vec![(0, 0), (1, 0), (1, 1), (2, 1), (2, 2)]),
+            (5, 4, vec![(0, 0), (1, 0), (2, 0), (3, 1), (3, 2), (4, 3), (0, 3)]),
+            (4, 4, vec![(0, 0), (0, 1), (1, 1), (1, 2), (2, 2), (2, 3), (3, 3), (3, 0)]),
+            (6, 3, vec![(0, 0), (1, 0), (2, 1), (3, 1), (4, 2), (5, 2)]),
+            (3, 1, vec![(0, 0), (1, 0), (2, 0)]),
+        ];
+        for (n1, n2, edges) in cases {
+            let g = Bipartite::from_edges(n1, n2, &edges).unwrap();
+            let pr = push_relabel(&g);
+            pr.validate(&g).unwrap();
+            assert_eq!(pr.cardinality(), hopcroft_karp(&g).cardinality(), "{edges:?}");
+            assert_eq!(pr.cardinality(), mc21(&g).cardinality(), "{edges:?}");
+        }
+    }
+
+    #[test]
+    fn long_chain_needs_many_steals() {
+        let k = 100u32;
+        let mut edges = Vec::new();
+        for i in 0..k {
+            edges.push((i, i));
+            edges.push((i, i + 1));
+        }
+        edges.push((k, 0));
+        let g = Bipartite::from_edges(k + 1, k + 1, &edges).unwrap();
+        let m = push_relabel(&g);
+        m.validate(&g).unwrap();
+        assert_eq!(m.cardinality(), (k + 1) as usize);
+    }
+
+    #[test]
+    fn unmatchable_vertices_terminate() {
+        // Two tasks share a single processor; one must remain unmatched and
+        // the algorithm must not loop.
+        let g = Bipartite::from_edges(2, 1, &[(0, 0), (1, 0)]).unwrap();
+        let m = push_relabel(&g);
+        m.validate(&g).unwrap();
+        assert_eq!(m.cardinality(), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Bipartite::from_edges(0, 0, &[]).unwrap();
+        assert_eq!(push_relabel(&g).cardinality(), 0);
+    }
+
+    #[test]
+    fn isolated_left_vertices_skipped() {
+        let g = Bipartite::from_edges(4, 2, &[(1, 0), (3, 1)]).unwrap();
+        let m = push_relabel(&g);
+        m.validate(&g).unwrap();
+        assert_eq!(m.cardinality(), 2);
+    }
+}

@@ -1,0 +1,109 @@
+//! Explicit construction of the deadline-expanded graph `G_D`.
+//!
+//! §IV-A of the paper defines `G_D` as the instance graph with `D` copies
+//! of every processor vertex, each inheriting the original neighborhood. A
+//! matching of `G_D` covering all tasks exists iff the instance admits a
+//! schedule of makespan ≤ D. The flow-based [`crate::capacitated`] module
+//! solves the same question without the blowup; this module keeps the
+//! literal construction for cross-validation and didactic value.
+
+use semimatch_graph::Bipartite;
+
+use crate::matching::{Matching, NONE};
+
+/// Builds `G_D`: processor `u` becomes copies `u·D .. u·D + D - 1`.
+///
+/// # Panics
+/// Panics if `d == 0`.
+pub fn replicate(g: &Bipartite, d: u32) -> Bipartite {
+    assert!(d > 0, "deadline must be positive");
+    let mut edges = Vec::with_capacity(g.num_edges() * d as usize);
+    for v in 0..g.n_left() {
+        for &u in g.neighbors(v) {
+            for c in 0..d {
+                edges.push((v, u * d + c));
+            }
+        }
+    }
+    Bipartite::from_edges(g.n_left(), g.n_right() * d, &edges)
+        .expect("replication of a valid graph is valid")
+}
+
+/// Maps a matching of `G_D` back to a task→processor assignment of `g`.
+///
+/// Returns `(task_to_proc, loads)` with [`NONE`] for unmatched tasks.
+pub fn project(g: &Bipartite, d: u32, m: &Matching) -> (Vec<u32>, Vec<u32>) {
+    let mut task_to_proc = vec![NONE; g.n_left() as usize];
+    let mut loads = vec![0u32; g.n_right() as usize];
+    for (v, &copy) in m.mate_left.iter().enumerate() {
+        if copy == NONE {
+            continue;
+        }
+        let u = copy / d;
+        task_to_proc[v] = u;
+        loads[u as usize] += 1;
+    }
+    (task_to_proc, loads)
+}
+
+#[cfg(test)]
+#[allow(clippy::type_complexity)] // edge-list test fixtures
+mod tests {
+    use super::*;
+    use crate::capacitated::max_assignment;
+    use crate::hopcroft_karp::hopcroft_karp;
+
+    fn fig1() -> Bipartite {
+        Bipartite::from_edges(2, 2, &[(0, 0), (0, 1), (1, 0)]).unwrap()
+    }
+
+    #[test]
+    fn replication_structure() {
+        let g = fig1();
+        let g2 = replicate(&g, 2);
+        assert_eq!(g2.n_left(), 2);
+        assert_eq!(g2.n_right(), 4);
+        assert_eq!(g2.num_edges(), 6);
+        // Task 0's neighbors: copies of P0 (0,1) and P1 (2,3).
+        assert_eq!(g2.neighbors(0), &[0, 1, 2, 3]);
+        assert_eq!(g2.neighbors(1), &[0, 1]);
+        g2.validate().unwrap();
+    }
+
+    #[test]
+    fn projection_computes_loads() {
+        let g = Bipartite::from_edges(3, 1, &[(0, 0), (1, 0), (2, 0)]).unwrap();
+        let g3 = replicate(&g, 3);
+        let m = hopcroft_karp(&g3);
+        assert!(m.is_left_perfect());
+        let (assign, loads) = project(&g, 3, &m);
+        assert!(assign.iter().all(|&p| p == 0));
+        assert_eq!(loads, vec![3]);
+    }
+
+    #[test]
+    fn replication_agrees_with_capacitated_flow() {
+        // The two formulations must agree on the covered-task count for
+        // every deadline.
+        let cases: Vec<(u32, u32, Vec<(u32, u32)>)> = vec![
+            (2, 2, vec![(0, 0), (0, 1), (1, 0)]),
+            (5, 2, vec![(0, 0), (1, 0), (2, 0), (3, 1), (4, 1)]),
+            (4, 1, vec![(0, 0), (1, 0), (2, 0), (3, 0)]),
+            (6, 3, vec![(0, 0), (1, 0), (2, 1), (3, 1), (4, 2), (5, 2), (0, 2)]),
+        ];
+        for (n1, n2, edges) in cases {
+            let g = Bipartite::from_edges(n1, n2, &edges).unwrap();
+            for d in 1..=4 {
+                let via_replication = hopcroft_karp(&replicate(&g, d)).cardinality();
+                let via_flow = max_assignment(&g, d).cardinality();
+                assert_eq!(via_replication, via_flow, "edges {edges:?}, D={d}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline must be positive")]
+    fn zero_deadline_panics() {
+        replicate(&fig1(), 0);
+    }
+}

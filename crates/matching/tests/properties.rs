@@ -1,0 +1,99 @@
+//! Property tests for the matching substrate: agreement across engines,
+//! König certificates, flow conservation, capacitated monotonicity.
+
+use proptest::prelude::*;
+use semimatch_graph::Bipartite;
+use semimatch_matching::capacitated::max_assignment;
+use semimatch_matching::cover::certify_maximum;
+use semimatch_matching::flow::FlowNetwork;
+use semimatch_matching::greedy::{greedy_init, karp_sipser};
+use semimatch_matching::{maximum_matching, Algorithm};
+
+fn graph() -> impl Strategy<Value = Bipartite> {
+    (1u32..24, 1u32..14).prop_flat_map(|(n, p)| {
+        proptest::collection::btree_set((0..n, 0..p), 0..72).prop_map(move |edges| {
+            let list: Vec<(u32, u32)> = edges.into_iter().collect();
+            Bipartite::from_edges(n, p, &list).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn engines_agree_and_are_certified(g in graph()) {
+        let mut card = None;
+        for algo in Algorithm::ALL {
+            let m = maximum_matching(&g, algo);
+            certify_maximum(&g, &m).unwrap_or_else(|e| panic!("{}: {e}", algo.name()));
+            match card {
+                None => card = Some(m.cardinality()),
+                Some(c) => prop_assert_eq!(c, m.cardinality(), "{}", algo.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn initializations_bound_the_maximum(g in graph()) {
+        let maximum = maximum_matching(&g, Algorithm::Dfs).cardinality();
+        let greedy = greedy_init(&g).cardinality();
+        let ks = karp_sipser(&g).cardinality();
+        prop_assert!(greedy <= maximum);
+        prop_assert!(ks <= maximum);
+        prop_assert!(2 * greedy >= maximum, "maximal ≥ half maximum");
+        prop_assert!(2 * ks >= maximum);
+    }
+
+    #[test]
+    fn assignment_cardinality_is_monotone_and_saturates(g in graph()) {
+        let reachable: usize = (0..g.n_left()).filter(|&v| g.deg_left(v) > 0).count();
+        let mut prev = 0usize;
+        for d in 1..=g.n_left().max(1) {
+            let a = max_assignment(&g, d);
+            let c = a.cardinality();
+            prop_assert!(c >= prev);
+            prop_assert!(c <= reachable);
+            prev = c;
+            if c == reachable {
+                break;
+            }
+        }
+        prop_assert_eq!(max_assignment(&g, g.n_left().max(1)).cardinality(), reachable);
+    }
+
+    #[test]
+    fn matching_equals_unit_capacity_assignment(g in graph()) {
+        let m = maximum_matching(&g, Algorithm::HopcroftKarp).cardinality();
+        let a = max_assignment(&g, 1).cardinality();
+        prop_assert_eq!(m, a);
+    }
+
+    #[test]
+    fn flow_conservation_on_random_networks(
+        arcs in proptest::collection::vec((0u32..8, 0u32..8, 1u64..20), 1..24)
+    ) {
+        let mut net = FlowNetwork::new(8);
+        let mut ids = Vec::new();
+        for &(a, b, c) in &arcs {
+            if a != b {
+                ids.push((net.add_arc(a, b, c), a, b, c));
+            }
+        }
+        prop_assume!(!ids.is_empty());
+        let total = net.max_flow(0, 7);
+        // Conservation at every internal vertex.
+        let mut balance = [0i128; 8];
+        for &(id, a, b, c) in &ids {
+            let f = net.flow(id);
+            prop_assert!(f <= c, "flow exceeds capacity");
+            balance[a as usize] -= f as i128;
+            balance[b as usize] += f as i128;
+        }
+        for (v, &b) in balance.iter().enumerate().take(7).skip(1) {
+            prop_assert_eq!(b, 0, "conservation at {}", v);
+        }
+        prop_assert_eq!(balance[7], total as i128);
+        prop_assert_eq!(balance[0], -(total as i128));
+    }
+}

@@ -1,0 +1,130 @@
+//! Conversions between the scheduling model and the graph formalisms.
+//!
+//! `Instance → Hypergraph` is the modeling step of §II-B; pure
+//! `SINGLEPROC` instances also convert to weighted bipartite graphs
+//! (§II-A). Round-trips preserve structure (names live only on the
+//! scheduling side).
+
+use semimatch_graph::{Bipartite, BipartiteBuilder, Hypergraph, HypergraphBuilder};
+
+use crate::model::Instance;
+
+/// Models the instance as a bipartite hypergraph (always possible).
+pub fn to_hypergraph(inst: &Instance) -> Hypergraph {
+    let total: usize = inst.tasks().iter().map(|t| t.configs.len()).sum();
+    let mut b = HypergraphBuilder::with_capacity(inst.n_tasks(), inst.n_processors(), total);
+    for (t, task) in inst.tasks().iter().enumerate() {
+        for c in &task.configs {
+            b.weighted_config(t as u32, c.processors.clone(), c.time);
+        }
+    }
+    b.build().expect("model invariants imply hypergraph invariants")
+}
+
+/// Models a `SINGLEPROC` instance as a weighted bipartite graph.
+///
+/// Returns `None` when some configuration uses more than one processor, or
+/// when a task lists the same processor in two configurations (the
+/// bipartite form cannot express two different times for one pair — keep
+/// the hypergraph form in that case).
+pub fn to_bipartite(inst: &Instance) -> Option<Bipartite> {
+    if !inst.is_singleproc() {
+        return None;
+    }
+    let total: usize = inst.tasks().iter().map(|t| t.configs.len()).sum();
+    let mut b = BipartiteBuilder::with_capacity(inst.n_tasks(), inst.n_processors(), total);
+    for (t, task) in inst.tasks().iter().enumerate() {
+        for c in &task.configs {
+            b.weighted_edge(t as u32, c.processors[0], c.time);
+        }
+    }
+    b.build().ok()
+}
+
+/// Reconstructs a scheduling instance from a hypergraph (synthetic names
+/// `T0`, `T1`, …).
+pub fn from_hypergraph(h: &Hypergraph) -> Instance {
+    let mut inst = Instance::new(h.n_procs());
+    for t in 0..h.n_tasks() {
+        let id = inst.add_task(format!("T{t}"));
+        for hid in h.hedges_of(t) {
+            inst.add_config(id, h.procs_of(hid).to_vec(), h.weight(hid));
+        }
+    }
+    inst
+}
+
+/// Reconstructs a scheduling instance from a bipartite graph.
+pub fn from_bipartite(g: &Bipartite) -> Instance {
+    let mut inst = Instance::new(g.n_right());
+    for v in 0..g.n_left() {
+        let id = inst.add_task(format!("T{v}"));
+        for e in g.edge_range(v) {
+            inst.add_config(id, vec![g.edge_right(e)], g.weight(e));
+        }
+    }
+    inst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Instance {
+        let mut inst = Instance::new(3);
+        let t0 = inst.add_task("a");
+        inst.add_config(t0, vec![0], 4);
+        inst.add_config(t0, vec![1, 2], 2);
+        let t1 = inst.add_task("b");
+        inst.add_config(t1, vec![2], 1);
+        inst
+    }
+
+    #[test]
+    fn hypergraph_roundtrip_preserves_structure() {
+        let inst = sample();
+        let h = to_hypergraph(&inst);
+        assert_eq!(h.n_tasks(), 2);
+        assert_eq!(h.n_hedges(), 3);
+        assert_eq!(h.weight(1), 2);
+        assert_eq!(h.procs_of(1), &[1, 2]);
+        let back = from_hypergraph(&h);
+        assert_eq!(to_hypergraph(&back), h);
+    }
+
+    #[test]
+    fn bipartite_only_for_singleproc() {
+        let inst = sample();
+        assert!(to_bipartite(&inst).is_none());
+        let mut sp = Instance::new(2);
+        sp.add_sequential_task("x", &[(0, 3), (1, 1)]);
+        sp.add_sequential_task("y", &[(0, 2)]);
+        let g = to_bipartite(&sp).unwrap();
+        assert_eq!(g.n_left(), 2);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.weight(0), 3);
+        let back = from_bipartite(&g);
+        assert_eq!(to_bipartite(&back).unwrap(), g);
+    }
+
+    #[test]
+    fn duplicate_processor_options_fall_back_to_hypergraph() {
+        // Task eligible on P0 with time 3 OR time 5 (two configurations on
+        // the same processor): not expressible as a simple bipartite graph.
+        let mut inst = Instance::new(1);
+        let t = inst.add_task("t");
+        inst.add_config(t, vec![0], 3);
+        inst.add_config(t, vec![0], 5);
+        assert!(to_bipartite(&inst).is_none());
+        let h = to_hypergraph(&inst);
+        assert_eq!(h.n_hedges(), 2);
+    }
+
+    #[test]
+    fn empty_instance_converts() {
+        let inst = Instance::new(4);
+        let h = to_hypergraph(&inst);
+        assert_eq!(h.n_tasks(), 0);
+        assert_eq!(h.n_procs(), 4);
+    }
+}

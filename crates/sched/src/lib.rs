@@ -1,0 +1,45 @@
+//! # semimatch-sched
+//!
+//! The scheduling layer over the semi-matching algorithms: a
+//! task/processor/configuration [`model`], conversions to the graph
+//! formalisms ([`convert`]), validated [`schedule::Schedule`]s with Gantt
+//! output, a discrete-event [`simulator`] implementing the concurrent-job-
+//! shop semantics of §II, [`online`] dispatching, and one-call
+//! [`policies`].
+//!
+//! ```
+//! use semimatch_sched::model::Instance;
+//! use semimatch_sched::policies::{schedule, Policy};
+//! use semimatch_sched::simulator::{simulate, QueueOrder};
+//!
+//! let mut inst = Instance::new(3);
+//! let render = inst.add_task("render");
+//! inst.add_config(render, vec![0], 4);        // alone on the CPU…
+//! inst.add_config(render, vec![1, 2], 2);     // …or split over two GPUs
+//! let encode = inst.add_sequential_task("encode", &[(0, 3), (1, 5)]);
+//! let _ = encode;
+//!
+//! let s = schedule(&inst, Policy::Evg).unwrap();
+//! let report = simulate(&inst, &s, QueueOrder::TaskId);
+//! assert_eq!(report.makespan, s.makespan(&inst));
+//! ```
+
+#![warn(missing_docs)]
+
+// Parallel-array loops in the simulator index several queues at once.
+#![allow(clippy::needless_range_loop)]
+
+pub mod convert;
+pub mod deadline;
+pub mod model;
+pub mod online;
+pub mod policies;
+pub mod schedule;
+pub mod simulator;
+
+pub use convert::{from_bipartite, from_hypergraph, to_bipartite, to_hypergraph};
+pub use deadline::{meets_deadline, DeadlineVerdict};
+pub use model::{Configuration, Instance, ProcId, Task, TaskId};
+pub use policies::{schedule, Policy};
+pub use schedule::Schedule;
+pub use simulator::{simulate, QueueOrder, SimReport};

@@ -1,0 +1,191 @@
+//! The scheduling-domain model: tasks, processors, configurations.
+//!
+//! This is the vocabulary of §I–II of the paper: `n` independent parallel
+//! tasks, `p` processors, and for each task a set `S_i` of *configurations*
+//! — processor sets on which the task may execute, each with an execution
+//! time taken by **every** processor of the set (the parts are independent,
+//! as in the concurrent job shop problem).
+
+/// Identifier of a processor.
+pub type ProcId = u32;
+
+/// Identifier of a task.
+pub type TaskId = u32;
+
+/// One way to run a task: a set of processors and the per-processor time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Configuration {
+    /// Processors used simultaneously (each runs an independent part).
+    pub processors: Vec<ProcId>,
+    /// Execution time on each processor of the set (`w_h`).
+    pub time: u64,
+}
+
+/// A task with its eligible configurations (`S_i`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Task {
+    /// Human-readable name (used in Gantt output and reports).
+    pub name: String,
+    /// The configuration set `S_i`.
+    pub configs: Vec<Configuration>,
+}
+
+/// A complete `MULTIPROC` scheduling instance.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Instance {
+    n_processors: u32,
+    tasks: Vec<Task>,
+}
+
+impl Instance {
+    /// Creates an instance with `n_processors` processors and no tasks.
+    pub fn new(n_processors: u32) -> Self {
+        Instance { n_processors, tasks: Vec::new() }
+    }
+
+    /// Number of processors `p`.
+    pub fn n_processors(&self) -> u32 {
+        self.n_processors
+    }
+
+    /// Number of tasks `n`.
+    pub fn n_tasks(&self) -> u32 {
+        self.tasks.len() as u32
+    }
+
+    /// Adds a task and returns its id.
+    pub fn add_task(&mut self, name: impl Into<String>) -> TaskId {
+        self.tasks.push(Task { name: name.into(), configs: Vec::new() });
+        (self.tasks.len() - 1) as TaskId
+    }
+
+    /// Adds a configuration to `task`.
+    ///
+    /// # Panics
+    /// Panics if the task id is unknown, a processor is out of range, the
+    /// processor set is empty or has duplicates, or the time is zero —
+    /// these are programming errors in instance construction.
+    pub fn add_config(&mut self, task: TaskId, processors: Vec<ProcId>, time: u64) {
+        assert!((task as usize) < self.tasks.len(), "unknown task {task}");
+        assert!(!processors.is_empty(), "a configuration needs at least one processor");
+        assert!(time > 0, "execution times must be positive");
+        let mut sorted = processors.clone();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            assert!(w[0] != w[1], "duplicate processor {} in configuration", w[0]);
+        }
+        for &p in &sorted {
+            assert!(p < self.n_processors, "processor {p} out of range");
+        }
+        self.tasks[task as usize].configs.push(Configuration { processors: sorted, time });
+    }
+
+    /// Convenience: a sequential task eligible on each given processor with
+    /// the paired time (a `SINGLEPROC` task).
+    pub fn add_sequential_task(
+        &mut self,
+        name: impl Into<String>,
+        options: &[(ProcId, u64)],
+    ) -> TaskId {
+        let t = self.add_task(name);
+        for &(p, time) in options {
+            self.add_config(t, vec![p], time);
+        }
+        t
+    }
+
+    /// The task table.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// A specific task.
+    pub fn task(&self, t: TaskId) -> &Task {
+        &self.tasks[t as usize]
+    }
+
+    /// True when every task has at least one configuration.
+    pub fn is_schedulable(&self) -> bool {
+        self.tasks.iter().all(|t| !t.configs.is_empty())
+    }
+
+    /// True when every configuration is a singleton (a `SINGLEPROC`
+    /// instance in the paper's taxonomy).
+    pub fn is_singleproc(&self) -> bool {
+        self.tasks.iter().all(|t| t.configs.iter().all(|c| c.processors.len() == 1))
+    }
+
+    /// True when all execution times are 1 (`…-UNIT` variants).
+    pub fn is_unit(&self) -> bool {
+        self.tasks.iter().all(|t| t.configs.iter().all(|c| c.time == 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_fig2_like_instance() {
+        let mut inst = Instance::new(3);
+        let t0 = inst.add_task("render");
+        inst.add_config(t0, vec![0], 4);
+        inst.add_config(t0, vec![1, 2], 2);
+        let t1 = inst.add_sequential_task("encode", &[(0, 3), (1, 5)]);
+        assert_eq!(inst.n_tasks(), 2);
+        assert_eq!(inst.task(t0).configs.len(), 2);
+        assert_eq!(inst.task(t1).configs.len(), 2);
+        assert!(inst.is_schedulable());
+        assert!(!inst.is_singleproc());
+        assert!(!inst.is_unit());
+    }
+
+    #[test]
+    fn processors_are_sorted_in_configs() {
+        let mut inst = Instance::new(4);
+        let t = inst.add_task("t");
+        inst.add_config(t, vec![3, 1, 2], 1);
+        assert_eq!(inst.task(t).configs[0].processors, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn unschedulable_detected() {
+        let mut inst = Instance::new(2);
+        inst.add_task("orphan");
+        assert!(!inst.is_schedulable());
+    }
+
+    #[test]
+    fn singleproc_and_unit_classification() {
+        let mut inst = Instance::new(2);
+        let t = inst.add_sequential_task("a", &[(0, 1), (1, 1)]);
+        assert!(inst.is_singleproc());
+        assert!(inst.is_unit());
+        inst.add_config(t, vec![0, 1], 1);
+        assert!(!inst.is_singleproc());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_processor_panics() {
+        let mut inst = Instance::new(1);
+        let t = inst.add_task("t");
+        inst.add_config(t, vec![1], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate processor")]
+    fn duplicate_processor_panics() {
+        let mut inst = Instance::new(2);
+        let t = inst.add_task("t");
+        inst.add_config(t, vec![0, 0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_time_panics() {
+        let mut inst = Instance::new(1);
+        let t = inst.add_task("t");
+        inst.add_config(t, vec![0], 0);
+    }
+}

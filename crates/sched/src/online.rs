@@ -1,0 +1,133 @@
+//! Online scheduling: tasks arrive one at a time and must be placed
+//! immediately (an extension; the paper's related-work section points to
+//! online algorithms for processing-set restrictions [Lee, Leung, Pinedo
+//! 2011]).
+//!
+//! The dispatcher sees only the current loads — no sorting by degree, no
+//! look-ahead — so this is also the natural "basic-greedy-hyp" baseline
+//! for the offline heuristics.
+
+use semimatch_core::error::{CoreError, Result};
+use semimatch_core::problem::HyperMatching;
+use semimatch_graph::Hypergraph;
+
+/// Immediate-assignment rule for each arriving task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OnlineRule {
+    /// Choose the configuration minimizing the current bottleneck among its
+    /// processors (`max_{u∈h} l(u)`, SGH's criterion without the sort).
+    MinBottleneck,
+    /// Choose the configuration minimizing the *resulting* bottleneck
+    /// (`max_{u∈h} l(u) + w_h`).
+    MinResulting,
+    /// Always take the first listed configuration (the no-information
+    /// baseline; useful as an upper anchor in benches).
+    FirstFit,
+}
+
+/// Schedules tasks in arrival order (= task id order) under `rule`.
+pub fn online_schedule(h: &Hypergraph, rule: OnlineRule) -> Result<HyperMatching> {
+    let mut loads = vec![0u64; h.n_procs() as usize];
+    let mut hedge_of = vec![0u32; h.n_tasks() as usize];
+    for t in 0..h.n_tasks() {
+        let mut best: Option<u32> = None;
+        let mut best_key = u64::MAX;
+        for hid in h.hedges_of(t) {
+            let key = match rule {
+                OnlineRule::FirstFit => {
+                    best = Some(hid);
+                    break;
+                }
+                OnlineRule::MinBottleneck => h
+                    .procs_of(hid)
+                    .iter()
+                    .map(|&u| loads[u as usize])
+                    .max()
+                    .expect("non-empty hyperedge"),
+                OnlineRule::MinResulting => {
+                    h.procs_of(hid)
+                        .iter()
+                        .map(|&u| loads[u as usize])
+                        .max()
+                        .expect("non-empty hyperedge")
+                        + h.weight(hid)
+                }
+            };
+            if key < best_key {
+                best_key = key;
+                best = Some(hid);
+            }
+        }
+        let hid = best.ok_or(CoreError::UncoveredTask(t))?;
+        hedge_of[t as usize] = hid;
+        let w = h.weight(hid);
+        for &u in h.procs_of(hid) {
+            loads[u as usize] += w;
+        }
+    }
+    Ok(HyperMatching { hedge_of })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case() -> Hypergraph {
+        Hypergraph::from_hyperedges(
+            3,
+            2,
+            vec![
+                (0, vec![0], 3),
+                (0, vec![1], 1),
+                (1, vec![0], 2),
+                (2, vec![0], 1),
+                (2, vec![1], 1),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rules_are_valid_schedules() {
+        let h = case();
+        for rule in [OnlineRule::MinBottleneck, OnlineRule::MinResulting, OnlineRule::FirstFit] {
+            let hm = online_schedule(&h, rule).unwrap();
+            hm.validate(&h).unwrap();
+        }
+    }
+
+    #[test]
+    fn resulting_rule_sees_weights() {
+        let h = case();
+        // T0 arrives first on empty loads: MinBottleneck ties (0 vs 0) and
+        // takes the heavy {P0} w3; MinResulting compares 3 vs 1 → {P1}.
+        let bottleneck = online_schedule(&h, OnlineRule::MinBottleneck).unwrap();
+        assert_eq!(bottleneck.hedge_of[0], 0);
+        let resulting = online_schedule(&h, OnlineRule::MinResulting).unwrap();
+        assert_eq!(resulting.hedge_of[0], 1);
+        assert!(resulting.makespan(&h) <= bottleneck.makespan(&h));
+    }
+
+    #[test]
+    fn first_fit_is_an_upper_anchor() {
+        let h = case();
+        let ff = online_schedule(&h, OnlineRule::FirstFit).unwrap();
+        let mb = online_schedule(&h, OnlineRule::MinBottleneck).unwrap();
+        assert!(mb.makespan(&h) <= ff.makespan(&h));
+    }
+
+    #[test]
+    fn offline_sorted_heuristic_is_no_worse_here() {
+        use semimatch_core::hyper::sgh::sorted_greedy_hyp;
+        let h = case();
+        let online = online_schedule(&h, OnlineRule::MinBottleneck).unwrap();
+        let offline = sorted_greedy_hyp(&h).unwrap();
+        assert!(offline.makespan(&h) <= online.makespan(&h));
+    }
+
+    #[test]
+    fn uncovered_task_errors() {
+        let h = Hypergraph::from_hyperedges(1, 1, vec![]).unwrap();
+        assert!(online_schedule(&h, OnlineRule::MinBottleneck).is_err());
+    }
+}

@@ -1,0 +1,139 @@
+//! One-call scheduling: pick a policy, get a validated [`Schedule`].
+
+use semimatch_core::error::Result;
+use semimatch_core::hyper::HyperHeuristic;
+use semimatch_core::refine::{iterated_refine, refine};
+
+use crate::convert::to_hypergraph;
+use crate::model::Instance;
+use crate::online::{online_schedule, OnlineRule};
+use crate::schedule::Schedule;
+
+/// Scheduling policy: the paper's four heuristics, their refined variants,
+/// and the online baselines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Policy {
+    /// sorted-greedy-hyp (Algorithm 4).
+    Sgh,
+    /// vector-greedy-hyp.
+    Vgh,
+    /// expected-greedy-hyp (Algorithm 5).
+    Egh,
+    /// expected-vector-greedy-hyp.
+    Evg,
+    /// EVG followed by local-search refinement (extension).
+    EvgRefined,
+    /// SGH followed by local-search refinement (extension).
+    SghRefined,
+    /// SGH followed by iterated local search with bottleneck kicks
+    /// (extension).
+    SghIls,
+    /// Online min-bottleneck dispatcher (no sorting, no look-ahead).
+    Online,
+}
+
+impl Policy {
+    /// All policies, for sweeps.
+    pub const ALL: [Policy; 8] = [
+        Policy::Sgh,
+        Policy::Vgh,
+        Policy::Egh,
+        Policy::Evg,
+        Policy::EvgRefined,
+        Policy::SghRefined,
+        Policy::SghIls,
+        Policy::Online,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Sgh => "SGH",
+            Policy::Vgh => "VGH",
+            Policy::Egh => "EGH",
+            Policy::Evg => "EVG",
+            Policy::EvgRefined => "EVG+refine",
+            Policy::SghRefined => "SGH+refine",
+            Policy::SghIls => "SGH+ILS",
+            Policy::Online => "online",
+        }
+    }
+}
+
+/// Maximum refinement passes used by the `*Refined` policies.
+const REFINE_PASSES: u32 = 16;
+
+/// Bottleneck kicks used by the ILS policy.
+const ILS_KICKS: u32 = 12;
+
+/// Schedules `inst` under `policy`.
+pub fn schedule(inst: &Instance, policy: Policy) -> Result<Schedule> {
+    let h = to_hypergraph(inst);
+    let hm = match policy {
+        Policy::Sgh => HyperHeuristic::Sgh.run(&h)?,
+        Policy::Vgh => HyperHeuristic::Vgh.run(&h)?,
+        Policy::Egh => HyperHeuristic::Egh.run(&h)?,
+        Policy::Evg => HyperHeuristic::Evg.run(&h)?,
+        Policy::EvgRefined => {
+            let mut hm = HyperHeuristic::Evg.run(&h)?;
+            refine(&h, &mut hm, REFINE_PASSES)?;
+            hm
+        }
+        Policy::SghRefined => {
+            let mut hm = HyperHeuristic::Sgh.run(&h)?;
+            refine(&h, &mut hm, REFINE_PASSES)?;
+            hm
+        }
+        Policy::SghIls => {
+            let mut hm = HyperHeuristic::Sgh.run(&h)?;
+            iterated_refine(&h, &mut hm, ILS_KICKS, REFINE_PASSES)?;
+            hm
+        }
+        Policy::Online => online_schedule(&h, OnlineRule::MinBottleneck)?,
+    };
+    Ok(Schedule::from_hyper_matching(&h, &hm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Instance {
+        let mut inst = Instance::new(4);
+        for i in 0..6 {
+            let t = inst.add_task(format!("task{i}"));
+            inst.add_config(t, vec![i % 4], 3);
+            inst.add_config(t, vec![(i + 1) % 4, (i + 2) % 4], 2);
+        }
+        inst
+    }
+
+    #[test]
+    fn all_policies_produce_valid_schedules() {
+        let inst = sample();
+        for policy in Policy::ALL {
+            let s = schedule(&inst, policy).unwrap();
+            s.validate(&inst).unwrap_or_else(|e| panic!("{}: {e}", policy.name()));
+            assert!(s.makespan(&inst) > 0);
+        }
+    }
+
+    #[test]
+    fn refined_never_worse_than_base() {
+        let inst = sample();
+        let evg = schedule(&inst, Policy::Evg).unwrap().makespan(&inst);
+        let evg_r = schedule(&inst, Policy::EvgRefined).unwrap().makespan(&inst);
+        assert!(evg_r <= evg);
+        let sgh = schedule(&inst, Policy::Sgh).unwrap().makespan(&inst);
+        let sgh_r = schedule(&inst, Policy::SghRefined).unwrap().makespan(&inst);
+        assert!(sgh_r <= sgh);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let mut names: Vec<_> = Policy::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Policy::ALL.len());
+    }
+}

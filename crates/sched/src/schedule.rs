@@ -1,0 +1,156 @@
+//! Schedules: a chosen configuration per task, with loads, makespan,
+//! validation and a text Gantt rendering.
+
+use std::fmt::Write as _;
+
+use semimatch_core::problem::HyperMatching;
+use semimatch_graph::Hypergraph;
+
+use crate::model::Instance;
+
+/// A schedule for an [`Instance`]: one configuration index per task
+/// (indices are local to each task's configuration list).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    /// `choice[t]` = index into `instance.task(t).configs`.
+    pub choice: Vec<u32>,
+}
+
+impl Schedule {
+    /// Translates a hypergraph solution back to configuration indices.
+    ///
+    /// `h` must be the hypergraph produced by
+    /// [`crate::convert::to_hypergraph`] for the same instance (hyperedges
+    /// grouped per task in configuration order).
+    pub fn from_hyper_matching(h: &Hypergraph, hm: &HyperMatching) -> Self {
+        let choice = hm
+            .hedge_of
+            .iter()
+            .enumerate()
+            .map(|(t, &hid)| hid - h.hedges_of(t as u32).start)
+            .collect();
+        Schedule { choice }
+    }
+
+    /// Per-processor loads under the concurrent-job-shop semantics.
+    pub fn loads(&self, inst: &Instance) -> Vec<u64> {
+        let mut loads = vec![0u64; inst.n_processors() as usize];
+        for (t, &c) in self.choice.iter().enumerate() {
+            let cfg = &inst.task(t as u32).configs[c as usize];
+            for &p in &cfg.processors {
+                loads[p as usize] += cfg.time;
+            }
+        }
+        loads
+    }
+
+    /// The makespan (maximum processor load).
+    pub fn makespan(&self, inst: &Instance) -> u64 {
+        self.loads(inst).into_iter().max().unwrap_or(0)
+    }
+
+    /// Checks the schedule against the instance.
+    pub fn validate(&self, inst: &Instance) -> Result<(), String> {
+        if self.choice.len() != inst.n_tasks() as usize {
+            return Err(format!(
+                "schedule has {} entries for {} tasks",
+                self.choice.len(),
+                inst.n_tasks()
+            ));
+        }
+        for (t, &c) in self.choice.iter().enumerate() {
+            let n = inst.task(t as u32).configs.len();
+            if (c as usize) >= n {
+                return Err(format!(
+                    "task {t} ({}) chose configuration {c} of {n}",
+                    inst.task(t as u32).name
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders a per-processor text Gantt chart (sequential stacking; the
+    /// parts of a task are independent, so any order is a valid
+    /// execution — see the simulator for a timed trace).
+    pub fn gantt(&self, inst: &Instance) -> String {
+        let mut rows: Vec<Vec<(String, u64)>> =
+            vec![Vec::new(); inst.n_processors() as usize];
+        for (t, &c) in self.choice.iter().enumerate() {
+            let task = inst.task(t as u32);
+            let cfg = &task.configs[c as usize];
+            for &p in &cfg.processors {
+                rows[p as usize].push((task.name.clone(), cfg.time));
+            }
+        }
+        let mut out = String::new();
+        let makespan = self.makespan(inst);
+        let _ = writeln!(out, "makespan = {makespan}");
+        for (p, row) in rows.iter().enumerate() {
+            let _ = write!(out, "P{p:<3} |");
+            let mut clock = 0u64;
+            for (name, time) in row {
+                let _ = write!(out, " {name}[{clock}..{}] |", clock + time);
+                clock += time;
+            }
+            let _ = writeln!(out, " load={clock}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::to_hypergraph;
+
+    fn sample() -> Instance {
+        let mut inst = Instance::new(3);
+        let t0 = inst.add_task("render");
+        inst.add_config(t0, vec![0], 4);
+        inst.add_config(t0, vec![1, 2], 2);
+        let t1 = inst.add_task("encode");
+        inst.add_config(t1, vec![2], 3);
+        inst
+    }
+
+    #[test]
+    fn loads_and_makespan() {
+        let inst = sample();
+        let s = Schedule { choice: vec![1, 0] };
+        s.validate(&inst).unwrap();
+        assert_eq!(s.loads(&inst), vec![0, 2, 5]);
+        assert_eq!(s.makespan(&inst), 5);
+        let s2 = Schedule { choice: vec![0, 0] };
+        assert_eq!(s2.loads(&inst), vec![4, 0, 3]);
+        assert_eq!(s2.makespan(&inst), 4);
+    }
+
+    #[test]
+    fn hyper_matching_roundtrip() {
+        let inst = sample();
+        let h = to_hypergraph(&inst);
+        let hm = HyperMatching { hedge_of: vec![1, 2] };
+        let s = Schedule::from_hyper_matching(&h, &hm);
+        assert_eq!(s.choice, vec![1, 0]);
+        assert_eq!(s.makespan(&inst), hm.makespan(&h));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let inst = sample();
+        assert!(Schedule { choice: vec![0] }.validate(&inst).is_err());
+        assert!(Schedule { choice: vec![5, 0] }.validate(&inst).is_err());
+    }
+
+    #[test]
+    fn gantt_mentions_tasks_and_loads() {
+        let inst = sample();
+        let s = Schedule { choice: vec![1, 0] };
+        let text = s.gantt(&inst);
+        assert!(text.contains("makespan = 5"));
+        assert!(text.contains("render"));
+        assert!(text.contains("encode"));
+        assert!(text.contains("load=5"));
+    }
+}

@@ -1,0 +1,59 @@
+//! Theorem 1, executable: Exact Cover by 3-Sets reduces to
+//! `MULTIPROC-UNIT`.
+//!
+//! Builds a planted (solvable) and a crafted unsolvable X3C instance,
+//! reduces both to scheduling instances, solves those exactly, and maps
+//! the schedules back to covers — demonstrating both directions of the
+//! NP-completeness proof.
+//!
+//! ```text
+//! cargo run --example x3c_reduction
+//! ```
+
+use semimatch::core::exact::brute_force_multiproc;
+use semimatch::core::reduction::schedule_to_cover;
+use semimatch::gen::rng::Xoshiro256;
+use semimatch::gen::x3c::{planted, X3c};
+
+fn demonstrate(label: &str, x: &X3c) {
+    println!("== {label}: |X| = {}, |C| = {} ==", x.n_elements, x.triples.len());
+    let h = x.to_multiproc();
+    println!(
+        "reduction: {} tasks on {} processors, {} hyperedges (q·|C|)",
+        h.n_tasks(),
+        h.n_procs(),
+        h.n_hedges()
+    );
+    let (makespan, hm) = brute_force_multiproc(&h, 50_000_000).unwrap();
+    println!("optimal makespan of the scheduling instance: {makespan}");
+    match schedule_to_cover(&h, &hm, x.triples.len()).unwrap() {
+        Some(cover) => {
+            assert!(x.is_exact_cover(&cover), "Theorem 1: makespan 1 ⇒ exact cover");
+            let shown: Vec<String> =
+                cover.iter().map(|&i| format!("{:?}", x.triples[i])).collect();
+            println!("⇒ exact cover recovered from the schedule: {}", shown.join(" "));
+        }
+        None => {
+            assert!(x.exact_cover().is_none(), "Theorem 1: makespan > 1 ⇒ no cover");
+            println!("⇒ makespan > 1, so no exact cover exists (verified independently)");
+        }
+    }
+    println!();
+}
+
+fn main() {
+    // A planted, solvable instance.
+    let mut rng = Xoshiro256::seed_from_u64(1);
+    let solvable = planted(4, 5, &mut rng);
+    demonstrate("planted X3C (solvable)", &solvable);
+
+    // An unsolvable instance: every triple contains element 0, so two
+    // triples can never be disjoint, but q = 2 are needed.
+    let unsolvable = X3c::new(6, vec![[0, 1, 2], [0, 3, 4], [0, 4, 5], [0, 2, 5]]);
+    demonstrate("crafted X3C (unsolvable)", &unsolvable);
+
+    println!(
+        "Both directions of Theorem 1 verified: the scheduling optimum is 1\n\
+         exactly when the X3C instance has an exact cover."
+    );
+}

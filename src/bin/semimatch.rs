@@ -1,0 +1,464 @@
+//! `semimatch` — command-line front end for the semi-matching scheduling
+//! library.
+//!
+//! ```text
+//! semimatch generate  --family FG --n 1280 --p 256 --weights related --out inst.hg
+//! semimatch generate-bipartite --gen hilo --n 1280 --p 256 --g 32 --d 10 --out inst.bg
+//! semimatch stats     inst.hg
+//! semimatch solve     inst.hg --algo evg --refine
+//! semimatch exact     inst.bg --strategy bisection
+//! ```
+//!
+//! Instances use the text formats of `semimatch_graph::io` (`.hg` for
+//! hypergraphs / MULTIPROC, `.bg` for bipartite graphs / SINGLEPROC).
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::process::ExitCode;
+
+use semimatch::core::exact::{exact_unit, harvey_exact, SearchStrategy};
+use semimatch::core::hyper::HyperHeuristic;
+use semimatch::core::lower_bound::{lower_bound_multiproc, lower_bound_singleproc};
+use semimatch::core::refine::refine;
+use semimatch::gen::params::{Config, Family};
+use semimatch::gen::rng::Xoshiro256;
+use semimatch::gen::weights::WeightScheme;
+use semimatch::gen::{fewg_manyg, hilo_permuted};
+use semimatch::graph::io::{read_bipartite, read_hypergraph, write_bipartite, write_hypergraph};
+use semimatch::graph::{BipartiteStats, HypergraphStats};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  semimatch generate            --family FG|MG|HLF|HLM --n N --p P
+                                [--dv D] [--dh D] [--weights unit|related|random]
+                                [--seed S] [--instance I] [--out FILE.hg]
+  semimatch generate            --name FG-20-4-MP[-W|-R] [--seed S] [--instance I]
+                                [--out FILE.hg]
+  semimatch generate-bipartite  --gen hilo|fewgmanyg --n N --p P --g G --d D
+                                [--seed S] [--out FILE.bg]
+  semimatch stats               FILE.{hg,bg}
+  semimatch solve               FILE.hg [--algo sgh|vgh|egh|evg] [--refine PASSES]
+                                [--save FILE.sol]
+  semimatch verify              FILE.hg FILE.sol
+  semimatch exact               FILE.bg [--strategy incremental|bisection|harvey]
+  semimatch dot                 FILE.{hg,bg} [--out FILE.dot]";
+
+/// Splits `args` into positional arguments and `--flag value` pairs.
+fn parse(args: &[String]) -> Result<(Vec<&str>, HashMap<&str, &str>), String> {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            let value =
+                args.get(i + 1).ok_or_else(|| format!("flag --{name} needs a value"))?;
+            flags.insert(name, value.as_str());
+            i += 2;
+        } else {
+            positional.push(args[i].as_str());
+            i += 1;
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn req<'a>(flags: &HashMap<&str, &'a str>, name: &str) -> Result<&'a str, String> {
+    flags.get(name).copied().ok_or_else(|| format!("missing required flag --{name}"))
+}
+
+fn num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{what}: cannot parse '{s}'"))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse(args)?;
+    let command = *positional.first().ok_or("missing command")?;
+    match command {
+        "generate" => generate(&flags),
+        "generate-bipartite" => generate_bipartite(&flags),
+        "stats" => stats(&positional),
+        "solve" => solve(&positional, &flags),
+        "exact" => exact(&positional, &flags),
+        "dot" => dot(&positional, &flags),
+        "verify" => verify(&positional),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn generate(flags: &HashMap<&str, &str>) -> Result<(), String> {
+    let cfg = if let Some(name) = flags.get("name") {
+        Config::from_name(name)
+            .ok_or_else(|| format!("'{name}' is not a Table I instance name"))?
+    } else {
+        let family = match req(flags, "family")? {
+            "FG" => Family::Fg,
+            "MG" => Family::Mg,
+            "HLF" => Family::Hlf,
+            "HLM" => Family::Hlm,
+            other => return Err(format!("unknown family '{other}'")),
+        };
+        let weights = match flags.get("weights").copied().unwrap_or("unit") {
+            "unit" => WeightScheme::Unit,
+            "related" => WeightScheme::Related,
+            "random" => WeightScheme::Random,
+            other => return Err(format!("unknown weight scheme '{other}'")),
+        };
+        Config {
+            family,
+            n: num(req(flags, "n")?, "--n")?,
+            p: num(req(flags, "p")?, "--p")?,
+            dv: num(flags.get("dv").copied().unwrap_or("5"), "--dv")?,
+            dh: num(flags.get("dh").copied().unwrap_or("10"), "--dh")?,
+            weights,
+        }
+    };
+    if !cfg.p.is_multiple_of(cfg.family.groups()) {
+        return Err(format!(
+            "--p must be divisible by the family's group count ({})",
+            cfg.family.groups()
+        ));
+    }
+    let seed = num(flags.get("seed").copied().unwrap_or("42"), "--seed")?;
+    let instance = num(flags.get("instance").copied().unwrap_or("0"), "--instance")?;
+    let h = cfg.instance(seed, instance);
+    match flags.get("out") {
+        Some(path) => {
+            let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+            write_hypergraph(&h, file).map_err(|e| e.to_string())?;
+            eprintln!("wrote {} ({} hyperedges)", path, h.n_hedges());
+        }
+        None => {
+            let mut out = Vec::new();
+            write_hypergraph(&h, &mut out).map_err(|e| e.to_string())?;
+            print!("{}", String::from_utf8_lossy(&out));
+        }
+    }
+    Ok(())
+}
+
+fn generate_bipartite(flags: &HashMap<&str, &str>) -> Result<(), String> {
+    let n = num(req(flags, "n")?, "--n")?;
+    let p: u32 = num(req(flags, "p")?, "--p")?;
+    let g: u32 = num(req(flags, "g")?, "--g")?;
+    let d = num(req(flags, "d")?, "--d")?;
+    if g == 0 || !p.is_multiple_of(g) {
+        return Err("--p must be divisible by --g".into());
+    }
+    let seed = num(flags.get("seed").copied().unwrap_or("42"), "--seed")?;
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let graph = match req(flags, "gen")? {
+        "hilo" => hilo_permuted(n, p, g, d, &mut rng),
+        "fewgmanyg" => fewg_manyg(n, p, g, d, &mut rng),
+        other => return Err(format!("unknown generator '{other}'")),
+    };
+    match flags.get("out") {
+        Some(path) => {
+            let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+            write_bipartite(&graph, file).map_err(|e| e.to_string())?;
+            eprintln!("wrote {} ({} edges)", path, graph.num_edges());
+        }
+        None => {
+            let mut out = Vec::new();
+            write_bipartite(&graph, &mut out).map_err(|e| e.to_string())?;
+            print!("{}", String::from_utf8_lossy(&out));
+        }
+    }
+    Ok(())
+}
+
+fn stats(positional: &[&str]) -> Result<(), String> {
+    let path = *positional.get(1).ok_or("stats needs a file argument")?;
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    if path.ends_with(".bg") {
+        let g = read_bipartite(file).map_err(|e| e.to_string())?;
+        let s = BipartiteStats::of(&g);
+        println!("bipartite instance {path}");
+        println!("  |V1| = {}  |V2| = {}  |E| = {}", s.n_left, s.n_right, s.n_edges);
+        println!(
+            "  task degree: min {} / avg {:.2} / max {} (isolated: {})",
+            s.min_deg_left, s.avg_deg_left, s.max_deg_left, s.isolated_left
+        );
+        println!(
+            "  processor degree: min {} / avg {:.2} / max {}",
+            s.min_deg_right, s.avg_deg_right, s.max_deg_right
+        );
+        let lb = lower_bound_singleproc(&g).map_err(|e| e.to_string())?;
+        println!("  lower bound (Eq. 1): {lb}");
+    } else {
+        let h = read_hypergraph(file).map_err(|e| e.to_string())?;
+        let s = HypergraphStats::of(&h);
+        println!("hypergraph instance {path}");
+        println!(
+            "  |V1| = {}  |V2| = {}  |N| = {}  Σ|h∩V2| = {}",
+            s.n_tasks, s.n_procs, s.n_hedges, s.total_pins
+        );
+        println!(
+            "  configurations/task: min {} / avg {:.2} / max {}",
+            s.min_deg_task, s.avg_deg_task, s.max_deg_task
+        );
+        println!(
+            "  hyperedge size: min {} / avg {:.2} / max {}",
+            s.min_hedge_size, s.avg_hedge_size, s.max_hedge_size
+        );
+        let lb = lower_bound_multiproc(&h).map_err(|e| e.to_string())?;
+        println!("  lower bound (Eq. 1): {lb}");
+    }
+    Ok(())
+}
+
+fn solve(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String> {
+    let path = *positional.get(1).ok_or("solve needs a file argument")?;
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let h = read_hypergraph(file).map_err(|e| e.to_string())?;
+    let heuristic = match flags.get("algo").copied().unwrap_or("evg") {
+        "sgh" => HyperHeuristic::Sgh,
+        "vgh" => HyperHeuristic::Vgh,
+        "egh" => HyperHeuristic::Egh,
+        "evg" => HyperHeuristic::Evg,
+        other => return Err(format!("unknown heuristic '{other}'")),
+    };
+    let mut hm = heuristic.run(&h).map_err(|e| e.to_string())?;
+    let base = hm.makespan(&h);
+    let refined = if flags.contains_key("refine") {
+        // --refine takes a pass count as its value.
+        let passes = num(flags["refine"], "--refine")?;
+        let stats = refine(&h, &mut hm, passes).map_err(|e| e.to_string())?;
+        Some((stats, hm.makespan(&h)))
+    } else {
+        None
+    };
+    let lb = lower_bound_multiproc(&h).map_err(|e| e.to_string())?;
+    println!("instance:  {path}");
+    println!("heuristic: {}", heuristic.label());
+    println!("lower bound: {lb}");
+    println!("makespan:    {base}  (ratio {:.3})", base as f64 / lb as f64);
+    if let Some((stats, m)) = refined {
+        println!(
+            "refined:     {m}  (ratio {:.3}; {} moves in {} passes)",
+            m as f64 / lb as f64,
+            stats.moves,
+            stats.passes
+        );
+    }
+    if let Some(out) = flags.get("save") {
+        let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+        semimatch::core::solution_io::write_solution(&hm, file)
+            .map_err(|e| e.to_string())?;
+        eprintln!("saved solution to {out}");
+    } else {
+        // Allocation dump: task → chosen hyperedge → processors.
+        for (t, &hid) in hm.hedge_of.iter().enumerate() {
+            println!(
+                "  T{t} -> h{hid} w={} procs={:?}",
+                h.weight(hid),
+                h.procs_of(hid)
+            );
+        }
+    }
+    Ok(())
+}
+
+fn verify(positional: &[&str]) -> Result<(), String> {
+    let inst_path = *positional.get(1).ok_or("verify needs INSTANCE.hg SOLUTION.sol")?;
+    let sol_path = *positional.get(2).ok_or("verify needs INSTANCE.hg SOLUTION.sol")?;
+    let h = read_hypergraph(File::open(inst_path).map_err(|e| format!("open {inst_path}: {e}"))?)
+        .map_err(|e| e.to_string())?;
+    let sol_file = File::open(sol_path).map_err(|e| format!("open {sol_path}: {e}"))?;
+    let hm = semimatch::core::solution_io::read_solution(&h, sol_file)
+        .map_err(|e| format!("invalid solution: {e}"))?;
+    let lb = lower_bound_multiproc(&h).map_err(|e| e.to_string())?;
+    let profile = semimatch::core::analysis::LoadProfile::of(&h, &hm);
+    println!("solution is VALID");
+    println!("makespan: {} (lower bound {lb}, ratio {:.3})", hm.makespan(&h), hm.makespan(&h) as f64 / lb as f64);
+    println!("{}", profile.summary());
+    Ok(())
+}
+
+fn exact(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String> {
+    let path = *positional.get(1).ok_or("exact needs a file argument")?;
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let g = read_bipartite(file).map_err(|e| e.to_string())?;
+    let strategy = flags.get("strategy").copied().unwrap_or("bisection");
+    let (makespan, detail) = match strategy {
+        "incremental" => {
+            let r = exact_unit(&g, SearchStrategy::Incremental).map_err(|e| e.to_string())?;
+            (r.makespan, format!("{} oracle calls", r.oracle_calls))
+        }
+        "bisection" => {
+            let r = exact_unit(&g, SearchStrategy::Bisection).map_err(|e| e.to_string())?;
+            (r.makespan, format!("{} oracle calls", r.oracle_calls))
+        }
+        "harvey" => {
+            let sm = harvey_exact(&g).map_err(|e| e.to_string())?;
+            (sm.makespan(&g), "cost-reducing paths".to_string())
+        }
+        other => return Err(format!("unknown strategy '{other}'")),
+    };
+    println!("instance: {path}");
+    println!("optimal makespan: {makespan} ({detail})");
+    Ok(())
+}
+
+fn dot(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String> {
+    use semimatch::graph::dot::{write_dot_bipartite, write_dot_hypergraph};
+    let path = *positional.get(1).ok_or("dot needs a file argument")?;
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let mut buf = Vec::new();
+    if path.ends_with(".bg") {
+        let g = read_bipartite(file).map_err(|e| e.to_string())?;
+        write_dot_bipartite(&g, &mut buf).map_err(|e| e.to_string())?;
+    } else {
+        let h = read_hypergraph(file).map_err(|e| e.to_string())?;
+        write_dot_hypergraph(&h, &mut buf).map_err(|e| e.to_string())?;
+    }
+    match flags.get("out") {
+        Some(out) => {
+            std::fs::write(out, &buf).map_err(|e| format!("write {out}: {e}"))?;
+            eprintln!("wrote {out}");
+        }
+        None => print!("{}", String::from_utf8_lossy(&buf)),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_splits_flags_and_positionals() {
+        let args = argv(&["solve", "x.hg", "--algo", "sgh"]);
+        let (pos, flags) = parse(&args).unwrap();
+        assert_eq!(pos, vec!["solve", "x.hg"]);
+        assert_eq!(flags["algo"], "sgh");
+    }
+
+    #[test]
+    fn parse_rejects_dangling_flag() {
+        let args = argv(&["solve", "--algo"]);
+        assert!(parse(&args).is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(run(&argv(&["frobnicate"])).is_err());
+        assert!(run(&argv(&[])).is_err());
+    }
+
+    #[test]
+    fn generate_requires_divisible_p() {
+        let args = argv(&["generate", "--family", "FG", "--n", "64", "--p", "33"]);
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("divisible"), "{err}");
+    }
+
+    #[test]
+    fn end_to_end_generate_stats_solve_exact() {
+        let dir = std::env::temp_dir().join("semimatch-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let hg = dir.join("t.hg");
+        let bg = dir.join("t.bg");
+        run(&argv(&[
+            "generate",
+            "--family",
+            "FG",
+            "--n",
+            "64",
+            "--p",
+            "32",
+            "--dv",
+            "2",
+            "--dh",
+            "3",
+            "--weights",
+            "related",
+            "--out",
+            hg.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&["stats", hg.to_str().unwrap()])).unwrap();
+        run(&argv(&["solve", hg.to_str().unwrap(), "--algo", "evg", "--refine", "8"])).unwrap();
+
+        run(&argv(&[
+            "generate-bipartite",
+            "--gen",
+            "fewgmanyg",
+            "--n",
+            "64",
+            "--p",
+            "16",
+            "--g",
+            "4",
+            "--d",
+            "3",
+            "--out",
+            bg.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&["stats", bg.to_str().unwrap()])).unwrap();
+        for strategy in ["incremental", "bisection", "harvey"] {
+            run(&argv(&["exact", bg.to_str().unwrap(), "--strategy", strategy])).unwrap();
+        }
+
+        // DOT export for both formats.
+        let dot_out = dir.join("t.dot");
+        run(&argv(&["dot", hg.to_str().unwrap(), "--out", dot_out.to_str().unwrap()]))
+            .unwrap();
+        assert!(std::fs::read_to_string(&dot_out).unwrap().contains("graph semimatch"));
+        run(&argv(&["dot", bg.to_str().unwrap()])).unwrap();
+
+        // Save a solution, then independently verify it.
+        let sol = dir.join("t.sol");
+        run(&argv(&[
+            "solve",
+            hg.to_str().unwrap(),
+            "--algo",
+            "sgh",
+            "--save",
+            sol.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&["verify", hg.to_str().unwrap(), sol.to_str().unwrap()])).unwrap();
+        // A corrupted solution must be rejected.
+        std::fs::write(&sol, "1\n0\n").unwrap();
+        assert!(run(&argv(&["verify", hg.to_str().unwrap(), sol.to_str().unwrap()])).is_err());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generate_by_table_name() {
+        let dir = std::env::temp_dir().join("semimatch-cli-name-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let hg = dir.join("named.hg");
+        // The smallest Table I instance, by its paper name.
+        run(&argv(&[
+            "generate",
+            "--name",
+            "MG-5-1-MP-W",
+            "--out",
+            hg.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&["stats", hg.to_str().unwrap()])).unwrap();
+        assert!(run(&argv(&["generate", "--name", "bogus"])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

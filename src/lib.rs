@@ -1,0 +1,66 @@
+//! # semimatch
+//!
+//! A production-quality Rust implementation of
+//! **“Semi-matching algorithms for scheduling parallel tasks under resource
+//! constraints”** (Anne Benoit, Johannes Langguth, Bora Uçar; IEEE IPDPSW
+//! 2013, DOI 10.1109/IPDPSW.2013.30) — the scheduling problems, the exact
+//! algorithms, the greedy heuristics, the instance generators, and the full
+//! experimental harness that regenerates every table and figure of the
+//! paper.
+//!
+//! ## The problems
+//!
+//! `n` independent tasks must be mapped onto `p` processors, minimizing the
+//! *makespan* (maximum processor load):
+//!
+//! * **SINGLEPROC** — each task runs on one processor chosen from its
+//!   eligible set (a semi-matching in a bipartite graph); NP-complete with
+//!   general weights, polynomial with unit weights.
+//! * **MULTIPROC** — each task chooses a *configuration*: a set of
+//!   processors that all spend the configuration's execution time on it (a
+//!   semi-matching in a bipartite hypergraph); NP-complete even with unit
+//!   weights, with no (2−ε)-approximation unless P=NP (Theorem 1).
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`graph`] | CSR bipartite graphs & hypergraphs, I/O, statistics |
+//! | [`matching`] | maximum-matching engines (Hopcroft–Karp, push-relabel, …), max-flow, König certificates |
+//! | [`gen`] | HiLo / FewgManyg / hypergraph generators, adversarial families, X3C |
+//! | [`core`] | exact algorithms, the four SINGLEPROC and four MULTIPROC heuristics, lower bounds, refinement |
+//! | [`sched`] | task/processor model, schedules, discrete-event simulator, online dispatch |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use semimatch::sched::model::Instance;
+//! use semimatch::sched::policies::{schedule, Policy};
+//!
+//! let mut inst = Instance::new(3);
+//! let render = inst.add_task("render");
+//! inst.add_config(render, vec![0], 4);     // run alone on the CPU…
+//! inst.add_config(render, vec![1, 2], 2);  // …or split across two GPUs
+//! inst.add_sequential_task("encode", &[(0, 3), (1, 5)]);
+//!
+//! let s = schedule(&inst, Policy::Evg).unwrap();
+//! assert!(s.makespan(&inst) <= 5);
+//! println!("{}", s.gantt(&inst));
+//! ```
+
+pub use semimatch_core as core;
+pub use semimatch_gen as gen;
+pub use semimatch_graph as graph;
+pub use semimatch_matching as matching;
+pub use semimatch_sched as sched;
+
+/// Version of the reproduction, mirrored from the workspace.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_set() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

@@ -1,0 +1,82 @@
+//! The three exact algorithms — capacitated matching search (incremental
+//! and bisection), literal `G_D` replication, Harvey cost-reducing paths,
+//! and brute force — must agree on the optimal makespan; heuristics and
+//! lower bounds must bracket it.
+
+mod common;
+
+use common::{covered_bipartite, covered_weighted_bipartite};
+use proptest::prelude::*;
+use semimatch::core::exact::{
+    brute_force_singleproc, exact_unit, exact_unit_replicated, harvey_exact, SearchStrategy,
+};
+use semimatch::core::lower_bound::lower_bound_singleproc;
+use semimatch::core::BiHeuristic;
+use semimatch::matching::Algorithm;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_exact_algorithms_agree(g in covered_bipartite(14, 6)) {
+        let incremental = exact_unit(&g, SearchStrategy::Incremental).unwrap();
+        let bisection = exact_unit(&g, SearchStrategy::Bisection).unwrap();
+        let replicated =
+            exact_unit_replicated(&g, Algorithm::PushRelabel, SearchStrategy::Incremental)
+                .unwrap();
+        let harvey = harvey_exact(&g).unwrap();
+        let (brute, _) = brute_force_singleproc(&g, 5_000_000).unwrap();
+
+        prop_assert_eq!(incremental.makespan, bisection.makespan);
+        prop_assert_eq!(incremental.makespan, replicated.makespan);
+        prop_assert_eq!(incremental.makespan, harvey.makespan(&g));
+        prop_assert_eq!(incremental.makespan, brute);
+
+        incremental.solution.validate(&g).unwrap();
+        bisection.solution.validate(&g).unwrap();
+        harvey.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn lb_opt_heuristic_sandwich(g in covered_bipartite(20, 8)) {
+        let lb = lower_bound_singleproc(&g).unwrap();
+        let opt = exact_unit(&g, SearchStrategy::Bisection).unwrap().makespan;
+        prop_assert!(lb <= opt, "lower bound {lb} exceeds optimum {opt}");
+        for h in BiHeuristic::ALL {
+            let sm = h.run(&g).unwrap();
+            sm.validate(&g).unwrap();
+            prop_assert!(sm.makespan(&g) >= opt, "{} beat the optimum", h.label());
+        }
+    }
+
+    #[test]
+    fn weighted_brute_force_respects_lb(g in covered_weighted_bipartite(8, 4, 9)) {
+        let lb = lower_bound_singleproc(&g).unwrap();
+        let (opt, sm) = brute_force_singleproc(&g, 5_000_000).unwrap();
+        sm.validate(&g).unwrap();
+        prop_assert_eq!(sm.makespan(&g), opt);
+        prop_assert!(lb <= opt);
+        // Weighted heuristics stay above the weighted optimum too.
+        for h in BiHeuristic::ALL {
+            let m = h.run(&g).unwrap().makespan(&g);
+            prop_assert!(m >= opt, "{} beat the weighted optimum", h.label());
+        }
+    }
+
+    #[test]
+    fn oracle_counts_favor_bisection_eventually(g in covered_bipartite(20, 2)) {
+        // With few processors the optimum is far from the lower bound often
+        // enough to exercise both searches; bisection never needs more than
+        // ~2·log2(n) oracles.
+        let inc = exact_unit(&g, SearchStrategy::Incremental).unwrap();
+        let bis = exact_unit(&g, SearchStrategy::Bisection).unwrap();
+        prop_assert_eq!(inc.makespan, bis.makespan);
+        let n = g.n_left() as f64;
+        prop_assert!(
+            (bis.oracle_calls as f64) <= 2.0 * n.log2() + 4.0,
+            "bisection used {} oracles on n = {}",
+            bis.oracle_calls,
+            g.n_left()
+        );
+    }
+}

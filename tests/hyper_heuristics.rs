@@ -1,0 +1,83 @@
+//! Property tests for the `MULTIPROC` heuristics: validity, the
+//! naive/optimized equivalence of the vector strategies, the
+//! LB ≤ OPT ≤ heuristic sandwich, and refinement monotonicity.
+
+mod common;
+
+use common::covered_hypergraph;
+use proptest::prelude::*;
+use semimatch::core::exact::brute_force_multiproc;
+use semimatch::core::hyper::evg::{expected_vector_greedy_hyp, expected_vector_greedy_hyp_naive};
+use semimatch::core::hyper::vgh::{vector_greedy_hyp, vector_greedy_hyp_naive};
+use semimatch::core::hyper::HyperHeuristic;
+use semimatch::core::lower_bound::lower_bound_multiproc;
+use semimatch::core::refine::refine;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn heuristics_produce_valid_semi_matchings(h in covered_hypergraph(20, 8, 9)) {
+        for heuristic in HyperHeuristic::ALL {
+            let hm = heuristic.run(&h).unwrap();
+            hm.validate(&h)
+                .unwrap_or_else(|e| panic!("{}: {e}", heuristic.label()));
+        }
+    }
+
+    #[test]
+    fn vgh_optimized_equals_naive(h in covered_hypergraph(20, 8, 9)) {
+        let a = vector_greedy_hyp(&h).unwrap();
+        let b = vector_greedy_hyp_naive(&h).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn evg_optimized_equals_naive(h in covered_hypergraph(20, 8, 9)) {
+        let a = expected_vector_greedy_hyp(&h).unwrap();
+        let b = expected_vector_greedy_hyp_naive(&h).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lb_opt_heuristic_sandwich(h in covered_hypergraph(9, 5, 5)) {
+        let lb = lower_bound_multiproc(&h).unwrap();
+        let (opt, solution) = brute_force_multiproc(&h, 5_000_000).unwrap();
+        solution.validate(&h).unwrap();
+        prop_assert!(lb <= opt, "LB {lb} exceeds optimum {opt}");
+        for heuristic in HyperHeuristic::ALL {
+            let m = heuristic.run(&h).unwrap().makespan(&h);
+            prop_assert!(m >= opt, "{} beat the optimum: {m} < {opt}", heuristic.label());
+        }
+    }
+
+    #[test]
+    fn refinement_is_monotone_and_stabilizes(h in covered_hypergraph(16, 6, 9)) {
+        for heuristic in HyperHeuristic::ALL {
+            let mut hm = heuristic.run(&h).unwrap();
+            let before = hm.makespan(&h);
+            refine(&h, &mut hm, 64).unwrap();
+            let after = hm.makespan(&h);
+            prop_assert!(after <= before, "{} got worse", heuristic.label());
+            hm.validate(&h).unwrap();
+            // A second run from the fixpoint moves nothing.
+            let frozen = hm.clone();
+            let stats = refine(&h, &mut hm, 64).unwrap();
+            prop_assert_eq!(stats.moves, 0);
+            prop_assert_eq!(&hm, &frozen);
+        }
+    }
+
+    #[test]
+    fn loads_conserve_total_work(h in covered_hypergraph(16, 6, 9)) {
+        // Σ_u l(u) must equal Σ_t w_{alloc(t)} · |alloc(t)|.
+        let hm = HyperHeuristic::Sgh.run(&h).unwrap();
+        let loads: u64 = hm.loads(&h).iter().sum();
+        let work: u64 = hm
+            .hedge_of
+            .iter()
+            .map(|&hid| h.weight(hid) * h.hedge_size(hid) as u64)
+            .sum();
+        prop_assert_eq!(loads, work);
+    }
+}

@@ -1,0 +1,99 @@
+//! Serialization round-trips on generated instances, and generator-level
+//! invariants that need the matching substrate (HiLo perfect matchings).
+
+mod common;
+
+use common::{covered_hypergraph, covered_weighted_bipartite};
+use proptest::prelude::*;
+use semimatch::gen::params::{table1_grid, Config, Family};
+use semimatch::gen::rng::Xoshiro256;
+use semimatch::gen::weights::WeightScheme;
+use semimatch::gen::{fewg_manyg, hilo, hilo_permuted};
+use semimatch::graph::io::{read_bipartite, read_hypergraph, write_bipartite, write_hypergraph};
+use semimatch::matching::{maximum_matching, Algorithm};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bipartite_io_roundtrip(g in covered_weighted_bipartite(16, 8, 50)) {
+        let mut buf = Vec::new();
+        write_bipartite(&g, &mut buf).unwrap();
+        let back = read_bipartite(&buf[..]).unwrap();
+        prop_assert_eq!(g, back);
+    }
+
+    #[test]
+    fn hypergraph_io_roundtrip(h in covered_hypergraph(16, 8, 50)) {
+        let mut buf = Vec::new();
+        write_hypergraph(&h, &mut buf).unwrap();
+        let back = read_hypergraph(&buf[..]).unwrap();
+        prop_assert_eq!(h, back);
+    }
+}
+
+#[test]
+fn square_hilo_admits_perfect_matching() {
+    // The HiLo family is used in matching studies precisely because the
+    // square instances have perfect matchings; verify through the exact
+    // matching engines.
+    for (n, g, d) in [(64u32, 4u32, 3u32), (128, 8, 5), (96, 4, 2)] {
+        let graph = hilo(n, n, g, d);
+        let m = maximum_matching(&graph, Algorithm::HopcroftKarp);
+        assert_eq!(m.cardinality(), n as usize, "HiLo({n},{n},{g},{d})");
+    }
+}
+
+#[test]
+fn permuted_hilo_keeps_matching_number() {
+    let mut rng = Xoshiro256::seed_from_u64(3);
+    let base = hilo(64, 32, 4, 3);
+    let base_card = maximum_matching(&base, Algorithm::PushRelabel).cardinality();
+    for _ in 0..3 {
+        let p = hilo_permuted(64, 32, 4, 3, &mut rng);
+        let card = maximum_matching(&p, Algorithm::PushRelabel).cardinality();
+        assert_eq!(card, base_card, "relabeling preserves the matching number");
+    }
+}
+
+#[test]
+fn fewg_manyg_never_leaves_a_task_uncovered() {
+    for seed in 0..5 {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let g = fewg_manyg(512, 64, 8, 5, &mut rng);
+        for v in 0..g.n_left() {
+            assert!(g.deg_left(v) >= 1);
+        }
+        g.validate().unwrap();
+    }
+}
+
+#[test]
+fn table1_grid_instances_serialize_and_validate() {
+    // One tiny instance per family, through the full I/O loop.
+    for family in [Family::Fg, Family::Mg, Family::Hlf, Family::Hlm] {
+        let cfg = Config {
+            family,
+            n: 2 * family.groups(),
+            p: family.groups(),
+            dv: 2,
+            dh: 3,
+            weights: WeightScheme::Related,
+        };
+        let h = cfg.instance(9, 0);
+        h.validate().unwrap();
+        let mut buf = Vec::new();
+        write_hypergraph(&h, &mut buf).unwrap();
+        assert_eq!(read_hypergraph(&buf[..]).unwrap(), h);
+    }
+}
+
+#[test]
+fn full_grid_has_unique_names() {
+    let grid = table1_grid(WeightScheme::Unit);
+    let mut names: Vec<String> = grid.iter().map(Config::name).collect();
+    names.sort();
+    let before = names.len();
+    names.dedup();
+    assert_eq!(before, names.len(), "row names collide");
+}

@@ -1,0 +1,71 @@
+//! Cross-validation of the maximum-matching substrate: all four engines
+//! agree on cardinality, every result carries a König vertex-cover
+//! certificate, capacitated flow matches literal `G_D` replication, and
+//! the initialization heuristics never exceed the maximum.
+
+mod common;
+
+use common::covered_bipartite;
+use proptest::prelude::*;
+use semimatch::matching::capacitated::max_assignment;
+use semimatch::matching::cover::certify_maximum;
+use semimatch::matching::greedy::{greedy_init, is_maximal, karp_sipser};
+use semimatch::matching::replicate::{project, replicate};
+use semimatch::matching::{maximum_matching, Algorithm};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engines_agree_and_certify(g in covered_bipartite(24, 12)) {
+        let sizes: Vec<usize> = Algorithm::ALL
+            .iter()
+            .map(|&algo| {
+                let m = maximum_matching(&g, algo);
+                certify_maximum(&g, &m)
+                    .unwrap_or_else(|e| panic!("{}: {e}", algo.name()));
+                m.cardinality()
+            })
+            .collect();
+        prop_assert!(sizes.windows(2).all(|w| w[0] == w[1]), "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn initializations_are_maximal_and_at_least_half(g in covered_bipartite(24, 12)) {
+        let maximum = maximum_matching(&g, Algorithm::HopcroftKarp).cardinality();
+        for (name, m) in [("greedy", greedy_init(&g)), ("karp-sipser", karp_sipser(&g))] {
+            m.validate(&g).map_err(|e| TestCaseError::fail(format!("{name}: {e}")))?;
+            prop_assert!(is_maximal(&g, &m), "{name} must be maximal");
+            // A maximal matching is at least half the maximum.
+            prop_assert!(2 * m.cardinality() >= maximum, "{name}: {} vs {maximum}",
+                m.cardinality());
+        }
+    }
+
+    #[test]
+    fn capacitated_flow_equals_replication(g in covered_bipartite(12, 6), d in 1u32..4) {
+        let flow = max_assignment(&g, d);
+        flow.validate(&g, d).map_err(TestCaseError::fail)?;
+        let m = maximum_matching(&replicate(&g, d), Algorithm::HopcroftKarp);
+        let (_, loads) = project(&g, d, &m);
+        prop_assert_eq!(flow.cardinality(), m.cardinality());
+        prop_assert!(loads.iter().all(|&l| l <= d));
+    }
+
+    #[test]
+    fn capacity_n_always_covers(g in covered_bipartite(16, 8)) {
+        // Every task has an edge, so with capacity n everything fits.
+        let a = max_assignment(&g, g.n_left());
+        prop_assert!(a.is_complete());
+    }
+
+    #[test]
+    fn cardinality_is_monotone_in_capacity(g in covered_bipartite(16, 8)) {
+        let mut last = 0;
+        for d in 1..=4u32 {
+            let c = max_assignment(&g, d).cardinality();
+            prop_assert!(c >= last, "cardinality decreased: {c} < {last} at D={d}");
+            last = c;
+        }
+    }
+}

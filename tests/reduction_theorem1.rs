@@ -1,0 +1,76 @@
+//! Theorem 1 end-to-end: for random X3C instances, the backtracking cover
+//! decision and the exact scheduling optimum of the reduced instance agree
+//! in both directions, and witnesses map across the reduction.
+
+use semimatch::core::exact::brute_force_multiproc;
+use semimatch::core::reduction::{cover_to_schedule, schedule_to_cover};
+use semimatch::gen::rng::Xoshiro256;
+use semimatch::gen::x3c::{planted, random, X3c};
+
+fn check_equivalence(x: &X3c) {
+    let h = x.to_multiproc();
+    let (makespan, hm) = brute_force_multiproc(&h, 20_000_000)
+        .expect("reduction instances at test scale fit the budget");
+    let cover = x.exact_cover();
+    match (&cover, makespan) {
+        (Some(c), 1) => {
+            assert!(x.is_exact_cover(c));
+            // Forward direction: the cover yields a makespan-1 schedule.
+            let per_task: Vec<usize> = c.to_vec();
+            let schedule = cover_to_schedule(&h, &per_task, x.triples.len()).unwrap();
+            assert_eq!(schedule.makespan(&h), 1);
+            // Backward: the optimal schedule yields a cover.
+            let extracted = schedule_to_cover(&h, &hm, x.triples.len()).unwrap().unwrap();
+            assert!(x.is_exact_cover(&extracted));
+        }
+        (None, m) => assert!(m >= 2, "no cover must force makespan ≥ 2, got {m}"),
+        (Some(_), m) => panic!("cover exists but scheduling optimum is {m}"),
+    }
+}
+
+#[test]
+fn planted_instances_schedule_with_makespan_one() {
+    for seed in 0..6 {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let x = planted(3, 4, &mut rng);
+        assert!(x.exact_cover().is_some());
+        check_equivalence(&x);
+    }
+}
+
+#[test]
+fn random_instances_agree_in_both_directions() {
+    let mut solvable = 0;
+    let mut unsolvable = 0;
+    for seed in 0..16 {
+        let mut rng = Xoshiro256::seed_from_u64(1000 + seed);
+        let x = random(3, 5, &mut rng);
+        if x.exact_cover().is_some() {
+            solvable += 1;
+        } else {
+            unsolvable += 1;
+        }
+        check_equivalence(&x);
+    }
+    // The sample must exercise both branches to be meaningful.
+    assert!(solvable > 0, "no solvable instance in the sample");
+    assert!(unsolvable > 0, "no unsolvable instance in the sample");
+}
+
+#[test]
+fn crafted_unsolvable_instance() {
+    let x = X3c::new(6, vec![[0, 1, 2], [0, 3, 4], [0, 4, 5], [0, 2, 5]]);
+    assert!(x.exact_cover().is_none());
+    check_equivalence(&x);
+}
+
+#[test]
+fn reduction_preserves_instance_shape() {
+    let mut rng = Xoshiro256::seed_from_u64(5);
+    let x = planted(4, 6, &mut rng);
+    let h = x.to_multiproc();
+    assert_eq!(h.n_tasks(), x.q());
+    assert_eq!(h.n_procs(), x.n_elements);
+    assert_eq!(h.n_hedges() as usize, x.q() as usize * x.triples.len());
+    assert!(h.is_unit(), "Theorem 1 reduces to MULTIPROC-UNIT");
+}

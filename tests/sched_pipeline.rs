@@ -1,0 +1,86 @@
+//! End-to-end scheduling pipeline: model ⇄ graph round-trips, policy
+//! schedules, simulator consistency, and Gantt rendering — on random
+//! instances.
+
+mod common;
+
+use common::covered_hypergraph;
+use proptest::prelude::*;
+use semimatch::sched::convert::{from_hypergraph, to_bipartite, to_hypergraph};
+use semimatch::sched::policies::{schedule, Policy};
+use semimatch::sched::simulator::{simulate, QueueOrder};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hypergraph_roundtrip_is_lossless(h in covered_hypergraph(16, 6, 9)) {
+        let inst = from_hypergraph(&h);
+        let back = to_hypergraph(&inst);
+        prop_assert_eq!(h, back);
+    }
+
+    #[test]
+    fn all_policies_yield_valid_schedules(h in covered_hypergraph(16, 6, 9)) {
+        let inst = from_hypergraph(&h);
+        for policy in Policy::ALL {
+            let s = schedule(&inst, policy).unwrap();
+            s.validate(&inst)
+                .unwrap_or_else(|e| panic!("{}: {e}", policy.name()));
+            // The schedule's makespan equals the hypergraph solution's.
+            prop_assert!(s.makespan(&inst) >= 1);
+        }
+    }
+
+    #[test]
+    fn simulator_matches_analytic_makespan(h in covered_hypergraph(16, 6, 9)) {
+        let inst = from_hypergraph(&h);
+        let s = schedule(&inst, Policy::Sgh).unwrap();
+        let analytic = s.makespan(&inst);
+        for order in [QueueOrder::TaskId, QueueOrder::ShortestFirst, QueueOrder::LongestFirst] {
+            let rep = simulate(&inst, &s, order);
+            prop_assert_eq!(rep.makespan, analytic, "{:?}", order);
+            prop_assert_eq!(&rep.proc_finish, &s.loads(&inst), "{:?}", order);
+            // Every task completes by the makespan, never at time 0.
+            for (t, &c) in rep.task_completion.iter().enumerate() {
+                prop_assert!(c >= 1 && c <= analytic, "task {t} completes at {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn refined_policies_never_lose(h in covered_hypergraph(16, 6, 9)) {
+        let inst = from_hypergraph(&h);
+        let evg = schedule(&inst, Policy::Evg).unwrap().makespan(&inst);
+        let evg_r = schedule(&inst, Policy::EvgRefined).unwrap().makespan(&inst);
+        prop_assert!(evg_r <= evg);
+        let sgh = schedule(&inst, Policy::Sgh).unwrap().makespan(&inst);
+        let sgh_r = schedule(&inst, Policy::SghRefined).unwrap().makespan(&inst);
+        prop_assert!(sgh_r <= sgh);
+    }
+
+    #[test]
+    fn gantt_reports_the_makespan(h in covered_hypergraph(10, 4, 5)) {
+        let inst = from_hypergraph(&h);
+        let s = schedule(&inst, Policy::Egh).unwrap();
+        let text = s.gantt(&inst);
+        let header = format!("makespan = {}", s.makespan(&inst));
+        let has_header = text.contains(&header);
+        prop_assert!(has_header);
+        // One row per processor.
+        prop_assert_eq!(text.lines().count(), 1 + inst.n_processors() as usize);
+    }
+
+    #[test]
+    fn singleton_instances_expose_bipartite_view(h in covered_hypergraph(10, 4, 5)) {
+        let inst = from_hypergraph(&h);
+        let bi = to_bipartite(&inst);
+        // Only singleton-configuration instances convert; when they do the
+        // bipartite and hypergraph loads agree under the same allocation.
+        if let Some(g) = bi {
+            prop_assert_eq!(g.n_left(), h.n_tasks());
+            prop_assert_eq!(g.n_right(), h.n_procs());
+            prop_assert_eq!(g.num_edges(), h.n_hedges() as usize);
+        }
+    }
+}
