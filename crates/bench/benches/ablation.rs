@@ -68,9 +68,7 @@ fn bench_ablation(c: &mut Criterion) {
     group.bench_function("sgh-resulting-criterion", |b| {
         b.iter(|| sorted_greedy_hyp_resulting(&h).unwrap().makespan(&h))
     });
-    group.bench_function("bgh-no-sort", |b| {
-        b.iter(|| basic_greedy_hyp(&h).unwrap().makespan(&h))
-    });
+    group.bench_function("bgh-no-sort", |b| b.iter(|| basic_greedy_hyp(&h).unwrap().makespan(&h)));
     group.bench_function("sgh-plus-refinement", |b| {
         b.iter(|| {
             let mut hm = sorted_greedy_hyp(&h).unwrap();

@@ -21,36 +21,27 @@ fn bench_exact(c: &mut Criterion) {
     let mut group = c.benchmark_group("exact");
     group.sample_size(10).measurement_time(Duration::from_secs(4));
     for (name, g) in &instances {
-        for (label, strategy) in [
-            ("incremental", SearchStrategy::Incremental),
-            ("bisection", SearchStrategy::Bisection),
-        ] {
+        for (label, strategy) in
+            [("incremental", SearchStrategy::Incremental), ("bisection", SearchStrategy::Bisection)]
+        {
             group.bench_with_input(BenchmarkId::new(label, name), g, |b, g| {
                 b.iter(|| exact_unit(g, strategy).unwrap().makespan)
             });
         }
-        group.bench_with_input(
-            BenchmarkId::new("replicated-push-relabel", name),
-            g,
-            |b, g| {
-                b.iter(|| {
-                    exact_unit_replicated(g, Algorithm::PushRelabel, SearchStrategy::Bisection)
-                        .unwrap()
-                        .makespan
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("replicated-hopcroft-karp", name),
-            g,
-            |b, g| {
-                b.iter(|| {
-                    exact_unit_replicated(g, Algorithm::HopcroftKarp, SearchStrategy::Bisection)
-                        .unwrap()
-                        .makespan
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("replicated-push-relabel", name), g, |b, g| {
+            b.iter(|| {
+                exact_unit_replicated(g, Algorithm::PushRelabel, SearchStrategy::Bisection)
+                    .unwrap()
+                    .makespan
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("replicated-hopcroft-karp", name), g, |b, g| {
+            b.iter(|| {
+                exact_unit_replicated(g, Algorithm::HopcroftKarp, SearchStrategy::Bisection)
+                    .unwrap()
+                    .makespan
+            })
+        });
     }
     group.finish();
 }

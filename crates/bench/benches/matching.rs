@@ -19,11 +19,9 @@ fn bench_matching(c: &mut Criterion) {
     group.sample_size(20).measurement_time(Duration::from_secs(3));
     for (name, g) in &instances {
         for algo in Algorithm::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), name),
-                g,
-                |b, g| b.iter(|| maximum_matching(g, algo).cardinality()),
-            );
+            group.bench_with_input(BenchmarkId::new(algo.name(), name), g, |b, g| {
+                b.iter(|| maximum_matching(g, algo).cardinality())
+            });
         }
         // Lookahead ablation: the MatchMaker study's headline optimization.
         group.bench_with_input(BenchmarkId::new("dfs-plain", name), g, |b, g| {
@@ -37,8 +35,7 @@ fn bench_matching(c: &mut Criterion) {
                 g,
                 |b, g| {
                     b.iter(|| {
-                        maximum_matching_with_init(g, Algorithm::HopcroftKarp, init)
-                            .cardinality()
+                        maximum_matching_with_init(g, Algorithm::HopcroftKarp, init).cardinality()
                     })
                 },
             );

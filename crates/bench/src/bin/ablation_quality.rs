@@ -12,7 +12,9 @@
 
 use rayon::prelude::*;
 use semimatch_bench::{emit_report, markdown_table, row_name, scale_config, Options};
-use semimatch_core::hyper::sgh::{basic_greedy_hyp, sorted_greedy_hyp, sorted_greedy_hyp_resulting};
+use semimatch_core::hyper::sgh::{
+    basic_greedy_hyp, sorted_greedy_hyp, sorted_greedy_hyp_resulting,
+};
 use semimatch_core::hyper::vgh::{vector_greedy_hyp, vector_greedy_hyp_pinwise};
 use semimatch_core::lower_bound::lower_bound_multiproc;
 use semimatch_core::quality::{median_f64, ratio};

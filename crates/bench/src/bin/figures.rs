@@ -4,17 +4,17 @@
 //! achieved vs optimal makespans.
 
 use semimatch_bench::{emit_report, markdown_table};
-use semimatch_core::exact::{exact_unit, SearchStrategy};
-use semimatch_core::BiHeuristic;
+use semimatch_core::solver::{Problem, SolverKind};
 use semimatch_gen::adversarial::{fig1, fig2, fig3, fig4, fig5};
 use semimatch_graph::Bipartite;
 
 fn row(name: &str, g: &Bipartite) -> Vec<String> {
-    let opt = exact_unit(g, SearchStrategy::Bisection).unwrap().makespan;
+    let problem = Problem::SingleProc(g);
+    let opt = SolverKind::ExactBisection.solve(problem).unwrap().makespan(&problem);
     let mut row = vec![name.to_string(), opt.to_string()];
-    for h in BiHeuristic::ALL {
-        let sm = h.run(g).unwrap();
-        row.push(sm.makespan(g).to_string());
+    for kind in SolverKind::BI_HEURISTICS {
+        let sol = kind.solve(problem).unwrap();
+        row.push(sol.makespan(&problem).to_string());
     }
     row
 }
@@ -28,13 +28,11 @@ fn main() {
     rows.push(row("TR Fig. 4 (double-sorted trap)", &fig4()));
     rows.push(row("TR Fig. 5 (expected-greedy trap)", &fig5()));
 
-    let mut report = String::from(
-        "# Figures 1/3/4/5 — worst-case behaviour of the greedy heuristics\n\n",
-    );
-    report.push_str(&markdown_table(
-        &["Instance", "OPT", "basic", "sorted", "double-sorted", "expected"],
-        &rows,
-    ));
+    let mut report =
+        String::from("# Figures 1/3/4/5 — worst-case behaviour of the greedy heuristics\n\n");
+    let mut headers = vec!["Instance", "OPT"];
+    headers.extend(SolverKind::BI_HEURISTICS.iter().map(|k| k.label()));
+    report.push_str(&markdown_table(&headers, &rows));
     report.push_str(
         "\nPaper claims: basic/sorted reach k on Fig. 3 (OPT 1); double-sorted \
          also fails on TR Fig. 4 while expected-greedy stays optimal; \
@@ -43,13 +41,14 @@ fn main() {
 
     // Fig. 2: the sample MULTIPROC hypergraph, solved by all heuristics.
     let h = fig2();
+    let problem = Problem::MultiProc(&h);
     report.push_str("\n## Fig. 2 — sample MULTIPROC hypergraph\n\n");
     let mut hrows = Vec::new();
-    for heur in semimatch_core::hyper::HyperHeuristic::ALL {
-        let hm = heur.run(&h).unwrap();
-        hrows.push(vec![heur.label().to_string(), hm.makespan(&h).to_string()]);
+    for kind in SolverKind::HYPER_HEURISTICS {
+        let sol = kind.solve(problem).unwrap();
+        hrows.push(vec![kind.label().to_string(), sol.makespan(&problem).to_string()]);
     }
-    let (opt, _) = semimatch_core::exact::brute_force_multiproc(&h, 1_000_000).unwrap();
+    let opt = SolverKind::BruteForce.solve(problem).unwrap().makespan(&problem);
     hrows.push(vec!["brute-force OPT".into(), opt.to_string()]);
     report.push_str(&markdown_table(&["Algorithm", "Makespan"], &hrows));
 

@@ -6,14 +6,14 @@
 //! scaled grid and reports the average-quality ranking per combination.
 
 use semimatch_bench::{emit_report, footer, markdown_table, quality_row, Options};
-use semimatch_core::hyper::HyperHeuristic;
+use semimatch_core::solver::SolverKind;
 use semimatch_gen::params::{Config, Family, SIZE_GRID};
 use semimatch_gen::weights::WeightScheme;
 
 fn ranking(avg: &[f64]) -> Vec<&'static str> {
     let mut idx: Vec<usize> = (0..avg.len()).collect();
     idx.sort_by(|&a, &b| avg[a].total_cmp(&avg[b]));
-    idx.into_iter().map(|i| HyperHeuristic::ALL[i].label()).collect()
+    idx.into_iter().map(|i| SolverKind::HYPER_HEURISTICS[i].label()).collect()
 }
 
 fn main() {

@@ -26,9 +26,6 @@ fn main() {
         "scale = {}, instances = {}, seed = {}\n\n",
         opts.scale, opts.instances, opts.seed
     ));
-    report.push_str(&markdown_table(
-        &["Instance", "|V1|", "|V2|", "|N|", "Σ|h∩V2|"],
-        &rows,
-    ));
+    report.push_str(&markdown_table(&["Instance", "|V1|", "|V2|", "|N|", "Σ|h∩V2|"], &rows));
     emit_report("table1.md", &report);
 }

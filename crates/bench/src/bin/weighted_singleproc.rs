@@ -12,7 +12,7 @@ use semimatch_bench::{emit_report, markdown_table, Options};
 use semimatch_core::greedy::lpt::lpt_greedy;
 use semimatch_core::lower_bound::lower_bound_singleproc;
 use semimatch_core::quality::{median_f64, ratio};
-use semimatch_core::BiHeuristic;
+use semimatch_core::solver::{Problem, SolverKind};
 use semimatch_gen::rng::Xoshiro256;
 use semimatch_gen::weights::apply_random_edge_weights;
 
@@ -29,7 +29,7 @@ fn main() {
     );
     let grid = bi_grid(10, 32);
     let mut rows: Vec<Vec<String>> = Vec::new();
-    let mut sums = vec![0.0f64; BiHeuristic::ALL.len() + 1];
+    let mut sums = vec![0.0f64; SolverKind::BI_HEURISTICS.len() + 1];
     for cfg in &grid {
         let scaled = scale_bi(*cfg, opts.scale);
         let per_instance: Vec<Vec<f64>> = (0..opts.instances)
@@ -41,9 +41,10 @@ fn main() {
                 let mut wrng = Xoshiro256::seed_from_u64(opts.seed ^ 0xD1F3).stream(i);
                 apply_random_edge_weights(&mut g, MAX_WEIGHT, &mut wrng);
                 let lb = lower_bound_singleproc(&g).expect("covered");
-                let mut out: Vec<f64> = BiHeuristic::ALL
+                let problem = Problem::SingleProc(&g);
+                let mut out: Vec<f64> = SolverKind::BI_HEURISTICS
                     .iter()
-                    .map(|h| ratio(h.run(&g).expect("covered").makespan(&g), lb))
+                    .map(|k| ratio(k.solve(problem).expect("covered").makespan(&problem), lb))
                     .collect();
                 out.push(ratio(lpt_greedy(&g).expect("covered").makespan(&g), lb));
                 out
@@ -70,10 +71,10 @@ fn main() {
     let mut avg = vec!["Average".to_string()];
     avg.extend(sums.iter().map(|s| format!("{:.3}", s / grid.len() as f64)));
     rows.push(avg);
-    report.push_str(&markdown_table(
-        &["Instance", "basic", "sorted", "double", "expected", "LPT"],
-        &rows,
-    ));
+    let mut headers = vec!["Instance"];
+    headers.extend(SolverKind::BI_HEURISTICS.iter().map(|k| k.label()));
+    headers.push("LPT");
+    report.push_str(&markdown_table(&headers, &rows));
     report.push_str(
         "\nExpected shape: `expected` (load forecasting) and `LPT`\n\
          (weight-aware placement) lead; `basic` trails. The Average line is the\n\

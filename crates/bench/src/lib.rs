@@ -26,9 +26,9 @@ pub mod singleproc;
 use std::time::Instant;
 
 use rayon::prelude::*;
-use semimatch_core::hyper::HyperHeuristic;
 use semimatch_core::lower_bound::lower_bound_multiproc;
 use semimatch_core::quality::{mean_f64, median_f64, median_u64, ratio};
+use semimatch_core::solver::{Problem, SolverKind};
 use semimatch_gen::params::Config;
 use semimatch_graph::HypergraphStats;
 
@@ -93,13 +93,7 @@ pub fn row_name(cfg: &Config, scale: u32) -> String {
     if scale == 1 {
         cfg.name()
     } else {
-        format!(
-            "{}-n{}-p{}-MP{}",
-            cfg.family.prefix(),
-            cfg.n,
-            cfg.p,
-            cfg.weights.suffix()
-        )
+        format!("{}-n{}-p{}-MP{}", cfg.family.prefix(), cfg.n, cfg.p, cfg.weights.suffix())
     }
 }
 
@@ -110,27 +104,30 @@ pub struct QualityRow {
     pub name: String,
     /// Median lower bound LB (Eq. 1).
     pub lb: u64,
-    /// Median `makespan / LB` per heuristic, in [`HyperHeuristic::ALL`] order.
+    /// Median `makespan / LB` per heuristic, in
+    /// [`SolverKind::HYPER_HEURISTICS`] order.
     pub ratios: Vec<f64>,
     /// Mean wall-clock seconds per heuristic.
     pub times: Vec<f64>,
 }
 
-/// Runs the four `MULTIPROC` heuristics on every instance of `cfg`.
+/// Runs the four `MULTIPROC` heuristics on every instance of `cfg`,
+/// dispatching through the solver registry.
 pub fn quality_row(cfg: &Config, opts: &Options) -> QualityRow {
     let cfg = scale_config(*cfg, opts.scale);
     let per_instance: Vec<(u64, Vec<f64>, Vec<f64>)> = (0..opts.instances)
         .into_par_iter()
         .map(|i| {
             let h = cfg.instance(opts.seed, i);
+            let problem = Problem::MultiProc(&h);
             let lb = lower_bound_multiproc(&h).expect("generated instances are covered");
-            let mut ratios = Vec::with_capacity(HyperHeuristic::ALL.len());
-            let mut times = Vec::with_capacity(HyperHeuristic::ALL.len());
-            for heuristic in HyperHeuristic::ALL {
+            let mut ratios = Vec::with_capacity(SolverKind::HYPER_HEURISTICS.len());
+            let mut times = Vec::with_capacity(SolverKind::HYPER_HEURISTICS.len());
+            for kind in SolverKind::HYPER_HEURISTICS {
                 let start = Instant::now();
-                let hm = heuristic.run(&h).expect("generated instances are covered");
+                let sol = kind.solve(problem).expect("generated instances are covered");
                 times.push(start.elapsed().as_secs_f64());
-                ratios.push(ratio(hm.makespan(&h), lb));
+                ratios.push(ratio(sol.makespan(&problem), lb));
             }
             (lb, ratios, times)
         })
@@ -219,7 +216,22 @@ pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 /// Writes `content` under `results/` (created on demand) and echoes it to
 /// stdout.
 pub fn emit_report(filename: &str, content: &str) {
-    println!("{content}");
+    // Tolerate a closed pipe (`table2 … | head` must not panic on EPIPE);
+    // any other stdout failure is reported but does not abort the report
+    // file write below.
+    {
+        use std::io::Write;
+        let echo = || -> std::io::Result<()> {
+            let mut out = std::io::stdout();
+            out.write_all(content.as_bytes())?;
+            out.write_all(b"\n")
+        };
+        if let Err(e) = echo() {
+            if e.kind() != std::io::ErrorKind::BrokenPipe {
+                eprintln!("warning: could not echo report to stdout: {e}");
+            }
+        }
+    }
     let dir = std::path::Path::new("results");
     if std::fs::create_dir_all(dir).is_ok() {
         let path = dir.join(filename);
@@ -236,10 +248,7 @@ pub fn emit_report(filename: &str, content: &str) {
 /// with their footers, and emits the report.
 pub fn run_quality_table(title: &str, filename: &str, grid: &[Config], opts: &Options) {
     let (fm, hl): (Vec<_>, Vec<_>) = grid.iter().partition(|c| {
-        matches!(
-            c.family,
-            semimatch_gen::params::Family::Fg | semimatch_gen::params::Family::Mg
-        )
+        matches!(c.family, semimatch_gen::params::Family::Fg | semimatch_gen::params::Family::Mg)
     });
     let mut report = format!(
         "# {title}\n\nscale = {}, instances = {}, seed = {}\n\n",
@@ -262,11 +271,10 @@ pub fn run_quality_table(title: &str, filename: &str, grid: &[Config], opts: &Op
         let mut trow = vec!["Average time (s)".to_string(), String::new()];
         trow.extend(avg_t.iter().map(|x| format!("{x:.3}")));
         table.push(trow);
+        let mut headers = vec!["Instance", "LB"];
+        headers.extend(SolverKind::HYPER_HEURISTICS.iter().map(|k| k.label()));
         report.push_str(&format!("## {label}\n\n"));
-        report.push_str(&markdown_table(
-            &["Instance", "LB", "SGH", "VGH", "EGH", "EVG"],
-            &table,
-        ));
+        report.push_str(&markdown_table(&headers, &table));
         report.push('\n');
     }
     emit_report(filename, &report);
@@ -276,12 +284,10 @@ pub fn run_quality_table(title: &str, filename: &str, grid: &[Config], opts: &Op
 /// and "Average time" footer lines).
 pub fn footer(rows: &[QualityRow]) -> (Vec<f64>, Vec<f64>) {
     let k = rows.first().map_or(0, |r| r.ratios.len());
-    let avg_quality = (0..k)
-        .map(|j| mean_f64(&rows.iter().map(|r| r.ratios[j]).collect::<Vec<_>>()))
-        .collect();
-    let avg_time = (0..k)
-        .map(|j| mean_f64(&rows.iter().map(|r| r.times[j]).collect::<Vec<_>>()))
-        .collect();
+    let avg_quality =
+        (0..k).map(|j| mean_f64(&rows.iter().map(|r| r.ratios[j]).collect::<Vec<_>>())).collect();
+    let avg_time =
+        (0..k).map(|j| mean_f64(&rows.iter().map(|r| r.times[j]).collect::<Vec<_>>())).collect();
     (avg_quality, avg_time)
 }
 
@@ -292,14 +298,7 @@ mod tests {
     use semimatch_gen::weights::WeightScheme;
 
     fn tiny_cfg() -> Config {
-        Config {
-            family: Family::Fg,
-            n: 160,
-            p: 32,
-            dv: 3,
-            dh: 4,
-            weights: WeightScheme::Related,
-        }
+        Config { family: Family::Fg, n: 160, p: 32, dv: 3, dh: 4, weights: WeightScheme::Related }
     }
 
     #[test]
@@ -334,8 +333,7 @@ mod tests {
 
     #[test]
     fn markdown_shape() {
-        let table =
-            markdown_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        let table = markdown_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
         let lines: Vec<&str> = table.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[0].contains("| a |"));

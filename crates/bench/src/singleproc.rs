@@ -5,9 +5,8 @@
 use std::time::Instant;
 
 use rayon::prelude::*;
-use semimatch_core::exact::{exact_unit, SearchStrategy};
 use semimatch_core::quality::{mean_f64, median_f64, median_u64, ratio};
-use semimatch_core::BiHeuristic;
+use semimatch_core::solver::{Problem, SolverKind};
 use semimatch_gen::rng::Xoshiro256;
 use semimatch_gen::{fewg_manyg, hilo_permuted};
 
@@ -50,7 +49,14 @@ pub struct BiConfig {
 impl BiConfig {
     /// Row name, e.g. `FM-20-4-g32-d10`.
     pub fn name(&self) -> String {
-        format!("{}-{}-{}-g{}-d{}", self.family.prefix(), self.n / 256, self.p / 256, self.g, self.d)
+        format!(
+            "{}-{}-{}-g{}-d{}",
+            self.family.prefix(),
+            self.n / 256,
+            self.p / 256,
+            self.g,
+            self.d
+        )
     }
 
     /// Generates the `index`-th instance.
@@ -79,38 +85,43 @@ pub struct SingleProcRow {
     pub name: String,
     /// Median optimal makespan.
     pub opt: u64,
-    /// Median `makespan / M_opt` per heuristic ([`BiHeuristic::ALL`] order).
+    /// Median `makespan / M_opt` per heuristic
+    /// ([`SolverKind::BI_HEURISTICS`] order).
     pub ratios: Vec<f64>,
-    /// Mean heuristic seconds ([`BiHeuristic::ALL`] order).
+    /// Mean heuristic seconds ([`SolverKind::BI_HEURISTICS`] order).
     pub times: Vec<f64>,
     /// Mean exact-algorithm seconds.
     pub exact_time: f64,
 }
 
-/// Runs exact + heuristics over the instances of `cfg`.
+/// Runs exact + heuristics over the instances of `cfg`, dispatching through
+/// the solver registry.
 pub fn singleproc_row(cfg: &BiConfig, opts: &Options) -> SingleProcRow {
     let cfg = scale_bi(*cfg, opts.scale);
     let per_instance: Vec<(u64, Vec<f64>, Vec<f64>, f64)> = (0..opts.instances)
         .into_par_iter()
         .map(|i| {
             let g = cfg.instance(opts.seed, i);
+            let problem = Problem::SingleProc(&g);
             let t0 = Instant::now();
-            let exact = exact_unit(&g, SearchStrategy::Bisection)
+            let exact = SolverKind::ExactBisection
+                .solve(problem)
                 .expect("generator degrees are clamped ≥ 1");
             let exact_time = t0.elapsed().as_secs_f64();
-            let mut ratios = Vec::with_capacity(BiHeuristic::ALL.len());
-            let mut times = Vec::with_capacity(BiHeuristic::ALL.len());
-            for h in BiHeuristic::ALL {
+            let opt = exact.makespan(&problem);
+            let mut ratios = Vec::with_capacity(SolverKind::BI_HEURISTICS.len());
+            let mut times = Vec::with_capacity(SolverKind::BI_HEURISTICS.len());
+            for kind in SolverKind::BI_HEURISTICS {
                 let t1 = Instant::now();
-                let sm = h.run(&g).expect("covered");
+                let sol = kind.solve(problem).expect("covered");
                 times.push(t1.elapsed().as_secs_f64());
-                ratios.push(ratio(sm.makespan(&g), exact.makespan));
+                ratios.push(ratio(sol.makespan(&problem), opt));
             }
-            (exact.makespan, ratios, times, exact_time)
+            (opt, ratios, times, exact_time)
         })
         .collect();
     let mut opt: Vec<u64> = per_instance.iter().map(|x| x.0).collect();
-    let k = BiHeuristic::ALL.len();
+    let k = SolverKind::BI_HEURISTICS.len();
     let ratios = (0..k)
         .map(|j| {
             let mut xs: Vec<f64> = per_instance.iter().map(|x| x.1[j]).collect();
@@ -142,9 +153,13 @@ pub fn bi_grid(d: u32, g: u32) -> Vec<BiConfig> {
     semimatch_gen::SIZE_GRID
         .iter()
         .flat_map(|&(n, p)| {
-            [BiFamily::FewgManyg, BiFamily::HiLo]
-                .into_iter()
-                .map(move |family| BiConfig { family, n, p, g, d })
+            [BiFamily::FewgManyg, BiFamily::HiLo].into_iter().map(move |family| BiConfig {
+                family,
+                n,
+                p,
+                g,
+                d,
+            })
         })
         .collect()
 }

@@ -32,14 +32,7 @@ impl LoadProfile {
     /// Profiles an explicit load vector.
     pub fn of_loads(loads: &[u64]) -> LoadProfile {
         if loads.is_empty() {
-            return LoadProfile {
-                min: 0,
-                max: 0,
-                mean: 0.0,
-                stddev: 0.0,
-                idle: 0,
-                imbalance: 1.0,
-            };
+            return LoadProfile { min: 0, max: 0, mean: 0.0, stddev: 0.0, idle: 0, imbalance: 1.0 };
         }
         let min = *loads.iter().min().expect("non-empty");
         let max = *loads.iter().max().expect("non-empty");
@@ -109,12 +102,8 @@ mod tests {
 
     #[test]
     fn of_hypergraph_solution() {
-        let h = Hypergraph::from_hyperedges(
-            2,
-            3,
-            vec![(0, vec![0, 1], 2), (1, vec![2], 5)],
-        )
-        .unwrap();
+        let h =
+            Hypergraph::from_hyperedges(2, 3, vec![(0, vec![0, 1], 2), (1, vec![2], 5)]).unwrap();
         let hm = HyperMatching { hedge_of: vec![0, 1] };
         let p = LoadProfile::of(&h, &hm);
         assert_eq!(p.max, 5);

@@ -33,6 +33,16 @@ pub enum CoreError {
         /// Parser message.
         msg: String,
     },
+    /// A solver was handed a problem of the wrong class (e.g. a bipartite
+    /// heuristic on a hypergraph instance).
+    KindMismatch {
+        /// Registry name of the solver.
+        solver: &'static str,
+        /// What the solver needs.
+        expected: &'static str,
+    },
+    /// No solver with this name is registered (see `SolverKind::ALL`).
+    UnknownSolver(String),
 }
 
 impl fmt::Display for CoreError {
@@ -52,6 +62,16 @@ impl fmt::Display for CoreError {
                 write!(f, "this algorithm is defined for unit weights only")
             }
             CoreError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            CoreError::KindMismatch { solver, expected } => {
+                write!(f, "solver '{solver}' expects {expected}")
+            }
+            CoreError::UnknownSolver(name) => {
+                write!(f, "unknown solver '{name}'; registered solvers:")?;
+                for kind in crate::solver::SolverKind::ALL {
+                    write!(f, " {}", kind.name())?;
+                }
+                Ok(())
+            }
         }
     }
 }

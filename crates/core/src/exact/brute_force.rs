@@ -139,11 +139,8 @@ pub fn brute_force_multiproc(h: &Hypergraph, budget: u64) -> Result<(u64, HyperM
 /// Exhaustive optimum of a `SINGLEPROC` instance (weighted allowed), by
 /// lifting every edge to a singleton configuration.
 pub fn brute_force_singleproc(g: &Bipartite, budget: u64) -> Result<(u64, SemiMatching)> {
-    let mut b = semimatch_graph::HypergraphBuilder::with_capacity(
-        g.n_left(),
-        g.n_right(),
-        g.num_edges(),
-    );
+    let mut b =
+        semimatch_graph::HypergraphBuilder::with_capacity(g.n_left(), g.n_right(), g.num_edges());
     for (_, v, u, w) in g.edges() {
         b.weighted_config(v, vec![u], w);
     }
@@ -173,8 +170,8 @@ mod tests {
     #[test]
     fn weighted_singleproc() {
         // T0: P0 w5 / P1 w3; T1: P0 w2. Optimum: T0→P1 (3), T1→P0 (2) → 3.
-        let g = Bipartite::from_weighted_edges(2, 2, &[(0, 0), (0, 1), (1, 0)], &[5, 3, 2])
-            .unwrap();
+        let g =
+            Bipartite::from_weighted_edges(2, 2, &[(0, 0), (0, 1), (1, 0)], &[5, 3, 2]).unwrap();
         let (m, _) = brute_force_singleproc(&g, 10_000).unwrap();
         assert_eq!(m, 3);
     }
@@ -182,12 +179,8 @@ mod tests {
     #[test]
     fn multiproc_parallel_configs() {
         // One task: {P0} w4 or {P0,P1} w3. Parallel loads both but max is 3.
-        let h = Hypergraph::from_hyperedges(
-            1,
-            2,
-            vec![(0, vec![0], 4), (0, vec![0, 1], 3)],
-        )
-        .unwrap();
+        let h =
+            Hypergraph::from_hyperedges(1, 2, vec![(0, vec![0], 4), (0, vec![0, 1], 3)]).unwrap();
         let (m, hm) = brute_force_multiproc(&h, 1000).unwrap();
         assert_eq!(m, 3);
         assert_eq!(hm.hedge_of[0], 1);
@@ -264,9 +257,6 @@ mod tests {
     #[test]
     fn uncovered_task_rejected() {
         let h = Hypergraph::from_hyperedges(2, 1, vec![(0, vec![0], 1)]).unwrap();
-        assert_eq!(
-            brute_force_multiproc(&h, 100).unwrap_err(),
-            CoreError::UncoveredTask(1)
-        );
+        assert_eq!(brute_force_multiproc(&h, 100).unwrap_err(), CoreError::UncoveredTask(1));
     }
 }

@@ -30,7 +30,8 @@ pub fn harvey_exact(g: &Bipartite) -> Result<SemiMatching> {
 pub fn optimize(g: &Bipartite, sm: SemiMatching) -> SemiMatching {
     let n2 = g.n_right() as usize;
     // alloc[t] = processor of task t; assigned[u] = tasks on processor u.
-    let mut alloc: Vec<u32> = (0..g.n_left()).map(|t| g.edge_right(sm.edge_of[t as usize])).collect();
+    let mut alloc: Vec<u32> =
+        (0..g.n_left()).map(|t| g.edge_right(sm.edge_of[t as usize])).collect();
     let mut assigned: Vec<Vec<u32>> = vec![Vec::new(); n2];
     for (t, &u) in alloc.iter().enumerate() {
         assigned[u as usize].push(t as u32);

@@ -166,9 +166,9 @@ mod tests {
             exact_unit(g, SearchStrategy::Bisection).unwrap().makespan,
         ];
         for engine in [Algorithm::HopcroftKarp, Algorithm::PushRelabel] {
-            out.push(exact_unit_replicated(g, engine, SearchStrategy::Incremental)
-                .unwrap()
-                .makespan);
+            out.push(
+                exact_unit_replicated(g, engine, SearchStrategy::Incremental).unwrap().makespan,
+            );
         }
         out
     }
@@ -184,8 +184,7 @@ mod tests {
     #[test]
     fn forced_pileup() {
         // 5 tasks on one processor: optimum 5.
-        let g =
-            Bipartite::from_edges(5, 1, &[(0, 0), (1, 0), (2, 0), (3, 0), (4, 0)]).unwrap();
+        let g = Bipartite::from_edges(5, 1, &[(0, 0), (1, 0), (2, 0), (3, 0), (4, 0)]).unwrap();
         for m in exact_all_ways(&g) {
             assert_eq!(m, 5);
         }
@@ -194,12 +193,9 @@ mod tests {
     #[test]
     fn mixed_instance() {
         // 4 tasks: T0..T2 share P0/P1, T3 only P0. Optimum 2.
-        let g = Bipartite::from_edges(
-            4,
-            2,
-            &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1), (3, 0)],
-        )
-        .unwrap();
+        let g =
+            Bipartite::from_edges(4, 2, &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1), (3, 0)])
+                .unwrap();
         for m in exact_all_ways(&g) {
             assert_eq!(m, 2);
         }

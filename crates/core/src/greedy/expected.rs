@@ -92,13 +92,8 @@ mod tests {
     fn weighted_prediction() {
         // T1 (heavy, degree 1) will load P0 with 10; the flexible unit task
         // must see that coming and go to P1.
-        let g = Bipartite::from_weighted_edges(
-            2,
-            2,
-            &[(0, 0), (0, 1), (1, 0)],
-            &[1, 1, 10],
-        )
-        .unwrap();
+        let g =
+            Bipartite::from_weighted_edges(2, 2, &[(0, 0), (0, 1), (1, 0)], &[1, 1, 10]).unwrap();
         let sm = expected_greedy(&g).unwrap();
         assert_eq!(sm.proc_of(&g, 0), 1);
         assert_eq!(sm.makespan(&g), 10);

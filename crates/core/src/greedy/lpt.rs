@@ -99,13 +99,7 @@ mod tests {
         // T0 may run on P0 (cost 10) or P1 (cost 1); both empty. Basic-
         // greedy ties on current load and takes P0; LPT compares finish
         // times and takes P1.
-        let g = Bipartite::from_weighted_edges(
-            1,
-            2,
-            &[(0, 0), (0, 1)],
-            &[10, 1],
-        )
-        .unwrap();
+        let g = Bipartite::from_weighted_edges(1, 2, &[(0, 0), (0, 1)], &[10, 1]).unwrap();
         assert_eq!(crate::greedy::basic::basic_greedy(&g).unwrap().makespan(&g), 10);
         assert_eq!(lpt_greedy(&g).unwrap().makespan(&g), 1);
     }
@@ -114,13 +108,9 @@ mod tests {
     fn respects_resource_constraints() {
         // The longest task is restricted to P0; LPT must not place it
         // elsewhere.
-        let g = Bipartite::from_weighted_edges(
-            3,
-            2,
-            &[(0, 0), (1, 0), (1, 1), (2, 1)],
-            &[9, 2, 2, 3],
-        )
-        .unwrap();
+        let g =
+            Bipartite::from_weighted_edges(3, 2, &[(0, 0), (1, 0), (1, 1), (2, 1)], &[9, 2, 2, 3])
+                .unwrap();
         let sm = lpt_greedy(&g).unwrap();
         sm.validate(&g).unwrap();
         assert_eq!(sm.proc_of(&g, 0), 0);
@@ -133,12 +123,8 @@ mod tests {
         // With unit weights LPT order is input order and the criterion is
         // min resulting = min current + 1: identical decisions to
         // basic-greedy.
-        let g = Bipartite::from_edges(
-            4,
-            2,
-            &[(0, 0), (0, 1), (1, 0), (2, 1), (3, 0), (3, 1)],
-        )
-        .unwrap();
+        let g =
+            Bipartite::from_edges(4, 2, &[(0, 0), (0, 1), (1, 0), (2, 1), (3, 0), (3, 1)]).unwrap();
         let a = lpt_greedy(&g).unwrap();
         let b = crate::greedy::basic::basic_greedy(&g).unwrap();
         assert_eq!(a.makespan(&g), b.makespan(&g));

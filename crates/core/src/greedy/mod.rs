@@ -50,12 +50,9 @@ mod tests {
 
     #[test]
     fn degree_order_is_stable() {
-        let g = Bipartite::from_edges(
-            4,
-            3,
-            &[(0, 0), (0, 1), (1, 0), (2, 0), (2, 1), (2, 2), (3, 1)],
-        )
-        .unwrap();
+        let g =
+            Bipartite::from_edges(4, 3, &[(0, 0), (0, 1), (1, 0), (2, 0), (2, 1), (2, 2), (3, 1)])
+                .unwrap();
         // degrees: 2, 1, 3, 1 → order: 1, 3 (deg 1, input order), 0, 2.
         assert_eq!(tasks_by_degree(&g), vec![1, 3, 0, 2]);
     }

@@ -30,11 +30,8 @@ pub fn expected_greedy_hyp(h: &Hypergraph) -> Result<HyperMatching> {
         let mut best: Option<u32> = None;
         let mut best_key = f64::INFINITY;
         for hid in h.hedges_of(v) {
-            let key = h
-                .procs_of(hid)
-                .iter()
-                .map(|&u| o[u as usize])
-                .fold(f64::NEG_INFINITY, f64::max);
+            let key =
+                h.procs_of(hid).iter().map(|&u| o[u as usize]).fold(f64::NEG_INFINITY, f64::max);
             if key < best_key {
                 best_key = key;
                 best = Some(hid);
@@ -113,12 +110,8 @@ mod tests {
     #[test]
     fn parallel_configuration_spreads_expectation() {
         // One task with a 3-processor configuration vs a sequential one.
-        let h = Hypergraph::from_hyperedges(
-            1,
-            4,
-            vec![(0, vec![0, 1, 2], 1), (0, vec![3], 2)],
-        )
-        .unwrap();
+        let h = Hypergraph::from_hyperedges(1, 4, vec![(0, vec![0, 1, 2], 1), (0, vec![3], 2)])
+            .unwrap();
         let hm = expected_greedy_hyp(&h).unwrap();
         hm.validate(&h).unwrap();
         // o(P0..P2) = 1/2 each; o(P3) = 1. Criterion: max over pins:

@@ -207,12 +207,7 @@ mod tests {
         let h = Hypergraph::from_hyperedges(
             3,
             2,
-            vec![
-                (0, vec![0], 2),
-                (1, vec![0], 2),
-                (2, vec![0], 1),
-                (2, vec![1], 1),
-            ],
+            vec![(0, vec![0], 2), (1, vec![0], 2), (2, vec![0], 1), (2, vec![1], 1)],
         )
         .unwrap();
         let hm = expected_vector_greedy_hyp(&h).unwrap();
@@ -235,9 +230,6 @@ mod tests {
     #[test]
     fn uncovered_task_errors() {
         let h = Hypergraph::from_hyperedges(1, 1, vec![]).unwrap();
-        assert!(matches!(
-            expected_vector_greedy_hyp(&h).unwrap_err(),
-            CoreError::UncoveredTask(0)
-        ));
+        assert!(matches!(expected_vector_greedy_hyp(&h).unwrap_err(), CoreError::UncoveredTask(0)));
     }
 }

@@ -188,10 +188,7 @@ mod tests {
                         for wb in 1..=3u64 {
                             let got = s.cmp_candidates(&loads, pa, wa, pb, wb);
                             let want = reference_cmp(&loads, pa, wa, pb, wb);
-                            assert_eq!(
-                                got, want,
-                                "loads {loads:?} A={pa:?}+{wa} B={pb:?}+{wb}"
-                            );
+                            assert_eq!(got, want, "loads {loads:?} A={pa:?}+{wa} B={pb:?}+{wb}");
                         }
                     }
                 }

@@ -57,12 +57,8 @@ pub enum HyperHeuristic {
 
 impl HyperHeuristic {
     /// Table column order of the paper: SGH, VGH, EGH, EVG.
-    pub const ALL: [HyperHeuristic; 4] = [
-        HyperHeuristic::Sgh,
-        HyperHeuristic::Vgh,
-        HyperHeuristic::Egh,
-        HyperHeuristic::Evg,
-    ];
+    pub const ALL: [HyperHeuristic; 4] =
+        [HyperHeuristic::Sgh, HyperHeuristic::Vgh, HyperHeuristic::Egh, HyperHeuristic::Evg];
 
     /// Column label used in Tables II/III.
     pub fn label(self) -> &'static str {
@@ -75,10 +71,7 @@ impl HyperHeuristic {
     }
 
     /// Runs the heuristic (optimized variants for the vector strategies).
-    pub fn run(
-        self,
-        h: &Hypergraph,
-    ) -> crate::error::Result<crate::problem::HyperMatching> {
+    pub fn run(self, h: &Hypergraph) -> crate::error::Result<crate::problem::HyperMatching> {
         match self {
             HyperHeuristic::Sgh => sgh::sorted_greedy_hyp(h),
             HyperHeuristic::Vgh => vgh::vector_greedy_hyp(h),

@@ -31,8 +31,7 @@ pub fn basic_greedy_hyp(h: &Hypergraph) -> Result<HyperMatching> {
 fn select_greedy(h: &Hypergraph, add_weight: bool, sort: bool) -> Result<HyperMatching> {
     let mut loads = vec![0u64; h.n_procs() as usize];
     let mut hedge_of = vec![0u32; h.n_tasks() as usize];
-    let order: Vec<u32> =
-        if sort { tasks_by_degree(h) } else { (0..h.n_tasks()).collect() };
+    let order: Vec<u32> = if sort { tasks_by_degree(h) } else { (0..h.n_tasks()).collect() };
     for v in order {
         let mut best: Option<u32> = None;
         let mut best_key = u64::MAX;
@@ -66,11 +65,7 @@ mod tests {
     #[test]
     fn picks_least_loaded_configuration() {
         // T0 first (degree 1) loads P0; T1 must then prefer {P1,P2}.
-        let h = Hypergraph::from_configs(
-            3,
-            &[vec![vec![0]], vec![vec![0], vec![1, 2]]],
-        )
-        .unwrap();
+        let h = Hypergraph::from_configs(3, &[vec![vec![0]], vec![vec![0], vec![1, 2]]]).unwrap();
         let hm = sorted_greedy_hyp(&h).unwrap();
         hm.validate(&h).unwrap();
         assert_eq!(hm.hedge_of[1], 2, "T1 takes its second configuration");
@@ -82,12 +77,7 @@ mod tests {
         // Both configurations touch empty processors; the paper's criterion
         // (current load) ties, so the FIRST is taken even though it is the
         // expensive one.
-        let h = Hypergraph::from_hyperedges(
-            1,
-            2,
-            vec![(0, vec![0], 10), (0, vec![1], 1)],
-        )
-        .unwrap();
+        let h = Hypergraph::from_hyperedges(1, 2, vec![(0, vec![0], 10), (0, vec![1], 1)]).unwrap();
         let hm = sorted_greedy_hyp(&h).unwrap();
         assert_eq!(hm.hedge_of[0], 0);
         assert_eq!(hm.makespan(&h), 10);
@@ -99,12 +89,8 @@ mod tests {
 
     #[test]
     fn weights_accumulate_on_all_pins() {
-        let h = Hypergraph::from_hyperedges(
-            2,
-            2,
-            vec![(0, vec![0, 1], 3), (1, vec![0, 1], 2)],
-        )
-        .unwrap();
+        let h = Hypergraph::from_hyperedges(2, 2, vec![(0, vec![0, 1], 3), (1, vec![0, 1], 2)])
+            .unwrap();
         let hm = sorted_greedy_hyp(&h).unwrap();
         assert_eq!(hm.makespan(&h), 5);
     }
@@ -135,12 +121,9 @@ mod tests {
     fn singleton_hypergraph_matches_sorted_greedy() {
         // Lifting a bipartite instance to singleton hyperedges must give
         // the same makespan as the bipartite sorted-greedy.
-        let g = semimatch_graph::Bipartite::from_edges(
-            3,
-            2,
-            &[(0, 0), (0, 1), (1, 0), (2, 0), (2, 1)],
-        )
-        .unwrap();
+        let g =
+            semimatch_graph::Bipartite::from_edges(3, 2, &[(0, 0), (0, 1), (1, 0), (2, 0), (2, 1)])
+                .unwrap();
         let mut b = semimatch_graph::HypergraphBuilder::new(3, 2);
         for (_, v, u, w) in g.edges() {
             b.weighted_config(v, vec![u], w);

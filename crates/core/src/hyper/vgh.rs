@@ -159,12 +159,7 @@ mod tests {
         let h = Hypergraph::from_hyperedges(
             3,
             3,
-            vec![
-                (0, vec![0], 1),
-                (1, vec![1], 1),
-                (2, vec![0, 1], 1),
-                (2, vec![2], 2),
-            ],
+            vec![(0, vec![0], 1), (1, vec![1], 1), (2, vec![0, 1], 1), (2, vec![2], 2)],
         )
         .unwrap();
         let hm = vector_greedy_hyp(&h).unwrap();
@@ -178,12 +173,7 @@ mod tests {
         // (current load) ties and keeps the first, expensive one. VGH
         // compares the *resulting* vectors [2,0] vs [1,0] and picks the
         // cheap configuration — the §IV-D3 motivation.
-        let h = Hypergraph::from_hyperedges(
-            1,
-            2,
-            vec![(0, vec![0], 2), (0, vec![1], 1)],
-        )
-        .unwrap();
+        let h = Hypergraph::from_hyperedges(1, 2, vec![(0, vec![0], 2), (0, vec![1], 1)]).unwrap();
         let sgh = crate::hyper::sgh::sorted_greedy_hyp(&h).unwrap();
         assert_eq!(sgh.makespan(&h), 2);
         let vgh = vector_greedy_hyp(&h).unwrap();
@@ -198,18 +188,9 @@ mod tests {
     #[test]
     fn uncovered_task_errors() {
         let h = Hypergraph::from_hyperedges(1, 1, vec![]).unwrap();
-        assert!(matches!(
-            vector_greedy_hyp(&h).unwrap_err(),
-            CoreError::UncoveredTask(0)
-        ));
-        assert!(matches!(
-            vector_greedy_hyp_naive(&h).unwrap_err(),
-            CoreError::UncoveredTask(0)
-        ));
-        assert!(matches!(
-            vector_greedy_hyp_pinwise(&h).unwrap_err(),
-            CoreError::UncoveredTask(0)
-        ));
+        assert!(matches!(vector_greedy_hyp(&h).unwrap_err(), CoreError::UncoveredTask(0)));
+        assert!(matches!(vector_greedy_hyp_naive(&h).unwrap_err(), CoreError::UncoveredTask(0)));
+        assert!(matches!(vector_greedy_hyp_pinwise(&h).unwrap_err(), CoreError::UncoveredTask(0)));
     }
 
     #[test]
@@ -219,12 +200,7 @@ mod tests {
         // on current loads and keeps the expensive first configuration,
         // exactly like SGH; the resulting-vector reading picks the cheap
         // one.
-        let h = Hypergraph::from_hyperedges(
-            1,
-            2,
-            vec![(0, vec![0], 2), (0, vec![1], 1)],
-        )
-        .unwrap();
+        let h = Hypergraph::from_hyperedges(1, 2, vec![(0, vec![0], 2), (0, vec![1], 1)]).unwrap();
         let pinwise = vector_greedy_hyp_pinwise(&h).unwrap();
         assert_eq!(pinwise.makespan(&h), 2);
         let sgh = crate::hyper::sgh::sorted_greedy_hyp(&h).unwrap();

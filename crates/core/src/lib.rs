@@ -54,15 +54,18 @@ pub mod exact;
 pub mod greedy;
 pub mod hyper;
 pub mod lower_bound;
+pub mod online;
 pub mod problem;
 pub mod quality;
 pub mod reduction;
 pub mod refine;
 pub mod solution_io;
+pub mod solver;
 
 pub use error::{CoreError, Result};
 pub use hyper::HyperHeuristic;
 pub use problem::{HyperMatching, SemiMatching};
+pub use solver::{solve, Problem, Solution, SolverClass, SolverKind};
 
 /// Selector for the four `SINGLEPROC` heuristics (report plumbing).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -79,12 +82,8 @@ pub enum BiHeuristic {
 
 impl BiHeuristic {
     /// All four, in the paper's presentation order.
-    pub const ALL: [BiHeuristic; 4] = [
-        BiHeuristic::Basic,
-        BiHeuristic::Sorted,
-        BiHeuristic::DoubleSorted,
-        BiHeuristic::Expected,
-    ];
+    pub const ALL: [BiHeuristic; 4] =
+        [BiHeuristic::Basic, BiHeuristic::Sorted, BiHeuristic::DoubleSorted, BiHeuristic::Expected];
 
     /// Stable short name.
     pub fn label(self) -> &'static str {

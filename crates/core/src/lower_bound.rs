@@ -81,19 +81,14 @@ mod tests {
     #[test]
     fn unit_bipartite_bound_is_ceil_n_over_p() {
         // 5 unit tasks, 2 processors → ⌈5/2⌉ = 3.
-        let g = Bipartite::from_edges(
-            5,
-            2,
-            &[(0, 0), (1, 0), (2, 1), (3, 1), (4, 0), (4, 1)],
-        )
-        .unwrap();
+        let g =
+            Bipartite::from_edges(5, 2, &[(0, 0), (1, 0), (2, 1), (3, 1), (4, 0), (4, 1)]).unwrap();
         assert_eq!(lower_bound_singleproc(&g).unwrap(), 3);
     }
 
     #[test]
     fn single_heavy_task_dominates() {
-        let g =
-            Bipartite::from_weighted_edges(2, 4, &[(0, 0), (1, 1)], &[100, 1]).unwrap();
+        let g = Bipartite::from_weighted_edges(2, 4, &[(0, 0), (1, 1)], &[100, 1]).unwrap();
         // Averaged bound would be ⌈101/4⌉ = 26, but task 0 costs 100 anywhere.
         assert_eq!(lower_bound_singleproc(&g).unwrap(), 100);
     }
@@ -103,12 +98,8 @@ mod tests {
         // One task: {P0} at weight 6 (work 6) or {P0,P1,P2} at weight 3
         // (work 9). time = 6; LB = max(⌈6/3⌉, 3) = 3 (cheapest per-proc
         // weight is 3).
-        let h = Hypergraph::from_hyperedges(
-            1,
-            3,
-            vec![(0, vec![0], 6), (0, vec![0, 1, 2], 3)],
-        )
-        .unwrap();
+        let h = Hypergraph::from_hyperedges(1, 3, vec![(0, vec![0], 6), (0, vec![0, 1, 2], 3)])
+            .unwrap();
         assert_eq!(lower_bound_multiproc(&h).unwrap(), 3);
         let f = lower_bound_multiproc_f64(&h).unwrap();
         assert!((f - 2.0).abs() < 1e-12);

@@ -7,8 +7,8 @@
 //! look-ahead — so this is also the natural "basic-greedy-hyp" baseline
 //! for the offline heuristics.
 
-use semimatch_core::error::{CoreError, Result};
-use semimatch_core::problem::HyperMatching;
+use crate::error::{CoreError, Result};
+use crate::problem::HyperMatching;
 use semimatch_graph::Hypergraph;
 
 /// Immediate-assignment rule for each arriving task.
@@ -118,7 +118,7 @@ mod tests {
 
     #[test]
     fn offline_sorted_heuristic_is_no_worse_here() {
-        use semimatch_core::hyper::sgh::sorted_greedy_hyp;
+        use crate::hyper::sgh::sorted_greedy_hyp;
         let h = case();
         let online = online_schedule(&h, OnlineRule::MinBottleneck).unwrap();
         let offline = sorted_greedy_hyp(&h).unwrap();

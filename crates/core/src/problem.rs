@@ -153,8 +153,8 @@ mod tests {
 
     #[test]
     fn weighted_loads() {
-        let g = Bipartite::from_weighted_edges(2, 2, &[(0, 0), (0, 1), (1, 0)], &[5, 3, 2])
-            .unwrap();
+        let g =
+            Bipartite::from_weighted_edges(2, 2, &[(0, 0), (0, 1), (1, 0)], &[5, 3, 2]).unwrap();
         let both_p0 = SemiMatching::from_procs(&g, &[0, 0]).unwrap();
         assert_eq!(both_p0.loads(&g), vec![7, 0]);
         assert_eq!(both_p0.makespan(&g), 7);
@@ -175,12 +175,7 @@ mod tests {
     fn fig2() -> Hypergraph {
         Hypergraph::from_configs(
             3,
-            &[
-                vec![vec![0], vec![1, 2]],
-                vec![vec![0, 1], vec![1]],
-                vec![vec![2]],
-                vec![vec![2]],
-            ],
+            &[vec![vec![0], vec![1, 2]], vec![vec![0, 1], vec![1]], vec![vec![2]], vec![vec![2]]],
         )
         .unwrap()
     }

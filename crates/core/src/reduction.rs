@@ -27,16 +27,10 @@ pub fn cover_to_schedule(
     n_triples: usize,
 ) -> Result<HyperMatching> {
     if cover.len() != h.n_tasks() as usize {
-        return Err(CoreError::LengthMismatch {
-            expected: h.n_tasks() as usize,
-            got: cover.len(),
-        });
+        return Err(CoreError::LengthMismatch { expected: h.n_tasks() as usize, got: cover.len() });
     }
-    let hedge_of: Vec<u32> = cover
-        .iter()
-        .enumerate()
-        .map(|(t, &c)| (t * n_triples + c) as u32)
-        .collect();
+    let hedge_of: Vec<u32> =
+        cover.iter().enumerate().map(|(t, &c)| (t * n_triples + c) as u32).collect();
     let hm = HyperMatching { hedge_of };
     hm.validate(h)?;
     Ok(hm)

@@ -249,12 +249,7 @@ mod tests {
         let h = Hypergraph::from_hyperedges(
             2,
             2,
-            vec![
-                (0, vec![0, 1], 3),
-                (0, vec![0], 4),
-                (1, vec![0, 1], 3),
-                (1, vec![1], 4),
-            ],
+            vec![(0, vec![0, 1], 3), (0, vec![0], 4), (1, vec![0, 1], 3), (1, vec![1], 4)],
         )
         .unwrap();
         // Start from both tasks on the wide configs: loads (6, 6).
@@ -284,12 +279,7 @@ mod tests {
 
     #[test]
     fn single_config_tasks_untouched() {
-        let h = Hypergraph::from_hyperedges(
-            2,
-            2,
-            vec![(0, vec![0], 1), (1, vec![1], 1)],
-        )
-        .unwrap();
+        let h = Hypergraph::from_hyperedges(2, 2, vec![(0, vec![0], 1), (1, vec![1], 1)]).unwrap();
         let mut hm = HyperMatching { hedge_of: vec![0, 1] };
         let stats = refine(&h, &mut hm, 8).unwrap();
         assert_eq!(stats.moves, 0);

@@ -37,8 +37,7 @@ pub fn read_solution<R: Read>(h: &Hypergraph, r: R) -> Result<HyperMatching> {
     let reader = BufReader::new(r);
     let mut numbers: Vec<u32> = Vec::new();
     for (lineno, line) in reader.lines().enumerate() {
-        let line = line
-            .map_err(|e| CoreError::Parse { line: lineno + 1, msg: e.to_string() })?;
+        let line = line.map_err(|e| CoreError::Parse { line: lineno + 1, msg: e.to_string() })?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('%') || trimmed.starts_with('#') {
             continue;

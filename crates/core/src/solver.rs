@@ -1,0 +1,703 @@
+//! The unified solver registry: every semi-matching algorithm in the
+//! workspace behind one entry point.
+//!
+//! Historically each consumer (CLI, bench harness, scheduling policies,
+//! agreement tests) kept its own selector enum and `match` ladder over the
+//! algorithm set ([`crate::BiHeuristic`], [`crate::hyper::HyperHeuristic`],
+//! [`crate::exact::SearchStrategy`], the sched policies, the CLI's string
+//! matching). This module replaces all of that with a single [`SolverKind`]
+//! registry: name-based lookup ([`SolverKind::from_str`]), enumeration
+//! ([`SolverKind::ALL`] and the class subsets) and one
+//! [`solve(problem, kind)`](solve) dispatcher.
+//!
+//! The literature treats the engines as interchangeable substrates —
+//! Fakcharoenphol–Laekhanukit–Nanongkai's faster semi-matching algorithms
+//! and Katrenič–Semanišin's Hopcroft–Karp generalization slot into the same
+//! problem interface — so the registry is also the seam where future
+//! backends land.
+//!
+//! ```
+//! use semimatch_graph::Hypergraph;
+//! use semimatch_core::solver::{solve, Problem, SolverKind};
+//!
+//! let h = Hypergraph::from_configs(
+//!     3,
+//!     &[vec![vec![0], vec![1, 2]], vec![vec![0]], vec![vec![2]], vec![vec![2]]],
+//! )
+//! .unwrap();
+//! let kind: SolverKind = "evg".parse().unwrap();
+//! let solution = solve(Problem::MultiProc(&h), kind).unwrap();
+//! assert!(solution.makespan(&Problem::MultiProc(&h)) >= 2);
+//! ```
+
+use std::str::FromStr;
+
+use semimatch_graph::{Bipartite, Hypergraph};
+
+use crate::error::{CoreError, Result};
+use crate::exact::{
+    brute_force_multiproc, brute_force_singleproc, exact_unit, exact_unit_replicated, harvey_exact,
+    SearchStrategy,
+};
+use crate::hyper::HyperHeuristic;
+use crate::online::{online_schedule, OnlineRule};
+use crate::problem::{HyperMatching, SemiMatching};
+use crate::refine::{iterated_refine, refine};
+use crate::BiHeuristic;
+
+/// The maximum-matching engine axis, re-exported so registry consumers have
+/// one import surface for every algorithm selector in the workspace.
+pub use semimatch_matching::Algorithm as MatchingEngine;
+
+/// Node budget handed to the brute-force solvers by the registry.
+pub const BRUTE_FORCE_BUDGET: u64 = 20_000_000;
+
+/// Refinement passes used by the `*Refined` kinds.
+pub const REFINE_PASSES: u32 = 16;
+
+/// Bottleneck kicks used by [`SolverKind::SghIls`].
+pub const ILS_KICKS: u32 = 12;
+
+/// A problem instance handed to [`solve`]: the paper's two formalisms.
+#[derive(Clone, Copy, Debug)]
+pub enum Problem<'a> {
+    /// `SINGLEPROC`: a weighted bipartite graph (§II-A).
+    SingleProc(&'a Bipartite),
+    /// `MULTIPROC`: a bipartite hypergraph of configurations (§II-B).
+    MultiProc(&'a Hypergraph),
+}
+
+impl<'a> From<&'a Bipartite> for Problem<'a> {
+    fn from(g: &'a Bipartite) -> Self {
+        Problem::SingleProc(g)
+    }
+}
+
+impl<'a> From<&'a Hypergraph> for Problem<'a> {
+    fn from(h: &'a Hypergraph) -> Self {
+        Problem::MultiProc(h)
+    }
+}
+
+impl Problem<'_> {
+    /// The class a solver must support to run on this problem.
+    pub fn class(&self) -> SolverClass {
+        match self {
+            Problem::SingleProc(_) => SolverClass::SingleProc,
+            Problem::MultiProc(_) => SolverClass::MultiProc,
+        }
+    }
+}
+
+/// A solution returned by [`solve`], mirroring the problem classes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Solution {
+    /// Allocation of one edge per task.
+    SingleProc(SemiMatching),
+    /// Allocation of one hyperedge (configuration) per task.
+    MultiProc(HyperMatching),
+}
+
+impl Solution {
+    /// Makespan against the problem the solution was computed for.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `problem`'s class does not match the solution's.
+    pub fn makespan(&self, problem: &Problem<'_>) -> u64 {
+        match (self, problem) {
+            (Solution::SingleProc(sm), Problem::SingleProc(g)) => sm.makespan(g),
+            (Solution::MultiProc(hm), Problem::MultiProc(h)) => hm.makespan(h),
+            _ => panic!("solution/problem class mismatch"),
+        }
+    }
+
+    /// Validates the solution against its problem.
+    pub fn validate(&self, problem: &Problem<'_>) -> Result<()> {
+        match (self, problem) {
+            (Solution::SingleProc(sm), Problem::SingleProc(g)) => sm.validate(g),
+            (Solution::MultiProc(hm), Problem::MultiProc(h)) => hm.validate(h),
+            _ => Err(CoreError::KindMismatch {
+                solver: "solution",
+                expected: "a problem of the solution's own class",
+            }),
+        }
+    }
+
+    /// The bipartite allocation, if this is a `SINGLEPROC` solution.
+    pub fn as_semi(&self) -> Option<&SemiMatching> {
+        match self {
+            Solution::SingleProc(sm) => Some(sm),
+            Solution::MultiProc(_) => None,
+        }
+    }
+
+    /// The hypergraph allocation, if this is a `MULTIPROC` solution.
+    pub fn as_hyper(&self) -> Option<&HyperMatching> {
+        match self {
+            Solution::MultiProc(hm) => Some(hm),
+            Solution::SingleProc(_) => None,
+        }
+    }
+
+    /// Consumes into the bipartite allocation.
+    pub fn into_semi(self) -> Option<SemiMatching> {
+        match self {
+            Solution::SingleProc(sm) => Some(sm),
+            Solution::MultiProc(_) => None,
+        }
+    }
+
+    /// Consumes into the hypergraph allocation.
+    pub fn into_hyper(self) -> Option<HyperMatching> {
+        match self {
+            Solution::MultiProc(hm) => Some(hm),
+            Solution::SingleProc(_) => None,
+        }
+    }
+}
+
+/// Which problem class a [`SolverKind`] accepts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SolverClass {
+    /// Bipartite (`SINGLEPROC`) instances only.
+    SingleProc,
+    /// Hypergraph (`MULTIPROC`) instances only.
+    MultiProc,
+    /// Both classes.
+    Either,
+}
+
+impl SolverClass {
+    /// Whether a solver of this class accepts `problem`.
+    pub fn accepts(self, problem: &Problem<'_>) -> bool {
+        match self {
+            SolverClass::Either => true,
+            SolverClass::SingleProc => matches!(problem, Problem::SingleProc(_)),
+            SolverClass::MultiProc => matches!(problem, Problem::MultiProc(_)),
+        }
+    }
+}
+
+/// Every semi-matching solver in the workspace, unified.
+///
+/// This is the registry the CLI, bench harness, scheduling policies and the
+/// agreement tests all dispatch through; the per-crate selector enums
+/// ([`BiHeuristic`], [`HyperHeuristic`], [`SearchStrategy`]) survive only as
+/// internal implementation details behind [`SolverKind::solve`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SolverKind {
+    // --- SINGLEPROC heuristics (§IV-B) ---
+    /// basic-greedy (Algorithm 1).
+    Basic,
+    /// sorted-greedy.
+    Sorted,
+    /// double-sorted (Algorithm 2).
+    DoubleSorted,
+    /// expected-greedy (Algorithm 3).
+    Expected,
+    // --- SINGLEPROC-UNIT exact (§IV-A) ---
+    /// Exact via capacitated matchings, incremental deadline search.
+    ExactIncremental,
+    /// Exact via capacitated matchings, bisection deadline search.
+    ExactBisection,
+    /// Exact via literal `G_D` replication (push-relabel engine).
+    ExactReplicated,
+    /// Exact via cost-reducing paths (Harvey, Ladner, Lovász, Tamir).
+    Harvey,
+    // --- MULTIPROC heuristics (§IV-D) ---
+    /// sorted-greedy-hyp (Algorithm 4).
+    Sgh,
+    /// vector-greedy-hyp.
+    Vgh,
+    /// expected-greedy-hyp (Algorithm 5).
+    Egh,
+    /// expected-vector-greedy-hyp.
+    Evg,
+    // --- extensions beyond the paper ---
+    /// EVG followed by local-search refinement.
+    EvgRefined,
+    /// SGH followed by local-search refinement.
+    SghRefined,
+    /// SGH followed by iterated local search with bottleneck kicks.
+    SghIls,
+    /// Online min-bottleneck dispatcher (no sorting, no look-ahead).
+    Online,
+    /// Branch-and-bound exhaustive search (both classes, small instances).
+    BruteForce,
+}
+
+impl SolverKind {
+    /// Every registered solver.
+    pub const ALL: [SolverKind; 17] = [
+        SolverKind::Basic,
+        SolverKind::Sorted,
+        SolverKind::DoubleSorted,
+        SolverKind::Expected,
+        SolverKind::ExactIncremental,
+        SolverKind::ExactBisection,
+        SolverKind::ExactReplicated,
+        SolverKind::Harvey,
+        SolverKind::Sgh,
+        SolverKind::Vgh,
+        SolverKind::Egh,
+        SolverKind::Evg,
+        SolverKind::EvgRefined,
+        SolverKind::SghRefined,
+        SolverKind::SghIls,
+        SolverKind::Online,
+        SolverKind::BruteForce,
+    ];
+
+    /// Solvers accepting bipartite (`SINGLEPROC`) problems.
+    pub const SINGLEPROC: [SolverKind; 9] = [
+        SolverKind::Basic,
+        SolverKind::Sorted,
+        SolverKind::DoubleSorted,
+        SolverKind::Expected,
+        SolverKind::ExactIncremental,
+        SolverKind::ExactBisection,
+        SolverKind::ExactReplicated,
+        SolverKind::Harvey,
+        SolverKind::BruteForce,
+    ];
+
+    /// Solvers accepting hypergraph (`MULTIPROC`) problems.
+    pub const MULTIPROC: [SolverKind; 9] = [
+        SolverKind::Sgh,
+        SolverKind::Vgh,
+        SolverKind::Egh,
+        SolverKind::Evg,
+        SolverKind::EvgRefined,
+        SolverKind::SghRefined,
+        SolverKind::SghIls,
+        SolverKind::Online,
+        SolverKind::BruteForce,
+    ];
+
+    /// Polynomial-time `MULTIPROC` solvers: safe as scheduling policies on
+    /// arbitrary-size instances (everything in [`Self::MULTIPROC`] except
+    /// the exhaustive search).
+    pub const POLICIES: [SolverKind; 8] = [
+        SolverKind::Sgh,
+        SolverKind::Vgh,
+        SolverKind::Egh,
+        SolverKind::Evg,
+        SolverKind::EvgRefined,
+        SolverKind::SghRefined,
+        SolverKind::SghIls,
+        SolverKind::Online,
+    ];
+
+    /// The four `SINGLEPROC` heuristics, in the paper's order.
+    pub const BI_HEURISTICS: [SolverKind; 4] =
+        [SolverKind::Basic, SolverKind::Sorted, SolverKind::DoubleSorted, SolverKind::Expected];
+
+    /// The four `MULTIPROC` heuristics, in the paper's table-column order.
+    pub const HYPER_HEURISTICS: [SolverKind; 4] =
+        [SolverKind::Sgh, SolverKind::Vgh, SolverKind::Egh, SolverKind::Evg];
+
+    /// The exact `SINGLEPROC-UNIT` algorithms.
+    pub const EXACT_SINGLEPROC: [SolverKind; 4] = [
+        SolverKind::ExactIncremental,
+        SolverKind::ExactBisection,
+        SolverKind::ExactReplicated,
+        SolverKind::Harvey,
+    ];
+
+    /// Canonical registry name (stable; used by `from_str`, the CLI and
+    /// reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverKind::Basic => "basic",
+            SolverKind::Sorted => "sorted",
+            SolverKind::DoubleSorted => "double-sorted",
+            SolverKind::Expected => "expected",
+            SolverKind::ExactIncremental => "exact-incremental",
+            SolverKind::ExactBisection => "exact-bisection",
+            SolverKind::ExactReplicated => "exact-replicated",
+            SolverKind::Harvey => "harvey",
+            SolverKind::Sgh => "sgh",
+            SolverKind::Vgh => "vgh",
+            SolverKind::Egh => "egh",
+            SolverKind::Evg => "evg",
+            SolverKind::EvgRefined => "evg-refined",
+            SolverKind::SghRefined => "sgh-refined",
+            SolverKind::SghIls => "sgh-ils",
+            SolverKind::Online => "online",
+            SolverKind::BruteForce => "brute-force",
+        }
+    }
+
+    /// Display label used in tables (matches the paper's column names).
+    pub fn label(self) -> &'static str {
+        match self {
+            SolverKind::Sgh => "SGH",
+            SolverKind::Vgh => "VGH",
+            SolverKind::Egh => "EGH",
+            SolverKind::Evg => "EVG",
+            SolverKind::EvgRefined => "EVG+refine",
+            SolverKind::SghRefined => "SGH+refine",
+            SolverKind::SghIls => "SGH+ILS",
+            other => other.name(),
+        }
+    }
+
+    /// Paper section implementing this solver (empty for extensions).
+    pub fn paper_ref(self) -> &'static str {
+        match self {
+            SolverKind::Basic
+            | SolverKind::Sorted
+            | SolverKind::DoubleSorted
+            | SolverKind::Expected => "§IV-B",
+            SolverKind::ExactIncremental
+            | SolverKind::ExactBisection
+            | SolverKind::ExactReplicated
+            | SolverKind::Harvey => "§IV-A",
+            SolverKind::Sgh | SolverKind::Vgh | SolverKind::Egh | SolverKind::Evg => "§IV-D",
+            SolverKind::EvgRefined
+            | SolverKind::SghRefined
+            | SolverKind::SghIls
+            | SolverKind::Online
+            | SolverKind::BruteForce => "extension",
+        }
+    }
+
+    /// Which problem class this solver accepts.
+    pub fn class(self) -> SolverClass {
+        match self {
+            SolverKind::Basic
+            | SolverKind::Sorted
+            | SolverKind::DoubleSorted
+            | SolverKind::Expected
+            | SolverKind::ExactIncremental
+            | SolverKind::ExactBisection
+            | SolverKind::ExactReplicated
+            | SolverKind::Harvey => SolverClass::SingleProc,
+            SolverKind::Sgh
+            | SolverKind::Vgh
+            | SolverKind::Egh
+            | SolverKind::Evg
+            | SolverKind::EvgRefined
+            | SolverKind::SghRefined
+            | SolverKind::SghIls
+            | SolverKind::Online => SolverClass::MultiProc,
+            SolverKind::BruteForce => SolverClass::Either,
+        }
+    }
+
+    /// Whether this solver is guaranteed optimal (on the instances it
+    /// accepts; the `Exact*` kinds additionally require unit weights).
+    pub fn is_exact(self) -> bool {
+        matches!(
+            self,
+            SolverKind::ExactIncremental
+                | SolverKind::ExactBisection
+                | SolverKind::ExactReplicated
+                | SolverKind::Harvey
+                | SolverKind::BruteForce
+        )
+    }
+
+    /// One-line description (CLI help, README tables).
+    pub fn description(self) -> &'static str {
+        match self {
+            SolverKind::Basic => "basic-greedy, tasks by degree (Alg. 1)",
+            SolverKind::Sorted => "sorted-greedy, processors by load",
+            SolverKind::DoubleSorted => "double-sorted greedy (Alg. 2)",
+            SolverKind::Expected => "expected-load greedy (Alg. 3)",
+            SolverKind::ExactIncremental => "exact, incremental deadline search",
+            SolverKind::ExactBisection => "exact, bisection deadline search",
+            SolverKind::ExactReplicated => "exact, literal G_D replication",
+            SolverKind::Harvey => "exact, cost-reducing paths",
+            SolverKind::Sgh => "sorted-greedy-hyp (Alg. 4)",
+            SolverKind::Vgh => "vector-greedy-hyp",
+            SolverKind::Egh => "expected-greedy-hyp (Alg. 5)",
+            SolverKind::Evg => "expected-vector-greedy-hyp",
+            SolverKind::EvgRefined => "EVG + local-search refinement",
+            SolverKind::SghRefined => "SGH + local-search refinement",
+            SolverKind::SghIls => "SGH + iterated local search",
+            SolverKind::Online => "online min-bottleneck dispatch",
+            SolverKind::BruteForce => "branch-and-bound exhaustive search",
+        }
+    }
+
+    /// Runs this solver on `problem`.
+    pub fn solve(self, problem: Problem<'_>) -> Result<Solution> {
+        match self {
+            SolverKind::Basic => {
+                Ok(Solution::SingleProc(BiHeuristic::Basic.run(self.bipartite(&problem)?)?))
+            }
+            SolverKind::Sorted => {
+                Ok(Solution::SingleProc(BiHeuristic::Sorted.run(self.bipartite(&problem)?)?))
+            }
+            SolverKind::DoubleSorted => {
+                Ok(Solution::SingleProc(BiHeuristic::DoubleSorted.run(self.bipartite(&problem)?)?))
+            }
+            SolverKind::Expected => {
+                Ok(Solution::SingleProc(BiHeuristic::Expected.run(self.bipartite(&problem)?)?))
+            }
+            SolverKind::ExactIncremental => {
+                let g = self.bipartite(&problem)?;
+                Ok(Solution::SingleProc(exact_unit(g, SearchStrategy::Incremental)?.solution))
+            }
+            SolverKind::ExactBisection => {
+                let g = self.bipartite(&problem)?;
+                Ok(Solution::SingleProc(exact_unit(g, SearchStrategy::Bisection)?.solution))
+            }
+            SolverKind::ExactReplicated => {
+                let g = self.bipartite(&problem)?;
+                let r = exact_unit_replicated(
+                    g,
+                    MatchingEngine::PushRelabel,
+                    SearchStrategy::Incremental,
+                )?;
+                Ok(Solution::SingleProc(r.solution))
+            }
+            SolverKind::Harvey => {
+                Ok(Solution::SingleProc(harvey_exact(self.bipartite(&problem)?)?))
+            }
+            SolverKind::Sgh => {
+                Ok(Solution::MultiProc(HyperHeuristic::Sgh.run(self.hypergraph(&problem)?)?))
+            }
+            SolverKind::Vgh => {
+                Ok(Solution::MultiProc(HyperHeuristic::Vgh.run(self.hypergraph(&problem)?)?))
+            }
+            SolverKind::Egh => {
+                Ok(Solution::MultiProc(HyperHeuristic::Egh.run(self.hypergraph(&problem)?)?))
+            }
+            SolverKind::Evg => {
+                Ok(Solution::MultiProc(HyperHeuristic::Evg.run(self.hypergraph(&problem)?)?))
+            }
+            SolverKind::EvgRefined => {
+                let h = self.hypergraph(&problem)?;
+                let mut hm = HyperHeuristic::Evg.run(h)?;
+                refine(h, &mut hm, REFINE_PASSES)?;
+                Ok(Solution::MultiProc(hm))
+            }
+            SolverKind::SghRefined => {
+                let h = self.hypergraph(&problem)?;
+                let mut hm = HyperHeuristic::Sgh.run(h)?;
+                refine(h, &mut hm, REFINE_PASSES)?;
+                Ok(Solution::MultiProc(hm))
+            }
+            SolverKind::SghIls => {
+                let h = self.hypergraph(&problem)?;
+                let mut hm = HyperHeuristic::Sgh.run(h)?;
+                iterated_refine(h, &mut hm, ILS_KICKS, REFINE_PASSES)?;
+                Ok(Solution::MultiProc(hm))
+            }
+            SolverKind::Online => Ok(Solution::MultiProc(online_schedule(
+                self.hypergraph(&problem)?,
+                OnlineRule::MinBottleneck,
+            )?)),
+            SolverKind::BruteForce => match problem {
+                Problem::SingleProc(g) => {
+                    let (_, sm) = brute_force_singleproc(g, BRUTE_FORCE_BUDGET)?;
+                    Ok(Solution::SingleProc(sm))
+                }
+                Problem::MultiProc(h) => {
+                    let (_, hm) = brute_force_multiproc(h, BRUTE_FORCE_BUDGET)?;
+                    Ok(Solution::MultiProc(hm))
+                }
+            },
+        }
+    }
+
+    fn bipartite<'a>(self, problem: &Problem<'a>) -> Result<&'a Bipartite> {
+        match problem {
+            Problem::SingleProc(g) => Ok(g),
+            Problem::MultiProc(_) => Err(CoreError::KindMismatch {
+                solver: self.name(),
+                expected: "a bipartite (SINGLEPROC) instance",
+            }),
+        }
+    }
+
+    fn hypergraph<'a>(self, problem: &Problem<'a>) -> Result<&'a Hypergraph> {
+        match problem {
+            Problem::MultiProc(h) => Ok(h),
+            Problem::SingleProc(_) => Err(CoreError::KindMismatch {
+                solver: self.name(),
+                expected: "a hypergraph (MULTIPROC) instance",
+            }),
+        }
+    }
+}
+
+impl FromStr for SolverKind {
+    type Err = CoreError;
+
+    /// Looks a solver up by its registry [`name`](SolverKind::name); a few
+    /// historical aliases (`incremental`, `bisection`, `evg+refine`, …)
+    /// resolve too.
+    fn from_str(s: &str) -> Result<SolverKind> {
+        let lower = s.to_ascii_lowercase();
+        for kind in SolverKind::ALL {
+            if kind.name() == lower {
+                return Ok(kind);
+            }
+        }
+        match lower.as_str() {
+            "incremental" => Ok(SolverKind::ExactIncremental),
+            "bisection" => Ok(SolverKind::ExactBisection),
+            "replicated" => Ok(SolverKind::ExactReplicated),
+            "evg+refine" => Ok(SolverKind::EvgRefined),
+            "sgh+refine" => Ok(SolverKind::SghRefined),
+            "sgh+ils" => Ok(SolverKind::SghIls),
+            "bruteforce" => Ok(SolverKind::BruteForce),
+            _ => Err(CoreError::UnknownSolver(s.to_string())),
+        }
+    }
+}
+
+impl std::fmt::Display for SolverKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Runs `kind` on `problem` — the single dispatch point for every consumer.
+pub fn solve(problem: Problem<'_>, kind: SolverKind) -> Result<Solution> {
+    kind.solve(problem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bipartite() -> Bipartite {
+        Bipartite::from_edges(
+            6,
+            3,
+            &[(0, 0), (0, 1), (1, 0), (2, 1), (2, 2), (3, 2), (4, 0), (4, 2), (5, 1)],
+        )
+        .unwrap()
+    }
+
+    fn hypergraph() -> Hypergraph {
+        Hypergraph::from_configs(
+            3,
+            &[vec![vec![0], vec![1, 2]], vec![vec![0]], vec![vec![2]], vec![vec![2]]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn registry_has_at_least_ten_kinds_with_distinct_names() {
+        assert!(SolverKind::ALL.len() >= 10);
+        let mut names: Vec<_> = SolverKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), SolverKind::ALL.len());
+    }
+
+    #[test]
+    fn registry_arrays_are_exhaustive_over_the_enum() {
+        for kind in SolverKind::ALL {
+            // No wildcard arm: adding a SolverKind variant breaks this match
+            // at compile time, forcing ALL and the class subsets above to be
+            // revisited in the same change.
+            match kind {
+                SolverKind::Basic
+                | SolverKind::Sorted
+                | SolverKind::DoubleSorted
+                | SolverKind::Expected
+                | SolverKind::ExactIncremental
+                | SolverKind::ExactBisection
+                | SolverKind::ExactReplicated
+                | SolverKind::Harvey
+                | SolverKind::Sgh
+                | SolverKind::Vgh
+                | SolverKind::Egh
+                | SolverKind::Evg
+                | SolverKind::EvgRefined
+                | SolverKind::SghRefined
+                | SolverKind::SghIls
+                | SolverKind::Online
+                | SolverKind::BruteForce => {}
+            }
+            // Every kind appears in exactly the subset arrays its class says.
+            let in_single = SolverKind::SINGLEPROC.contains(&kind);
+            let in_multi = SolverKind::MULTIPROC.contains(&kind);
+            match kind.class() {
+                SolverClass::SingleProc => assert!(in_single && !in_multi, "{kind}"),
+                SolverClass::MultiProc => assert!(in_multi && !in_single, "{kind}"),
+                SolverClass::Either => assert!(in_single && in_multi, "{kind}"),
+            }
+            let in_policies = SolverKind::POLICIES.contains(&kind);
+            assert_eq!(in_policies, in_multi && kind != SolverKind::BruteForce, "{kind}");
+        }
+    }
+
+    #[test]
+    fn every_name_round_trips_through_from_str() {
+        for kind in SolverKind::ALL {
+            assert_eq!(kind.name().parse::<SolverKind>().unwrap(), kind);
+        }
+        assert!(matches!("nonsense".parse::<SolverKind>(), Err(CoreError::UnknownSolver(_))));
+    }
+
+    #[test]
+    fn subsets_match_classes() {
+        for kind in SolverKind::SINGLEPROC {
+            assert!(kind.class().accepts(&Problem::SingleProc(&bipartite())), "{kind}");
+        }
+        for kind in SolverKind::MULTIPROC {
+            assert!(kind.class().accepts(&Problem::MultiProc(&hypergraph())), "{kind}");
+        }
+        assert_eq!(
+            SolverKind::ALL.len() + 1, // BruteForce is in both subsets
+            SolverKind::SINGLEPROC.len() + SolverKind::MULTIPROC.len(),
+        );
+    }
+
+    #[test]
+    fn every_singleproc_kind_solves_and_validates() {
+        let g = bipartite();
+        let problem = Problem::SingleProc(&g);
+        let opt = SolverKind::ExactBisection.solve(problem).unwrap().makespan(&problem);
+        for kind in SolverKind::SINGLEPROC {
+            let sol = solve(problem, kind).unwrap();
+            sol.validate(&problem).unwrap();
+            let m = sol.makespan(&problem);
+            if kind.is_exact() {
+                assert_eq!(m, opt, "{kind} is exact but disagreed");
+            } else {
+                assert!(m >= opt, "{kind} beat the optimum");
+            }
+        }
+    }
+
+    #[test]
+    fn every_multiproc_kind_solves_and_validates() {
+        let h = hypergraph();
+        let problem = Problem::MultiProc(&h);
+        let opt = SolverKind::BruteForce.solve(problem).unwrap().makespan(&problem);
+        for kind in SolverKind::MULTIPROC {
+            let sol = solve(problem, kind).unwrap();
+            sol.validate(&problem).unwrap();
+            assert!(sol.makespan(&problem) >= opt, "{kind} beat the optimum");
+        }
+    }
+
+    #[test]
+    fn class_mismatch_is_a_clean_error() {
+        let g = bipartite();
+        let h = hypergraph();
+        assert!(matches!(
+            SolverKind::Sgh.solve(Problem::SingleProc(&g)),
+            Err(CoreError::KindMismatch { .. })
+        ));
+        assert!(matches!(
+            SolverKind::Basic.solve(Problem::MultiProc(&h)),
+            Err(CoreError::KindMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn aliases_resolve() {
+        assert_eq!("bisection".parse::<SolverKind>().unwrap(), SolverKind::ExactBisection);
+        assert_eq!("EVG+refine".parse::<SolverKind>().unwrap(), SolverKind::EvgRefined);
+    }
+}

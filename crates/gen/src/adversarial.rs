@@ -29,12 +29,7 @@ pub fn fig1() -> Bipartite {
 pub fn fig2() -> Hypergraph {
     Hypergraph::from_configs(
         3,
-        &[
-            vec![vec![0], vec![1, 2]],
-            vec![vec![0, 1], vec![1]],
-            vec![vec![2]],
-            vec![vec![2]],
-        ],
+        &[vec![vec![0], vec![1, 2]], vec![vec![0, 1], vec![1]], vec![vec![2]], vec![vec![2]]],
     )
     .unwrap()
 }
@@ -207,10 +202,7 @@ mod tests {
             assert_eq!(alloc.len(), g.n_left() as usize);
             let mut loads = vec![0u32; g.n_right() as usize];
             for (t, &p) in alloc.iter().enumerate() {
-                assert!(
-                    g.neighbors(t as u32).contains(&p),
-                    "k={k}: task {t} cannot run on {p}"
-                );
+                assert!(g.neighbors(t as u32).contains(&p), "k={k}: task {t} cannot run on {p}");
                 loads[p as usize] += 1;
             }
             assert!(loads.iter().all(|&l| l <= 1), "k={k}: optimal makespan is 1");

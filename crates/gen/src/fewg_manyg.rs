@@ -22,11 +22,14 @@ use crate::rng::Xoshiro256;
 /// Panics if `g == 0`, `p % g != 0`, or `d == 0`.
 pub fn fewg_manyg(n: u32, p: u32, g: u32, d: u32, rng: &mut Xoshiro256) -> Bipartite {
     assert!(g > 0, "need at least one group");
-    assert!(p.is_multiple_of(g), "FewgManyg requires p divisible by g (paper configurations satisfy this)");
+    assert!(
+        p.is_multiple_of(g),
+        "FewgManyg requires p divisible by g (paper configurations satisfy this)"
+    );
     assert!(d > 0, "degree parameter must be positive");
     let pg = p / g; // processors per group
-    // Candidate neighbors live in groups j−1, j, j+1; with fewer than three
-    // groups the wrap-around makes those coincide, so the window shrinks.
+                    // Candidate neighbors live in groups j−1, j, j+1; with fewer than three
+                    // groups the wrap-around makes those coincide, so the window shrinks.
     let window = g.min(3) * pg;
     let base = n / g;
     let extra = n % g;
@@ -117,8 +120,8 @@ mod tests {
         let mut rng = Xoshiro256::seed_from_u64(3);
         let g = fewg_manyg(128, 16, 8, 10, &mut rng);
         g.validate().unwrap();
-        let avg: f64 = (0..g.n_left()).map(|v| g.deg_left(v) as f64).sum::<f64>()
-            / g.n_left() as f64;
+        let avg: f64 =
+            (0..g.n_left()).map(|v| g.deg_left(v) as f64).sum::<f64>() / g.n_left() as f64;
         // Expected distinct of ~10 draws from 6 ≈ 6·(1−(5/6)^10) ≈ 5.0.
         assert!(avg > 3.5 && avg < 6.0, "realized mean degree {avg}");
     }
@@ -127,8 +130,8 @@ mod tests {
     fn wide_window_keeps_mean_degree() {
         let mut rng = Xoshiro256::seed_from_u64(4);
         let g = fewg_manyg(2048, 256, 8, 5, &mut rng);
-        let avg: f64 = (0..g.n_left()).map(|v| g.deg_left(v) as f64).sum::<f64>()
-            / g.n_left() as f64;
+        let avg: f64 =
+            (0..g.n_left()).map(|v| g.deg_left(v) as f64).sum::<f64>() / g.n_left() as f64;
         assert!((avg - 5.0).abs() < 0.3, "realized mean degree {avg}");
     }
 

@@ -27,7 +27,10 @@ use crate::rng::Xoshiro256;
 /// Panics if `g == 0`, `p % g != 0`, or `d == 0`.
 pub fn hilo(n: u32, p: u32, g: u32, d: u32) -> Bipartite {
     assert!(g > 0, "need at least one group");
-    assert!(p.is_multiple_of(g), "HiLo requires p divisible by g (paper configurations satisfy this)");
+    assert!(
+        p.is_multiple_of(g),
+        "HiLo requires p divisible by g (paper configurations satisfy this)"
+    );
     assert!(d > 0, "degree parameter must be positive");
     let pg = p / g; // processors per group
     let mut builder = BipartiteBuilder::with_capacity(n, p, (n as usize) * 2 * (d as usize + 1));
@@ -97,13 +100,14 @@ mod tests {
         // matching exists (x_i^j ↔ y_{min(i,pg)}^j is NOT it, but the
         // diagonal k = i works since i ≤ pg within each group).
         let g = hilo(16, 16, 4, 2);
-        let m = semimatch_test_matching(&g);
+        let m = max_matching_size(&g);
         assert_eq!(m, 16);
     }
 
-    /// Minimal augmenting-path matcher for tests (avoids a dev-dependency
-    /// cycle with semimatch-matching).
-    fn semimatch_test_matching(g: &Bipartite) -> usize {
+    /// Maximum-matching *cardinality* via a minimal augmenting-path
+    /// matcher — not a semi-matching; kept local to avoid a dev-dependency
+    /// cycle with semimatch-matching.
+    fn max_matching_size(g: &Bipartite) -> usize {
         let n1 = g.n_left() as usize;
         let n2 = g.n_right() as usize;
         let mut mate_l = vec![u32::MAX; n1];

@@ -72,12 +72,7 @@ pub fn hyper_instance_deterministic_hilo(params: HyperParams, rng: &mut Xoshiro2
     assemble(n, p, &degrees, &wiring)
 }
 
-fn assemble(
-    n: u32,
-    p: u32,
-    degrees: &[u32],
-    wiring: &semimatch_graph::Bipartite,
-) -> Hypergraph {
+fn assemble(n: u32, p: u32, degrees: &[u32], wiring: &semimatch_graph::Bipartite) -> Hypergraph {
     let mut builder = HypergraphBuilder::with_capacity(n, p, wiring.n_left() as usize);
     let mut hedge: u32 = 0;
     for (t, &deg) in degrees.iter().enumerate() {
@@ -93,9 +88,8 @@ fn assemble(
 /// Re-rolls processor sides of an existing hypergraph (rarely needed; kept
 /// for experiments that fix step 1 while varying step 2).
 pub fn rewire_hilo(h: &Hypergraph, g: u32, dh: u32, rng: &mut Xoshiro256) -> Hypergraph {
-    let wiring =
-        permute_bipartite(&crate::hilo::hilo(h.n_hedges(), h.n_procs(), g, dh), rng)
-            .expect("permutation preserves validity");
+    let wiring = permute_bipartite(&crate::hilo::hilo(h.n_hedges(), h.n_procs(), g, dh), rng)
+        .expect("permutation preserves validity");
     let degrees: Vec<u32> = (0..h.n_tasks()).map(|t| h.deg_task(t)).collect();
     assemble(h.n_tasks(), h.n_procs(), &degrees, &wiring)
 }
@@ -138,8 +132,10 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = hyper_instance(small_params(HyperKind::FewgManyg), &mut Xoshiro256::seed_from_u64(9));
-        let b = hyper_instance(small_params(HyperKind::FewgManyg), &mut Xoshiro256::seed_from_u64(9));
+        let a =
+            hyper_instance(small_params(HyperKind::FewgManyg), &mut Xoshiro256::seed_from_u64(9));
+        let b =
+            hyper_instance(small_params(HyperKind::FewgManyg), &mut Xoshiro256::seed_from_u64(9));
         assert_eq!(a, b);
     }
 

@@ -248,14 +248,9 @@ mod tests {
         let grid = table1_grid(WeightScheme::Unit);
         assert_eq!(grid.len(), 24);
         let names: Vec<String> = grid.iter().map(Config::name).collect();
-        for expected in [
-            "FG-5-1-MP",
-            "MG-20-1-MP",
-            "FG-80-16-MP",
-            "HLF-5-1-MP",
-            "HLM-80-4-MP",
-            "HLM-80-16-MP",
-        ] {
+        for expected in
+            ["FG-5-1-MP", "MG-20-1-MP", "FG-80-16-MP", "HLF-5-1-MP", "HLM-80-4-MP", "HLM-80-16-MP"]
+        {
             assert!(names.iter().any(|n| n == expected), "missing {expected}");
         }
     }
@@ -280,14 +275,8 @@ mod tests {
 
     #[test]
     fn weight_scheme_is_applied() {
-        let base = Config {
-            family: Family::Fg,
-            n: 128,
-            p: 64,
-            dv: 3,
-            dh: 4,
-            weights: WeightScheme::Unit,
-        };
+        let base =
+            Config { family: Family::Fg, n: 128, p: 64, dv: 3, dh: 4, weights: WeightScheme::Unit };
         let unit = base.instance(7, 0);
         assert!(unit.is_unit());
         let related = Config { weights: WeightScheme::Related, ..base }.instance(7, 0);

@@ -84,12 +84,7 @@ mod tests {
         Hypergraph::from_hyperedges(
             2,
             6,
-            vec![
-                (0, vec![0], 1),
-                (0, vec![1, 2, 3], 1),
-                (1, vec![4, 5], 1),
-                (1, vec![0, 1, 2], 1),
-            ],
+            vec![(0, vec![0], 1), (0, vec![1, 2, 3], 1), (1, vec![4, 5], 1), (1, vec![0, 1, 2], 1)],
         )
         .unwrap()
     }
@@ -150,12 +145,8 @@ mod tests {
 
     #[test]
     fn random_edge_weights_are_seeded_and_bounded() {
-        let base = semimatch_graph::Bipartite::from_edges(
-            3,
-            2,
-            &[(0, 0), (0, 1), (1, 0), (2, 1)],
-        )
-        .unwrap();
+        let base = semimatch_graph::Bipartite::from_edges(3, 2, &[(0, 0), (0, 1), (1, 0), (2, 1)])
+            .unwrap();
         let mut a = base.clone();
         let mut b = base.clone();
         apply_random_edge_weights(&mut a, 20, &mut Xoshiro256::seed_from_u64(5));

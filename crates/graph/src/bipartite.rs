@@ -373,8 +373,8 @@ mod tests {
 
     #[test]
     fn weights_follow_their_edges_through_sorting() {
-        let g = Bipartite::from_weighted_edges(1, 3, &[(0, 2), (0, 0), (0, 1)], &[30, 10, 20])
-            .unwrap();
+        let g =
+            Bipartite::from_weighted_edges(1, 3, &[(0, 2), (0, 0), (0, 1)], &[30, 10, 20]).unwrap();
         assert_eq!(g.neighbors(0), &[0, 1, 2]);
         let ws: Vec<u64> = g.edge_range(0).map(|e| g.weight(e)).collect();
         assert_eq!(ws, vec![10, 20, 30]);
@@ -400,8 +400,7 @@ mod tests {
 
     #[test]
     fn zero_weight_rejected() {
-        let err =
-            Bipartite::from_weighted_edges(1, 2, &[(0, 0), (0, 1)], &[1, 0]).unwrap_err();
+        let err = Bipartite::from_weighted_edges(1, 2, &[(0, 0), (0, 1)], &[1, 0]).unwrap_err();
         assert!(matches!(err, GraphError::ZeroWeight { index: 1 }));
     }
 

@@ -79,8 +79,8 @@ mod tests {
 
     #[test]
     fn bipartite_dot_contains_all_parts() {
-        let g = Bipartite::from_weighted_edges(2, 2, &[(0, 0), (0, 1), (1, 0)], &[1, 5, 2])
-            .unwrap();
+        let g =
+            Bipartite::from_weighted_edges(2, 2, &[(0, 0), (0, 1), (1, 0)], &[1, 5, 2]).unwrap();
         let mut buf = Vec::new();
         write_dot_bipartite(&g, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();

@@ -291,12 +291,7 @@ mod tests {
     pub(crate) fn fig2() -> Hypergraph {
         Hypergraph::from_configs(
             3,
-            &[
-                vec![vec![0], vec![1, 2]],
-                vec![vec![0, 1], vec![1]],
-                vec![vec![2]],
-                vec![vec![2]],
-            ],
+            &[vec![vec![0], vec![1, 2]], vec![vec![0, 1], vec![1]], vec![vec![2]], vec![vec![2]]],
         )
         .unwrap()
     }
@@ -324,12 +319,7 @@ mod tests {
         let h = Hypergraph::from_hyperedges(
             3,
             4,
-            vec![
-                (2, vec![0], 1),
-                (0, vec![1, 2], 5),
-                (1, vec![3], 2),
-                (0, vec![0], 3),
-            ],
+            vec![(2, vec![0], 1), (0, vec![1, 2], 5), (1, vec![3], 2), (0, vec![0], 3)],
         )
         .unwrap();
         // Task 0 owns the first two hyperedges, in original relative order.
@@ -347,8 +337,7 @@ mod tests {
     fn pins_sorted_and_duplicates_rejected() {
         let h = Hypergraph::from_hyperedges(1, 5, vec![(0, vec![4, 1, 3], 1)]).unwrap();
         assert_eq!(h.procs_of(0), &[1, 3, 4]);
-        let err =
-            Hypergraph::from_hyperedges(1, 5, vec![(0, vec![2, 2], 1)]).unwrap_err();
+        let err = Hypergraph::from_hyperedges(1, 5, vec![(0, vec![2, 2], 1)]).unwrap_err();
         assert!(matches!(err, GraphError::DuplicatePin { .. }));
     }
 
@@ -385,8 +374,7 @@ mod tests {
 
     #[test]
     fn uncovered_tasks_detected() {
-        let h = Hypergraph::from_hyperedges(3, 2, vec![(0, vec![0], 1), (2, vec![1], 1)])
-            .unwrap();
+        let h = Hypergraph::from_hyperedges(3, 2, vec![(0, vec![0], 1), (2, vec![1], 1)]).unwrap();
         assert_eq!(h.uncovered_tasks(), vec![1]);
     }
 

@@ -40,10 +40,9 @@ pub fn write_bipartite<W: Write>(g: &Bipartite, w: W) -> Result<()> {
 /// Reads a graph in the `.bg` text format.
 pub fn read_bipartite<R: Read>(r: R) -> Result<Bipartite> {
     let mut lines = ContentLines::new(r);
-    let (line_no, header) = lines.next_content()?.ok_or_else(|| GraphError::Parse {
-        line: 0,
-        msg: "missing header line".into(),
-    })?;
+    let (line_no, header) = lines
+        .next_content()?
+        .ok_or_else(|| GraphError::Parse { line: 0, msg: "missing header line".into() })?;
     let dims = parse_numbers(&header, line_no, 3)?;
     let (n_left, n_right, m) = (dims[0] as u32, dims[1] as u32, dims[2] as usize);
     let mut edges = Vec::with_capacity(m);
@@ -79,10 +78,9 @@ pub fn write_hypergraph<W: Write>(h: &Hypergraph, w: W) -> Result<()> {
 /// Reads a hypergraph in the `.hg` text format.
 pub fn read_hypergraph<R: Read>(r: R) -> Result<Hypergraph> {
     let mut lines = ContentLines::new(r);
-    let (line_no, header) = lines.next_content()?.ok_or_else(|| GraphError::Parse {
-        line: 0,
-        msg: "missing header line".into(),
-    })?;
+    let (line_no, header) = lines
+        .next_content()?
+        .ok_or_else(|| GraphError::Parse { line: 0, msg: "missing header line".into() })?;
     let dims = parse_numbers(&header, line_no, 3)?;
     let (n_tasks, n_procs, n_hedges) = (dims[0] as u32, dims[1] as u32, dims[2] as usize);
     let mut hedges = Vec::with_capacity(n_hedges);
@@ -170,13 +168,8 @@ mod tests {
 
     #[test]
     fn bipartite_roundtrip() {
-        let g = Bipartite::from_weighted_edges(
-            3,
-            2,
-            &[(0, 0), (0, 1), (2, 1)],
-            &[5, 1, 9],
-        )
-        .unwrap();
+        let g =
+            Bipartite::from_weighted_edges(3, 2, &[(0, 0), (0, 1), (2, 1)], &[5, 1, 9]).unwrap();
         let mut buf = Vec::new();
         write_bipartite(&g, &mut buf).unwrap();
         let back = read_bipartite(&buf[..]).unwrap();

@@ -161,12 +161,7 @@ mod tests {
     fn hypergraph_stats_fig2_columns() {
         let h = Hypergraph::from_configs(
             3,
-            &[
-                vec![vec![0], vec![1, 2]],
-                vec![vec![0, 1], vec![1]],
-                vec![vec![2]],
-                vec![vec![2]],
-            ],
+            &[vec![vec![0], vec![1, 2]], vec![vec![0, 1], vec![1]], vec![vec![2]], vec![vec![2]]],
         )
         .unwrap();
         let s = HypergraphStats::of(&h);

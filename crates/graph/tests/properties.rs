@@ -10,12 +10,10 @@ type WeightedEdges = Vec<((u32, u32), u64)>;
 /// Arbitrary duplicate-free weighted edge list.
 fn edge_list() -> impl Strategy<Value = (u32, u32, WeightedEdges)> {
     (1u32..24, 1u32..16).prop_flat_map(|(n, p)| {
-        proptest::collection::btree_map((0..n, 0..p), 1u64..100, 0..64).prop_map(
-            move |edges| {
-                let list: Vec<((u32, u32), u64)> = edges.into_iter().collect();
-                (n, p, list)
-            },
-        )
+        proptest::collection::btree_map((0..n, 0..p), 1u64..100, 0..64).prop_map(move |edges| {
+            let list: Vec<((u32, u32), u64)> = edges.into_iter().collect();
+            (n, p, list)
+        })
     })
 }
 

@@ -140,8 +140,7 @@ mod tests {
     #[test]
     fn capacity_bounds_processor_load() {
         // 5 tasks all eligible on P0 only.
-        let g =
-            Bipartite::from_edges(5, 1, &[(0, 0), (1, 0), (2, 0), (3, 0), (4, 0)]).unwrap();
+        let g = Bipartite::from_edges(5, 1, &[(0, 0), (1, 0), (2, 0), (3, 0), (4, 0)]).unwrap();
         let a2 = max_assignment(&g, 2);
         a2.validate(&g, 2).unwrap();
         assert_eq!(a2.cardinality(), 2);
@@ -164,12 +163,8 @@ mod tests {
     #[test]
     fn per_processor_capacities() {
         // Tasks 0,1,2 all eligible on both processors; cap(P0)=1, cap(P1)=2.
-        let g = Bipartite::from_edges(
-            3,
-            2,
-            &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)],
-        )
-        .unwrap();
+        let g =
+            Bipartite::from_edges(3, 2, &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)]).unwrap();
         let a = max_assignment_with_capacities(&g, &[1, 2]);
         assert!(a.is_complete());
         assert!(a.loads[0] <= 1);

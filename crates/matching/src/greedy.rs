@@ -167,12 +167,9 @@ mod tests {
     fn karp_sipser_on_perfect_matching_chain() {
         // HiLo-like chain where greedy can err but degree-1 propagation wins:
         // L0: {R0}; L1: {R0, R1}; L2: {R1, R2}; L3: {R2, R3}.
-        let g = Bipartite::from_edges(
-            4,
-            4,
-            &[(0, 0), (1, 0), (1, 1), (2, 1), (2, 2), (3, 2), (3, 3)],
-        )
-        .unwrap();
+        let g =
+            Bipartite::from_edges(4, 4, &[(0, 0), (1, 0), (1, 1), (2, 1), (2, 2), (3, 2), (3, 3)])
+                .unwrap();
         let m = karp_sipser(&g);
         m.validate(&g).unwrap();
         assert_eq!(m.cardinality(), 4, "degree-1 propagation yields the perfect matching");

@@ -24,7 +24,6 @@
 //! ```
 
 #![warn(missing_docs)]
-
 // Index-based loops over parallel arrays are the idiom throughout the
 // matching kernels (mate/degree/label arrays evolve together); the
 // iterator rewrites clippy suggests would borrow-conflict.
@@ -144,17 +143,7 @@ mod tests {
         let g = Bipartite::from_edges(
             6,
             5,
-            &[
-                (0, 0),
-                (0, 1),
-                (1, 0),
-                (2, 2),
-                (2, 3),
-                (3, 2),
-                (4, 4),
-                (5, 4),
-                (5, 0),
-            ],
+            &[(0, 0), (0, 1), (1, 0), (2, 2), (2, 3), (3, 2), (4, 4), (5, 4), (5, 0)],
         )
         .unwrap();
         let mut sizes = Vec::new();
@@ -188,13 +177,7 @@ mod tests {
                 let m = maximum_matching_with_init(&g, algo, init);
                 cover::certify_maximum(&g, &m)
                     .unwrap_or_else(|e| panic!("{}/{}: {e}", algo.name(), init.name()));
-                assert_eq!(
-                    m.cardinality(),
-                    reference,
-                    "{}/{}",
-                    algo.name(),
-                    init.name()
-                );
+                assert_eq!(m.cardinality(), reference, "{}/{}", algo.name(), init.name());
             }
         }
     }

@@ -84,20 +84,12 @@ impl Matching {
 
     /// Unmatched left vertices.
     pub fn exposed_left(&self) -> impl Iterator<Item = u32> + '_ {
-        self.mate_left
-            .iter()
-            .enumerate()
-            .filter(|&(_, &m)| m == NONE)
-            .map(|(v, _)| v as u32)
+        self.mate_left.iter().enumerate().filter(|&(_, &m)| m == NONE).map(|(v, _)| v as u32)
     }
 
     /// Unmatched right vertices.
     pub fn exposed_right(&self) -> impl Iterator<Item = u32> + '_ {
-        self.mate_right
-            .iter()
-            .enumerate()
-            .filter(|&(_, &m)| m == NONE)
-            .map(|(u, _)| u as u32)
+        self.mate_right.iter().enumerate().filter(|&(_, &m)| m == NONE).map(|(u, _)| u as u32)
     }
 }
 

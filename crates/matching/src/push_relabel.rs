@@ -37,8 +37,7 @@ pub fn push_relabel_from(g: &Bipartite, mut m: Matching) -> Matching {
     let mut active: std::collections::VecDeque<u32> =
         m.exposed_left().filter(|&v| g.deg_left(v) > 0).collect();
     let mut relabels_since_global = 0usize;
-    let relabel_budget =
-        ((GLOBAL_RELABEL_FREQ * n2 as f64) as usize).max(16);
+    let relabel_budget = ((GLOBAL_RELABEL_FREQ * n2 as f64) as usize).max(16);
 
     while let Some(v) = active.pop_front() {
         if m.mate_left[v as usize] != NONE {
@@ -70,11 +69,8 @@ pub fn push_relabel_from(g: &Bipartite, mut m: Matching) -> Matching {
         }
         // Relabel `best` to one more than the second minimum (or to
         // infinity when v had a single eligible neighbor).
-        let new_psi = if second_psi == u32::MAX {
-            infinity
-        } else {
-            (second_psi + 1).min(infinity)
-        };
+        let new_psi =
+            if second_psi == u32::MAX { infinity } else { (second_psi + 1).min(infinity) };
         if new_psi > psi[best as usize] {
             psi[best as usize] = new_psi;
             relabels_since_global += 1;

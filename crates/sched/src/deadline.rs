@@ -101,10 +101,7 @@ mod tests {
             inst.add_sequential_task(format!("t{i}"), &[(0, 1)]);
         }
         assert_eq!(meets_deadline(&inst, 2).unwrap(), DeadlineVerdict::Infeasible);
-        assert!(matches!(
-            meets_deadline(&inst, 3).unwrap(),
-            DeadlineVerdict::Feasible(_)
-        ));
+        assert!(matches!(meets_deadline(&inst, 3).unwrap(), DeadlineVerdict::Feasible(_)));
     }
 
     #[test]
@@ -125,10 +122,7 @@ mod tests {
     #[test]
     fn empty_instance_meets_everything() {
         let inst = Instance::new(3);
-        assert!(matches!(
-            meets_deadline(&inst, 0).unwrap(),
-            DeadlineVerdict::Feasible(_)
-        ));
+        assert!(matches!(meets_deadline(&inst, 0).unwrap(), DeadlineVerdict::Feasible(_)));
     }
 
     #[test]

@@ -25,17 +25,20 @@
 //! ```
 
 #![warn(missing_docs)]
-
 // Parallel-array loops in the simulator index several queues at once.
 #![allow(clippy::needless_range_loop)]
 
 pub mod convert;
 pub mod deadline;
 pub mod model;
-pub mod online;
 pub mod policies;
 pub mod schedule;
 pub mod simulator;
+
+/// Online dispatching now lives in the core crate (next to the other
+/// solvers, reachable from the [`semimatch_core::solver`] registry);
+/// re-exported here for source compatibility.
+pub use semimatch_core::online;
 
 pub use convert::{from_bipartite, from_hypergraph, to_bipartite, to_hypergraph};
 pub use deadline::{meets_deadline, DeadlineVerdict};

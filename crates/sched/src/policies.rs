@@ -1,97 +1,50 @@
-//! One-call scheduling: pick a policy, get a validated [`Schedule`].
+//! One-call scheduling: pick a solver from the registry, get a validated
+//! [`Schedule`].
+//!
+//! The old per-policy `match` ladder is gone — a policy *is* a
+//! [`SolverKind`], and dispatch happens in [`semimatch_core::solver`].
+//! `MULTIPROC` solvers run on the instance's hypergraph form; `SINGLEPROC`
+//! solvers run on the bipartite form when the instance is expressible there
+//! (sequential-only tasks, distinct processors per task) and error
+//! otherwise.
 
-use semimatch_core::error::Result;
-use semimatch_core::hyper::HyperHeuristic;
-use semimatch_core::refine::{iterated_refine, refine};
+use semimatch_core::error::{CoreError, Result};
+use semimatch_core::solver::{solve, Problem, SolverClass, SolverKind};
 
-use crate::convert::to_hypergraph;
+use crate::convert::{to_bipartite, to_hypergraph};
 use crate::model::Instance;
-use crate::online::{online_schedule, OnlineRule};
 use crate::schedule::Schedule;
 
-/// Scheduling policy: the paper's four heuristics, their refined variants,
-/// and the online baselines.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Policy {
-    /// sorted-greedy-hyp (Algorithm 4).
-    Sgh,
-    /// vector-greedy-hyp.
-    Vgh,
-    /// expected-greedy-hyp (Algorithm 5).
-    Egh,
-    /// expected-vector-greedy-hyp.
-    Evg,
-    /// EVG followed by local-search refinement (extension).
-    EvgRefined,
-    /// SGH followed by local-search refinement (extension).
-    SghRefined,
-    /// SGH followed by iterated local search with bottleneck kicks
-    /// (extension).
-    SghIls,
-    /// Online min-bottleneck dispatcher (no sorting, no look-ahead).
-    Online,
-}
+/// Scheduling policies are solver registry entries; the historical `Policy`
+/// name survives as an alias.
+///
+/// **Breaking change from the pre-registry `Policy` enum**: `Policy::ALL`
+/// now spans every registered solver (including `SINGLEPROC`-only and
+/// exhaustive kinds) — iterate [`SolverKind::POLICIES`] to recover the old
+/// "every schedulable policy" behaviour — and `Policy::name()` returns
+/// registry names (`"sgh"`, `"evg-refined"`) instead of the old display
+/// labels (use [`SolverKind::label`] for those).
+pub use semimatch_core::solver::SolverKind as Policy;
 
-impl Policy {
-    /// All policies, for sweeps.
-    pub const ALL: [Policy; 8] = [
-        Policy::Sgh,
-        Policy::Vgh,
-        Policy::Egh,
-        Policy::Evg,
-        Policy::EvgRefined,
-        Policy::SghRefined,
-        Policy::SghIls,
-        Policy::Online,
-    ];
-
-    /// Stable display name.
-    pub fn name(self) -> &'static str {
-        match self {
-            Policy::Sgh => "SGH",
-            Policy::Vgh => "VGH",
-            Policy::Egh => "EGH",
-            Policy::Evg => "EVG",
-            Policy::EvgRefined => "EVG+refine",
-            Policy::SghRefined => "SGH+refine",
-            Policy::SghIls => "SGH+ILS",
-            Policy::Online => "online",
+/// Schedules `inst` under `policy` (any registry [`SolverKind`]).
+pub fn schedule(inst: &Instance, policy: SolverKind) -> Result<Schedule> {
+    match policy.class() {
+        SolverClass::SingleProc => {
+            let g = to_bipartite(inst).ok_or(CoreError::KindMismatch {
+                solver: policy.name(),
+                expected: "a sequential-only instance (no multi-processor configurations)",
+            })?;
+            let sol = solve(Problem::SingleProc(&g), policy)?;
+            let sm = sol.into_semi().expect("SINGLEPROC solver returned its own class");
+            Ok(Schedule::from_semi_matching(inst, &g, &sm))
+        }
+        SolverClass::MultiProc | SolverClass::Either => {
+            let h = to_hypergraph(inst);
+            let sol = solve(Problem::MultiProc(&h), policy)?;
+            let hm = sol.into_hyper().expect("MULTIPROC solver returned its own class");
+            Ok(Schedule::from_hyper_matching(&h, &hm))
         }
     }
-}
-
-/// Maximum refinement passes used by the `*Refined` policies.
-const REFINE_PASSES: u32 = 16;
-
-/// Bottleneck kicks used by the ILS policy.
-const ILS_KICKS: u32 = 12;
-
-/// Schedules `inst` under `policy`.
-pub fn schedule(inst: &Instance, policy: Policy) -> Result<Schedule> {
-    let h = to_hypergraph(inst);
-    let hm = match policy {
-        Policy::Sgh => HyperHeuristic::Sgh.run(&h)?,
-        Policy::Vgh => HyperHeuristic::Vgh.run(&h)?,
-        Policy::Egh => HyperHeuristic::Egh.run(&h)?,
-        Policy::Evg => HyperHeuristic::Evg.run(&h)?,
-        Policy::EvgRefined => {
-            let mut hm = HyperHeuristic::Evg.run(&h)?;
-            refine(&h, &mut hm, REFINE_PASSES)?;
-            hm
-        }
-        Policy::SghRefined => {
-            let mut hm = HyperHeuristic::Sgh.run(&h)?;
-            refine(&h, &mut hm, REFINE_PASSES)?;
-            hm
-        }
-        Policy::SghIls => {
-            let mut hm = HyperHeuristic::Sgh.run(&h)?;
-            iterated_refine(&h, &mut hm, ILS_KICKS, REFINE_PASSES)?;
-            hm
-        }
-        Policy::Online => online_schedule(&h, OnlineRule::MinBottleneck)?,
-    };
-    Ok(Schedule::from_hyper_matching(&h, &hm))
 }
 
 #[cfg(test)]
@@ -108,14 +61,45 @@ mod tests {
         inst
     }
 
+    fn sequential_sample() -> Instance {
+        let mut inst = Instance::new(3);
+        for i in 0..5 {
+            inst.add_sequential_task(
+                format!("job{i}"),
+                &[(i % 3, 1 + i as u64 % 2), ((i + 1) % 3, 2)],
+            );
+        }
+        inst
+    }
+
     #[test]
-    fn all_policies_produce_valid_schedules() {
+    fn all_multiproc_policies_produce_valid_schedules() {
         let inst = sample();
-        for policy in Policy::ALL {
+        for policy in SolverKind::MULTIPROC {
             let s = schedule(&inst, policy).unwrap();
             s.validate(&inst).unwrap_or_else(|e| panic!("{}: {e}", policy.name()));
             assert!(s.makespan(&inst) > 0);
         }
+    }
+
+    #[test]
+    fn singleproc_policies_run_on_sequential_instances() {
+        let inst = sequential_sample();
+        for policy in SolverKind::SINGLEPROC {
+            // The exact kinds need unit weights; skip the instance mismatch.
+            if policy.is_exact() && policy != SolverKind::BruteForce {
+                continue;
+            }
+            let s = schedule(&inst, policy).unwrap();
+            s.validate(&inst).unwrap_or_else(|e| panic!("{}: {e}", policy.name()));
+            assert!(s.makespan(&inst) > 0);
+        }
+    }
+
+    #[test]
+    fn singleproc_policy_on_parallel_instance_is_a_clean_error() {
+        let inst = sample();
+        assert!(matches!(schedule(&inst, SolverKind::Sorted), Err(CoreError::KindMismatch { .. })));
     }
 
     #[test]
@@ -127,13 +111,5 @@ mod tests {
         let sgh = schedule(&inst, Policy::Sgh).unwrap().makespan(&inst);
         let sgh_r = schedule(&inst, Policy::SghRefined).unwrap().makespan(&inst);
         assert!(sgh_r <= sgh);
-    }
-
-    #[test]
-    fn names_are_distinct() {
-        let mut names: Vec<_> = Policy::ALL.iter().map(|p| p.name()).collect();
-        names.sort_unstable();
-        names.dedup();
-        assert_eq!(names.len(), Policy::ALL.len());
     }
 }

@@ -3,8 +3,8 @@
 
 use std::fmt::Write as _;
 
-use semimatch_core::problem::HyperMatching;
-use semimatch_graph::Hypergraph;
+use semimatch_core::problem::{HyperMatching, SemiMatching};
+use semimatch_graph::{Bipartite, Hypergraph};
 
 use crate::model::Instance;
 
@@ -28,6 +28,27 @@ impl Schedule {
             .iter()
             .enumerate()
             .map(|(t, &hid)| hid - h.hedges_of(t as u32).start)
+            .collect();
+        Schedule { choice }
+    }
+
+    /// Translates a bipartite solution back to configuration indices.
+    ///
+    /// `g` must be the graph produced by [`crate::convert::to_bipartite`]
+    /// for `inst` (so every task's configurations are sequential and name
+    /// distinct processors — the chosen processor identifies the
+    /// configuration).
+    pub fn from_semi_matching(inst: &Instance, g: &Bipartite, sm: &SemiMatching) -> Self {
+        let choice = (0..inst.n_tasks())
+            .map(|t| {
+                let proc = sm.proc_of(g, t);
+                inst.task(t)
+                    .configs
+                    .iter()
+                    .position(|c| c.processors == [proc])
+                    .expect("to_bipartite guarantees one config per processor")
+                    as u32
+            })
             .collect();
         Schedule { choice }
     }
@@ -74,8 +95,7 @@ impl Schedule {
     /// parts of a task are independent, so any order is a valid
     /// execution — see the simulator for a timed trace).
     pub fn gantt(&self, inst: &Instance) -> String {
-        let mut rows: Vec<Vec<(String, u64)>> =
-            vec![Vec::new(); inst.n_processors() as usize];
+        let mut rows: Vec<Vec<(String, u64)>> = vec![Vec::new(); inst.n_processors() as usize];
         for (t, &c) in self.choice.iter().enumerate() {
             let task = inst.task(t as u32);
             let cfg = &task.configs[c as usize];

@@ -58,18 +58,12 @@ fn main() {
     println!("{JOBS} jobs on {n_nodes} nodes in {RACKS} racks; lower bound = {lb}\n");
     println!("{:<12} {:>9} {:>8}", "policy", "makespan", "vs LB");
     let mut best = (u64::MAX, "");
-    for policy in Policy::ALL {
+    for policy in Policy::POLICIES {
         let s = schedule(&inst, policy).unwrap();
         s.validate(&inst).unwrap();
         let m = s.makespan(&inst);
         let profile = LoadProfile::of_loads(&s.loads(&inst));
-        println!(
-            "{:<12} {:>9} {:>8.3}   {}",
-            policy.name(),
-            m,
-            ratio(m, lb),
-            profile.summary()
-        );
+        println!("{:<12} {:>9} {:>8.3}   {}", policy.name(), m, ratio(m, lb), profile.summary());
         if m < best.0 {
             best = (m, policy.name());
         }

@@ -33,7 +33,7 @@ fn main() {
     let lb = lower_bound_multiproc(&h).unwrap();
     println!("lower bound (Eq. 1 of the paper): {lb}\n");
 
-    for policy in Policy::ALL {
+    for policy in Policy::POLICIES {
         let s = schedule(&inst, policy).unwrap();
         println!("{:<12} makespan = {}", policy.name(), s.makespan(&inst));
     }
@@ -46,9 +46,6 @@ fn main() {
     println!("simulated wall-clock makespan: {}", report.makespan);
     println!("mean task completion time:     {:.2}", report.mean_completion());
     for (start, end, proc, task) in &report.events {
-        println!(
-            "  t={start:>2} .. {end:<2}  P{proc}  runs part of {}",
-            inst.task(*task).name
-        );
+        println!("  t={start:>2} .. {end:<2}  P{proc}  runs part of {}", inst.task(*task).name);
     }
 }

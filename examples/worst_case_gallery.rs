@@ -13,11 +13,7 @@ use semimatch::graph::Bipartite;
 fn show(name: &str, g: &Bipartite) {
     let exact = exact_unit(g, SearchStrategy::Bisection).unwrap();
     let harvey = harvey_exact(g).unwrap();
-    assert_eq!(
-        exact.makespan,
-        harvey.makespan(g),
-        "the two exact algorithms must agree"
-    );
+    assert_eq!(exact.makespan, harvey.makespan(g), "the two exact algorithms must agree");
     print!(
         "{name:<28} n={:<4} p={:<4} OPT={:<3} ({} oracle calls) |",
         g.n_left(),

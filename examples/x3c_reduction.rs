@@ -29,8 +29,7 @@ fn demonstrate(label: &str, x: &X3c) {
     match schedule_to_cover(&h, &hm, x.triples.len()).unwrap() {
         Some(cover) => {
             assert!(x.is_exact_cover(&cover), "Theorem 1: makespan 1 ⇒ exact cover");
-            let shown: Vec<String> =
-                cover.iter().map(|&i| format!("{:?}", x.triples[i])).collect();
+            let shown: Vec<String> = cover.iter().map(|&i| format!("{:?}", x.triples[i])).collect();
             println!("⇒ exact cover recovered from the schedule: {}", shown.join(" "));
         }
         None => {

@@ -16,8 +16,6 @@ use std::collections::HashMap;
 use std::fs::File;
 use std::process::ExitCode;
 
-use semimatch::core::exact::{exact_unit, harvey_exact, SearchStrategy};
-use semimatch::core::hyper::HyperHeuristic;
 use semimatch::core::lower_bound::{lower_bound_multiproc, lower_bound_singleproc};
 use semimatch::core::refine::refine;
 use semimatch::gen::params::{Config, Family};
@@ -26,6 +24,7 @@ use semimatch::gen::weights::WeightScheme;
 use semimatch::gen::{fewg_manyg, hilo_permuted};
 use semimatch::graph::io::{read_bipartite, read_hypergraph, write_bipartite, write_hypergraph};
 use semimatch::graph::{BipartiteStats, HypergraphStats};
+use semimatch::solver::{solve as solve_kind, Problem, SolverClass, SolverKind};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,11 +49,15 @@ usage:
   semimatch generate-bipartite  --gen hilo|fewgmanyg --n N --p P --g G --d D
                                 [--seed S] [--out FILE.bg]
   semimatch stats               FILE.{hg,bg}
-  semimatch solve               FILE.hg [--algo sgh|vgh|egh|evg] [--refine PASSES]
+  semimatch solve               FILE.{hg,bg} [--algo KIND] [--refine PASSES]
                                 [--save FILE.sol]
   semimatch verify              FILE.hg FILE.sol
-  semimatch exact               FILE.bg [--strategy incremental|bisection|harvey]
-  semimatch dot                 FILE.{hg,bg} [--out FILE.dot]";
+  semimatch exact               FILE.bg [--strategy KIND]  (any exact SINGLEPROC
+                                KIND; incremental|bisection|harvey still work)
+  semimatch solvers             (list every registered KIND)
+  semimatch dot                 FILE.{hg,bg} [--out FILE.dot]
+
+KIND is any solver registry name (see `semimatch solvers`).";
 
 /// Splits `args` into positional arguments and `--flag value` pairs.
 fn parse(args: &[String]) -> Result<(Vec<&str>, HashMap<&str, &str>), String> {
@@ -63,8 +66,7 @@ fn parse(args: &[String]) -> Result<(Vec<&str>, HashMap<&str, &str>), String> {
     let mut i = 0;
     while i < args.len() {
         if let Some(name) = args[i].strip_prefix("--") {
-            let value =
-                args.get(i + 1).ok_or_else(|| format!("flag --{name} needs a value"))?;
+            let value = args.get(i + 1).ok_or_else(|| format!("flag --{name} needs a value"))?;
             flags.insert(name, value.as_str());
             i += 2;
         } else {
@@ -83,6 +85,41 @@ fn num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("{what}: cannot parse '{s}'"))
 }
 
+/// Handles a bulk-stdout write error: a closed pipe (`… | head`) ends the
+/// dump quietly; any other I/O failure (e.g. ENOSPC on a redirect) must not
+/// masquerade as success.
+fn stdout_error(e: std::io::Error) {
+    if e.kind() != std::io::ErrorKind::BrokenPipe {
+        eprintln!("error: writing to stdout: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Writes a preassembled dump, tolerating only a closed pipe.
+fn emit_bytes(buf: &[u8]) {
+    use std::io::Write;
+    if let Err(e) = std::io::stdout().write_all(buf) {
+        stdout_error(e);
+    }
+}
+
+/// Writes bulk output lines, stopping quietly when the consumer closes the
+/// pipe (`semimatch solve … | head` must not panic on EPIPE).
+fn emit_lines<I: IntoIterator<Item = String>>(lines: I) {
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    for line in lines {
+        if let Err(e) = writeln!(out, "{line}") {
+            stdout_error(e);
+            return;
+        }
+    }
+    if let Err(e) = out.flush() {
+        stdout_error(e);
+    }
+}
+
 fn run(args: &[String]) -> Result<(), String> {
     let (positional, flags) = parse(args)?;
     let command = *positional.first().ok_or("missing command")?;
@@ -92,6 +129,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "stats" => stats(&positional),
         "solve" => solve(&positional, &flags),
         "exact" => exact(&positional, &flags),
+        "solvers" => solvers(),
         "dot" => dot(&positional, &flags),
         "verify" => verify(&positional),
         other => Err(format!("unknown command '{other}'")),
@@ -100,8 +138,7 @@ fn run(args: &[String]) -> Result<(), String> {
 
 fn generate(flags: &HashMap<&str, &str>) -> Result<(), String> {
     let cfg = if let Some(name) = flags.get("name") {
-        Config::from_name(name)
-            .ok_or_else(|| format!("'{name}' is not a Table I instance name"))?
+        Config::from_name(name).ok_or_else(|| format!("'{name}' is not a Table I instance name"))?
     } else {
         let family = match req(flags, "family")? {
             "FG" => Family::Fg,
@@ -143,7 +180,7 @@ fn generate(flags: &HashMap<&str, &str>) -> Result<(), String> {
         None => {
             let mut out = Vec::new();
             write_hypergraph(&h, &mut out).map_err(|e| e.to_string())?;
-            print!("{}", String::from_utf8_lossy(&out));
+            emit_bytes(&out);
         }
     }
     Ok(())
@@ -173,7 +210,7 @@ fn generate_bipartite(flags: &HashMap<&str, &str>) -> Result<(), String> {
         None => {
             let mut out = Vec::new();
             write_bipartite(&graph, &mut out).map_err(|e| e.to_string())?;
-            print!("{}", String::from_utf8_lossy(&out));
+            emit_bytes(&out);
         }
     }
     Ok(())
@@ -221,16 +258,55 @@ fn stats(positional: &[&str]) -> Result<(), String> {
 
 fn solve(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String> {
     let path = *positional.get(1).ok_or("solve needs a file argument")?;
+    // Default to the strongest heuristic of the file's problem class.
+    let default_algo = if path.ends_with(".bg") { "expected" } else { "evg" };
+    let kind: SolverKind = flags
+        .get("algo")
+        .copied()
+        .unwrap_or(default_algo)
+        .parse()
+        .map_err(|e: semimatch::core::CoreError| e.to_string())?;
     let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    if path.ends_with(".bg") {
+        solve_bipartite(path, file, kind, flags)
+    } else {
+        solve_hypergraph(path, file, kind, flags)
+    }
+}
+
+fn solve_bipartite(
+    path: &str,
+    file: File,
+    kind: SolverKind,
+    flags: &HashMap<&str, &str>,
+) -> Result<(), String> {
+    if flags.contains_key("refine") || flags.contains_key("save") {
+        return Err("--refine/--save apply to hypergraph (.hg) instances only".into());
+    }
+    let g = read_bipartite(file).map_err(|e| e.to_string())?;
+    let problem = Problem::SingleProc(&g);
+    let sol = solve_kind(problem, kind).map_err(|e| e.to_string())?;
+    let sm = sol.as_semi().expect("SINGLEPROC problems yield SINGLEPROC solutions");
+    let lb = lower_bound_singleproc(&g).map_err(|e| e.to_string())?;
+    let m = sol.makespan(&problem);
+    println!("instance:  {path}");
+    println!("solver:    {} ({})", kind.name(), kind.description());
+    println!("lower bound: {lb}");
+    println!("makespan:    {m}  (ratio {:.3})", m as f64 / lb as f64);
+    emit_lines((0..g.n_left()).map(|t| format!("  T{t} -> P{}", sm.proc_of(&g, t))));
+    Ok(())
+}
+
+fn solve_hypergraph(
+    path: &str,
+    file: File,
+    kind: SolverKind,
+    flags: &HashMap<&str, &str>,
+) -> Result<(), String> {
     let h = read_hypergraph(file).map_err(|e| e.to_string())?;
-    let heuristic = match flags.get("algo").copied().unwrap_or("evg") {
-        "sgh" => HyperHeuristic::Sgh,
-        "vgh" => HyperHeuristic::Vgh,
-        "egh" => HyperHeuristic::Egh,
-        "evg" => HyperHeuristic::Evg,
-        other => return Err(format!("unknown heuristic '{other}'")),
-    };
-    let mut hm = heuristic.run(&h).map_err(|e| e.to_string())?;
+    let problem = Problem::MultiProc(&h);
+    let sol = solve_kind(problem, kind).map_err(|e| e.to_string())?;
+    let mut hm = sol.into_hyper().expect("MULTIPROC problems yield MULTIPROC solutions");
     let base = hm.makespan(&h);
     let refined = if flags.contains_key("refine") {
         // --refine takes a pass count as its value.
@@ -242,7 +318,7 @@ fn solve(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String>
     };
     let lb = lower_bound_multiproc(&h).map_err(|e| e.to_string())?;
     println!("instance:  {path}");
-    println!("heuristic: {}", heuristic.label());
+    println!("solver:    {} ({})", kind.name(), kind.description());
     println!("lower bound: {lb}");
     println!("makespan:    {base}  (ratio {:.3})", base as f64 / lb as f64);
     if let Some((stats, m)) = refined {
@@ -255,18 +331,13 @@ fn solve(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String>
     }
     if let Some(out) = flags.get("save") {
         let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
-        semimatch::core::solution_io::write_solution(&hm, file)
-            .map_err(|e| e.to_string())?;
+        semimatch::core::solution_io::write_solution(&hm, file).map_err(|e| e.to_string())?;
         eprintln!("saved solution to {out}");
     } else {
         // Allocation dump: task → chosen hyperedge → processors.
-        for (t, &hid) in hm.hedge_of.iter().enumerate() {
-            println!(
-                "  T{t} -> h{hid} w={} procs={:?}",
-                h.weight(hid),
-                h.procs_of(hid)
-            );
-        }
+        emit_lines(hm.hedge_of.iter().enumerate().map(|(t, &hid)| {
+            format!("  T{t} -> h{hid} w={} procs={:?}", h.weight(hid), h.procs_of(hid))
+        }));
     }
     Ok(())
 }
@@ -282,7 +353,11 @@ fn verify(positional: &[&str]) -> Result<(), String> {
     let lb = lower_bound_multiproc(&h).map_err(|e| e.to_string())?;
     let profile = semimatch::core::analysis::LoadProfile::of(&h, &hm);
     println!("solution is VALID");
-    println!("makespan: {} (lower bound {lb}, ratio {:.3})", hm.makespan(&h), hm.makespan(&h) as f64 / lb as f64);
+    println!(
+        "makespan: {} (lower bound {lb}, ratio {:.3})",
+        hm.makespan(&h),
+        hm.makespan(&h) as f64 / lb as f64
+    );
     println!("{}", profile.summary());
     Ok(())
 }
@@ -291,24 +366,32 @@ fn exact(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String>
     let path = *positional.get(1).ok_or("exact needs a file argument")?;
     let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
     let g = read_bipartite(file).map_err(|e| e.to_string())?;
-    let strategy = flags.get("strategy").copied().unwrap_or("bisection");
-    let (makespan, detail) = match strategy {
-        "incremental" => {
-            let r = exact_unit(&g, SearchStrategy::Incremental).map_err(|e| e.to_string())?;
-            (r.makespan, format!("{} oracle calls", r.oracle_calls))
-        }
-        "bisection" => {
-            let r = exact_unit(&g, SearchStrategy::Bisection).map_err(|e| e.to_string())?;
-            (r.makespan, format!("{} oracle calls", r.oracle_calls))
-        }
-        "harvey" => {
-            let sm = harvey_exact(&g).map_err(|e| e.to_string())?;
-            (sm.makespan(&g), "cost-reducing paths".to_string())
-        }
-        other => return Err(format!("unknown strategy '{other}'")),
-    };
+    let kind: SolverKind = flags
+        .get("strategy")
+        .copied()
+        .unwrap_or("bisection")
+        .parse()
+        .map_err(|e: semimatch::core::CoreError| e.to_string())?;
+    if !kind.is_exact() || kind.class() == SolverClass::MultiProc {
+        return Err(format!("'{}' is not an exact SINGLEPROC solver", kind.name()));
+    }
+    let problem = Problem::SingleProc(&g);
+    let sol = solve_kind(problem, kind).map_err(|e| e.to_string())?;
     println!("instance: {path}");
-    println!("optimal makespan: {makespan} ({detail})");
+    println!("optimal makespan: {} ({})", sol.makespan(&problem), kind.description());
+    Ok(())
+}
+
+fn solvers() -> Result<(), String> {
+    let header = format!("{:<18} {:<10} {:<10} description", "name", "class", "paper");
+    emit_lines(std::iter::once(header).chain(SolverKind::ALL.into_iter().map(|kind| {
+        let class = match kind.class() {
+            SolverClass::SingleProc => "bipartite",
+            SolverClass::MultiProc => "hyper",
+            SolverClass::Either => "both",
+        };
+        format!("{:<18} {:<10} {:<10} {}", kind.name(), class, kind.paper_ref(), kind.description())
+    })));
     Ok(())
 }
 
@@ -329,7 +412,7 @@ fn dot(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String> {
             std::fs::write(out, &buf).map_err(|e| format!("write {out}: {e}"))?;
             eprintln!("wrote {out}");
         }
-        None => print!("{}", String::from_utf8_lossy(&buf)),
+        None => emit_bytes(&buf),
     }
     Ok(())
 }
@@ -419,8 +502,7 @@ mod tests {
 
         // DOT export for both formats.
         let dot_out = dir.join("t.dot");
-        run(&argv(&["dot", hg.to_str().unwrap(), "--out", dot_out.to_str().unwrap()]))
-            .unwrap();
+        run(&argv(&["dot", hg.to_str().unwrap(), "--out", dot_out.to_str().unwrap()])).unwrap();
         assert!(std::fs::read_to_string(&dot_out).unwrap().contains("graph semimatch"));
         run(&argv(&["dot", bg.to_str().unwrap()])).unwrap();
 
@@ -449,14 +531,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let hg = dir.join("named.hg");
         // The smallest Table I instance, by its paper name.
-        run(&argv(&[
-            "generate",
-            "--name",
-            "MG-5-1-MP-W",
-            "--out",
-            hg.to_str().unwrap(),
-        ]))
-        .unwrap();
+        run(&argv(&["generate", "--name", "MG-5-1-MP-W", "--out", hg.to_str().unwrap()])).unwrap();
         run(&argv(&["stats", hg.to_str().unwrap()])).unwrap();
         assert!(run(&argv(&["generate", "--name", "bogus"])).is_err());
         std::fs::remove_dir_all(&dir).ok();

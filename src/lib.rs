@@ -28,8 +28,13 @@
 //! | [`graph`] | CSR bipartite graphs & hypergraphs, I/O, statistics |
 //! | [`matching`] | maximum-matching engines (Hopcroft–Karp, push-relabel, …), max-flow, König certificates |
 //! | [`gen`] | HiLo / FewgManyg / hypergraph generators, adversarial families, X3C |
-//! | [`core`] | exact algorithms, the four SINGLEPROC and four MULTIPROC heuristics, lower bounds, refinement |
-//! | [`sched`] | task/processor model, schedules, discrete-event simulator, online dispatch |
+//! | [`core`] | exact algorithms, the four SINGLEPROC and four MULTIPROC heuristics, lower bounds, refinement, online dispatch |
+//! | [`sched`] | task/processor model, schedules, discrete-event simulator, policies |
+//!
+//! The [`solver`] module unifies every algorithm behind one
+//! `solve(problem, kind)` registry with name-based lookup
+//! (`SolverKind::from_str`) — the CLI, the bench harness and the scheduling
+//! policies all dispatch through it.
 //!
 //! ## Quickstart
 //!
@@ -53,6 +58,20 @@ pub use semimatch_gen as gen;
 pub use semimatch_graph as graph;
 pub use semimatch_matching as matching;
 pub use semimatch_sched as sched;
+
+/// The unified solver registry: every algorithm behind one
+/// `solve(problem, kind)` entry point with name-based lookup.
+///
+/// ```
+/// use semimatch::graph::Bipartite;
+/// use semimatch::solver::{solve, Problem, SolverKind};
+///
+/// let g = Bipartite::from_edges(2, 2, &[(0, 0), (0, 1), (1, 0)]).unwrap();
+/// let sol = solve(Problem::SingleProc(&g), "exact-bisection".parse().unwrap()).unwrap();
+/// assert_eq!(sol.makespan(&Problem::SingleProc(&g)), 1);
+/// assert!(SolverKind::ALL.len() >= 10);
+/// ```
+pub use semimatch_core::solver;
 
 /// Version of the reproduction, mirrored from the workspace.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,0 +1,198 @@
+//! End-to-end test of the `semimatch` binary: generate → stats → solve
+//! with every registry kind, driven through `std::process::Command` so the
+//! real argv/exit-code/stdout surface is covered.
+
+use std::fs::File;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use semimatch::graph::io::{write_bipartite, write_hypergraph};
+use semimatch::graph::{Bipartite, Hypergraph};
+use semimatch::solver::{SolverClass, SolverKind};
+
+fn semimatch(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_semimatch"))
+        .args(args)
+        .output()
+        .expect("spawn semimatch binary")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    // Keyed by pid so concurrent checkouts running `cargo test` on one
+    // machine cannot clobber each other's instance files.
+    let dir = std::env::temp_dir()
+        .join(format!("semimatch-cli-integration-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Writes a tiny unit-weight bipartite and a tiny hypergraph instance —
+/// small enough for every kind, including the exhaustive search.
+fn write_tiny_instances(dir: &std::path::Path) -> (PathBuf, PathBuf) {
+    let bg = dir.join("tiny.bg");
+    let g = Bipartite::from_edges(
+        6,
+        3,
+        &[(0, 0), (0, 1), (1, 0), (2, 1), (2, 2), (3, 2), (4, 0), (4, 2), (5, 1)],
+    )
+    .unwrap();
+    write_bipartite(&g, File::create(&bg).unwrap()).unwrap();
+
+    let hg = dir.join("tiny.hg");
+    let h = Hypergraph::from_configs(
+        3,
+        &[vec![vec![0], vec![1, 2]], vec![vec![0]], vec![vec![2]], vec![vec![2]]],
+    )
+    .unwrap();
+    write_hypergraph(&h, File::create(&hg).unwrap()).unwrap();
+    (bg, hg)
+}
+
+#[test]
+fn generate_and_stats_roundtrip() {
+    let dir = tmp_dir("generate");
+    let hg = dir.join("inst.hg");
+    let bg = dir.join("inst.bg");
+
+    // generate: the smallest FG-legal MULTIPROC instance (groups = 32).
+    let out = semimatch(&[
+        "generate",
+        "--family",
+        "FG",
+        "--n",
+        "64",
+        "--p",
+        "32",
+        "--dv",
+        "2",
+        "--dh",
+        "3",
+        "--weights",
+        "related",
+        "--out",
+        hg.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "generate failed: {out:?}");
+
+    // generate-bipartite: a small unit-weight SINGLEPROC instance.
+    let out = semimatch(&[
+        "generate-bipartite",
+        "--gen",
+        "fewgmanyg",
+        "--n",
+        "24",
+        "--p",
+        "8",
+        "--g",
+        "4",
+        "--d",
+        "3",
+        "--out",
+        bg.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "generate-bipartite failed: {out:?}");
+
+    // stats on both formats: exit 0, parseable lower bound line.
+    for path in [&hg, &bg] {
+        let out = semimatch(&["stats", path.to_str().unwrap()]);
+        assert!(out.status.success(), "stats failed on {path:?}");
+        let text = stdout(&out);
+        let lb_line = text
+            .lines()
+            .find(|l| l.contains("lower bound"))
+            .unwrap_or_else(|| panic!("no lower bound in stats output: {text}"));
+        let lb: u64 = lb_line.rsplit(' ').next().unwrap().parse().expect("numeric lower bound");
+        assert!(lb >= 1);
+    }
+
+    // A generated instance solves through the default registry kind.
+    let out = semimatch(&["solve", hg.to_str().unwrap(), "--algo", "evg", "--refine", "8"]);
+    assert!(out.status.success(), "solve on generated instance failed: {out:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn solve_accepts_every_registry_kind() {
+    let dir = tmp_dir("solve");
+    let (bg, hg) = write_tiny_instances(&dir);
+
+    for kind in SolverKind::ALL {
+        let paths: Vec<&PathBuf> = match kind.class() {
+            SolverClass::SingleProc => vec![&bg],
+            SolverClass::MultiProc => vec![&hg],
+            SolverClass::Either => vec![&bg, &hg],
+        };
+        for path in paths {
+            let out = semimatch(&["solve", path.to_str().unwrap(), "--algo", kind.name()]);
+            assert!(
+                out.status.success(),
+                "solve --algo {} failed on {path:?}: {}",
+                kind.name(),
+                String::from_utf8_lossy(&out.stderr)
+            );
+            let text = stdout(&out);
+            assert!(text.contains(kind.name()), "output names the solver: {text}");
+            let makespan_line =
+                text.lines().find(|l| l.starts_with("makespan:")).expect("makespan line");
+            let m: u64 =
+                makespan_line.split_whitespace().nth(1).unwrap().parse().expect("numeric makespan");
+            assert!(m >= 1);
+        }
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn solvers_subcommand_lists_the_whole_registry() {
+    let out = semimatch(&["solvers"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for kind in SolverKind::ALL {
+        assert!(text.contains(kind.name()), "missing {} in:\n{text}", kind.name());
+    }
+}
+
+#[test]
+fn bad_usage_exits_2() {
+    for args in [
+        &["frobnicate"][..],
+        &["solve", "/nonexistent/x.hg"][..],
+        &["solve", "/nonexistent/x.hg", "--algo", "bogus"][..],
+    ] {
+        let out = semimatch(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+    }
+    // Unknown solver name mentions the registry lookup failure.
+    let dir = tmp_dir("badalgo");
+    let (_, hg) = write_tiny_instances(&dir);
+    let out = semimatch(&["solve", hg.to_str().unwrap(), "--algo", "nonsense"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown solver"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn exact_strategies_agree_via_cli() {
+    let dir = tmp_dir("exact");
+    let (bg, _) = write_tiny_instances(&dir);
+    let mut optima = Vec::new();
+    for strategy in ["incremental", "bisection", "harvey", "exact-replicated"] {
+        let out = semimatch(&["exact", bg.to_str().unwrap(), "--strategy", strategy]);
+        assert!(out.status.success(), "exact --strategy {strategy} failed");
+        let text = stdout(&out);
+        let line = text.lines().find(|l| l.contains("optimal makespan")).unwrap();
+        let m: u64 = line.split_whitespace().nth(2).unwrap().parse().unwrap();
+        optima.push(m);
+    }
+    assert!(optima.windows(2).all(|w| w[0] == w[1]), "{optima:?}");
+    // A heuristic kind is rejected by `exact`.
+    let out = semimatch(&["exact", bg.to_str().unwrap(), "--strategy", "sorted"]);
+    assert_eq!(out.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -8,22 +8,17 @@ use semimatch::graph::{Bipartite, Hypergraph};
 
 /// Random bipartite graph in which **every task has at least one edge**
 /// (schedulable instances), with unit weights.
-pub fn covered_bipartite(
-    max_tasks: u32,
-    max_procs: u32,
-) -> impl Strategy<Value = Bipartite> {
-    (1..=max_tasks, 1..=max_procs)
-        .prop_flat_map(move |(n, p)| {
-            let edges = proptest::collection::vec(
-                proptest::collection::btree_set(0..p, 1..=(p.min(4) as usize)),
-                n as usize,
-            );
-            edges.prop_map(move |lists| {
-                let lists: Vec<Vec<u32>> =
-                    lists.into_iter().map(|s| s.into_iter().collect()).collect();
-                Bipartite::from_adjacency(n, p, &lists).expect("sets are duplicate-free")
-            })
+pub fn covered_bipartite(max_tasks: u32, max_procs: u32) -> impl Strategy<Value = Bipartite> {
+    (1..=max_tasks, 1..=max_procs).prop_flat_map(move |(n, p)| {
+        let edges = proptest::collection::vec(
+            proptest::collection::btree_set(0..p, 1..=(p.min(4) as usize)),
+            n as usize,
+        );
+        edges.prop_map(move |lists| {
+            let lists: Vec<Vec<u32>> = lists.into_iter().map(|s| s.into_iter().collect()).collect();
+            Bipartite::from_adjacency(n, p, &lists).expect("sets are duplicate-free")
         })
+    })
 }
 
 /// Random weighted bipartite graph with covered tasks.
@@ -49,21 +44,18 @@ pub fn covered_hypergraph(
     max_procs: u32,
     max_weight: u64,
 ) -> impl Strategy<Value = Hypergraph> {
-    (1..=max_tasks, 1..=max_procs)
-        .prop_flat_map(move |(n, p)| {
-            let config = (
-                proptest::collection::btree_set(0..p, 1..=(p.min(3) as usize)),
-                1..=max_weight,
-            );
-            let task = proptest::collection::vec(config, 1..=3usize);
-            proptest::collection::vec(task, n as usize).prop_map(move |tasks| {
-                let mut hedges = Vec::new();
-                for (t, configs) in tasks.into_iter().enumerate() {
-                    for (set, w) in configs {
-                        hedges.push((t as u32, set.into_iter().collect::<Vec<u32>>(), w));
-                    }
+    (1..=max_tasks, 1..=max_procs).prop_flat_map(move |(n, p)| {
+        let config =
+            (proptest::collection::btree_set(0..p, 1..=(p.min(3) as usize)), 1..=max_weight);
+        let task = proptest::collection::vec(config, 1..=3usize);
+        proptest::collection::vec(task, n as usize).prop_map(move |tasks| {
+            let mut hedges = Vec::new();
+            for (t, configs) in tasks.into_iter().enumerate() {
+                for (set, w) in configs {
+                    hedges.push((t as u32, set.into_iter().collect::<Vec<u32>>(), w));
                 }
-                Hypergraph::from_hyperedges(n, p, hedges).expect("sets are duplicate-free")
-            })
+            }
+            Hypergraph::from_hyperedges(n, p, hedges).expect("sets are duplicate-free")
         })
+    })
 }

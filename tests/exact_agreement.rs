@@ -1,73 +1,72 @@
-//! The three exact algorithms — capacitated matching search (incremental
-//! and bisection), literal `G_D` replication, Harvey cost-reducing paths,
-//! and brute force — must agree on the optimal makespan; heuristics and
-//! lower bounds must bracket it.
+//! The exact algorithms — capacitated matching search (incremental and
+//! bisection), literal `G_D` replication, Harvey cost-reducing paths, and
+//! brute force — must agree on the optimal makespan; heuristics and lower
+//! bounds must bracket it. All dispatch goes through the solver registry.
 
 mod common;
 
 use common::{covered_bipartite, covered_weighted_bipartite};
 use proptest::prelude::*;
-use semimatch::core::exact::{
-    brute_force_singleproc, exact_unit, exact_unit_replicated, harvey_exact, SearchStrategy,
-};
+use semimatch::core::exact::{exact_unit, SearchStrategy};
 use semimatch::core::lower_bound::lower_bound_singleproc;
-use semimatch::core::BiHeuristic;
-use semimatch::matching::Algorithm;
+use semimatch::solver::{solve, Problem, SolverKind};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
     fn all_exact_algorithms_agree(g in covered_bipartite(14, 6)) {
-        let incremental = exact_unit(&g, SearchStrategy::Incremental).unwrap();
-        let bisection = exact_unit(&g, SearchStrategy::Bisection).unwrap();
-        let replicated =
-            exact_unit_replicated(&g, Algorithm::PushRelabel, SearchStrategy::Incremental)
-                .unwrap();
-        let harvey = harvey_exact(&g).unwrap();
-        let (brute, _) = brute_force_singleproc(&g, 5_000_000).unwrap();
+        let problem = Problem::SingleProc(&g);
+        let mut makespans = Vec::new();
+        for kind in SolverKind::EXACT_SINGLEPROC {
+            let sol = solve(problem, kind).unwrap();
+            sol.validate(&problem).unwrap();
+            makespans.push((kind.name(), sol.makespan(&problem)));
+        }
+        let brute = solve(problem, SolverKind::BruteForce).unwrap();
+        brute.validate(&problem).unwrap();
+        makespans.push(("brute-force", brute.makespan(&problem)));
 
-        prop_assert_eq!(incremental.makespan, bisection.makespan);
-        prop_assert_eq!(incremental.makespan, replicated.makespan);
-        prop_assert_eq!(incremental.makespan, harvey.makespan(&g));
-        prop_assert_eq!(incremental.makespan, brute);
-
-        incremental.solution.validate(&g).unwrap();
-        bisection.solution.validate(&g).unwrap();
-        harvey.validate(&g).unwrap();
+        let reference = makespans[0].1;
+        for &(name, m) in &makespans {
+            prop_assert_eq!(m, reference, "{} disagreed: {:?}", name, &makespans);
+        }
     }
 
     #[test]
     fn lb_opt_heuristic_sandwich(g in covered_bipartite(20, 8)) {
+        let problem = Problem::SingleProc(&g);
         let lb = lower_bound_singleproc(&g).unwrap();
-        let opt = exact_unit(&g, SearchStrategy::Bisection).unwrap().makespan;
+        let opt = solve(problem, SolverKind::ExactBisection).unwrap().makespan(&problem);
         prop_assert!(lb <= opt, "lower bound {lb} exceeds optimum {opt}");
-        for h in BiHeuristic::ALL {
-            let sm = h.run(&g).unwrap();
-            sm.validate(&g).unwrap();
-            prop_assert!(sm.makespan(&g) >= opt, "{} beat the optimum", h.label());
+        for kind in SolverKind::BI_HEURISTICS {
+            let sol = solve(problem, kind).unwrap();
+            sol.validate(&problem).unwrap();
+            prop_assert!(sol.makespan(&problem) >= opt, "{} beat the optimum", kind.name());
         }
     }
 
     #[test]
     fn weighted_brute_force_respects_lb(g in covered_weighted_bipartite(8, 4, 9)) {
+        let problem = Problem::SingleProc(&g);
         let lb = lower_bound_singleproc(&g).unwrap();
-        let (opt, sm) = brute_force_singleproc(&g, 5_000_000).unwrap();
-        sm.validate(&g).unwrap();
-        prop_assert_eq!(sm.makespan(&g), opt);
+        let brute = solve(problem, SolverKind::BruteForce).unwrap();
+        brute.validate(&problem).unwrap();
+        let opt = brute.makespan(&problem);
         prop_assert!(lb <= opt);
         // Weighted heuristics stay above the weighted optimum too.
-        for h in BiHeuristic::ALL {
-            let m = h.run(&g).unwrap().makespan(&g);
-            prop_assert!(m >= opt, "{} beat the weighted optimum", h.label());
+        for kind in SolverKind::BI_HEURISTICS {
+            let m = solve(problem, kind).unwrap().makespan(&problem);
+            prop_assert!(m >= opt, "{} beat the weighted optimum", kind.name());
         }
     }
 
     #[test]
     fn oracle_counts_favor_bisection_eventually(g in covered_bipartite(20, 2)) {
-        // With few processors the optimum is far from the lower bound often
-        // enough to exercise both searches; bisection never needs more than
-        // ~2·log2(n) oracles.
+        // Oracle-call diagnostics sit below the registry, on the concrete
+        // engine API. With few processors the optimum is far from the lower
+        // bound often enough to exercise both searches; bisection never
+        // needs more than ~2·log2(n) oracles.
         let inc = exact_unit(&g, SearchStrategy::Incremental).unwrap();
         let bis = exact_unit(&g, SearchStrategy::Bisection).unwrap();
         prop_assert_eq!(inc.makespan, bis.makespan);

@@ -1,0 +1,35 @@
+//! Smoke-runs the examples via `cargo run --example` so they stay
+//! compiling *and* correct (plain `cargo test` only guarantees they build).
+//!
+//! Only the cheap examples run here; the heavier gallery/report examples
+//! are covered by their compile check.
+
+use std::process::Command;
+
+fn run_example(name: &str) -> std::process::Output {
+    Command::new(env!("CARGO"))
+        .args(["run", "--quiet", "--example", name])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .unwrap_or_else(|e| panic!("spawn cargo run --example {name}: {e}"))
+}
+
+#[test]
+fn quickstart_example_runs_and_reports_every_policy() {
+    let out = run_example("quickstart");
+    assert!(out.status.success(), "quickstart failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("lower bound"), "missing lower bound: {text}");
+    // Every polynomial MULTIPROC policy prints a makespan line.
+    for kind in semimatch::solver::SolverKind::POLICIES {
+        assert!(text.contains(kind.name()), "missing policy {}: {text}", kind.name());
+    }
+    assert!(text.contains("Gantt"), "missing Gantt chart: {text}");
+    assert!(text.contains("simulated wall-clock makespan"), "missing simulator: {text}");
+}
+
+#[test]
+fn x3c_reduction_example_runs() {
+    let out = run_example("x3c_reduction");
+    assert!(out.status.success(), "x3c_reduction failed: {}", String::from_utf8_lossy(&out.stderr));
+}

@@ -38,8 +38,7 @@ fn all_3x3_matchings_agree_and_certify() {
         let mut card = None;
         for algo in Algorithm::ALL {
             let m = maximum_matching(&g, algo);
-            certify_maximum(&g, &m)
-                .unwrap_or_else(|e| panic!("mask {mask} {}: {e}", algo.name()));
+            certify_maximum(&g, &m).unwrap_or_else(|e| panic!("mask {mask} {}: {e}", algo.name()));
             match card {
                 None => card = Some(m.cardinality()),
                 Some(c) => assert_eq!(c, m.cardinality(), "mask {mask} {}", algo.name()),

@@ -78,22 +78,14 @@ fn full_pipeline_on_every_family() {
 fn unit_hilo_families_tie_across_heuristics() {
     // The Table II HiLo signature at miniature scale: identical quality
     // for all four heuristics on most instances.
-    let cfg = Config {
-        family: Family::Hlm,
-        n: 512,
-        p: 128,
-        dv: 5,
-        dh: 10,
-        weights: WeightScheme::Unit,
-    };
+    let cfg =
+        Config { family: Family::Hlm, n: 512, p: 128, dv: 5, dh: 10, weights: WeightScheme::Unit };
     let mut ties = 0;
     let total = 4;
     for i in 0..total {
         let h = cfg.instance(7, i);
-        let makespans: Vec<u64> = HyperHeuristic::ALL
-            .iter()
-            .map(|heur| heur.run(&h).unwrap().makespan(&h))
-            .collect();
+        let makespans: Vec<u64> =
+            HyperHeuristic::ALL.iter().map(|heur| heur.run(&h).unwrap().makespan(&h)).collect();
         if makespans.windows(2).all(|w| w[0] == w[1]) {
             ties += 1;
         }

@@ -2,6 +2,10 @@
 //! agree on cardinality, every result carries a König vertex-cover
 //! certificate, capacitated flow matches literal `G_D` replication, and
 //! the initialization heuristics never exceed the maximum.
+//!
+//! The engine axis is imported through the solver registry
+//! (`semimatch::solver::MatchingEngine`), the single import surface for
+//! every algorithm selector.
 
 mod common;
 
@@ -10,15 +14,16 @@ use proptest::prelude::*;
 use semimatch::matching::capacitated::max_assignment;
 use semimatch::matching::cover::certify_maximum;
 use semimatch::matching::greedy::{greedy_init, is_maximal, karp_sipser};
+use semimatch::matching::maximum_matching;
 use semimatch::matching::replicate::{project, replicate};
-use semimatch::matching::{maximum_matching, Algorithm};
+use semimatch::solver::MatchingEngine;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
     fn engines_agree_and_certify(g in covered_bipartite(24, 12)) {
-        let sizes: Vec<usize> = Algorithm::ALL
+        let sizes: Vec<usize> = MatchingEngine::ALL
             .iter()
             .map(|&algo| {
                 let m = maximum_matching(&g, algo);
@@ -32,7 +37,7 @@ proptest! {
 
     #[test]
     fn initializations_are_maximal_and_at_least_half(g in covered_bipartite(24, 12)) {
-        let maximum = maximum_matching(&g, Algorithm::HopcroftKarp).cardinality();
+        let maximum = maximum_matching(&g, MatchingEngine::HopcroftKarp).cardinality();
         for (name, m) in [("greedy", greedy_init(&g)), ("karp-sipser", karp_sipser(&g))] {
             m.validate(&g).map_err(|e| TestCaseError::fail(format!("{name}: {e}")))?;
             prop_assert!(is_maximal(&g, &m), "{name} must be maximal");
@@ -46,7 +51,7 @@ proptest! {
     fn capacitated_flow_equals_replication(g in covered_bipartite(12, 6), d in 1u32..4) {
         let flow = max_assignment(&g, d);
         flow.validate(&g, d).map_err(TestCaseError::fail)?;
-        let m = maximum_matching(&replicate(&g, d), Algorithm::HopcroftKarp);
+        let m = maximum_matching(&replicate(&g, d), MatchingEngine::HopcroftKarp);
         let (_, loads) = project(&g, d, &m);
         prop_assert_eq!(flow.cardinality(), m.cardinality());
         prop_assert!(loads.iter().all(|&l| l <= d));

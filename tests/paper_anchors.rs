@@ -121,13 +121,7 @@ fn table3_shape_expected_strategies_win_weighted() {
         let [sgh, _vgh, egh, evg] = grid_ratios(family, WeightScheme::Related)[..] else {
             panic!("four heuristics")
         };
-        assert!(
-            egh <= sgh + 1e-9,
-            "{family:?}: EGH ({egh:.3}) should beat SGH ({sgh:.3})"
-        );
-        assert!(
-            evg <= egh + 0.02,
-            "{family:?}: EVG ({evg:.3}) should not lose to EGH ({egh:.3})"
-        );
+        assert!(egh <= sgh + 1e-9, "{family:?}: EGH ({egh:.3}) should beat SGH ({sgh:.3})");
+        assert!(evg <= egh + 0.02, "{family:?}: EVG ({evg:.3}) should not lose to EGH ({egh:.3})");
     }
 }

@@ -23,7 +23,7 @@ proptest! {
     #[test]
     fn all_policies_yield_valid_schedules(h in covered_hypergraph(16, 6, 9)) {
         let inst = from_hypergraph(&h);
-        for policy in Policy::ALL {
+        for policy in Policy::POLICIES {
             let s = schedule(&inst, policy).unwrap();
             s.validate(&inst)
                 .unwrap_or_else(|e| panic!("{}: {e}", policy.name()));

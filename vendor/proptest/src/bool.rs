@@ -1,0 +1,34 @@
+//! Boolean strategy (`proptest::bool::ANY`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Uniform `bool` strategy.
+#[derive(Clone, Copy, Debug)]
+pub struct Any;
+
+/// The strategy instance, mirroring `proptest::bool::ANY`.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_values() {
+        let mut rng = TestRng::from_seed(1);
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            seen[ANY.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+}

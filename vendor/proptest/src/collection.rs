@@ -1,0 +1,197 @@
+//! Collection strategies: `vec`, `btree_set`, `btree_map`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A target size for a generated collection: an exact count or a range.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.usize_in(self.lo, self.hi)
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a size in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// How many draws a set/map strategy attempts before giving up on reaching
+/// its minimum size (duplicates shrink collections).
+const MAX_DRAWS_PER_SLOT: usize = 1000;
+
+/// Strategy for `BTreeSet<S::Value>` with a size in `size`.
+///
+/// The element strategy must be able to produce at least `size.lo` distinct
+/// values, otherwise generation panics after a bounded number of draws.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size: size.into() }
+}
+
+/// See [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.pick(rng);
+        let mut out = BTreeSet::new();
+        let mut draws = 0;
+        while out.len() < target {
+            out.insert(self.element.generate(rng));
+            draws += 1;
+            if draws > MAX_DRAWS_PER_SLOT * target.max(1) {
+                if out.len() >= self.size.lo {
+                    break;
+                }
+                panic!(
+                    "btree_set strategy cannot reach minimum size {} (stuck at {})",
+                    self.size.lo,
+                    out.len()
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Strategy for `BTreeMap<K::Value, V::Value>` with a size in `size`.
+pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    BTreeMapStrategy { key, value, size: size.into() }
+}
+
+/// See [`btree_map`].
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+        let target = self.size.pick(rng);
+        let mut out = BTreeMap::new();
+        let mut draws = 0;
+        while out.len() < target {
+            out.insert(self.key.generate(rng), self.value.generate(rng));
+            draws += 1;
+            if draws > MAX_DRAWS_PER_SLOT * target.max(1) {
+                if out.len() >= self.size.lo {
+                    break;
+                }
+                panic!(
+                    "btree_map strategy cannot reach minimum size {} (stuck at {})",
+                    self.size.lo,
+                    out.len()
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sizes_and_elements() {
+        let mut rng = TestRng::from_seed(5);
+        let s = vec(0u32..10, 2..=5usize);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..=5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+        let exact = vec(0u64..3, 4usize);
+        assert_eq!(exact.generate(&mut rng).len(), 4);
+    }
+
+    #[test]
+    fn set_reaches_target_and_stays_distinct() {
+        let mut rng = TestRng::from_seed(7);
+        let s = btree_set(0u32..6, 1..=4usize);
+        for _ in 0..200 {
+            let set = s.generate(&mut rng);
+            assert!((1..=4).contains(&set.len()));
+        }
+    }
+
+    #[test]
+    fn map_keys_are_unique_pairs() {
+        let mut rng = TestRng::from_seed(13);
+        let s = btree_map((0u32..4, 0u32..4), 1u64..100, 0..10usize);
+        for _ in 0..100 {
+            let m = s.generate(&mut rng);
+            assert!(m.len() < 10);
+            assert!(m.values().all(|&v| (1..100).contains(&v)));
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Offline stand-in for `proptest`, implementing the subset this workspace
+//! uses: the [`proptest!`] macro, `prop_assert*!` / `prop_assume!` /
+//! `prop_oneof!`, integer-range and tuple strategies, `Just`,
+//! `prop_map` / `prop_flat_map`, and `collection::{vec, btree_set,
+//! btree_map}`.
+//!
+//! Differences from the real crate (see `vendor/README.md`):
+//!
+//! * **no shrinking** — a failing case reports its case index instead; the
+//!   [`test_runner::TestRng`] is deterministic per test name, so a failure
+//!   replays exactly on rerun;
+//! * strategies are plain generators (`generate(&mut TestRng)`), not
+//!   value trees.
+
+pub mod bool;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over `cases` generated inputs.
+///
+/// Supports the real crate's `#![proptest_config(...)]` inner attribute and
+/// an optional `#[test]` marker on each function.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            @cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($config:expr)
+     $( $(#[$meta:meta])* fn $name:ident($($pat:pat in $strategy:expr),* $(,)?) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            #[allow(unused_mut)]
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut ran: u32 = 0;
+                let mut rejected: u32 = 0;
+                while ran < config.cases {
+                    if rejected > config.cases.saturating_mul(16).max(1024) {
+                        panic!(
+                            "proptest stub: too many rejected cases in {} ({} rejections)",
+                            stringify!($name), rejected
+                        );
+                    }
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut rng);
+                    )*
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        Ok(()) => ran += 1,
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => rejected += 1,
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest stub: case {} of {} failed: {}",
+                                ran, stringify!($name), msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", ...)`: fails the current
+/// case (without aborting the whole test binary) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality version of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    }};
+}
+
+/// Inequality version of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Rejects the current case (it is regenerated, not counted as a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).into(),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(::std::boxed::Box::new($strategy)
+                as ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
+    };
+}

@@ -1,0 +1,51 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides only what this workspace consumes: the [`RngCore`] trait, which
+//! `semimatch-gen` implements for its self-contained xoshiro256++ generator.
+//! See `vendor/README.md` for the vendoring rationale.
+
+#![warn(missing_docs)]
+
+/// The core of a random number generator, mirroring `rand::RngCore` 0.9.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dst` with random bytes.
+    fn fill_bytes(&mut self, dst: &mut [u8]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 += 1;
+            self.0
+        }
+        fn fill_bytes(&mut self, dst: &mut [u8]) {
+            for chunk in dst.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_usable() {
+        let mut rng: Box<dyn RngCore> = Box::new(Counter(0));
+        assert_eq!(rng.next_u64(), 1);
+        let mut buf = [0u8; 5];
+        rng.fill_bytes(&mut buf);
+        assert_eq!(buf[0], 2);
+    }
+}

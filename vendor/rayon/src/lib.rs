@@ -1,0 +1,185 @@
+//! Offline stand-in for `rayon`, covering the subset this workspace uses:
+//! `use rayon::prelude::*`, `.into_par_iter()` / `.par_iter()`, then
+//! `.map(f).collect()`.
+//!
+//! Unlike a pure sequential shim, `collect` really fans the mapped items out
+//! over `std::thread::scope`, one chunk per available core, and reassembles
+//! the results in input order — so the bench harness keeps its wall-clock
+//! advantage on multicore machines. See `vendor/README.md`.
+
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+/// Everything a `use rayon::prelude::*` caller needs.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Conversion into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    /// Item type produced by the iterator.
+    type Item: Send;
+
+    /// Consumes `self` and yields a parallel iterator over its items.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter { items: self.into_iter().collect() }
+    }
+}
+
+/// Conversion into a parallel iterator over references (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Reference item type.
+    type Item: Send + 'a;
+
+    /// Yields a parallel iterator over `&self`'s items.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// A materialized "parallel" iterator: items are buffered, the work happens
+/// in [`Map::collect`].
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps each item through `f` (executed in parallel at collect time).
+    pub fn map<R, F>(self, f: F) -> Map<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        Map { items: self.items, f }
+    }
+
+    /// Number of buffered items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the iterator is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Collects the unmapped items.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// A mapped parallel iterator; [`Map::collect`] performs the scoped-thread
+/// fan-out.
+pub struct Map<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, F> Map<T, F> {
+    /// Applies the closure to every buffered item across scoped threads and
+    /// collects the results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        let Map { items, f } = self;
+        let n = items.len();
+        let workers =
+            std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1).min(n.max(1));
+        if workers <= 1 || n <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        // Split into `workers` contiguous chunks, keeping order.
+        let chunk_len = n.div_ceil(workers);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+        let mut rest = items;
+        while rest.len() > chunk_len {
+            let tail = rest.split_off(chunk_len);
+            chunks.push(std::mem::replace(&mut rest, tail));
+        }
+        chunks.push(rest);
+        let f = &f;
+        let mut results: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("rayon-stub worker panicked"));
+            }
+        });
+        results.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0u64..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let data = vec![1u32, 2, 3, 4];
+        let out: Vec<u32> = data.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn really_runs_on_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let _: Vec<()> = (0..64)
+            .into_par_iter()
+            .map(|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+            })
+            .collect();
+        let distinct = seen.lock().unwrap().len();
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        assert!(distinct >= 1 && distinct <= cores.max(1) + 1);
+    }
+
+    #[test]
+    fn empty_and_single_item_paths() {
+        let empty: Vec<i32> = Vec::<i32>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+        let one: Vec<i32> = vec![7].into_par_iter().map(|x| x * 3).collect();
+        assert_eq!(one, vec![21]);
+    }
+}
