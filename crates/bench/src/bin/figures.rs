@@ -3,30 +3,38 @@
 //! hypergraph, by running every heuristic on each and printing the
 //! achieved vs optimal makespans.
 
-use semimatch_bench::{emit_report, markdown_table};
-use semimatch_core::solver::{Problem, SolverKind};
+use semimatch_bench::{emit_report, markdown_table, solver_set};
+use semimatch_core::solver::{KindSolver, Problem, Solver, SolverKind};
 use semimatch_gen::adversarial::{fig1, fig2, fig3, fig4, fig5};
 use semimatch_graph::Bipartite;
 
-fn row(name: &str, g: &Bipartite) -> Vec<String> {
+fn row(
+    name: &str,
+    g: &Bipartite,
+    exact: &mut KindSolver,
+    heuristics: &mut [KindSolver],
+) -> Vec<String> {
     let problem = Problem::SingleProc(g);
-    let opt = SolverKind::ExactBisection.solve(problem).unwrap().makespan(&problem);
+    let opt = exact.solve(problem).unwrap().makespan(&problem);
     let mut row = vec![name.to_string(), opt.to_string()];
-    for kind in SolverKind::BI_HEURISTICS {
-        let sol = kind.solve(problem).unwrap();
+    for solver in heuristics.iter_mut() {
+        let sol = solver.solve(problem).unwrap();
         row.push(sol.makespan(&problem).to_string());
     }
     row
 }
 
 fn main() {
+    // One workspace-backed solver per kind, reused across every figure.
+    let mut exact = SolverKind::ExactBisection.solver();
+    let mut heuristics = solver_set(&SolverKind::BI_HEURISTICS);
     let mut rows = Vec::new();
-    rows.push(row("Fig. 1 (2 tasks / 2 procs)", &fig1()));
+    rows.push(row("Fig. 1 (2 tasks / 2 procs)", &fig1(), &mut exact, &mut heuristics));
     for k in [3u32, 5, 8, 10] {
-        rows.push(row(&format!("Fig. 3, k = {k}"), &fig3(k)));
+        rows.push(row(&format!("Fig. 3, k = {k}"), &fig3(k), &mut exact, &mut heuristics));
     }
-    rows.push(row("TR Fig. 4 (double-sorted trap)", &fig4()));
-    rows.push(row("TR Fig. 5 (expected-greedy trap)", &fig5()));
+    rows.push(row("TR Fig. 4 (double-sorted trap)", &fig4(), &mut exact, &mut heuristics));
+    rows.push(row("TR Fig. 5 (expected-greedy trap)", &fig5(), &mut exact, &mut heuristics));
 
     let mut report =
         String::from("# Figures 1/3/4/5 — worst-case behaviour of the greedy heuristics\n\n");

@@ -8,11 +8,12 @@
 
 use rayon::prelude::*;
 use semimatch_bench::singleproc::{bi_grid, BiConfig};
+use semimatch_bench::solver_set;
 use semimatch_bench::{emit_report, markdown_table, Options};
 use semimatch_core::greedy::lpt::lpt_greedy;
 use semimatch_core::lower_bound::lower_bound_singleproc;
 use semimatch_core::quality::{median_f64, ratio};
-use semimatch_core::solver::{Problem, SolverKind};
+use semimatch_core::solver::{Problem, Solver, SolverKind};
 use semimatch_gen::rng::Xoshiro256;
 use semimatch_gen::weights::apply_random_edge_weights;
 
@@ -34,21 +35,24 @@ fn main() {
         let scaled = scale_bi(*cfg, opts.scale);
         let per_instance: Vec<Vec<f64>> = (0..opts.instances)
             .into_par_iter()
-            .map(|i| {
-                let mut g = scaled.instance(opts.seed, i);
-                // Derive the weight stream from the same seeds, offset so it
-                // never reuses generator randomness.
-                let mut wrng = Xoshiro256::seed_from_u64(opts.seed ^ 0xD1F3).stream(i);
-                apply_random_edge_weights(&mut g, MAX_WEIGHT, &mut wrng);
-                let lb = lower_bound_singleproc(&g).expect("covered");
-                let problem = Problem::SingleProc(&g);
-                let mut out: Vec<f64> = SolverKind::BI_HEURISTICS
-                    .iter()
-                    .map(|k| ratio(k.solve(problem).expect("covered").makespan(&problem), lb))
-                    .collect();
-                out.push(ratio(lpt_greedy(&g).expect("covered").makespan(&g), lb));
-                out
-            })
+            .map_init(
+                || solver_set(&SolverKind::BI_HEURISTICS),
+                |solvers, i| {
+                    let mut g = scaled.instance(opts.seed, i);
+                    // Derive the weight stream from the same seeds, offset so
+                    // it never reuses generator randomness.
+                    let mut wrng = Xoshiro256::seed_from_u64(opts.seed ^ 0xD1F3).stream(i);
+                    apply_random_edge_weights(&mut g, MAX_WEIGHT, &mut wrng);
+                    let lb = lower_bound_singleproc(&g).expect("covered");
+                    let problem = Problem::SingleProc(&g);
+                    let mut out: Vec<f64> = solvers
+                        .iter_mut()
+                        .map(|s| ratio(s.solve(problem).expect("covered").makespan(&problem), lb))
+                        .collect();
+                    out.push(ratio(lpt_greedy(&g).expect("covered").makespan(&g), lb));
+                    out
+                },
+            )
             .collect();
         let medians: Vec<f64> = (0..sums.len())
             .map(|j| {

@@ -28,7 +28,7 @@ use std::time::Instant;
 use rayon::prelude::*;
 use semimatch_core::lower_bound::lower_bound_multiproc;
 use semimatch_core::quality::{mean_f64, median_f64, median_u64, ratio};
-use semimatch_core::solver::{Problem, SolverKind};
+use semimatch_core::solver::{KindSolver, Problem, Solver, SolverKind};
 use semimatch_gen::params::Config;
 use semimatch_graph::HypergraphStats;
 
@@ -111,26 +111,36 @@ pub struct QualityRow {
     pub times: Vec<f64>,
 }
 
+/// One workspace-backed solver per sweep kind — built once per rayon
+/// worker and reused across that worker's share of the instances, instead
+/// of allocating engine scratch per instance.
+pub fn solver_set(kinds: &[SolverKind]) -> Vec<KindSolver> {
+    kinds.iter().map(|&k| k.solver()).collect()
+}
+
 /// Runs the four `MULTIPROC` heuristics on every instance of `cfg`,
-/// dispatching through the solver registry.
+/// dispatching through the [`Solver`] trait with per-worker solver sets.
 pub fn quality_row(cfg: &Config, opts: &Options) -> QualityRow {
     let cfg = scale_config(*cfg, opts.scale);
     let per_instance: Vec<(u64, Vec<f64>, Vec<f64>)> = (0..opts.instances)
         .into_par_iter()
-        .map(|i| {
-            let h = cfg.instance(opts.seed, i);
-            let problem = Problem::MultiProc(&h);
-            let lb = lower_bound_multiproc(&h).expect("generated instances are covered");
-            let mut ratios = Vec::with_capacity(SolverKind::HYPER_HEURISTICS.len());
-            let mut times = Vec::with_capacity(SolverKind::HYPER_HEURISTICS.len());
-            for kind in SolverKind::HYPER_HEURISTICS {
-                let start = Instant::now();
-                let sol = kind.solve(problem).expect("generated instances are covered");
-                times.push(start.elapsed().as_secs_f64());
-                ratios.push(ratio(sol.makespan(&problem), lb));
-            }
-            (lb, ratios, times)
-        })
+        .map_init(
+            || solver_set(&SolverKind::HYPER_HEURISTICS),
+            |solvers, i| {
+                let h = cfg.instance(opts.seed, i);
+                let problem = Problem::MultiProc(&h);
+                let lb = lower_bound_multiproc(&h).expect("generated instances are covered");
+                let mut ratios = Vec::with_capacity(solvers.len());
+                let mut times = Vec::with_capacity(solvers.len());
+                for solver in solvers.iter_mut() {
+                    let start = Instant::now();
+                    let sol = solver.solve(problem).expect("generated instances are covered");
+                    times.push(start.elapsed().as_secs_f64());
+                    ratios.push(ratio(sol.makespan(&problem), lb));
+                }
+                (lb, ratios, times)
+            },
+        )
         .collect();
     aggregate(row_name(&cfg, opts.scale), per_instance)
 }

@@ -6,11 +6,11 @@ use std::time::Instant;
 
 use rayon::prelude::*;
 use semimatch_core::quality::{mean_f64, median_f64, median_u64, ratio};
-use semimatch_core::solver::{Problem, SolverKind};
+use semimatch_core::solver::{Problem, Solver, SolverKind};
 use semimatch_gen::rng::Xoshiro256;
 use semimatch_gen::{fewg_manyg, hilo_permuted};
 
-use crate::Options;
+use crate::{solver_set, Options};
 
 /// Bipartite generator family for `SINGLEPROC` experiments.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -95,30 +95,33 @@ pub struct SingleProcRow {
 }
 
 /// Runs exact + heuristics over the instances of `cfg`, dispatching through
-/// the solver registry.
+/// the [`Solver`] trait. Each rayon worker holds one exact solver (whose
+/// flow arena stays warm across its instances — the dominant win) plus one
+/// solver per heuristic.
 pub fn singleproc_row(cfg: &BiConfig, opts: &Options) -> SingleProcRow {
     let cfg = scale_bi(*cfg, opts.scale);
     let per_instance: Vec<(u64, Vec<f64>, Vec<f64>, f64)> = (0..opts.instances)
         .into_par_iter()
-        .map(|i| {
-            let g = cfg.instance(opts.seed, i);
-            let problem = Problem::SingleProc(&g);
-            let t0 = Instant::now();
-            let exact = SolverKind::ExactBisection
-                .solve(problem)
-                .expect("generator degrees are clamped ≥ 1");
-            let exact_time = t0.elapsed().as_secs_f64();
-            let opt = exact.makespan(&problem);
-            let mut ratios = Vec::with_capacity(SolverKind::BI_HEURISTICS.len());
-            let mut times = Vec::with_capacity(SolverKind::BI_HEURISTICS.len());
-            for kind in SolverKind::BI_HEURISTICS {
-                let t1 = Instant::now();
-                let sol = kind.solve(problem).expect("covered");
-                times.push(t1.elapsed().as_secs_f64());
-                ratios.push(ratio(sol.makespan(&problem), opt));
-            }
-            (opt, ratios, times, exact_time)
-        })
+        .map_init(
+            || (SolverKind::ExactBisection.solver(), solver_set(&SolverKind::BI_HEURISTICS)),
+            |(exact_solver, heuristics), i| {
+                let g = cfg.instance(opts.seed, i);
+                let problem = Problem::SingleProc(&g);
+                let t0 = Instant::now();
+                let exact = exact_solver.solve(problem).expect("generator degrees are clamped ≥ 1");
+                let exact_time = t0.elapsed().as_secs_f64();
+                let opt = exact.makespan(&problem);
+                let mut ratios = Vec::with_capacity(heuristics.len());
+                let mut times = Vec::with_capacity(heuristics.len());
+                for solver in heuristics.iter_mut() {
+                    let t1 = Instant::now();
+                    let sol = solver.solve(problem).expect("covered");
+                    times.push(t1.elapsed().as_secs_f64());
+                    ratios.push(ratio(sol.makespan(&problem), opt));
+                }
+                (opt, ratios, times, exact_time)
+            },
+        )
         .collect();
     let mut opt: Vec<u64> = per_instance.iter().map(|x| x.0).collect();
     let k = SolverKind::BI_HEURISTICS.len();

@@ -17,4 +17,7 @@ pub mod unit;
 
 pub use brute_force::{brute_force_multiproc, brute_force_singleproc};
 pub use harvey::harvey_exact;
-pub use unit::{exact_unit, exact_unit_replicated, ExactResult, SearchStrategy};
+pub use unit::{
+    exact_unit, exact_unit_in, exact_unit_replicated, exact_unit_replicated_in, ExactResult,
+    SearchStrategy,
+};

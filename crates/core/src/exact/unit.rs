@@ -9,9 +9,9 @@
 //! explicitly replicated `G_D`.
 
 use semimatch_graph::Bipartite;
-use semimatch_matching::capacitated::max_assignment;
-use semimatch_matching::replicate::{project, replicate};
-use semimatch_matching::{maximum_matching, Algorithm};
+use semimatch_matching::capacitated::max_assignment_in;
+use semimatch_matching::replicate::{project, replicate_in};
+use semimatch_matching::{maximum_matching_in, Algorithm, SearchWorkspace};
 
 use crate::error::{CoreError, Result};
 use crate::problem::SemiMatching;
@@ -45,14 +45,25 @@ pub struct ExactResult {
 /// Errors with [`CoreError::RequiresUnitWeights`] on weighted instances
 /// and [`CoreError::UncoveredTask`] when some task has no processor.
 pub fn exact_unit(g: &Bipartite, strategy: SearchStrategy) -> Result<ExactResult> {
+    exact_unit_in(g, strategy, &mut SearchWorkspace::new())
+}
+
+/// [`exact_unit`] threading one workspace through every feasibility oracle
+/// call: the deadline search's repeated capacitated matchings share a flow
+/// arena instead of rebuilding it per probe.
+pub fn exact_unit_in(
+    g: &Bipartite,
+    strategy: SearchStrategy,
+    ws: &mut SearchWorkspace,
+) -> Result<ExactResult> {
     check_instance(g)?;
     let mut calls = 0u32;
-    let oracle = |d: u32, calls: &mut u32| -> Option<Vec<u32>> {
+    let oracle = |d: u32, calls: &mut u32, ws: &mut SearchWorkspace| -> Option<Vec<u32>> {
         *calls += 1;
-        let a = max_assignment(g, d);
+        let a = max_assignment_in(g, d, ws);
         a.is_complete().then_some(a.task_to_proc)
     };
-    search(g, strategy, oracle, &mut calls)
+    search(g, strategy, oracle, &mut calls, ws)
 }
 
 /// Exact optimum via literal `G_D` replication and a maximum-matching
@@ -63,12 +74,23 @@ pub fn exact_unit_replicated(
     engine: Algorithm,
     strategy: SearchStrategy,
 ) -> Result<ExactResult> {
+    exact_unit_replicated_in(g, engine, strategy, &mut SearchWorkspace::new())
+}
+
+/// [`exact_unit_replicated`] reusing one workspace across the deadline
+/// probes (matching-engine scratch and the `G_D` edge staging buffer).
+pub fn exact_unit_replicated_in(
+    g: &Bipartite,
+    engine: Algorithm,
+    strategy: SearchStrategy,
+    ws: &mut SearchWorkspace,
+) -> Result<ExactResult> {
     check_instance(g)?;
     let mut calls = 0u32;
-    let oracle = |d: u32, calls: &mut u32| -> Option<Vec<u32>> {
+    let oracle = |d: u32, calls: &mut u32, ws: &mut SearchWorkspace| -> Option<Vec<u32>> {
         *calls += 1;
-        let gd = replicate(g, d);
-        let m = maximum_matching(&gd, engine);
+        let gd = replicate_in(g, d, ws);
+        let m = maximum_matching_in(&gd, engine, ws);
         if m.is_left_perfect() {
             let (assign, _) = project(g, d, &m);
             Some(assign)
@@ -76,7 +98,7 @@ pub fn exact_unit_replicated(
             None
         }
     };
-    search(g, strategy, oracle, &mut calls)
+    search(g, strategy, oracle, &mut calls, ws)
 }
 
 fn check_instance(g: &Bipartite) -> Result<()> {
@@ -94,8 +116,9 @@ fn check_instance(g: &Bipartite) -> Result<()> {
 fn search(
     g: &Bipartite,
     strategy: SearchStrategy,
-    mut oracle: impl FnMut(u32, &mut u32) -> Option<Vec<u32>>,
+    mut oracle: impl FnMut(u32, &mut u32, &mut SearchWorkspace) -> Option<Vec<u32>>,
     calls: &mut u32,
+    ws: &mut SearchWorkspace,
 ) -> Result<ExactResult> {
     let n = g.n_left();
     if n == 0 {
@@ -110,7 +133,7 @@ fn search(
         SearchStrategy::Incremental => {
             let mut d = lb;
             loop {
-                if let Some(assign) = oracle(d, calls) {
+                if let Some(assign) = oracle(d, calls, ws) {
                     break (d, assign);
                 }
                 debug_assert!(d < n, "D = n is always feasible for covered instances");
@@ -123,7 +146,7 @@ fn search(
             let mut hi = lb;
             let mut witness;
             loop {
-                match oracle(hi, calls) {
+                match oracle(hi, calls, ws) {
                     Some(a) => {
                         witness = (hi, a);
                         break;
@@ -137,7 +160,7 @@ fn search(
             // Invariant: lo ≤ opt ≤ witness.0, witness feasible.
             while lo < witness.0 {
                 let mid = lo + (witness.0 - lo) / 2;
-                match oracle(mid, calls) {
+                match oracle(mid, calls, ws) {
                     Some(a) => witness = (mid, a),
                     None => lo = mid + 1,
                 }

@@ -1,7 +1,7 @@
 //! LPT (longest processing time first) — the classical Graham baseline.
 //!
 //! The paper situates `SINGLEPROC` next to minimum-makespan scheduling on
-//! identical machines (Graham et al. [13]), whose standard heuristic is
+//! identical machines (Graham et al. \[13]), whose standard heuristic is
 //! LPT: place the longest tasks first, each on the machine where it
 //! *finishes* earliest. This module implements LPT under resource
 //! constraints as the natural weighted baseline the paper's greedy family

@@ -65,7 +65,9 @@ pub mod solver;
 pub use error::{CoreError, Result};
 pub use hyper::HyperHeuristic;
 pub use problem::{HyperMatching, SemiMatching};
-pub use solver::{solve, Problem, Solution, SolverClass, SolverKind};
+pub use solver::{
+    solve, solve_many, KindSolver, Problem, Solution, Solver, SolverClass, SolverKind,
+};
 
 /// Selector for the four `SINGLEPROC` heuristics (report plumbing).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]

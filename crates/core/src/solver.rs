@@ -10,11 +10,17 @@
 //! ([`SolverKind::ALL`] and the class subsets) and one
 //! [`solve(problem, kind)`](solve) dispatcher.
 //!
+//! For repeated traffic the registry exposes a warm path: the [`Solver`]
+//! trait binds a kind to a persistent [`SearchWorkspace`]
+//! ([`SolverKind::solver`] → [`KindSolver`]), and [`solve_many`] batches a
+//! whole instance set through workspace-reusing solvers. The stateless
+//! [`solve(problem, kind)`](solve) facade remains for one-shot callers.
+//!
 //! The literature treats the engines as interchangeable substrates —
 //! Fakcharoenphol–Laekhanukit–Nanongkai's faster semi-matching algorithms
 //! and Katrenič–Semanišin's Hopcroft–Karp generalization slot into the same
-//! problem interface — so the registry is also the seam where future
-//! backends land.
+//! problem interface — so the registry (and the `Solver` seam in
+//! particular) is also where future backends land.
 //!
 //! ```
 //! use semimatch_graph::Hypergraph;
@@ -33,11 +39,12 @@
 use std::str::FromStr;
 
 use semimatch_graph::{Bipartite, Hypergraph};
+use semimatch_matching::SearchWorkspace;
 
 use crate::error::{CoreError, Result};
 use crate::exact::{
-    brute_force_multiproc, brute_force_singleproc, exact_unit, exact_unit_replicated, harvey_exact,
-    SearchStrategy,
+    brute_force_multiproc, brute_force_singleproc, exact_unit_in, exact_unit_replicated_in,
+    harvey_exact, SearchStrategy,
 };
 use crate::hyper::HyperHeuristic;
 use crate::online::{online_schedule, OnlineRule};
@@ -422,8 +429,23 @@ impl SolverKind {
         }
     }
 
-    /// Runs this solver on `problem`.
+    /// Runs this solver on `problem` with throwaway scratch.
+    ///
+    /// One-shot convenience: repeated callers should hold a
+    /// [`KindSolver`] (or go through [`solve_many`]) so the engine scratch
+    /// is allocated once and reused.
     pub fn solve(self, problem: Problem<'_>) -> Result<Solution> {
+        self.solve_in(problem, &mut SearchWorkspace::new())
+    }
+
+    /// Builds a solver object for this kind, owning its own workspace.
+    pub fn solver(self) -> KindSolver {
+        KindSolver::new(self)
+    }
+
+    /// Runs this solver on `problem`, drawing all matching-engine scratch
+    /// (flow arenas, BFS/DFS arrays) from `ws`.
+    pub fn solve_in(self, problem: Problem<'_>, ws: &mut SearchWorkspace) -> Result<Solution> {
         match self {
             SolverKind::Basic => {
                 Ok(Solution::SingleProc(BiHeuristic::Basic.run(self.bipartite(&problem)?)?))
@@ -439,18 +461,21 @@ impl SolverKind {
             }
             SolverKind::ExactIncremental => {
                 let g = self.bipartite(&problem)?;
-                Ok(Solution::SingleProc(exact_unit(g, SearchStrategy::Incremental)?.solution))
+                Ok(Solution::SingleProc(
+                    exact_unit_in(g, SearchStrategy::Incremental, ws)?.solution,
+                ))
             }
             SolverKind::ExactBisection => {
                 let g = self.bipartite(&problem)?;
-                Ok(Solution::SingleProc(exact_unit(g, SearchStrategy::Bisection)?.solution))
+                Ok(Solution::SingleProc(exact_unit_in(g, SearchStrategy::Bisection, ws)?.solution))
             }
             SolverKind::ExactReplicated => {
                 let g = self.bipartite(&problem)?;
-                let r = exact_unit_replicated(
+                let r = exact_unit_replicated_in(
                     g,
                     MatchingEngine::PushRelabel,
                     SearchStrategy::Incremental,
+                    ws,
                 )?;
                 Ok(Solution::SingleProc(r.solution))
             }
@@ -558,8 +583,106 @@ impl std::fmt::Display for SolverKind {
 }
 
 /// Runs `kind` on `problem` — the single dispatch point for every consumer.
+///
+/// Thin compatibility facade over the [`Solver`] trait: allocates throwaway
+/// scratch per call. Hot loops should hold a [`KindSolver`] (or use
+/// [`solve_many`]) to amortize workspace allocation across solves.
 pub fn solve(problem: Problem<'_>, kind: SolverKind) -> Result<Solution> {
     kind.solve(problem)
+}
+
+/// A solver object: one algorithm plus the scratch state it reuses between
+/// runs.
+///
+/// Where [`solve`] is the stateless facade, a `Solver` is the warm path:
+/// the object owns its [`SearchWorkspace`] (visited stamps, BFS/DFS arrays,
+/// flow residual arena), so consecutive [`Solver::solve`] calls on
+/// same-shaped instances perform no scratch allocation. This is also the
+/// seam where future backends (cost-scaling flow, streaming, sharded
+/// serving) land: they implement `Solver` and plug into every consumer —
+/// the CLI batch mode, the bench sweeps, the scheduling policies — without
+/// touching the dispatch sites.
+pub trait Solver {
+    /// The registry entry this solver implements.
+    fn kind(&self) -> SolverKind;
+
+    /// Solves `problem`, reusing the solver's internal scratch.
+    fn solve(&mut self, problem: Problem<'_>) -> Result<Solution>;
+
+    /// Solves `problem` writing over `out`.
+    ///
+    /// The default implementation replaces `*out` wholesale (dropping its
+    /// old buffers); backends that can rebuild a solution in place override
+    /// this to keep the output allocation alive too.
+    fn solve_into(&mut self, problem: Problem<'_>, out: &mut Solution) -> Result<()> {
+        *out = self.solve(problem)?;
+        Ok(())
+    }
+
+    /// Pre-sizes internal scratch for `problem`'s dimensions, so the first
+    /// real [`Solver::solve`] hits the warm path. Optional; a no-op by
+    /// default.
+    fn warm_start(&mut self, _problem: &Problem<'_>) {}
+}
+
+/// The registry's [`Solver`] implementation: a [`SolverKind`] bound to a
+/// persistent [`SearchWorkspace`].
+#[derive(Clone, Debug)]
+pub struct KindSolver {
+    kind: SolverKind,
+    ws: SearchWorkspace,
+}
+
+impl KindSolver {
+    /// A solver for `kind` with an empty (lazily grown) workspace.
+    pub fn new(kind: SolverKind) -> Self {
+        KindSolver { kind, ws: SearchWorkspace::new() }
+    }
+
+    /// The underlying workspace (e.g. to share it with non-registry code).
+    pub fn workspace(&mut self) -> &mut SearchWorkspace {
+        &mut self.ws
+    }
+}
+
+impl Solver for KindSolver {
+    fn kind(&self) -> SolverKind {
+        self.kind
+    }
+
+    fn solve(&mut self, problem: Problem<'_>) -> Result<Solution> {
+        self.kind.solve_in(problem, &mut self.ws)
+    }
+
+    fn warm_start(&mut self, problem: &Problem<'_>) {
+        // SINGLEPROC kinds draw on the workspace: pre-size the traversal
+        // arrays and the capacitated flow arena (source + tasks + procs +
+        // sink; task, task→proc and proc arcs, each with a residual twin).
+        // MULTIPROC (hypergraph) kinds keep their scratch inside their own
+        // algorithms, so there is nothing to pre-size for them.
+        if let Problem::SingleProc(g) = problem {
+            self.ws.reserve(g.n_left(), g.n_right());
+            let (n1, n2) = (g.n_left() as usize, g.n_right() as usize);
+            self.ws.reserve_flow(n1 + n2 + 2, 2 * (n1 + g.num_edges() + n2), g.num_edges());
+        }
+    }
+}
+
+/// Solves every problem with every kind, reusing one workspace-backed
+/// solver per kind across the whole batch.
+///
+/// Returns one row per problem, holding the kinds' results in `kinds`
+/// order. Class-mismatched pairs yield `Err(CoreError::KindMismatch)` in
+/// their slot without aborting the rest of the batch — a batch can mix
+/// `SINGLEPROC` and `MULTIPROC` instances.
+///
+/// The batch runs on the calling thread; parallel drivers (the bench
+/// harness) shard the problem list and call `solve_many` — or hold
+/// [`KindSolver`]s — once per worker, which is what "one workspace per
+/// thread" means operationally.
+pub fn solve_many(problems: &[Problem<'_>], kinds: &[SolverKind]) -> Vec<Vec<Result<Solution>>> {
+    let mut solvers: Vec<KindSolver> = kinds.iter().map(|&k| KindSolver::new(k)).collect();
+    problems.iter().map(|&problem| solvers.iter_mut().map(|s| s.solve(problem)).collect()).collect()
 }
 
 #[cfg(test)]
@@ -699,5 +822,73 @@ mod tests {
     fn aliases_resolve() {
         assert_eq!("bisection".parse::<SolverKind>().unwrap(), SolverKind::ExactBisection);
         assert_eq!("EVG+refine".parse::<SolverKind>().unwrap(), SolverKind::EvgRefined);
+    }
+
+    #[test]
+    fn warm_solver_matches_stateless_facade() {
+        // A KindSolver reused across many solves must return exactly what
+        // the stateless facade returns per call.
+        let g = bipartite();
+        let h = hypergraph();
+        for kind in SolverKind::ALL {
+            let mut s = kind.solver();
+            assert_eq!(s.kind(), kind);
+            let problem = match kind.class() {
+                SolverClass::SingleProc | SolverClass::Either => Problem::SingleProc(&g),
+                SolverClass::MultiProc => Problem::MultiProc(&h),
+            };
+            s.warm_start(&problem);
+            for _ in 0..3 {
+                let warm = s.solve(problem).unwrap();
+                let cold = solve(problem, kind).unwrap();
+                assert_eq!(warm, cold, "{kind} diverged under workspace reuse");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_into_overwrites_previous_solution() {
+        let g = bipartite();
+        let problem = Problem::SingleProc(&g);
+        let mut s = SolverKind::ExactBisection.solver();
+        let mut out = s.solve(problem).unwrap();
+        let expected = out.clone();
+        s.solve_into(problem, &mut out).unwrap();
+        assert_eq!(out, expected);
+        out.validate(&problem).unwrap();
+    }
+
+    #[test]
+    fn solve_many_matches_per_call_solves_and_isolates_mismatches() {
+        let g = bipartite();
+        let h = hypergraph();
+        let problems = [Problem::SingleProc(&g), Problem::MultiProc(&h)];
+        let kinds = [SolverKind::ExactBisection, SolverKind::Evg, SolverKind::BruteForce];
+        let rows = solve_many(&problems, &kinds);
+        assert_eq!(rows.len(), problems.len());
+        for (row, problem) in rows.iter().zip(&problems) {
+            assert_eq!(row.len(), kinds.len());
+            for (slot, &kind) in row.iter().zip(&kinds) {
+                match (slot, solve(*problem, kind)) {
+                    (Ok(batch), Ok(single)) => {
+                        assert_eq!(batch, &single, "{kind}");
+                        batch.validate(problem).unwrap();
+                    }
+                    (Err(CoreError::KindMismatch { .. }), Err(CoreError::KindMismatch { .. })) => {}
+                    (got, want) => panic!("{kind}: batch {got:?} vs single {want:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solver_trait_is_object_safe() {
+        let g = bipartite();
+        let problem = Problem::SingleProc(&g);
+        let mut solvers: Vec<Box<dyn Solver>> =
+            vec![Box::new(SolverKind::Expected.solver()), Box::new(SolverKind::Harvey.solver())];
+        for s in &mut solvers {
+            s.solve(problem).unwrap().validate(&problem).unwrap();
+        }
     }
 }

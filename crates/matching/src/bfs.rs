@@ -9,6 +9,7 @@ use semimatch_graph::Bipartite;
 
 use crate::greedy::greedy_init;
 use crate::matching::{Matching, NONE};
+use crate::workspace::SearchWorkspace;
 
 /// Maximum matching by per-vertex BFS augmentation from a greedy start.
 pub fn pfp(g: &Bipartite) -> Matching {
@@ -16,45 +17,49 @@ pub fn pfp(g: &Bipartite) -> Matching {
 }
 
 /// Maximum matching by per-vertex BFS augmentation from a given matching.
-pub fn pfp_from(g: &Bipartite, mut m: Matching) -> Matching {
+pub fn pfp_from(g: &Bipartite, m: Matching) -> Matching {
+    pfp_from_in(g, m, &mut SearchWorkspace::new())
+}
+
+/// [`pfp_from`] drawing all scratch from a reusable workspace: stamped
+/// visited marks, `pred` pointers and the BFS queue. Allocation-free once
+/// `ws` has seen the graph's dimensions.
+pub fn pfp_from_in(g: &Bipartite, mut m: Matching, ws: &mut SearchWorkspace) -> Matching {
     let n1 = g.n_left() as usize;
-    let n2 = g.n_right() as usize;
-    let mut visited: Vec<u32> = vec![u32::MAX; n2]; // stamped per search
-    let mut pred: Vec<u32> = vec![NONE; n2]; // left vertex that discovered u
-    let mut queue: Vec<u32> = Vec::new(); // BFS frontier of left vertices
+    ws.reserve(g.n_left(), g.n_right());
 
     for v0 in 0..n1 {
         if m.mate_left[v0] != NONE {
             continue;
         }
-        let stamp = v0 as u32;
-        queue.clear();
-        queue.push(v0 as u32);
+        let stamp = ws.next_stamp();
+        ws.queue.clear();
+        ws.queue.push(v0 as u32);
         let mut head = 0;
         let mut free_u: Option<u32> = None;
 
-        'bfs: while head < queue.len() {
-            let v = queue[head];
+        'bfs: while head < ws.queue.len() {
+            let v = ws.queue[head];
             head += 1;
             for &u in g.neighbors(v) {
-                if visited[u as usize] == stamp {
+                if ws.visited[u as usize] == stamp {
                     continue;
                 }
-                visited[u as usize] = stamp;
-                pred[u as usize] = v;
+                ws.visited[u as usize] = stamp;
+                ws.pred[u as usize] = v; // left vertex that discovered u
                 let w = m.mate_right[u as usize];
                 if w == NONE {
                     free_u = Some(u);
                     break 'bfs;
                 }
-                queue.push(w);
+                ws.queue.push(w);
             }
         }
 
         if let Some(mut u) = free_u {
             // Flip the path backwards via pred pointers.
             loop {
-                let v = pred[u as usize];
+                let v = ws.pred[u as usize];
                 let prev_u = m.mate_left[v as usize];
                 m.mate_left[v as usize] = u;
                 m.mate_right[u as usize] = v;

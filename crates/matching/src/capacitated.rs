@@ -10,8 +10,8 @@
 
 use semimatch_graph::Bipartite;
 
-use crate::flow::FlowNetwork;
 use crate::matching::NONE;
+use crate::workspace::SearchWorkspace;
 
 /// Result of a capacitated assignment.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -70,35 +70,63 @@ impl Assignment {
 ///
 /// Returns the largest set of tasks that can be placed so that every
 /// processor serves at most `capacity` tasks. Runs Dinic's algorithm on the
-/// unit-task flow network, `O(|E|·√|V|)`-ish in practice.
+/// unit-task flow network, `O(|E|·√|V|)`-ish in practice. No per-processor
+/// capacity array is materialized for the uniform case.
 pub fn max_assignment(g: &Bipartite, capacity: u32) -> Assignment {
-    max_assignment_with_capacities(g, &vec![capacity; g.n_right() as usize])
+    max_assignment_in(g, capacity, &mut SearchWorkspace::new())
+}
+
+/// [`max_assignment`] building the flow network inside a reusable
+/// workspace arena. Warm repeated solves (the deadline-search inner loop)
+/// allocate only the returned [`Assignment`].
+pub fn max_assignment_in(g: &Bipartite, capacity: u32, ws: &mut SearchWorkspace) -> Assignment {
+    solve_flow(g, |_| capacity as u64, ws)
 }
 
 /// Maximum-cardinality assignment with per-processor capacities.
 pub fn max_assignment_with_capacities(g: &Bipartite, capacities: &[u32]) -> Assignment {
+    max_assignment_with_capacities_in(g, capacities, &mut SearchWorkspace::new())
+}
+
+/// [`max_assignment_with_capacities`] on a reusable workspace arena.
+pub fn max_assignment_with_capacities_in(
+    g: &Bipartite,
+    capacities: &[u32],
+    ws: &mut SearchWorkspace,
+) -> Assignment {
     assert_eq!(capacities.len(), g.n_right() as usize, "one capacity per processor");
+    solve_flow(g, |u| capacities[u as usize] as u64, ws)
+}
+
+/// Shared flow formulation over any capacity provider (uniform capacities
+/// need no backing slice). Nodes: source 0, tasks `1..=n1`, processors
+/// `n1+1..=n1+n2`, sink `n1+n2+1`.
+fn solve_flow(
+    g: &Bipartite,
+    capacity_of: impl Fn(u32) -> u64,
+    ws: &mut SearchWorkspace,
+) -> Assignment {
     let n1 = g.n_left();
     let n2 = g.n_right();
     let source = 0u32;
     let task_base = 1u32;
     let proc_base = 1 + n1;
     let sink = 1 + n1 + n2;
-    let mut net = FlowNetwork::new(sink as usize + 1);
+    let (net, edge_arcs) = ws.flow_arena(sink as usize + 1);
 
     for v in 0..n1 {
         net.add_arc(source, task_base + v, 1);
     }
     // Record the arc id of every task→processor arc for extraction.
-    let mut edge_arcs: Vec<u32> = Vec::with_capacity(g.num_edges());
     for v in 0..n1 {
         for &u in g.neighbors(v) {
             edge_arcs.push(net.add_arc(task_base + v, proc_base + u, 1));
         }
     }
     for u in 0..n2 {
-        if capacities[u as usize] > 0 {
-            net.add_arc(proc_base + u, sink, capacities[u as usize] as u64);
+        let c = capacity_of(u);
+        if c > 0 {
+            net.add_arc(proc_base + u, sink, c);
         }
     }
     net.max_flow(source, sink);
@@ -122,6 +150,11 @@ pub fn max_assignment_with_capacities(g: &Bipartite, capacities: &[u32]) -> Assi
 /// `D = capacity` admits a matching covering `V1`).
 pub fn feasible(g: &Bipartite, capacity: u32) -> bool {
     max_assignment(g, capacity).is_complete()
+}
+
+/// [`feasible`] on a reusable workspace arena.
+pub fn feasible_in(g: &Bipartite, capacity: u32, ws: &mut SearchWorkspace) -> bool {
+    max_assignment_in(g, capacity, ws).is_complete()
 }
 
 #[cfg(test)]

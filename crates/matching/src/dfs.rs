@@ -10,6 +10,7 @@ use semimatch_graph::Bipartite;
 
 use crate::greedy::greedy_init;
 use crate::matching::{Matching, NONE};
+use crate::workspace::SearchWorkspace;
 
 /// Maximum matching by DFS augmentation, starting from a greedy matching.
 pub fn mc21(g: &Bipartite) -> Matching {
@@ -22,43 +23,48 @@ pub fn mc21(g: &Bipartite) -> Matching {
 /// lookahead's effect — the MatchMaker study's headline observation is
 /// that lookahead is what makes DFS competitive in practice.
 pub fn dfs_plain(g: &Bipartite) -> Matching {
+    dfs_plain_in(g, &mut SearchWorkspace::new())
+}
+
+/// [`dfs_plain`] drawing its visited marks and DFS stack from a reusable
+/// workspace.
+pub fn dfs_plain_in(g: &Bipartite, ws: &mut SearchWorkspace) -> Matching {
     let mut m = greedy_init(g);
     let n1 = g.n_left() as usize;
-    let mut visited: Vec<u32> = vec![u32::MAX; g.n_right() as usize];
-    let mut stack: Vec<(u32, u32)> = Vec::new();
+    ws.reserve(g.n_left(), g.n_right());
     for v0 in 0..n1 {
         if m.mate_left[v0] != NONE {
             continue;
         }
-        let stamp = v0 as u32;
-        stack.clear();
-        stack.push((v0 as u32, g.edge_range(v0 as u32).start));
+        let stamp = ws.next_stamp();
+        ws.stack.clear();
+        ws.stack.push((v0 as u32, g.edge_range(v0 as u32).start));
         let mut found: Option<u32> = None;
-        'dfs: while let Some(&mut (v, ref mut cursor)) = stack.last_mut() {
+        'dfs: while let Some(&mut (v, ref mut cursor)) = ws.stack.last_mut() {
             let range_end = g.edge_range(v).end;
             let mut advanced = false;
             while *cursor < range_end {
                 let u = g.edge_right(*cursor);
                 *cursor += 1;
-                if visited[u as usize] == stamp {
+                if ws.visited[u as usize] == stamp {
                     continue;
                 }
-                visited[u as usize] = stamp;
+                ws.visited[u as usize] = stamp;
                 let w = m.mate_right[u as usize];
                 if w == NONE {
                     found = Some(u);
                     break 'dfs;
                 }
-                stack.push((w, g.edge_range(w).start));
+                ws.stack.push((w, g.edge_range(w).start));
                 advanced = true;
                 break;
             }
             if !advanced {
-                stack.pop();
+                ws.stack.pop();
             }
         }
         if let Some(mut u) = found {
-            while let Some((v, _)) = stack.pop() {
+            while let Some((v, _)) = ws.stack.pop() {
                 let prev_u = m.mate_left[v as usize];
                 m.mate_left[v as usize] = u;
                 m.mate_right[u as usize] = v;
@@ -73,37 +79,43 @@ pub fn dfs_plain(g: &Bipartite) -> Matching {
 }
 
 /// Maximum matching by DFS augmentation from a caller-supplied matching.
-pub fn mc21_from(g: &Bipartite, mut m: Matching) -> Matching {
+pub fn mc21_from(g: &Bipartite, m: Matching) -> Matching {
+    mc21_from_in(g, m, &mut SearchWorkspace::new())
+}
+
+/// [`mc21_from`] drawing all scratch (visited marks, lookahead cursors, the
+/// DFS stack) from a reusable workspace. Allocation-free once `ws` has seen
+/// the graph's dimensions.
+pub fn mc21_from_in(g: &Bipartite, mut m: Matching, ws: &mut SearchWorkspace) -> Matching {
     let n1 = g.n_left() as usize;
-    // visited[u] == stamp means right vertex u was reached in this search.
-    let mut visited: Vec<u32> = vec![u32::MAX; g.n_right() as usize];
+    ws.reserve(g.n_left(), g.n_right());
     // Persistent lookahead cursor per left vertex: neighbors before the
     // cursor are known to be matched (they can only become unmatched through
-    // augmentation, which never unmatches a right vertex).
-    let mut lookahead: Vec<u32> = (0..g.n_left()).map(|v| g.edge_range(v).start).collect();
-    // Explicit DFS stack of (left vertex, neighbor cursor).
-    let mut stack: Vec<(u32, u32)> = Vec::new();
-    // Path recorded as (left, right) tentative pairs for rollback-free commit.
+    // augmentation, which never unmatches a right vertex). Re-initialized
+    // per call — the invariant is relative to this graph and matching.
+    for v in 0..g.n_left() {
+        ws.lookahead[v as usize] = g.edge_range(v).start;
+    }
     for v0 in 0..n1 {
         if m.mate_left[v0] != NONE {
             continue;
         }
-        let stamp = v0 as u32;
-        stack.clear();
-        stack.push((v0 as u32, g.edge_range(v0 as u32).start));
+        let stamp = ws.next_stamp();
+        ws.stack.clear();
+        ws.stack.push((v0 as u32, g.edge_range(v0 as u32).start));
         let mut found: Option<u32> = None; // free right vertex ending the path
 
-        'dfs: while let Some(&mut (v, ref mut cursor)) = stack.last_mut() {
+        'dfs: while let Some(&mut (v, ref mut cursor)) = ws.stack.last_mut() {
             // Lookahead: scan for an immediately free neighbor.
             let range_end = g.edge_range(v).end;
             {
-                let la = &mut lookahead[v as usize];
+                let la = &mut ws.lookahead[v as usize];
                 while *la < range_end {
                     let u = g.edge_right(*la);
                     if m.mate_right[u as usize] == NONE {
                         // Do not advance past a free vertex: it will be
                         // matched right now.
-                        visited[u as usize] = stamp;
+                        ws.visited[u as usize] = stamp;
                         found = Some(u);
                         break 'dfs;
                     }
@@ -115,28 +127,28 @@ pub fn mc21_from(g: &Bipartite, mut m: Matching) -> Matching {
             while *cursor < range_end {
                 let u = g.edge_right(*cursor);
                 *cursor += 1;
-                if visited[u as usize] == stamp {
+                if ws.visited[u as usize] == stamp {
                     continue;
                 }
-                visited[u as usize] = stamp;
+                ws.visited[u as usize] = stamp;
                 let w = m.mate_right[u as usize];
                 if w == NONE {
                     found = Some(u);
                     break 'dfs;
                 }
-                stack.push((w, g.edge_range(w).start));
+                ws.stack.push((w, g.edge_range(w).start));
                 advanced = true;
                 break;
             }
             if !advanced {
-                stack.pop();
+                ws.stack.pop();
             }
         }
 
         if let Some(mut u) = found {
             // Augment along the stack: the top pairs with u, the one below
             // pairs with the right vertex freed by the top, and so on.
-            while let Some((v, _)) = stack.pop() {
+            while let Some((v, _)) = ws.stack.pop() {
                 let prev_u = m.mate_left[v as usize];
                 m.mate_left[v as usize] = u;
                 m.mate_right[u as usize] = v;

@@ -5,39 +5,95 @@
 //! every processor we solve the equivalent flow problem with processor
 //! capacities (see [`crate::capacitated`]). The solver is deliberately
 //! general: unit tests exercise it on classical flow networks as well.
+//!
+//! The residual graph is stored in CSR form (matching
+//! `semimatch_graph::Bipartite`): arcs append to flat `head`/`cap` arrays
+//! and the per-vertex arc lists are two flat index arrays rebuilt lazily
+//! before a solve. The Dinic scratch (levels, current-arc pointers, BFS
+//! queue, DFS path) lives inside the network, so a [`FlowNetwork`] that is
+//! [`clear`](FlowNetwork::clear)ed and refilled — the
+//! [`crate::SearchWorkspace`] arena pattern — performs repeated max-flows
+//! with no per-call allocation once warm.
 
-/// Adjacency-list flow network with residual arcs.
-#[derive(Clone, Debug)]
+/// CSR flow network with residual arcs and resident Dinic scratch.
+#[derive(Clone, Debug, Default)]
 pub struct FlowNetwork {
-    /// Head vertex of each arc. Arc `2k+1` is the residual twin of arc `2k`.
+    /// Number of vertices.
+    n: usize,
+    /// Head vertex of each arc. Arc `2k+1` is the residual twin of arc `2k`,
+    /// so the tail of arc `a` is `head[a ^ 1]`.
     head: Vec<u32>,
     /// Residual capacity of each arc.
     cap: Vec<u64>,
-    /// Per-vertex arc lists (indices into `head`/`cap`).
-    adj: Vec<Vec<u32>>,
+    /// CSR offsets: the arcs leaving vertex `v` are
+    /// `arc_order[arc_start[v] .. arc_start[v + 1]]`. Rebuilt lazily.
+    arc_start: Vec<u32>,
+    /// Arc ids grouped by tail vertex (CSR payload).
+    arc_order: Vec<u32>,
+    /// Whether `arc_start`/`arc_order` reflect the current arc set.
+    csr_valid: bool,
+    // ---- Dinic scratch, resident so warm solves allocate nothing ----
+    /// BFS level of each vertex.
+    level: Vec<u32>,
+    /// Current-arc pointer per vertex (index into its CSR slice).
+    iter_ptr: Vec<u32>,
+    /// BFS queue.
+    queue: Vec<u32>,
+    /// Arcs on the current DFS path.
+    path: Vec<u32>,
 }
 
 impl FlowNetwork {
     /// Creates a network with `n` vertices and no arcs.
     pub fn new(n: usize) -> Self {
-        FlowNetwork { head: Vec::new(), cap: Vec::new(), adj: vec![Vec::new(); n] }
+        FlowNetwork { n, ..FlowNetwork::default() }
+    }
+
+    /// Resets to an empty `n`-vertex network, keeping every allocation.
+    ///
+    /// This is the arena entry point: a long-lived network cleared between
+    /// builds reuses its arc arrays, CSR index and Dinic scratch.
+    pub fn clear(&mut self, n: usize) {
+        self.n = n;
+        self.head.clear();
+        self.cap.clear();
+        self.csr_valid = false;
+    }
+
+    /// Pre-sizes the arc arrays, the CSR index and the Dinic scratch for a
+    /// network of `n_vertices` vertices and `n_arcs` directed arcs
+    /// (residual twins included), so the first build-and-solve performs no
+    /// growth reallocation.
+    pub fn reserve(&mut self, n_vertices: usize, n_arcs: usize) {
+        self.head.reserve(n_arcs.saturating_sub(self.head.len()));
+        self.cap.reserve(n_arcs.saturating_sub(self.cap.len()));
+        self.arc_start.reserve((n_vertices + 1).saturating_sub(self.arc_start.len()));
+        self.arc_order.reserve(n_arcs.saturating_sub(self.arc_order.len()));
+        self.level.reserve(n_vertices.saturating_sub(self.level.len()));
+        self.iter_ptr.reserve(n_vertices.saturating_sub(self.iter_ptr.len()));
+        self.queue.reserve(n_vertices.saturating_sub(self.queue.len()));
     }
 
     /// Number of vertices.
     pub fn n_vertices(&self) -> usize {
-        self.adj.len()
+        self.n
+    }
+
+    /// Number of directed arcs (residual twins included).
+    pub fn n_arcs(&self) -> usize {
+        self.head.len()
     }
 
     /// Adds a directed arc `from → to` with the given capacity and returns
     /// its arc id (the reverse residual arc is created automatically).
     pub fn add_arc(&mut self, from: u32, to: u32, capacity: u64) -> u32 {
+        debug_assert!((from as usize) < self.n && (to as usize) < self.n);
         let id = self.head.len() as u32;
         self.head.push(to);
         self.cap.push(capacity);
         self.head.push(from);
         self.cap.push(0);
-        self.adj[from as usize].push(id);
-        self.adj[to as usize].push(id + 1);
+        self.csr_valid = false;
         id
     }
 
@@ -51,39 +107,79 @@ impl FlowNetwork {
         self.cap[id as usize]
     }
 
+    /// Rebuilds the CSR arc index by counting sort over arc tails.
+    /// `O(V + E)`, allocation-free once the index arrays have grown.
+    fn build_csr(&mut self) {
+        let m = self.head.len();
+        self.arc_start.clear();
+        self.arc_start.resize(self.n + 1, 0);
+        for a in 0..m {
+            let tail = self.head[a ^ 1] as usize;
+            self.arc_start[tail + 1] += 1;
+        }
+        for v in 0..self.n {
+            self.arc_start[v + 1] += self.arc_start[v];
+        }
+        self.arc_order.resize(m, 0);
+        // Temporarily advance arc_start as the fill cursor, then shift back.
+        for a in 0..m {
+            let tail = self.head[a ^ 1] as usize;
+            let slot = self.arc_start[tail];
+            self.arc_order[slot as usize] = a as u32;
+            self.arc_start[tail] += 1;
+        }
+        for v in (1..=self.n).rev() {
+            self.arc_start[v] = self.arc_start[v - 1];
+        }
+        self.arc_start[0] = 0;
+        self.csr_valid = true;
+    }
+
+    /// The arc ids leaving `v` (requires a valid CSR index).
+    #[inline]
+    fn arcs_of(&self, v: u32) -> std::ops::Range<usize> {
+        self.arc_start[v as usize] as usize..self.arc_start[v as usize + 1] as usize
+    }
+
     /// Computes the maximum `source → sink` flow with Dinic's algorithm.
+    ///
+    /// Reuses the resident scratch; on a warm (cleared-and-refilled)
+    /// network of the same shape this performs no allocation.
     pub fn max_flow(&mut self, source: u32, sink: u32) -> u64 {
         assert_ne!(source, sink, "source and sink must differ");
-        let n = self.adj.len();
-        let mut level: Vec<u32> = vec![u32::MAX; n];
-        let mut iter: Vec<u32> = vec![0; n];
-        let mut queue: Vec<u32> = Vec::with_capacity(n);
+        if !self.csr_valid {
+            self.build_csr();
+        }
+        let n = self.n;
+        self.level.resize(n, u32::MAX);
+        self.iter_ptr.resize(n, 0);
         let mut total = 0u64;
         loop {
             // BFS: layer the residual graph.
-            level.iter_mut().for_each(|l| *l = u32::MAX);
-            level[source as usize] = 0;
-            queue.clear();
-            queue.push(source);
+            self.level.iter_mut().for_each(|l| *l = u32::MAX);
+            self.level[source as usize] = 0;
+            self.queue.clear();
+            self.queue.push(source);
             let mut head = 0;
-            while head < queue.len() {
-                let v = queue[head];
+            while head < self.queue.len() {
+                let v = self.queue[head];
                 head += 1;
-                for &a in &self.adj[v as usize] {
-                    let to = self.head[a as usize];
-                    if self.cap[a as usize] > 0 && level[to as usize] == u32::MAX {
-                        level[to as usize] = level[v as usize] + 1;
-                        queue.push(to);
+                for k in self.arcs_of(v) {
+                    let a = self.arc_order[k] as usize;
+                    let to = self.head[a];
+                    if self.cap[a] > 0 && self.level[to as usize] == u32::MAX {
+                        self.level[to as usize] = self.level[v as usize] + 1;
+                        self.queue.push(to);
                     }
                 }
             }
-            if level[sink as usize] == u32::MAX {
+            if self.level[sink as usize] == u32::MAX {
                 return total;
             }
             // Blocking flow via iterative DFS with current-arc pointers.
-            iter.iter_mut().for_each(|i| *i = 0);
+            self.iter_ptr.iter_mut().for_each(|i| *i = 0);
             loop {
-                let pushed = self.dfs_augment(source, sink, u64::MAX, &level, &mut iter);
+                let pushed = self.dfs_augment(source, sink, u64::MAX);
                 if pushed == 0 {
                     break;
                 }
@@ -94,53 +190,47 @@ impl FlowNetwork {
 
     /// One DFS from `source`: finds a single augmenting path in the level
     /// graph and pushes its bottleneck. Iterative to avoid deep recursion.
-    fn dfs_augment(
-        &mut self,
-        source: u32,
-        sink: u32,
-        limit: u64,
-        level: &[u32],
-        iter: &mut [u32],
-    ) -> u64 {
-        // Stack of (vertex, arc taken to reach it); source has no entry arc.
-        let mut path: Vec<u32> = Vec::new(); // arcs on the current path
+    fn dfs_augment(&mut self, source: u32, sink: u32, limit: u64) -> u64 {
+        self.path.clear();
         let mut v = source;
         loop {
             if v == sink {
                 // Bottleneck and augment.
                 let mut bottleneck = limit;
-                for &a in &path {
+                for &a in &self.path {
                     bottleneck = bottleneck.min(self.cap[a as usize]);
                 }
-                for &a in &path {
+                for &a in &self.path {
                     self.cap[a as usize] -= bottleneck;
                     self.cap[(a ^ 1) as usize] += bottleneck;
                 }
                 return bottleneck;
             }
-            let arcs = &self.adj[v as usize];
+            let arcs = self.arcs_of(v);
+            let base = arcs.start;
+            let deg = arcs.len();
             let mut advanced = false;
-            while (iter[v as usize] as usize) < arcs.len() {
-                let a = arcs[iter[v as usize] as usize];
+            while (self.iter_ptr[v as usize] as usize) < deg {
+                let a = self.arc_order[base + self.iter_ptr[v as usize] as usize];
                 let to = self.head[a as usize];
                 if self.cap[a as usize] > 0
-                    && level[to as usize] == level[v as usize].wrapping_add(1)
+                    && self.level[to as usize] == self.level[v as usize].wrapping_add(1)
                 {
-                    path.push(a);
+                    self.path.push(a);
                     v = to;
                     advanced = true;
                     break;
                 }
-                iter[v as usize] += 1;
+                self.iter_ptr[v as usize] += 1;
             }
             if !advanced {
                 if v == source {
                     return 0; // level graph exhausted
                 }
                 // Retreat: the vertex is dead for this phase.
-                let a = path.pop().expect("non-source vertex has an entry arc");
+                let a = self.path.pop().expect("non-source vertex has an entry arc");
                 let prev = self.head[(a ^ 1) as usize];
-                iter[prev as usize] += 1;
+                self.iter_ptr[prev as usize] += 1;
                 v = prev;
             }
         }
@@ -238,5 +328,44 @@ mod tests {
         let inflow = net.flow(arcs[1]) + net.flow(arcs[2]);
         let outflow = net.flow(arcs[4]);
         assert_eq!(inflow, outflow);
+    }
+
+    #[test]
+    fn incremental_arcs_after_a_solve() {
+        // Adding arcs invalidates the CSR index; a second solve must see
+        // both the residual state and the new arc.
+        let mut net = FlowNetwork::new(3);
+        net.add_arc(0, 1, 4);
+        net.add_arc(1, 2, 2);
+        assert_eq!(net.max_flow(0, 2), 2);
+        net.add_arc(1, 2, 3);
+        assert_eq!(net.max_flow(0, 2), 2, "second route bounded by 0→1 residual");
+    }
+
+    #[test]
+    fn cleared_network_reuses_allocations() {
+        let mut net = FlowNetwork::new(4);
+        net.add_arc(0, 1, 1);
+        net.add_arc(1, 3, 1);
+        assert_eq!(net.max_flow(0, 3), 1);
+        net.clear(4);
+        assert_eq!(net.n_arcs(), 0);
+        net.add_arc(0, 2, 5);
+        net.add_arc(2, 3, 4);
+        assert_eq!(net.max_flow(0, 3), 4);
+    }
+
+    #[test]
+    fn clear_can_resize() {
+        let mut net = FlowNetwork::new(2);
+        net.add_arc(0, 1, 1);
+        assert_eq!(net.max_flow(0, 1), 1);
+        net.clear(6);
+        for v in 1..=3 {
+            net.add_arc(0, v, 1);
+            net.add_arc(v, 4, 1);
+        }
+        net.add_arc(4, 5, 2);
+        assert_eq!(net.max_flow(0, 5), 2);
     }
 }

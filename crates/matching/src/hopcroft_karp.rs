@@ -8,6 +8,7 @@ use semimatch_graph::Bipartite;
 
 use crate::greedy::greedy_init;
 use crate::matching::{Matching, NONE};
+use crate::workspace::SearchWorkspace;
 
 const INF: u32 = u32::MAX;
 
@@ -17,32 +18,37 @@ pub fn hopcroft_karp(g: &Bipartite) -> Matching {
 }
 
 /// Maximum matching by Hopcroft–Karp from a caller-supplied matching.
-pub fn hopcroft_karp_from(g: &Bipartite, mut m: Matching) -> Matching {
+pub fn hopcroft_karp_from(g: &Bipartite, m: Matching) -> Matching {
+    hopcroft_karp_from_in(g, m, &mut SearchWorkspace::new())
+}
+
+/// [`hopcroft_karp_from`] drawing all scratch (levels, BFS queue, phase-DFS
+/// cursors and stack) from a reusable workspace. Allocation-free once `ws`
+/// has seen the graph's dimensions.
+pub fn hopcroft_karp_from_in(g: &Bipartite, mut m: Matching, ws: &mut SearchWorkspace) -> Matching {
     let n1 = g.n_left() as usize;
-    let mut dist: Vec<u32> = vec![INF; n1];
-    let mut queue: Vec<u32> = Vec::with_capacity(n1);
-    // DFS iterator state: cursor into each left vertex's neighbor list.
-    let mut cursor: Vec<u32> = vec![0; n1];
-    let mut stack: Vec<u32> = Vec::new();
+    ws.reserve(g.n_left(), g.n_right());
+    // dist: BFS levels per left vertex; cursor: DFS iterator state per left
+    // vertex; queue: BFS frontier; aux: the phase-DFS stack of left vertices.
 
     loop {
         // ---- BFS phase: layer left vertices by alternating distance. ----
-        queue.clear();
+        ws.queue.clear();
         let mut found_free = false;
         for v in 0..n1 {
             if m.mate_left[v] == NONE {
-                dist[v] = 0;
-                queue.push(v as u32);
+                ws.dist[v] = 0;
+                ws.queue.push(v as u32);
             } else {
-                dist[v] = INF;
+                ws.dist[v] = INF;
             }
         }
         let mut head = 0;
         let mut limit = INF; // depth of the shallowest augmenting path
-        while head < queue.len() {
-            let v = queue[head];
+        while head < ws.queue.len() {
+            let v = ws.queue[head];
             head += 1;
-            if dist[v as usize] >= limit {
+            if ws.dist[v as usize] >= limit {
                 break;
             }
             for &u in g.neighbors(v) {
@@ -50,12 +56,12 @@ pub fn hopcroft_karp_from(g: &Bipartite, mut m: Matching) -> Matching {
                 if w == NONE {
                     // Shortest augmenting path depth reached.
                     if limit == INF {
-                        limit = dist[v as usize] + 1;
+                        limit = ws.dist[v as usize] + 1;
                     }
                     found_free = true;
-                } else if dist[w as usize] == INF {
-                    dist[w as usize] = dist[v as usize] + 1;
-                    queue.push(w);
+                } else if ws.dist[w as usize] == INF {
+                    ws.dist[w as usize] = ws.dist[v as usize] + 1;
+                    ws.queue.push(w);
                 }
             }
         }
@@ -65,29 +71,29 @@ pub fn hopcroft_karp_from(g: &Bipartite, mut m: Matching) -> Matching {
 
         // ---- DFS phase: vertex-disjoint shortest augmenting paths. ----
         for v in 0..n1 {
-            cursor[v] = g.edge_range(v as u32).start;
+            ws.cursor[v] = g.edge_range(v as u32).start;
         }
         for v0 in 0..n1 {
             if m.mate_left[v0] != NONE {
                 continue;
             }
-            stack.clear();
-            stack.push(v0 as u32);
+            ws.aux.clear();
+            ws.aux.push(v0 as u32);
             let mut free_u = NONE;
-            while let Some(&v) = stack.last() {
+            while let Some(&v) = ws.aux.last() {
                 let range_end = g.edge_range(v).end;
                 let mut descended = false;
-                while cursor[v as usize] < range_end {
-                    let u = g.edge_right(cursor[v as usize]);
-                    cursor[v as usize] += 1;
+                while ws.cursor[v as usize] < range_end {
+                    let u = g.edge_right(ws.cursor[v as usize]);
+                    ws.cursor[v as usize] += 1;
                     let w = m.mate_right[u as usize];
                     if w == NONE {
                         free_u = u;
                         break;
                     }
                     // Follow only level-respecting arcs.
-                    if dist[w as usize] == dist[v as usize] + 1 {
-                        stack.push(w);
+                    if ws.dist[w as usize] == ws.dist[v as usize] + 1 {
+                        ws.aux.push(w);
                         descended = true;
                         break;
                     }
@@ -97,18 +103,18 @@ pub fn hopcroft_karp_from(g: &Bipartite, mut m: Matching) -> Matching {
                 }
                 if !descended {
                     // Dead end: exclude v from this phase entirely.
-                    dist[v as usize] = INF;
-                    stack.pop();
+                    ws.dist[v as usize] = INF;
+                    ws.aux.pop();
                 }
             }
             if free_u != NONE {
                 let mut u = free_u;
-                while let Some(v) = stack.pop() {
+                while let Some(v) = ws.aux.pop() {
                     let prev_u = m.mate_left[v as usize];
                     m.mate_left[v as usize] = u;
                     m.mate_right[u as usize] = v;
                     // Path vertices may not be reused within the phase.
-                    dist[v as usize] = INF;
+                    ws.dist[v as usize] = INF;
                     if prev_u == NONE {
                         break;
                     }

@@ -39,11 +39,13 @@ pub mod hopcroft_karp;
 pub mod matching;
 pub mod push_relabel;
 pub mod replicate;
+pub mod workspace;
 
 pub use capacitated::{feasible, max_assignment, max_assignment_with_capacities, Assignment};
 pub use cover::{certify_maximum, koenig_cover, VertexCover};
 pub use flow::FlowNetwork;
 pub use matching::{Matching, NONE};
+pub use workspace::SearchWorkspace;
 
 /// Selector for the maximum-matching engines.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -79,10 +81,22 @@ pub fn maximum_matching(g: &semimatch_graph::Bipartite, algo: Algorithm) -> Matc
     maximum_matching_with_init(g, algo, Init::Greedy)
 }
 
+/// Computes a maximum matching of `g` reusing `ws` for every piece of
+/// engine scratch. The warm path of repeated solves: no allocation besides
+/// the returned matching once the workspace has seen the sweep's largest
+/// dimensions.
+pub fn maximum_matching_in(
+    g: &semimatch_graph::Bipartite,
+    algo: Algorithm,
+    ws: &mut SearchWorkspace,
+) -> Matching {
+    maximum_matching_with_init_in(g, algo, Init::Greedy, ws)
+}
+
 /// Jump-start heuristic handed to the exact engines.
 ///
 /// The effect of initialization on matching performance is the subject of
-/// the paper's reference [16] (Langguth, Manne, Sanders, JEA 2010);
+/// the paper's reference \[16] (Langguth, Manne, Sanders, JEA 2010);
 /// `benches/matching.rs` reproduces the experiment shape on the paper's
 /// generators.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -124,12 +138,22 @@ pub fn maximum_matching_with_init(
     algo: Algorithm,
     init: Init,
 ) -> Matching {
+    maximum_matching_with_init_in(g, algo, init, &mut SearchWorkspace::new())
+}
+
+/// [`maximum_matching_with_init`] on a caller-owned workspace.
+pub fn maximum_matching_with_init_in(
+    g: &semimatch_graph::Bipartite,
+    algo: Algorithm,
+    init: Init,
+    ws: &mut SearchWorkspace,
+) -> Matching {
     let start = init.run(g);
     match algo {
-        Algorithm::Dfs => dfs::mc21_from(g, start),
-        Algorithm::Bfs => bfs::pfp_from(g, start),
-        Algorithm::HopcroftKarp => hopcroft_karp::hopcroft_karp_from(g, start),
-        Algorithm::PushRelabel => push_relabel::push_relabel_from(g, start),
+        Algorithm::Dfs => dfs::mc21_from_in(g, start, ws),
+        Algorithm::Bfs => bfs::pfp_from_in(g, start, ws),
+        Algorithm::HopcroftKarp => hopcroft_karp::hopcroft_karp_from_in(g, start, ws),
+        Algorithm::PushRelabel => push_relabel::push_relabel_from_in(g, start, ws),
     }
 }
 
@@ -153,6 +177,34 @@ mod tests {
             sizes.push(m.cardinality());
         }
         assert!(sizes.windows(2).all(|w| w[0] == w[1]), "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn one_workspace_serves_interleaved_engines_and_graphs() {
+        // Reusing a single workspace across engines and differently-sized
+        // graphs must give exactly the cold-path results.
+        let graphs = [
+            Bipartite::from_edges(2, 2, &[(0, 0), (0, 1), (1, 0)]).unwrap(),
+            Bipartite::from_edges(
+                6,
+                5,
+                &[(0, 0), (0, 1), (1, 0), (2, 2), (2, 3), (3, 2), (4, 4), (5, 4), (5, 0)],
+            )
+            .unwrap(),
+            Bipartite::from_edges(3, 1, &[(0, 0), (1, 0), (2, 0)]).unwrap(),
+            Bipartite::from_edges(1, 4, &[(0, 3)]).unwrap(),
+        ];
+        let mut ws = SearchWorkspace::new();
+        for _round in 0..3 {
+            for g in &graphs {
+                for algo in Algorithm::ALL {
+                    let warm = maximum_matching_in(g, algo, &mut ws);
+                    let cold = maximum_matching(g, algo);
+                    warm.validate(g).unwrap_or_else(|e| panic!("{}: {e}", algo.name()));
+                    assert_eq!(warm, cold, "{} diverged under workspace reuse", algo.name());
+                }
+            }
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@ use semimatch_graph::Bipartite;
 
 use crate::greedy::greedy_init;
 use crate::matching::{Matching, NONE};
+use crate::workspace::SearchWorkspace;
 
 /// Tuning: run a global relabel after this many relabel operations,
 /// expressed as a multiple of `n_right`.
@@ -27,19 +28,41 @@ pub fn push_relabel(g: &Bipartite) -> Matching {
 }
 
 /// Maximum matching by push-relabel from a caller-supplied matching.
-pub fn push_relabel_from(g: &Bipartite, mut m: Matching) -> Matching {
-    let n2 = g.n_right() as usize;
-    let infinity = (n2 + 1) as u32; // label meaning "no exposed right reachable"
-    let mut psi: Vec<u32> = vec![0; n2];
-    global_relabel(g, &m, &mut psi, infinity);
+pub fn push_relabel_from(g: &Bipartite, m: Matching) -> Matching {
+    push_relabel_from_in(g, m, &mut SearchWorkspace::new())
+}
 
-    // FIFO queue of active (exposed) left vertices.
-    let mut active: std::collections::VecDeque<u32> =
-        m.exposed_left().filter(|&v| g.deg_left(v) > 0).collect();
+/// [`push_relabel_from`] drawing all scratch (labels, the active FIFO, the
+/// global-relabel BFS queue) from a reusable workspace. Allocation-free
+/// once `ws` has seen the graph's dimensions.
+pub fn push_relabel_from_in(g: &Bipartite, mut m: Matching, ws: &mut SearchWorkspace) -> Matching {
+    let n2 = g.n_right() as usize;
+    ws.reserve(g.n_left(), g.n_right());
+    // Split borrows: labels carry ψ, queue is the active FIFO, aux is the
+    // global-relabel BFS frontier.
+    let SearchWorkspace { labels, queue, aux, .. } = ws;
+    let infinity = (n2 + 1) as u32; // label meaning "no exposed right reachable"
+    let psi = &mut labels[..n2];
+    global_relabel(g, &m, psi, infinity, aux);
+
+    // FIFO queue of active (exposed) left vertices: a grow-only vector with
+    // a head index (total pushes are bounded by the push count).
+    queue.clear();
+    queue.extend(m.exposed_left().filter(|&v| g.deg_left(v) > 0));
+    let mut head = 0;
     let mut relabels_since_global = 0usize;
     let relabel_budget = ((GLOBAL_RELABEL_FREQ * n2 as f64) as usize).max(16);
 
-    while let Some(v) = active.pop_front() {
+    while head < queue.len() {
+        // Compact once the dead prefix dominates: keeps the retained length
+        // O(active) even on instances with long displacement chains, where
+        // total re-activations far exceed the vertex count.
+        if head >= 1024 && head * 2 >= queue.len() {
+            queue.drain(..head);
+            head = 0;
+        }
+        let v = queue[head];
+        head += 1;
         if m.mate_left[v as usize] != NONE {
             continue; // matched in the meantime
         }
@@ -65,7 +88,7 @@ pub fn push_relabel_from(g: &Bipartite, mut m: Matching) -> Matching {
         let prev = m.mate_right[best as usize];
         m.couple(v, best);
         if prev != NONE {
-            active.push_back(prev);
+            queue.push(prev);
         }
         // Relabel `best` to one more than the second minimum (or to
         // infinity when v had a single eligible neighbor).
@@ -75,7 +98,7 @@ pub fn push_relabel_from(g: &Bipartite, mut m: Matching) -> Matching {
             psi[best as usize] = new_psi;
             relabels_since_global += 1;
             if relabels_since_global >= relabel_budget {
-                global_relabel(g, &m, &mut psi, infinity);
+                global_relabel(g, &m, psi, infinity, aux);
                 relabels_since_global = 0;
             }
         }
@@ -84,10 +107,16 @@ pub fn push_relabel_from(g: &Bipartite, mut m: Matching) -> Matching {
 }
 
 /// Multi-source BFS from exposed right vertices; exact alternating
-/// distances make every label tight.
-fn global_relabel(g: &Bipartite, m: &Matching, psi: &mut [u32], infinity: u32) {
+/// distances make every label tight. `queue` is caller-provided scratch.
+fn global_relabel(
+    g: &Bipartite,
+    m: &Matching,
+    psi: &mut [u32],
+    infinity: u32,
+    queue: &mut Vec<u32>,
+) {
     psi.iter_mut().for_each(|p| *p = infinity);
-    let mut queue: Vec<u32> = Vec::new();
+    queue.clear();
     for u in 0..g.n_right() {
         if m.mate_right[u as usize] == NONE {
             psi[u as usize] = 0;

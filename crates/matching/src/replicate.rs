@@ -10,14 +10,26 @@
 use semimatch_graph::Bipartite;
 
 use crate::matching::{Matching, NONE};
+use crate::workspace::SearchWorkspace;
 
 /// Builds `G_D`: processor `u` becomes copies `u·D .. u·D + D - 1`.
 ///
 /// # Panics
 /// Panics if `d == 0`.
 pub fn replicate(g: &Bipartite, d: u32) -> Bipartite {
+    replicate_in(g, d, &mut SearchWorkspace::new())
+}
+
+/// [`replicate`] staging the expanded edge list in the workspace's edge
+/// buffer, so a deadline search constructing `G_D` for growing `D` reuses
+/// one allocation instead of building a fresh list per probe. (The returned
+/// graph itself is a fresh CSR — it is the oracle's *instance*, not
+/// scratch.)
+pub fn replicate_in(g: &Bipartite, d: u32, ws: &mut SearchWorkspace) -> Bipartite {
     assert!(d > 0, "deadline must be positive");
-    let mut edges = Vec::with_capacity(g.num_edges() * d as usize);
+    let edges = &mut ws.edges;
+    edges.clear();
+    edges.reserve(g.num_edges() * d as usize);
     for v in 0..g.n_left() {
         for &u in g.neighbors(v) {
             for c in 0..d {
@@ -25,7 +37,7 @@ pub fn replicate(g: &Bipartite, d: u32) -> Bipartite {
             }
         }
     }
-    Bipartite::from_edges(g.n_left(), g.n_right() * d, &edges)
+    Bipartite::from_edges(g.n_left(), g.n_right() * d, edges)
         .expect("replication of a valid graph is valid")
 }
 

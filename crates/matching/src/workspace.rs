@@ -1,0 +1,197 @@
+//! Reusable scratch state for the augmenting-path engines.
+//!
+//! Every matching engine in this crate is a phase-structured search over the
+//! same bipartite substrate: BFS layers, DFS stacks, per-vertex cursors and
+//! stamped visited marks. Historically each call re-allocated that scratch;
+//! a [`SearchWorkspace`] allocates it once and resets it in `O(active)`
+//! between runs, which is what makes repeated solves (deadline searches,
+//! bench sweeps, serving traffic) cheap.
+//!
+//! The workspace is engine-agnostic: [`crate::bfs::pfp_from_in`],
+//! [`crate::dfs::mc21_from_in`],
+//! [`crate::hopcroft_karp::hopcroft_karp_from_in`],
+//! [`crate::push_relabel::push_relabel_from_in`] and
+//! [`crate::capacitated::max_assignment_in`] all draw from the same arrays,
+//! so one workspace serves an arbitrary interleaving of engines.
+//!
+//! ```
+//! use semimatch_graph::Bipartite;
+//! use semimatch_matching::{maximum_matching_in, Algorithm, SearchWorkspace};
+//!
+//! let mut ws = SearchWorkspace::new();
+//! for shift in 0..4u32 {
+//!     let g = Bipartite::from_edges(2, 2, &[(0, shift % 2), (1, 0)]).unwrap();
+//!     // Warm path: no scratch allocation after the first iteration.
+//!     let m = maximum_matching_in(&g, Algorithm::HopcroftKarp, &mut ws);
+//!     assert!(m.cardinality() >= 1);
+//! }
+//! ```
+
+use crate::flow::FlowNetwork;
+
+/// Reusable scratch arrays for the augmenting-path engines.
+///
+/// All vectors grow monotonically (never shrink), so a workspace that has
+/// seen the largest instance of a sweep never allocates again. The stamped
+/// `visited` array makes per-search resets `O(1)`; the remaining arrays are
+/// rewritten by each engine over exactly the vertices it touches.
+#[derive(Clone, Debug, Default)]
+pub struct SearchWorkspace {
+    /// Stamped visited marks, indexed by right vertex. `visited[u] == stamp`
+    /// means "reached in the current search"; anything else is stale.
+    pub(crate) visited: Vec<u32>,
+    /// Current stamp. Monotonically increasing; `u32::MAX` is reserved as
+    /// the "never visited" sentinel that fresh slots are filled with.
+    stamp: u32,
+    /// BFS level / alternating distance, indexed by left vertex.
+    pub(crate) dist: Vec<u32>,
+    /// Predecessor pointer, indexed by right vertex.
+    pub(crate) pred: Vec<u32>,
+    /// Per-left-vertex neighbor cursor (Hopcroft–Karp phase DFS).
+    pub(crate) cursor: Vec<u32>,
+    /// Persistent lookahead cursor per left vertex (MC21).
+    pub(crate) lookahead: Vec<u32>,
+    /// Push-relabel labels `ψ`, indexed by right vertex.
+    pub(crate) labels: Vec<u32>,
+    /// Primary traversal queue (BFS frontier, FIFO of active vertices).
+    pub(crate) queue: Vec<u32>,
+    /// Secondary queue (global-relabel BFS, Hopcroft–Karp phase stack).
+    pub(crate) aux: Vec<u32>,
+    /// Explicit DFS stack of `(left vertex, neighbor cursor)`.
+    pub(crate) stack: Vec<(u32, u32)>,
+    /// Residual-network arena for the capacitated / flow formulations.
+    /// The network owns its own Dinic scratch, so rebuilding it here is
+    /// allocation-free once warm.
+    pub(crate) flow: FlowNetwork,
+    /// Arc ids of the task→processor arcs of the capacitated network.
+    pub(crate) edge_arcs: Vec<u32>,
+    /// Edge-list buffer for graph constructions (`G_D` replication).
+    pub(crate) edges: Vec<(u32, u32)>,
+}
+
+impl SearchWorkspace {
+    /// An empty workspace; arrays grow on first use.
+    pub fn new() -> Self {
+        SearchWorkspace::default()
+    }
+
+    /// A workspace pre-sized for graphs with `n_left` × `n_right` vertices
+    /// (avoids growth reallocation on the first solve).
+    pub fn with_capacity(n_left: u32, n_right: u32) -> Self {
+        let mut ws = SearchWorkspace::new();
+        ws.reserve(n_left, n_right);
+        ws
+    }
+
+    /// Grows every per-vertex array to cover a `n_left` × `n_right` graph.
+    ///
+    /// Idempotent and monotone: called on every `*_in` entry point, a no-op
+    /// (no allocation, no writes) once the workspace has seen the sizes.
+    pub fn reserve(&mut self, n_left: u32, n_right: u32) {
+        let n1 = n_left as usize;
+        let n2 = n_right as usize;
+        if self.visited.len() < n2 {
+            // Fresh slots carry the sentinel: no stamp ever equals it.
+            self.visited.resize(n2, u32::MAX);
+        }
+        grow(&mut self.dist, n1);
+        grow(&mut self.pred, n2);
+        grow(&mut self.cursor, n1);
+        grow(&mut self.lookahead, n1);
+        grow(&mut self.labels, n2);
+    }
+
+    /// Pre-sizes the residual-network arena (vertices, directed arcs
+    /// including residual twins) and the buffer recording the
+    /// `n_edge_arcs` task→processor arc ids, so the first capacitated
+    /// solve performs no growth reallocation. The capacitated formulation
+    /// of a `n1 × n2` graph with `m` edges uses `n1 + n2 + 2` vertices,
+    /// `2·(n1 + m + n2)` arcs and records `m` edge arcs.
+    pub fn reserve_flow(&mut self, n_vertices: usize, n_arcs: usize, n_edge_arcs: usize) {
+        self.flow.reserve(n_vertices, n_arcs);
+        self.edge_arcs.reserve(n_edge_arcs.saturating_sub(self.edge_arcs.len()));
+    }
+
+    /// Starts a new search: returns a fresh stamp distinct from every mark
+    /// currently in `visited`. `O(1)` except on stamp overflow (every
+    /// `u32::MAX - 1` searches), where `visited` is wiped once.
+    pub(crate) fn next_stamp(&mut self) -> u32 {
+        if self.stamp == u32::MAX - 1 {
+            // Overflow: wipe to the sentinel and restart the counter.
+            self.visited.iter_mut().for_each(|m| *m = u32::MAX);
+            self.stamp = 0;
+        } else {
+            self.stamp += 1;
+        }
+        self.stamp
+    }
+
+    /// The residual-network arena, cleared for an `n`-vertex build.
+    ///
+    /// Returned together with the arc-id buffer so callers can record arc
+    /// ids while constructing (split borrows of one workspace).
+    pub(crate) fn flow_arena(&mut self, n: usize) -> (&mut FlowNetwork, &mut Vec<u32>) {
+        self.flow.clear(n);
+        self.edge_arcs.clear();
+        (&mut self.flow, &mut self.edge_arcs)
+    }
+}
+
+/// Grows `v` to `n` slots without initializing a meaning (engines rewrite
+/// the slots they read); never shrinks, so capacity is sticky.
+fn grow(v: &mut Vec<u32>, n: usize) {
+    if v.len() < n {
+        v.resize(n, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_is_monotone_and_idempotent() {
+        let mut ws = SearchWorkspace::new();
+        ws.reserve(4, 7);
+        assert_eq!(ws.visited.len(), 7);
+        assert_eq!(ws.dist.len(), 4);
+        ws.reserve(2, 3); // smaller: nothing shrinks
+        assert_eq!(ws.visited.len(), 7);
+        assert_eq!(ws.dist.len(), 4);
+        let ptr = ws.visited.as_ptr();
+        ws.reserve(4, 7); // same: no reallocation
+        assert_eq!(ws.visited.as_ptr(), ptr);
+    }
+
+    #[test]
+    fn stamps_are_distinct_across_searches() {
+        let mut ws = SearchWorkspace::with_capacity(2, 2);
+        let a = ws.next_stamp();
+        let b = ws.next_stamp();
+        assert_ne!(a, b);
+        assert_ne!(a, u32::MAX);
+        assert_ne!(b, u32::MAX);
+    }
+
+    #[test]
+    fn stamp_overflow_wipes_visited() {
+        let mut ws = SearchWorkspace::with_capacity(1, 3);
+        ws.stamp = u32::MAX - 2;
+        let s = ws.next_stamp();
+        ws.visited[0] = s;
+        let s2 = ws.next_stamp(); // hits the overflow path
+        assert_eq!(s2, 0);
+        assert!(ws.visited.iter().all(|&m| m == u32::MAX), "marks wiped on overflow");
+    }
+
+    #[test]
+    fn fresh_slots_never_match_a_stamp() {
+        let mut ws = SearchWorkspace::new();
+        let s = {
+            ws.reserve(1, 1);
+            ws.next_stamp()
+        };
+        ws.reserve(1, 64); // grow after stamping
+        assert!(ws.visited[1..].iter().all(|&m| m != s));
+    }
+}

@@ -3,11 +3,12 @@
 
 use proptest::prelude::*;
 use semimatch_graph::Bipartite;
-use semimatch_matching::capacitated::max_assignment;
+use semimatch_matching::capacitated::{max_assignment, max_assignment_in};
 use semimatch_matching::cover::certify_maximum;
 use semimatch_matching::flow::FlowNetwork;
 use semimatch_matching::greedy::{greedy_init, karp_sipser};
-use semimatch_matching::{maximum_matching, Algorithm};
+use semimatch_matching::replicate::replicate;
+use semimatch_matching::{maximum_matching, maximum_matching_in, Algorithm, SearchWorkspace};
 
 fn graph() -> impl Strategy<Value = Bipartite> {
     (1u32..24, 1u32..14).prop_flat_map(|(n, p)| {
@@ -67,6 +68,35 @@ proptest! {
         let m = maximum_matching(&g, Algorithm::HopcroftKarp).cardinality();
         let a = max_assignment(&g, 1).cardinality();
         prop_assert_eq!(m, a);
+    }
+
+    #[test]
+    fn capacitated_flow_agrees_with_replication(g in graph(), d in 1u32..5) {
+        // The two G_D formulations of §IV-A: capacitated max-flow on g vs a
+        // maximum matching in the literally replicated graph. Cardinalities
+        // must coincide for every deadline.
+        let via_flow = max_assignment(&g, d);
+        via_flow.validate(&g, d).unwrap();
+        let gd = replicate(&g, d);
+        let via_replication = maximum_matching(&gd, Algorithm::HopcroftKarp);
+        via_replication.validate(&gd).unwrap();
+        prop_assert_eq!(via_flow.cardinality(), via_replication.cardinality());
+    }
+
+    #[test]
+    fn workspace_reuse_is_invisible(g in graph(), d in 1u32..4) {
+        // One workspace threaded through every engine and the capacitated
+        // solver must reproduce the cold path exactly.
+        let mut ws = SearchWorkspace::new();
+        for algo in Algorithm::ALL {
+            let warm = maximum_matching_in(&g, algo, &mut ws);
+            prop_assert_eq!(warm, maximum_matching(&g, algo), "{}", algo.name());
+        }
+        let warm = max_assignment_in(&g, d, &mut ws);
+        prop_assert_eq!(warm, max_assignment(&g, d));
+        // And again, to cover the already-warm (fully allocated) path.
+        let warm2 = max_assignment_in(&g, d, &mut ws);
+        prop_assert_eq!(warm2, max_assignment(&g, d));
     }
 
     #[test]

@@ -43,6 +43,6 @@ pub use semimatch_core::online;
 pub use convert::{from_bipartite, from_hypergraph, to_bipartite, to_hypergraph};
 pub use deadline::{meets_deadline, DeadlineVerdict};
 pub use model::{Configuration, Instance, ProcId, Task, TaskId};
-pub use policies::{schedule, Policy};
+pub use policies::{schedule, schedule_with, Policy};
 pub use schedule::Schedule;
-pub use simulator::{simulate, QueueOrder, SimReport};
+pub use simulator::{simulate, simulate_policy, QueueOrder, SimReport};

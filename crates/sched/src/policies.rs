@@ -9,7 +9,7 @@
 //! otherwise.
 
 use semimatch_core::error::{CoreError, Result};
-use semimatch_core::solver::{solve, Problem, SolverClass, SolverKind};
+use semimatch_core::solver::{Problem, Solver, SolverClass, SolverKind};
 
 use crate::convert::{to_bipartite, to_hypergraph};
 use crate::model::Instance;
@@ -27,20 +27,32 @@ use crate::schedule::Schedule;
 pub use semimatch_core::solver::SolverKind as Policy;
 
 /// Schedules `inst` under `policy` (any registry [`SolverKind`]).
+///
+/// One-shot convenience over [`schedule_with`]: builds a throwaway solver
+/// per call. Long-running dispatchers (simulation loops, serving paths)
+/// should hold a [`SolverKind::solver`] object and call [`schedule_with`]
+/// so engine scratch is reused across instances.
 pub fn schedule(inst: &Instance, policy: SolverKind) -> Result<Schedule> {
+    schedule_with(inst, &mut policy.solver())
+}
+
+/// Schedules `inst` through any [`Solver`] — the trait-dispatch path that
+/// keeps the solver's workspace warm across calls.
+pub fn schedule_with(inst: &Instance, solver: &mut dyn Solver) -> Result<Schedule> {
+    let policy = solver.kind();
     match policy.class() {
         SolverClass::SingleProc => {
             let g = to_bipartite(inst).ok_or(CoreError::KindMismatch {
                 solver: policy.name(),
                 expected: "a sequential-only instance (no multi-processor configurations)",
             })?;
-            let sol = solve(Problem::SingleProc(&g), policy)?;
+            let sol = solver.solve(Problem::SingleProc(&g))?;
             let sm = sol.into_semi().expect("SINGLEPROC solver returned its own class");
             Ok(Schedule::from_semi_matching(inst, &g, &sm))
         }
         SolverClass::MultiProc | SolverClass::Either => {
             let h = to_hypergraph(inst);
-            let sol = solve(Problem::MultiProc(&h), policy)?;
+            let sol = solver.solve(Problem::MultiProc(&h))?;
             let hm = sol.into_hyper().expect("MULTIPROC solver returned its own class");
             Ok(Schedule::from_hyper_matching(&h, &hm))
         }
@@ -100,6 +112,24 @@ mod tests {
     fn singleproc_policy_on_parallel_instance_is_a_clean_error() {
         let inst = sample();
         assert!(matches!(schedule(&inst, SolverKind::Sorted), Err(CoreError::KindMismatch { .. })));
+    }
+
+    #[test]
+    fn reused_solver_schedules_a_stream_of_instances() {
+        // The warm dispatch path: one solver object, many instances.
+        let mut solver = SolverKind::SghRefined.solver();
+        for shift in 0..4u32 {
+            let mut inst = Instance::new(3);
+            for i in 0..5u32 {
+                let t = inst.add_task(format!("t{i}"));
+                inst.add_config(t, vec![(i + shift) % 3], 2 + shift as u64);
+                inst.add_config(t, vec![i % 3, (i + 1) % 3], 1 + shift as u64);
+            }
+            let warm = schedule_with(&inst, &mut solver).unwrap();
+            let cold = schedule(&inst, SolverKind::SghRefined).unwrap();
+            warm.validate(&inst).unwrap();
+            assert_eq!(warm.makespan(&inst), cold.makespan(&inst));
+        }
     }
 
     #[test]

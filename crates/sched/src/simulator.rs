@@ -10,7 +10,11 @@
 
 use std::collections::BinaryHeap;
 
+use semimatch_core::error::Result;
+use semimatch_core::solver::Solver;
+
 use crate::model::Instance;
+use crate::policies::schedule_with;
 use crate::schedule::Schedule;
 
 /// Order in which each processor serves the parts queued on it.
@@ -46,6 +50,20 @@ impl SimReport {
         }
         self.task_completion.iter().sum::<u64>() as f64 / self.task_completion.len() as f64
     }
+}
+
+/// Schedules `inst` through `solver` (any [`Solver`], workspace kept warm
+/// across calls) and executes the resulting schedule.
+///
+/// The one-call path for policy studies that replay many instances through
+/// one solver object: solve → validate-by-execution → timed trace.
+pub fn simulate_policy(
+    inst: &Instance,
+    solver: &mut dyn Solver,
+    order: QueueOrder,
+) -> Result<SimReport> {
+    let s = schedule_with(inst, solver)?;
+    Ok(simulate(inst, &s, order))
 }
 
 /// Executes `schedule` on `inst` with the given per-processor queue order.
@@ -155,6 +173,18 @@ mod tests {
                 clock = end;
             }
             assert_eq!(clock, rep.proc_finish[p as usize]);
+        }
+    }
+
+    #[test]
+    fn simulate_policy_agrees_with_analytic_makespan() {
+        use semimatch_core::solver::SolverKind;
+        let (inst, _) = sample();
+        let mut solver = SolverKind::Evg.solver();
+        for order in [QueueOrder::TaskId, QueueOrder::ShortestFirst] {
+            let rep = simulate_policy(&inst, &mut solver, order).unwrap();
+            let s = crate::policies::schedule(&inst, SolverKind::Evg).unwrap();
+            assert_eq!(rep.makespan, s.makespan(&inst), "{order:?}");
         }
     }
 

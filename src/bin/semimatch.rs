@@ -24,7 +24,7 @@ use semimatch::gen::weights::WeightScheme;
 use semimatch::gen::{fewg_manyg, hilo_permuted};
 use semimatch::graph::io::{read_bipartite, read_hypergraph, write_bipartite, write_hypergraph};
 use semimatch::graph::{BipartiteStats, HypergraphStats};
-use semimatch::solver::{solve as solve_kind, Problem, SolverClass, SolverKind};
+use semimatch::solver::{solve as solve_kind, Problem, Solver, SolverClass, SolverKind};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,6 +51,9 @@ usage:
   semimatch stats               FILE.{hg,bg}
   semimatch solve               FILE.{hg,bg} [--algo KIND] [--refine PASSES]
                                 [--save FILE.sol]
+  semimatch solve               FILE.{hg,bg} --kinds KIND,KIND,...
+                                (parse once, solve with every kind, print a
+                                comparison table; workspaces are reused)
   semimatch verify              FILE.hg FILE.sol
   semimatch exact               FILE.bg [--strategy KIND]  (any exact SINGLEPROC
                                 KIND; incremental|bisection|harvey still work)
@@ -258,6 +261,9 @@ fn stats(positional: &[&str]) -> Result<(), String> {
 
 fn solve(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String> {
     let path = *positional.get(1).ok_or("solve needs a file argument")?;
+    if let Some(kinds) = flags.get("kinds") {
+        return solve_batch(path, kinds, flags);
+    }
     // Default to the strongest heuristic of the file's problem class.
     let default_algo = if path.ends_with(".bg") { "expected" } else { "evg" };
     let kind: SolverKind = flags
@@ -272,6 +278,71 @@ fn solve(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String>
     } else {
         solve_hypergraph(path, file, kind, flags)
     }
+}
+
+/// Multi-solver batch mode: parse the instance once, run every requested
+/// kind through workspace-reusing solvers, print a comparison table.
+fn solve_batch(path: &str, kinds_csv: &str, flags: &HashMap<&str, &str>) -> Result<(), String> {
+    if flags.contains_key("algo") || flags.contains_key("refine") || flags.contains_key("save") {
+        return Err("--kinds cannot be combined with --algo/--refine/--save".into());
+    }
+    let kinds: Vec<SolverKind> = kinds_csv
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().map_err(|e: semimatch::core::CoreError| e.to_string()))
+        .collect::<Result<_, _>>()?;
+    if kinds.is_empty() {
+        return Err("--kinds needs at least one solver name".into());
+    }
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    // Parse once; hold the instance for the whole batch.
+    let (bipartite, hypergraph);
+    let (problem, lb) = if path.ends_with(".bg") {
+        bipartite = read_bipartite(file).map_err(|e| e.to_string())?;
+        (
+            Problem::SingleProc(&bipartite),
+            lower_bound_singleproc(&bipartite).map_err(|e| e.to_string())?,
+        )
+    } else {
+        hypergraph = read_hypergraph(file).map_err(|e| e.to_string())?;
+        (
+            Problem::MultiProc(&hypergraph),
+            lower_bound_multiproc(&hypergraph).map_err(|e| e.to_string())?,
+        )
+    };
+    println!("instance:  {path}");
+    println!("lower bound: {lb}");
+    println!("{:<18} {:>10} {:>8} {:>10}", "solver", "makespan", "ratio", "seconds");
+    // One workspace-backed solver per kind; each sees the already-parsed
+    // instance (and would stay warm across a multi-instance batch).
+    let mut solved = 0usize;
+    for kind in &kinds {
+        let mut solver = kind.solver();
+        let start = std::time::Instant::now();
+        let outcome = solver.solve(problem);
+        let secs = start.elapsed().as_secs_f64();
+        match outcome {
+            Ok(sol) => {
+                let m = sol.makespan(&problem);
+                println!(
+                    "{:<18} {:>10} {:>8.3} {:>10.4}",
+                    kind.name(),
+                    m,
+                    m as f64 / lb as f64,
+                    secs
+                );
+                solved += 1;
+            }
+            Err(e) => println!("{:<18} {:>10} ({e})", kind.name(), "-"),
+        }
+    }
+    // Per-kind failures are reported in their rows without aborting the
+    // batch, but a batch where nothing solved is an error — matching the
+    // --algo path's exit code for the same mistake.
+    if solved == 0 {
+        return Err(format!("none of the requested kinds solved {path}"));
+    }
+    Ok(())
 }
 
 fn solve_bipartite(
@@ -522,6 +593,74 @@ mod tests {
         std::fs::write(&sol, "1\n0\n").unwrap();
         assert!(run(&argv(&["verify", hg.to_str().unwrap(), sol.to_str().unwrap()])).is_err());
 
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn solve_kinds_batch_mode() {
+        let dir = std::env::temp_dir().join("semimatch-cli-kinds-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bg = dir.join("k.bg");
+        let hg = dir.join("k.hg");
+        run(&argv(&[
+            "generate-bipartite",
+            "--gen",
+            "hilo",
+            "--n",
+            "32",
+            "--p",
+            "8",
+            "--g",
+            "4",
+            "--d",
+            "2",
+            "--out",
+            bg.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Parse once, solve with heuristics and both exact strategies.
+        run(&argv(&[
+            "solve",
+            bg.to_str().unwrap(),
+            "--kinds",
+            "basic,expected,exact-incremental,exact-bisection",
+        ]))
+        .unwrap();
+        // A class-mismatched kind reports per-row instead of aborting…
+        run(&argv(&["solve", bg.to_str().unwrap(), "--kinds", "expected,sgh"])).unwrap();
+        // …but a batch where nothing solves is an error (exit-code parity
+        // with the --algo path).
+        assert!(run(&argv(&["solve", bg.to_str().unwrap(), "--kinds", "sgh,evg"])).is_err());
+        // Hypergraph side.
+        run(&argv(&[
+            "generate",
+            "--family",
+            "FG",
+            "--n",
+            "64",
+            "--p",
+            "32",
+            "--dv",
+            "2",
+            "--dh",
+            "3",
+            "--out",
+            hg.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&["solve", hg.to_str().unwrap(), "--kinds", "sgh,vgh,egh,evg"])).unwrap();
+        // Error paths.
+        assert!(run(&argv(&["solve", bg.to_str().unwrap(), "--kinds", ""])).is_err());
+        assert!(run(&argv(&["solve", bg.to_str().unwrap(), "--kinds", "nonsense"])).is_err());
+        assert!(run(&argv(&[
+            "solve",
+            bg.to_str().unwrap(),
+            "--kinds",
+            "basic",
+            "--algo",
+            "expected"
+        ]))
+        .is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -34,7 +34,10 @@
 //! The [`solver`] module unifies every algorithm behind one
 //! `solve(problem, kind)` registry with name-based lookup
 //! (`SolverKind::from_str`) — the CLI, the bench harness and the scheduling
-//! policies all dispatch through it.
+//! policies all dispatch through it. For repeated solves, the
+//! `solver::Solver` trait binds a kind to a reusable `SearchWorkspace`
+//! (`SolverKind::solver()`), and `solver::solve_many` batches whole
+//! instance sets through warm workspaces.
 //!
 //! ## Quickstart
 //!

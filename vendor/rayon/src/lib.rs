@@ -1,6 +1,6 @@
 //! Offline stand-in for `rayon`, covering the subset this workspace uses:
 //! `use rayon::prelude::*`, `.into_par_iter()` / `.par_iter()`, then
-//! `.map(f).collect()`.
+//! `.map(f).collect()` or `.map_init(init, f).collect()`.
 //!
 //! Unlike a pure sequential shim, `collect` really fans the mapped items out
 //! over `std::thread::scope`, one chunk per available core, and reassembles
@@ -78,6 +78,21 @@ impl<T: Send> ParIter<T> {
         Map { items: self.items, f }
     }
 
+    /// Maps each item through `f` with per-worker mutable state created by
+    /// `init` — mirroring `rayon::iter::ParallelIterator::map_init`.
+    ///
+    /// `init` runs once per worker chunk (not per item), so expensive
+    /// reusable state — scratch buffers, solver workspaces — is amortized
+    /// over that worker's share of the items.
+    pub fn map_init<S, R, FI, F>(self, init: FI, f: F) -> MapInit<T, FI, F>
+    where
+        R: Send,
+        FI: Fn() -> S + Sync,
+        F: Fn(&mut S, T) -> R + Sync,
+    {
+        MapInit { items: self.items, init, f }
+    }
+
     /// Number of buffered items.
     pub fn len(&self) -> usize {
         self.items.len()
@@ -142,6 +157,63 @@ impl<T, F> Map<T, F> {
     }
 }
 
+/// A mapped parallel iterator with per-worker state;
+/// [`MapInit::collect`] performs the scoped-thread fan-out.
+pub struct MapInit<T, FI, F> {
+    items: Vec<T>,
+    init: FI,
+    f: F,
+}
+
+impl<T, FI, F> MapInit<T, FI, F> {
+    /// Applies the closure to every buffered item across scoped threads —
+    /// each worker building its state once via `init` — and collects the
+    /// results in input order.
+    pub fn collect<S, R, C>(self) -> C
+    where
+        T: Send,
+        R: Send,
+        FI: Fn() -> S + Sync,
+        F: Fn(&mut S, T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        let MapInit { items, init, f } = self;
+        let n = items.len();
+        let workers =
+            std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1).min(n.max(1));
+        if workers <= 1 || n <= 1 {
+            let mut state = init();
+            return items.into_iter().map(|x| f(&mut state, x)).collect();
+        }
+        let chunk_len = n.div_ceil(workers);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+        let mut rest = items;
+        while rest.len() > chunk_len {
+            let tail = rest.split_off(chunk_len);
+            chunks.push(std::mem::replace(&mut rest, tail));
+        }
+        chunks.push(rest);
+        let init = &init;
+        let f = &f;
+        let mut results: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let mut state = init();
+                        chunk.into_iter().map(|x| f(&mut state, x)).collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("rayon-stub worker panicked"));
+            }
+        });
+        results.into_iter().flatten().collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -173,6 +245,41 @@ mod tests {
         let distinct = seen.lock().unwrap().len();
         let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         assert!(distinct >= 1 && distinct <= cores.max(1) + 1);
+    }
+
+    #[test]
+    fn map_init_reuses_state_and_preserves_order() {
+        // State is created once per worker and threaded through its chunk;
+        // results come back in input order regardless.
+        let out: Vec<u64> = (0u64..500)
+            .into_par_iter()
+            .map_init(
+                || Vec::<u64>::with_capacity(8), // per-worker scratch
+                |scratch, x| {
+                    scratch.push(x);
+                    x * 2
+                },
+            )
+            .collect();
+        assert_eq!(out, (0u64..500).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_init_builds_few_states() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let _: Vec<()> = (0..256)
+            .into_par_iter()
+            .map_init(
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                },
+                |_, _| {},
+            )
+            .collect();
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let built = inits.load(Ordering::Relaxed);
+        assert!(built >= 1 && built <= cores.max(1), "one state per worker, got {built}");
     }
 
     #[test]
