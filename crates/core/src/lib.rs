@@ -27,8 +27,9 @@
 //!   [`hyper::vgh`], [`hyper::evg`];
 //! * the lower bound of §IV-C: [`lower_bound::lower_bound_multiproc`];
 //! * beyond the paper: local-search [`refine`] and iterated local search,
-//!   the Graham LPT baseline ([`greedy::lpt`]), load-profile [`analysis`],
-//!   and solution serialization ([`solution_io`]).
+//!   one-pass [`streaming`] greedy (Konrad–Rosén), the Graham LPT baseline
+//!   ([`greedy::lpt`]), load-profile [`analysis`], and solution
+//!   serialization ([`solution_io`]).
 //!
 //! ```
 //! use semimatch_graph::Hypergraph;
@@ -61,6 +62,7 @@ pub mod reduction;
 pub mod refine;
 pub mod solution_io;
 pub mod solver;
+pub mod streaming;
 
 pub use error::{CoreError, Result};
 pub use hyper::HyperHeuristic;

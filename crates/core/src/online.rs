@@ -26,6 +26,13 @@ pub enum OnlineRule {
 }
 
 /// Schedules tasks in arrival order (= task id order) under `rule`.
+///
+/// Tie-breaking is deterministic and part of the contract: every rule
+/// scans a task's configurations in hyperedge-id order and accepts a new
+/// candidate only on a *strictly* smaller key, so on equal keys the
+/// **lowest hyperedge id wins**. `FirstFit` is the degenerate case (all
+/// keys equal), falling out of the same loop rather than a special-cased
+/// early exit.
 pub fn online_schedule(h: &Hypergraph, rule: OnlineRule) -> Result<HyperMatching> {
     let mut loads = vec![0u64; h.n_procs() as usize];
     let mut hedge_of = vec![0u32; h.n_tasks() as usize];
@@ -34,10 +41,7 @@ pub fn online_schedule(h: &Hypergraph, rule: OnlineRule) -> Result<HyperMatching
         let mut best_key = u64::MAX;
         for hid in h.hedges_of(t) {
             let key = match rule {
-                OnlineRule::FirstFit => {
-                    best = Some(hid);
-                    break;
-                }
+                OnlineRule::FirstFit => 0,
                 OnlineRule::MinBottleneck => h
                     .procs_of(hid)
                     .iter()
@@ -129,5 +133,52 @@ mod tests {
     fn uncovered_task_errors() {
         let h = Hypergraph::from_hyperedges(1, 1, vec![]).unwrap();
         assert!(online_schedule(&h, OnlineRule::MinBottleneck).is_err());
+    }
+
+    #[test]
+    fn ties_pick_the_lowest_hyperedge_id_under_every_rule() {
+        // One task, three configurations that are *exactly* tied under
+        // every rule on empty loads: identical weights over distinct but
+        // equally-loaded processors. The documented contract — lowest
+        // hyperedge id wins on equal keys — pins hedge 0 for all rules.
+        let tied = Hypergraph::from_hyperedges(
+            1,
+            3,
+            vec![(0, vec![0], 2), (0, vec![1], 2), (0, vec![2], 2)],
+        )
+        .unwrap();
+        for rule in [OnlineRule::MinBottleneck, OnlineRule::MinResulting, OnlineRule::FirstFit] {
+            let hm = online_schedule(&tied, rule).unwrap();
+            assert_eq!(hm.hedge_of[0], 0, "{rule:?} must break ties toward the lowest id");
+        }
+
+        // A keyed instance pinning the exact configuration per rule: T0 has
+        // {P0} w1 (hedge 0), {P1} w3 (hedge 1); P0 is pre-loaded by T1's
+        // only configuration once T1 is scheduled — but T0 goes first, so:
+        // FirstFit and MinBottleneck (tie 0 vs 0) take hedge 0; MinResulting
+        // compares 1 vs 3 and also takes hedge 0. T2 then sees P0 loaded
+        // with 1+5: MinBottleneck/MinResulting pick {P1}, FirstFit stays on
+        // its first listed {P0}.
+        let h = Hypergraph::from_hyperedges(
+            3,
+            2,
+            vec![
+                (0, vec![0], 1),
+                (0, vec![1], 3),
+                (1, vec![0], 5),
+                (2, vec![0], 2),
+                (2, vec![1], 2),
+            ],
+        )
+        .unwrap();
+        let expected = [
+            (OnlineRule::MinBottleneck, [0, 2, 4]),
+            (OnlineRule::MinResulting, [0, 2, 4]),
+            (OnlineRule::FirstFit, [0, 2, 3]),
+        ];
+        for (rule, hedges) in expected {
+            let hm = online_schedule(&h, rule).unwrap();
+            assert_eq!(hm.hedge_of, hedges, "{rule:?} chose an unpinned configuration");
+        }
     }
 }

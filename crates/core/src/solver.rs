@@ -50,6 +50,7 @@ use crate::hyper::HyperHeuristic;
 use crate::online::{online_schedule, OnlineRule};
 use crate::problem::{HyperMatching, SemiMatching};
 use crate::refine::{iterated_refine, refine};
+use crate::streaming::{streaming_greedy_bipartite, streaming_greedy_hyper};
 use crate::BiHeuristic;
 
 /// The maximum-matching engine axis, re-exported so registry consumers have
@@ -230,13 +231,16 @@ pub enum SolverKind {
     SghIls,
     /// Online min-bottleneck dispatcher (no sorting, no look-ahead).
     Online,
+    /// One-pass streaming greedy over the edge/hyperedge stream
+    /// (Konrad–Rosén style; both classes, `O(n + p)` state).
+    StreamingGreedy,
     /// Branch-and-bound exhaustive search (both classes, small instances).
     BruteForce,
 }
 
 impl SolverKind {
     /// Every registered solver.
-    pub const ALL: [SolverKind; 17] = [
+    pub const ALL: [SolverKind; 18] = [
         SolverKind::Basic,
         SolverKind::Sorted,
         SolverKind::DoubleSorted,
@@ -253,11 +257,12 @@ impl SolverKind {
         SolverKind::SghRefined,
         SolverKind::SghIls,
         SolverKind::Online,
+        SolverKind::StreamingGreedy,
         SolverKind::BruteForce,
     ];
 
     /// Solvers accepting bipartite (`SINGLEPROC`) problems.
-    pub const SINGLEPROC: [SolverKind; 9] = [
+    pub const SINGLEPROC: [SolverKind; 10] = [
         SolverKind::Basic,
         SolverKind::Sorted,
         SolverKind::DoubleSorted,
@@ -266,11 +271,12 @@ impl SolverKind {
         SolverKind::ExactBisection,
         SolverKind::ExactReplicated,
         SolverKind::Harvey,
+        SolverKind::StreamingGreedy,
         SolverKind::BruteForce,
     ];
 
     /// Solvers accepting hypergraph (`MULTIPROC`) problems.
-    pub const MULTIPROC: [SolverKind; 9] = [
+    pub const MULTIPROC: [SolverKind; 10] = [
         SolverKind::Sgh,
         SolverKind::Vgh,
         SolverKind::Egh,
@@ -279,13 +285,14 @@ impl SolverKind {
         SolverKind::SghRefined,
         SolverKind::SghIls,
         SolverKind::Online,
+        SolverKind::StreamingGreedy,
         SolverKind::BruteForce,
     ];
 
     /// Polynomial-time `MULTIPROC` solvers: safe as scheduling policies on
     /// arbitrary-size instances (everything in [`Self::MULTIPROC`] except
     /// the exhaustive search).
-    pub const POLICIES: [SolverKind; 8] = [
+    pub const POLICIES: [SolverKind; 9] = [
         SolverKind::Sgh,
         SolverKind::Vgh,
         SolverKind::Egh,
@@ -294,6 +301,7 @@ impl SolverKind {
         SolverKind::SghRefined,
         SolverKind::SghIls,
         SolverKind::Online,
+        SolverKind::StreamingGreedy,
     ];
 
     /// The four `SINGLEPROC` heuristics, in the paper's order.
@@ -332,6 +340,7 @@ impl SolverKind {
             SolverKind::SghRefined => "sgh-refined",
             SolverKind::SghIls => "sgh-ils",
             SolverKind::Online => "online",
+            SolverKind::StreamingGreedy => "streaming-greedy",
             SolverKind::BruteForce => "brute-force",
         }
     }
@@ -346,6 +355,7 @@ impl SolverKind {
             SolverKind::EvgRefined => "EVG+refine",
             SolverKind::SghRefined => "SGH+refine",
             SolverKind::SghIls => "SGH+ILS",
+            SolverKind::StreamingGreedy => "streaming",
             other => other.name(),
         }
     }
@@ -366,6 +376,7 @@ impl SolverKind {
             | SolverKind::SghRefined
             | SolverKind::SghIls
             | SolverKind::Online
+            | SolverKind::StreamingGreedy
             | SolverKind::BruteForce => "extension",
         }
     }
@@ -389,7 +400,7 @@ impl SolverKind {
             | SolverKind::SghRefined
             | SolverKind::SghIls
             | SolverKind::Online => SolverClass::MultiProc,
-            SolverKind::BruteForce => SolverClass::Either,
+            SolverKind::StreamingGreedy | SolverKind::BruteForce => SolverClass::Either,
         }
     }
 
@@ -425,6 +436,7 @@ impl SolverKind {
             SolverKind::SghRefined => "SGH + local-search refinement",
             SolverKind::SghIls => "SGH + iterated local search",
             SolverKind::Online => "online min-bottleneck dispatch",
+            SolverKind::StreamingGreedy => "one-pass streaming greedy (Konrad-Rosen)",
             SolverKind::BruteForce => "branch-and-bound exhaustive search",
         }
     }
@@ -516,6 +528,10 @@ impl SolverKind {
                 self.hypergraph(&problem)?,
                 OnlineRule::MinBottleneck,
             )?)),
+            SolverKind::StreamingGreedy => match problem {
+                Problem::SingleProc(g) => Ok(Solution::SingleProc(streaming_greedy_bipartite(g)?)),
+                Problem::MultiProc(h) => Ok(Solution::MultiProc(streaming_greedy_hyper(h)?)),
+            },
             SolverKind::BruteForce => match problem {
                 Problem::SingleProc(g) => {
                     let (_, sm) = brute_force_singleproc(g, BRUTE_FORCE_BUDGET)?;
@@ -570,6 +586,7 @@ impl FromStr for SolverKind {
             "evg+refine" => Ok(SolverKind::EvgRefined),
             "sgh+refine" => Ok(SolverKind::SghRefined),
             "sgh+ils" => Ok(SolverKind::SghIls),
+            "streaming" => Ok(SolverKind::StreamingGreedy),
             "bruteforce" => Ok(SolverKind::BruteForce),
             _ => Err(CoreError::UnknownSolver(s.to_string())),
         }
@@ -738,6 +755,7 @@ mod tests {
                 | SolverKind::SghRefined
                 | SolverKind::SghIls
                 | SolverKind::Online
+                | SolverKind::StreamingGreedy
                 | SolverKind::BruteForce => {}
             }
             // Every kind appears in exactly the subset arrays its class says.
@@ -770,7 +788,7 @@ mod tests {
             assert!(kind.class().accepts(&Problem::MultiProc(&hypergraph())), "{kind}");
         }
         assert_eq!(
-            SolverKind::ALL.len() + 1, // BruteForce is in both subsets
+            SolverKind::ALL.len() + 2, // StreamingGreedy and BruteForce are in both subsets
             SolverKind::SINGLEPROC.len() + SolverKind::MULTIPROC.len(),
         );
     }

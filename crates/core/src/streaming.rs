@@ -1,0 +1,152 @@
+//! One-pass streaming semi-matching (Konrad & Rosén, "Approximating
+//! Semi-Matchings in Streaming and in Two-Party Communication").
+//!
+//! The streaming model sees the edge (hyperedge) list once, in stream
+//! order, with memory proportional to the vertex set only: per-processor
+//! loads and one chosen edge per task. No adjacency is ever materialized
+//! and nothing is re-read, so the pass works off a socket as well as off a
+//! parsed instance. On a static [`Bipartite`]/[`Hypergraph`] the stream
+//! order is edge-id order, which makes the pass deterministic and lets the
+//! solver registry expose it as `SolverKind::StreamingGreedy` next to the
+//! offline heuristics.
+//!
+//! The rule per streamed edge `(t, p, w)`: an unassigned task takes the
+//! edge; an assigned task switches iff the switch strictly lowers the
+//! resulting load of its own processor(s) — the MinResulting criterion of
+//! [`crate::online`] restricted to the one edge in hand. Each step is
+//! `O(|h ∩ V2|)`; the whole pass is `O(Σ|h ∩ V2|)` time and `O(n + p)`
+//! memory.
+
+use semimatch_graph::{Bipartite, Hypergraph};
+
+use crate::error::{CoreError, Result};
+use crate::problem::{HyperMatching, SemiMatching};
+
+/// One-pass streaming greedy over a bipartite (`SINGLEPROC`) edge stream.
+///
+/// Processes edges in edge-id order with `O(n + p)` state. Ties keep the
+/// earlier (lower-id) edge, so the result is deterministic.
+pub fn streaming_greedy_bipartite(g: &Bipartite) -> Result<SemiMatching> {
+    let mut loads = vec![0u64; g.n_right() as usize];
+    let mut edge_of = vec![u32::MAX; g.n_left() as usize];
+    for e in 0..g.num_edges() as u32 {
+        let t = g.edge_left(e) as usize;
+        let p = g.edge_right(e) as usize;
+        let w = g.weight(e);
+        let cur = edge_of[t];
+        if cur == u32::MAX {
+            edge_of[t] = e;
+            loads[p] += w;
+            continue;
+        }
+        let (cp, cw) = (g.edge_right(cur) as usize, g.weight(cur));
+        // Compare resulting loads with the task's contribution removed.
+        let excl = |u: usize| loads[u] - if u == cp { cw } else { 0 };
+        if excl(p) + w < excl(cp) + cw {
+            loads[cp] -= cw;
+            loads[p] += w;
+            edge_of[t] = e;
+        }
+    }
+    if let Some(t) = edge_of.iter().position(|&e| e == u32::MAX) {
+        return Err(CoreError::UncoveredTask(t as u32));
+    }
+    Ok(SemiMatching { edge_of })
+}
+
+/// One-pass streaming greedy over a hypergraph (`MULTIPROC`) hyperedge
+/// stream, processed in hyperedge-id order with `O(n + p)` state.
+pub fn streaming_greedy_hyper(h: &Hypergraph) -> Result<HyperMatching> {
+    let mut loads = vec![0u64; h.n_procs() as usize];
+    let mut hedge_of = vec![u32::MAX; h.n_tasks() as usize];
+    for hid in 0..h.n_hedges() {
+        let t = h.task_of(hid) as usize;
+        let w = h.weight(hid);
+        let cur = hedge_of[t];
+        if cur == u32::MAX {
+            hedge_of[t] = hid;
+            for &u in h.procs_of(hid) {
+                loads[u as usize] += w;
+            }
+            continue;
+        }
+        let cw = h.weight(cur);
+        let cur_pins = h.procs_of(cur);
+        // Loads with the task's current contribution removed.
+        let excl =
+            |u: u32| loads[u as usize] - if cur_pins.binary_search(&u).is_ok() { cw } else { 0 };
+        let key_new = h.procs_of(hid).iter().map(|&u| excl(u)).max().unwrap_or(0) + w;
+        let key_cur = cur_pins.iter().map(|&u| excl(u)).max().unwrap_or(0) + cw;
+        if key_new < key_cur {
+            for &u in cur_pins {
+                loads[u as usize] -= cw;
+            }
+            for &u in h.procs_of(hid) {
+                loads[u as usize] += w;
+            }
+            hedge_of[t] = hid;
+        }
+    }
+    if let Some(t) = hedge_of.iter().position(|&e| e == u32::MAX) {
+        return Err(CoreError::UncoveredTask(t as u32));
+    }
+    Ok(HyperMatching { hedge_of })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bipartite_pass_is_valid_and_single_state() {
+        let g = Bipartite::from_weighted_edges(
+            3,
+            2,
+            &[(0, 0), (0, 1), (1, 0), (2, 0), (2, 1)],
+            &[4, 1, 2, 3, 3],
+        )
+        .unwrap();
+        let sm = streaming_greedy_bipartite(&g).unwrap();
+        sm.validate(&g).unwrap();
+        // T0 takes e0 (P0 w4), then e1 streams in: resulting 1 < 4 → switch
+        // to P1. T2 takes e3 (P0 w3), then e4: resulting 3+1=4 vs 2+3=5 → P1.
+        assert_eq!(sm.proc_of(&g, 0), 1);
+        assert_eq!(sm.proc_of(&g, 2), 1);
+        assert_eq!(sm.makespan(&g), 4);
+    }
+
+    #[test]
+    fn hyper_pass_is_valid_and_switches() {
+        let h = Hypergraph::from_hyperedges(
+            2,
+            3,
+            vec![(0, vec![0, 1], 5), (0, vec![2], 2), (1, vec![2], 3)],
+        )
+        .unwrap();
+        let hm = streaming_greedy_hyper(&h).unwrap();
+        hm.validate(&h).unwrap();
+        // T0 takes {P0,P1} w5, then {P2} w2 streams: 2 < 5 → switch.
+        assert_eq!(hm.hedge_of[0], 1);
+        assert_eq!(hm.makespan(&h), 5);
+    }
+
+    #[test]
+    fn uncovered_task_errors() {
+        let g = Bipartite::from_edges(2, 1, &[(0, 0)]).unwrap();
+        assert!(matches!(streaming_greedy_bipartite(&g), Err(CoreError::UncoveredTask(1))));
+        let h = Hypergraph::from_hyperedges(2, 1, vec![(0, vec![0], 1)]).unwrap();
+        assert!(matches!(streaming_greedy_hyper(&h), Err(CoreError::UncoveredTask(1))));
+    }
+
+    #[test]
+    fn ties_keep_the_earlier_edge() {
+        // Both edges of T0 resolve to identical resulting loads: the pass
+        // must keep the first-streamed edge.
+        let g = Bipartite::from_edges(1, 2, &[(0, 0), (0, 1)]).unwrap();
+        let sm = streaming_greedy_bipartite(&g).unwrap();
+        assert_eq!(sm.edge_of[0], 0);
+        let h = Hypergraph::from_hyperedges(1, 2, vec![(0, vec![0], 2), (0, vec![1], 2)]).unwrap();
+        let hm = streaming_greedy_hyper(&h).unwrap();
+        assert_eq!(hm.hedge_of[0], 0);
+    }
+}

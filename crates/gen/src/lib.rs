@@ -9,6 +9,9 @@
 //! * [`adversarial`] — the worst-case constructions of Figs. 1–5;
 //! * [`x3c`] — Exact Cover by 3-Sets instances and the Theorem 1 reduction;
 //! * [`params`] — the Table I grid and naming (`FG-20-4-MP-W`, …);
+//! * [`trace`] — dynamic-instance event traces (arrivals, departures,
+//!   reweights, processor churn, adversarial bursts) for the serving
+//!   engine, with a text format and a reproducible generator;
 //! * [`rng`] — a self-contained xoshiro256++ so every instance is
 //!   bit-reproducible forever (see DESIGN.md §6).
 //!
@@ -38,6 +41,7 @@ pub mod hilo;
 pub mod hyper;
 pub mod params;
 pub mod rng;
+pub mod trace;
 pub mod weights;
 pub mod x3c;
 
@@ -46,4 +50,5 @@ pub use hilo::{hilo, hilo_permuted};
 pub use hyper::{hyper_instance, HyperKind, HyperParams};
 pub use params::{Config, Family, SIZE_GRID};
 pub use rng::Xoshiro256;
+pub use trace::{generate_trace, Event, Trace, TraceParams};
 pub use weights::{apply_weights, WeightScheme};

@@ -1,0 +1,1042 @@
+//! The incremental serving engine.
+//!
+//! [`Engine`] ingests [`Event`]s, maintains a live task→configuration
+//! assignment with per-processor loads, and repairs solution quality
+//! incrementally instead of re-solving the instance per event:
+//!
+//! * **unit / single-processor traces** (every live configuration a unit
+//!   weight singleton — the `SINGLEPROC-UNIT` shape): bounded
+//!   augmenting-path repair. A BFS from each bottleneck processor over the
+//!   "task may relocate" relation finds a load-reducing path to a
+//!   processor two units lighter; shifting along it lowers the bottleneck.
+//!   When no bottleneck processor admits such a path, the makespan is
+//!   provably optimal (the symmetric-difference argument of the
+//!   cost-reducing-path optimality condition), so eager repair keeps the
+//!   engine's bottleneck equal to a from-scratch exact solve at all times.
+//! * **hypergraph / weighted traces**: greedy re-placement plus a bounded
+//!   `refine`-style local search (first-improvement descent under the
+//!   min-resulting-bottleneck criterion), run shard-locally. Processors
+//!   are partitioned into shards that repair independently; when shard
+//!   bottlenecks skew beyond [`SKEW_FACTOR`], one global pass runs and the
+//!   partition is rebuilt by longest-processing-time bin packing.
+//!
+//! Full from-scratch resolves (the periodic policy) go through a resident
+//! [`KindSolver`] so the workspace warm path of the solver registry is
+//! reused across resolves.
+
+use semimatch_core::problem::HyperMatching;
+use semimatch_core::solver::{KindSolver, Problem, Solution, Solver, SolverClass};
+use semimatch_gen::trace::{Event, Trace};
+use semimatch_graph::{Bipartite, Hypergraph};
+
+use crate::error::{Result, ServeError};
+use crate::policy::{Counters, EngineConfig, RepairPolicy};
+
+/// Local-search sweeps per repair invocation (hypergraph repair).
+pub const LOCAL_PASSES: u32 = 4;
+
+/// A shard rebalance triggers when the most loaded shard's bottleneck
+/// exceeds `SKEW_FACTOR ×` the least loaded shard's bottleneck.
+pub const SKEW_FACTOR: u64 = 2;
+
+/// One configuration of a live task.
+#[derive(Clone, Debug)]
+struct ConfigState {
+    /// Sorted, duplicate-free processor set.
+    pins: Vec<u32>,
+    weight: u64,
+}
+
+/// A live task: its configurations and the index of the chosen one.
+///
+/// Invariant: the chosen configuration's pins are all live (drops re-place
+/// affected tasks before completing).
+#[derive(Clone, Debug)]
+struct TaskState {
+    configs: Vec<ConfigState>,
+    chosen: u32,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct ProcSlot {
+    live: bool,
+    load: u64,
+    shard: u32,
+}
+
+/// Stamped scratch for the augmenting-path repair, resident in the engine
+/// (the same allocate-once idiom as `SearchWorkspace`).
+#[derive(Clone, Debug, Default)]
+struct RepairScratch {
+    /// Stamped visited marks per processor (`u32::MAX` = never).
+    visited: Vec<u32>,
+    stamp: u32,
+    /// BFS tree: the task moved into this processor, its source processor
+    /// and the configuration index the move uses.
+    pred_task: Vec<u32>,
+    pred_proc: Vec<u32>,
+    pred_cfg: Vec<u32>,
+    queue: Vec<u32>,
+    /// Processor → assigned live tasks, refilled by each exact repair.
+    assigned: Vec<Vec<u32>>,
+}
+
+impl RepairScratch {
+    fn next_stamp(&mut self, n_procs: usize) -> u32 {
+        if self.visited.len() < n_procs {
+            self.visited.resize(n_procs, u32::MAX);
+            self.pred_task.resize(n_procs, 0);
+            self.pred_proc.resize(n_procs, 0);
+            self.pred_cfg.resize(n_procs, 0);
+        }
+        if self.stamp >= u32::MAX - 1 {
+            self.visited.iter_mut().for_each(|m| *m = u32::MAX);
+            self.stamp = 0;
+        }
+        self.stamp += 1;
+        self.stamp
+    }
+}
+
+/// A compacted view of the live instance: the hypergraph over live tasks
+/// and processors (live configurations only), the engine's current
+/// assignment on it, and the id maps back to trace ids.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// The live instance (compacted ids, fully-live configurations only).
+    pub hypergraph: Hypergraph,
+    /// The engine's current assignment over [`Snapshot::hypergraph`].
+    pub matching: HyperMatching,
+    /// Original trace id of each compacted task.
+    pub task_ids: Vec<u32>,
+    /// Original trace id of each compacted processor.
+    pub proc_ids: Vec<u32>,
+    /// Per compacted task: original configuration index of each of its
+    /// hyperedges, in hyperedge order.
+    pub live_configs: Vec<Vec<u32>>,
+}
+
+impl Snapshot {
+    /// The live instance as a weighted bipartite (`SINGLEPROC`) graph, if
+    /// every live configuration is a singleton. Parallel `(task, proc)`
+    /// configurations collapse to their lightest weight.
+    pub fn to_bipartite(&self) -> Option<Bipartite> {
+        let h = &self.hypergraph;
+        let mut edges = Vec::with_capacity(h.n_hedges() as usize);
+        let mut weights = Vec::with_capacity(h.n_hedges() as usize);
+        for t in 0..h.n_tasks() {
+            // Collapse parallel configurations (same singleton processor)
+            // to the lightest weight; `procs_of` singletons keep id order.
+            let mut seen: Vec<(u32, u64)> = Vec::new();
+            for hid in h.hedges_of(t) {
+                let pins = h.procs_of(hid);
+                if pins.len() != 1 {
+                    return None;
+                }
+                match seen.iter_mut().find(|(p, _)| *p == pins[0]) {
+                    Some((_, w)) => *w = (*w).min(h.weight(hid)),
+                    None => seen.push((pins[0], h.weight(hid))),
+                }
+            }
+            for (p, w) in seen {
+                edges.push((t, p));
+                weights.push(w);
+            }
+        }
+        Some(
+            Bipartite::from_weighted_edges(h.n_tasks(), h.n_procs(), &edges, &weights)
+                .expect("snapshot invariants satisfy the bipartite constructor"),
+        )
+    }
+}
+
+/// The event-driven incremental semi-matching engine.
+///
+/// ```
+/// use semimatch_gen::trace::Event;
+/// use semimatch_serve::{Engine, EngineConfig};
+///
+/// let mut engine = Engine::new(EngineConfig::default(), 2).unwrap();
+/// // T0 prefers the light {P1} w1 config on arrival…
+/// engine.apply(&Event::Arrive { task: 0, configs: vec![(vec![0], 2), (vec![1], 1)] }).unwrap();
+/// // …but when T1 (P1-only, w2) lands, eager repair moves T0 to P0.
+/// engine.apply(&Event::Arrive { task: 1, configs: vec![(vec![1], 2)] }).unwrap();
+/// assert_eq!(engine.bottleneck(), 2);
+/// engine.apply(&Event::Depart { task: 1 }).unwrap();
+/// assert_eq!(engine.bottleneck(), 1); // repair drifts T0 back to {P1}
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    cfg: EngineConfig,
+    procs: Vec<ProcSlot>,
+    n_live_procs: usize,
+    tasks: Vec<Option<TaskState>>,
+    n_live_tasks: usize,
+    /// Live configurations (over live tasks) with more than one pin.
+    wide_configs: usize,
+    /// Live configurations (over live tasks) with weight ≠ 1.
+    nonunit_configs: usize,
+    counters: Counters,
+    events_since_resolve: u32,
+    /// Bottleneck right after the last repair/resolve (lazy threshold).
+    baseline: u64,
+    /// Resident warm-workspace solver for from-scratch resolves.
+    resolver: KindSolver,
+    scratch: RepairScratch,
+}
+
+impl Engine {
+    /// An engine over the initial pool `0..n_procs`, validated config.
+    pub fn new(cfg: EngineConfig, n_procs: u32) -> Result<Engine> {
+        if cfg.shards == 0 {
+            return Err(ServeError::Config { msg: "shard count must be at least 1" });
+        }
+        if let RepairPolicy::Periodic { every: 0 } = cfg.policy {
+            return Err(ServeError::Config { msg: "resolve period must be at least 1" });
+        }
+        if cfg.resolve_kind.class() == SolverClass::SingleProc {
+            return Err(ServeError::Config {
+                msg: "resolve kind must accept hypergraph (MULTIPROC) snapshots",
+            });
+        }
+        let procs =
+            (0..n_procs).map(|p| ProcSlot { live: true, load: 0, shard: p % cfg.shards }).collect();
+        Ok(Engine {
+            cfg,
+            procs,
+            n_live_procs: n_procs as usize,
+            tasks: Vec::new(),
+            n_live_tasks: 0,
+            wide_configs: 0,
+            nonunit_configs: 0,
+            counters: Counters::default(),
+            events_since_resolve: 0,
+            baseline: 0,
+            resolver: cfg.resolve_kind.solver(),
+            scratch: RepairScratch::default(),
+        })
+    }
+
+    /// Builds an engine and replays the whole trace through it.
+    pub fn replay(cfg: EngineConfig, trace: &Trace) -> Result<Engine> {
+        let mut engine = Engine::new(cfg, trace.n_procs)?;
+        for ev in &trace.events {
+            engine.apply(ev)?;
+        }
+        Ok(engine)
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Live tasks currently assigned.
+    pub fn n_live_tasks(&self) -> usize {
+        self.n_live_tasks
+    }
+
+    /// Live processors in the pool.
+    pub fn n_live_procs(&self) -> usize {
+        self.n_live_procs
+    }
+
+    /// Current bottleneck: the maximum live-processor load.
+    pub fn bottleneck(&self) -> u64 {
+        self.procs.iter().filter(|p| p.live).map(|p| p.load).max().unwrap_or(0)
+    }
+
+    /// Load of processor `proc`, if it is live.
+    pub fn load_of(&self, proc: u32) -> Option<u64> {
+        self.procs.get(proc as usize).filter(|p| p.live).map(|p| p.load)
+    }
+
+    /// Repair-work counters accumulated so far.
+    pub fn counters(&self) -> Counters {
+        self.counters
+    }
+
+    /// Whether every live configuration is a unit-weight singleton — the
+    /// shape on which repair is exact. Conservative: a weighted or wide
+    /// configuration pinned on dropped processors still counts.
+    pub fn is_unit_singleton(&self) -> bool {
+        self.wide_configs == 0 && self.nonunit_configs == 0
+    }
+
+    /// Ingests one event, then repairs according to the policy.
+    pub fn apply(&mut self, ev: &Event) -> Result<()> {
+        match ev {
+            Event::Arrive { task, configs } => self.arrive(*task, configs)?,
+            Event::Depart { task } => self.depart(*task)?,
+            Event::Reweight { task, weights } => self.reweight(*task, weights)?,
+            Event::AddProc { proc } => self.add_proc(*proc)?,
+            Event::DropProc { proc } => self.drop_proc(*proc)?,
+        }
+        self.counters.events += 1;
+        match self.cfg.policy {
+            RepairPolicy::Eager => self.repair_now(),
+            RepairPolicy::Lazy { slack } => {
+                if self.bottleneck() > self.baseline.saturating_add(slack) {
+                    self.repair_now();
+                }
+            }
+            RepairPolicy::Periodic { every } => {
+                self.events_since_resolve += 1;
+                if self.events_since_resolve >= every {
+                    self.events_since_resolve = 0;
+                    self.resolve()?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------
+    // Event ingestion
+    // ---------------------------------------------------------------
+
+    fn arrive(&mut self, task: u32, configs: &[(Vec<u32>, u64)]) -> Result<()> {
+        let slot = task as usize;
+        if self.tasks.len() <= slot {
+            self.tasks.resize_with(slot + 1, || None);
+        }
+        if self.tasks[slot].is_some() {
+            return Err(ServeError::DuplicateTask(task));
+        }
+        if configs.is_empty() {
+            return Err(ServeError::NoConfigs(task));
+        }
+        let mut states = Vec::with_capacity(configs.len());
+        for (pins, weight) in configs {
+            if pins.is_empty() {
+                return Err(ServeError::EmptyConfig { task });
+            }
+            if *weight == 0 {
+                return Err(ServeError::ZeroWeight { task });
+            }
+            let mut pins = pins.clone();
+            pins.sort_unstable();
+            pins.dedup();
+            for &p in &pins {
+                if !self.procs.get(p as usize).is_some_and(|s| s.live) {
+                    return Err(ServeError::DeadPin { task, proc: p });
+                }
+            }
+            states.push(ConfigState { pins, weight: *weight });
+        }
+        let chosen =
+            self.choose(&states, None).expect("all arriving configurations are live by validation");
+        self.wide_configs += states.iter().filter(|c| c.pins.len() > 1).count();
+        self.nonunit_configs += states.iter().filter(|c| c.weight != 1).count();
+        let state = TaskState { configs: states, chosen };
+        self.add_contribution(&state);
+        self.tasks[slot] = Some(state);
+        self.n_live_tasks += 1;
+        self.counters.placements += 1;
+        Ok(())
+    }
+
+    fn depart(&mut self, task: u32) -> Result<()> {
+        let state = self
+            .tasks
+            .get_mut(task as usize)
+            .and_then(Option::take)
+            .ok_or(ServeError::UnknownTask(task))?;
+        self.remove_contribution(&state);
+        self.wide_configs -= state.configs.iter().filter(|c| c.pins.len() > 1).count();
+        self.nonunit_configs -= state.configs.iter().filter(|c| c.weight != 1).count();
+        self.n_live_tasks -= 1;
+        Ok(())
+    }
+
+    fn reweight(&mut self, task: u32, weights: &[u64]) -> Result<()> {
+        let state = self
+            .tasks
+            .get(task as usize)
+            .and_then(Option::as_ref)
+            .ok_or(ServeError::UnknownTask(task))?;
+        if weights.len() != state.configs.len() {
+            return Err(ServeError::WeightCountMismatch {
+                task,
+                expected: state.configs.len(),
+                got: weights.len(),
+            });
+        }
+        if weights.contains(&0) {
+            return Err(ServeError::ZeroWeight { task });
+        }
+        // Re-borrow mutably only after validation.
+        let mut state = self.tasks[task as usize].take().expect("checked live above");
+        self.remove_contribution(&state);
+        for (cfg, &w) in state.configs.iter_mut().zip(weights) {
+            match (cfg.weight != 1, w != 1) {
+                (false, true) => self.nonunit_configs += 1,
+                (true, false) => self.nonunit_configs -= 1,
+                _ => {}
+            }
+            cfg.weight = w;
+        }
+        self.add_contribution(&state);
+        self.tasks[task as usize] = Some(state);
+        Ok(())
+    }
+
+    fn add_proc(&mut self, proc: u32) -> Result<()> {
+        let slot = proc as usize;
+        if self.procs.len() <= slot {
+            self.procs.resize(slot + 1, ProcSlot::default());
+        }
+        if self.procs[slot].live {
+            return Err(ServeError::DuplicateProc(proc));
+        }
+        // Join the shard with the fewest live processors (lowest id wins).
+        let mut counts = vec![0usize; self.cfg.shards as usize];
+        for p in self.procs.iter().filter(|p| p.live) {
+            counts[p.shard as usize] += 1;
+        }
+        let shard = (0..self.cfg.shards).min_by_key(|&s| counts[s as usize]).unwrap_or(0);
+        self.procs[slot] = ProcSlot { live: true, load: 0, shard };
+        self.n_live_procs += 1;
+        Ok(())
+    }
+
+    fn drop_proc(&mut self, proc: u32) -> Result<()> {
+        let slot = proc as usize;
+        if !self.procs.get(slot).is_some_and(|p| p.live) {
+            return Err(ServeError::UnknownProc(proc));
+        }
+        if self.n_live_procs == 1 {
+            return Err(ServeError::LastProc(proc));
+        }
+        // Feasibility first: every task running on `proc` must have an
+        // alternative fully-live configuration avoiding it. Nothing is
+        // mutated until the whole drop is known to be applicable.
+        let mut displaced = Vec::new();
+        for (t, state) in self.live_tasks() {
+            if state.configs[state.chosen as usize].pins.contains(&proc) {
+                let ok = state.configs.iter().any(|c| {
+                    !c.pins.contains(&proc) && c.pins.iter().all(|&p| self.procs[p as usize].live)
+                });
+                if !ok {
+                    return Err(ServeError::NoLiveConfig { task: t });
+                }
+                displaced.push(t);
+            }
+        }
+        self.procs[slot].live = false;
+        self.procs[slot].load = 0;
+        self.n_live_procs -= 1;
+        for t in displaced {
+            let mut state = self.tasks[t as usize].take().expect("displaced task is live");
+            // Subtract the old contribution from its still-live pins (the
+            // dropped processor's load is already zeroed).
+            let w = state.configs[state.chosen as usize].weight;
+            for &p in &state.configs[state.chosen as usize].pins {
+                if self.procs[p as usize].live {
+                    self.procs[p as usize].load -= w;
+                }
+            }
+            state.chosen = self.choose(&state.configs, None).expect("feasibility was pre-checked");
+            self.add_contribution(&state);
+            self.tasks[t as usize] = Some(state);
+            self.counters.placements += 1;
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------
+    // Placement
+    // ---------------------------------------------------------------
+
+    /// Iterates live tasks in ascending id order.
+    fn live_tasks(&self) -> impl Iterator<Item = (u32, &TaskState)> {
+        self.tasks.iter().enumerate().filter_map(|(t, s)| Some((t as u32, s.as_ref()?)))
+    }
+
+    /// Greedy choice among fully-live configurations (optionally further
+    /// restricted to one shard): minimize the resulting bottleneck over
+    /// the configuration's processors; ties keep the lowest index.
+    fn choose(&self, configs: &[ConfigState], shard: Option<u32>) -> Option<u32> {
+        let mut best: Option<(u64, u32)> = None;
+        for (i, c) in configs.iter().enumerate() {
+            let eligible = c.pins.iter().all(|&p| {
+                let s = &self.procs[p as usize];
+                s.live && shard.is_none_or(|sh| s.shard == sh)
+            });
+            if !eligible {
+                continue;
+            }
+            let key =
+                c.pins.iter().map(|&p| self.procs[p as usize].load).max().unwrap_or(0) + c.weight;
+            if best.is_none_or(|(k, _)| key < k) {
+                best = Some((key, i as u32));
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    fn add_contribution(&mut self, state: &TaskState) {
+        let c = &state.configs[state.chosen as usize];
+        for &p in &c.pins {
+            self.procs[p as usize].load += c.weight;
+        }
+    }
+
+    fn remove_contribution(&mut self, state: &TaskState) {
+        let c = &state.configs[state.chosen as usize];
+        for &p in &c.pins {
+            self.procs[p as usize].load -= c.weight;
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Repair
+    // ---------------------------------------------------------------
+
+    /// Runs a full repair immediately, regardless of policy: exact
+    /// augmenting-path repair on unit/singleton state, shard-local search
+    /// plus skew rebalancing otherwise. Never increases the bottleneck.
+    pub fn repair_now(&mut self) {
+        self.counters.repairs += 1;
+        if self.is_unit_singleton() {
+            self.exact_repair();
+        } else {
+            self.heuristic_repair();
+        }
+        self.baseline = self.bottleneck();
+    }
+
+    /// Augmenting-path repair for the unit/single-processor shape.
+    ///
+    /// Repeatedly: while some bottleneck processor admits a load-reducing
+    /// path (BFS over "task assigned to `u` may relocate to `v`" edges)
+    /// ending at a processor with load ≤ bottleneck − 2, shift tasks along
+    /// the path. When no bottleneck processor admits one, no assignment of
+    /// the live instance has a smaller makespan.
+    fn exact_repair(&mut self) {
+        // Processor → assigned tasks: the resident index is cleared and
+        // refilled per repair (O(live) writes, no allocation once warm;
+        // taken out of the scratch so `reduce_from(&mut self, …)` borrows).
+        let mut assigned = std::mem::take(&mut self.scratch.assigned);
+        for list in &mut assigned {
+            list.clear();
+        }
+        if assigned.len() < self.procs.len() {
+            assigned.resize(self.procs.len(), Vec::new());
+        }
+        for (t, state) in
+            self.tasks.iter().enumerate().filter_map(|(t, s)| Some((t as u32, s.as_ref()?)))
+        {
+            assigned[state.configs[state.chosen as usize].pins[0] as usize].push(t);
+        }
+        loop {
+            let max = self.bottleneck();
+            if max <= 1 {
+                break;
+            }
+            let mut improved = false;
+            for u in 0..self.procs.len() as u32 {
+                if !self.procs[u as usize].live || self.procs[u as usize].load != max {
+                    continue;
+                }
+                self.counters.searches += 1;
+                if self.reduce_from(u, max, &mut assigned) {
+                    self.counters.shifts += 1;
+                    improved = true;
+                    break;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        self.scratch.assigned = assigned;
+    }
+
+    /// One BFS from bottleneck processor `u`; applies the shift and
+    /// returns `true` when a processor with load ≤ `max − 2` is reached.
+    fn reduce_from(&mut self, u: u32, max: u64, assigned: &mut [Vec<u32>]) -> bool {
+        let stamp = self.scratch.next_stamp(self.procs.len());
+        self.scratch.queue.clear();
+        self.scratch.queue.push(u);
+        self.scratch.visited[u as usize] = stamp;
+        let mut head = 0;
+        let mut target = None;
+        'bfs: while head < self.scratch.queue.len() {
+            let x = self.scratch.queue[head];
+            head += 1;
+            for &t in &assigned[x as usize] {
+                let state = self.tasks[t as usize].as_ref().expect("assigned task is live");
+                for (ci, c) in state.configs.iter().enumerate() {
+                    let v = c.pins[0];
+                    if !self.procs[v as usize].live || self.scratch.visited[v as usize] == stamp {
+                        continue;
+                    }
+                    self.scratch.visited[v as usize] = stamp;
+                    self.scratch.pred_task[v as usize] = t;
+                    self.scratch.pred_proc[v as usize] = x;
+                    self.scratch.pred_cfg[v as usize] = ci as u32;
+                    if self.procs[v as usize].load + 2 <= max {
+                        target = Some(v);
+                        break 'bfs;
+                    }
+                    self.scratch.queue.push(v);
+                }
+            }
+        }
+        match target {
+            Some(v) => {
+                self.apply_shift(u, v, assigned);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Shifts every task on the tree path `u → … → v` one hop forward:
+    /// the endpoint gains one unit, the bottleneck start loses one.
+    fn apply_shift(&mut self, u: u32, v: u32, assigned: &mut [Vec<u32>]) {
+        let mut end = v;
+        while end != u {
+            let t = self.scratch.pred_task[end as usize];
+            let from = self.scratch.pred_proc[end as usize];
+            let cfg = self.scratch.pred_cfg[end as usize];
+            let state = self.tasks[t as usize].as_mut().expect("shifted task is live");
+            state.chosen = cfg;
+            let pos = assigned[from as usize]
+                .iter()
+                .position(|&x| x == t)
+                .expect("task listed on its processor");
+            assigned[from as usize].swap_remove(pos);
+            assigned[end as usize].push(t);
+            end = from;
+        }
+        self.procs[u as usize].load -= 1;
+        self.procs[v as usize].load += 1;
+    }
+
+    /// Hypergraph repair: shard-local first-improvement sweeps, then — on
+    /// shard skew — one global sweep and an LPT re-partition.
+    fn heuristic_repair(&mut self) {
+        for s in 0..self.cfg.shards {
+            self.local_sweeps(Some(s));
+        }
+        if self.cfg.shards > 1 {
+            let mut min_b = u64::MAX;
+            let mut max_b = 0u64;
+            let mut loads = vec![(0u64, false); self.cfg.shards as usize];
+            for p in self.procs.iter().filter(|p| p.live) {
+                let slot = &mut loads[p.shard as usize];
+                slot.0 = slot.0.max(p.load);
+                slot.1 = true;
+            }
+            for &(b, populated) in &loads {
+                if populated {
+                    min_b = min_b.min(b);
+                    max_b = max_b.max(b);
+                }
+            }
+            if min_b != u64::MAX && max_b > SKEW_FACTOR * min_b.max(1) {
+                self.local_sweeps(None);
+                self.rebalance_shards();
+                self.counters.rebalances += 1;
+            }
+        }
+    }
+
+    /// Up to [`LOCAL_PASSES`] sweeps over the live tasks (ascending id),
+    /// each task re-placed on its best configuration; `shard` restricts
+    /// both the tasks touched and the candidate configurations.
+    fn local_sweeps(&mut self, shard: Option<u32>) {
+        for _ in 0..LOCAL_PASSES {
+            let mut moved = false;
+            for t in 0..self.tasks.len() as u32 {
+                let Some(state) = self.tasks[t as usize].as_ref() else { continue };
+                if state.configs.len() <= 1 {
+                    continue;
+                }
+                if let Some(s) = shard {
+                    let local = state.configs[state.chosen as usize]
+                        .pins
+                        .iter()
+                        .all(|&p| self.procs[p as usize].shard == s);
+                    if !local {
+                        continue;
+                    }
+                }
+                let mut state = self.tasks[t as usize].take().expect("checked live above");
+                self.remove_contribution(&state);
+                let best = self
+                    .choose(&state.configs, shard)
+                    .expect("the chosen configuration itself is always eligible");
+                if best != state.chosen {
+                    state.chosen = best;
+                    self.counters.moves += 1;
+                    moved = true;
+                }
+                self.add_contribution(&state);
+                self.tasks[t as usize] = Some(state);
+            }
+            if !moved {
+                break;
+            }
+        }
+    }
+
+    /// Longest-processing-time re-partition: live processors, heaviest
+    /// first, each join the currently lightest shard.
+    fn rebalance_shards(&mut self) {
+        let mut procs: Vec<(u32, u64)> = self
+            .procs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.live)
+            .map(|(i, p)| (i as u32, p.load))
+            .collect();
+        procs.sort_by_key(|&(i, load)| (std::cmp::Reverse(load), i));
+        let mut shard_loads = vec![0u64; self.cfg.shards as usize];
+        for (i, load) in procs {
+            let s = (0..self.cfg.shards)
+                .min_by_key(|&s| (shard_loads[s as usize], s))
+                .expect("at least one shard");
+            self.procs[i as usize].shard = s;
+            shard_loads[s as usize] += load;
+        }
+    }
+
+    /// Re-solves the whole live instance from scratch with the configured
+    /// kind (through the resident warm-workspace solver) and installs the
+    /// result.
+    fn resolve(&mut self) -> Result<()> {
+        self.counters.resolves += 1;
+        if self.n_live_tasks == 0 {
+            self.baseline = 0;
+            return Ok(());
+        }
+        let snap = self.snapshot();
+        let solution = self.resolver.solve(Problem::MultiProc(&snap.hypergraph))?;
+        let Solution::MultiProc(hm) = solution else {
+            unreachable!("MULTIPROC problems yield MULTIPROC solutions")
+        };
+        for (new_t, &hid) in hm.hedge_of.iter().enumerate() {
+            let t = snap.task_ids[new_t];
+            let k = hid - snap.hypergraph.hedges_of(new_t as u32).start;
+            let orig_cfg = snap.live_configs[new_t][k as usize];
+            let state = self.tasks[t as usize].as_mut().expect("snapshot task is live");
+            state.chosen = orig_cfg;
+        }
+        // Rebuild loads wholesale; the resolve replaced the assignment.
+        for p in self.procs.iter_mut() {
+            p.load = 0;
+        }
+        for t in 0..self.tasks.len() {
+            if let Some(state) = self.tasks[t].take() {
+                self.add_contribution(&state);
+                self.tasks[t] = Some(state);
+            }
+        }
+        self.baseline = self.bottleneck();
+        Ok(())
+    }
+
+    /// Compacts the live instance into a [`Snapshot`].
+    ///
+    /// Only fully-live configurations are materialized; by the engine's
+    /// invariants every live task has at least one, and the chosen one is
+    /// among them.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut proc_map = vec![u32::MAX; self.procs.len()];
+        let mut proc_ids = Vec::with_capacity(self.n_live_procs);
+        for (p, slot) in self.procs.iter().enumerate() {
+            if slot.live {
+                proc_map[p] = proc_ids.len() as u32;
+                proc_ids.push(p as u32);
+            }
+        }
+        let mut task_ids = Vec::with_capacity(self.n_live_tasks);
+        let mut live_configs = Vec::with_capacity(self.n_live_tasks);
+        let mut hedges = Vec::new();
+        let mut chosen_pos = Vec::with_capacity(self.n_live_tasks);
+        for (t, state) in self.live_tasks() {
+            let new_t = task_ids.len() as u32;
+            task_ids.push(t);
+            let mut idxs = Vec::new();
+            for (i, c) in state.configs.iter().enumerate() {
+                if c.pins.iter().all(|&p| self.procs[p as usize].live) {
+                    if i as u32 == state.chosen {
+                        chosen_pos.push(idxs.len() as u32);
+                    }
+                    idxs.push(i as u32);
+                    let pins = c.pins.iter().map(|&p| proc_map[p as usize]).collect();
+                    hedges.push((new_t, pins, c.weight));
+                }
+            }
+            live_configs.push(idxs);
+        }
+        debug_assert_eq!(chosen_pos.len(), task_ids.len(), "chosen configs are live");
+        let hypergraph =
+            Hypergraph::from_hyperedges(task_ids.len() as u32, proc_ids.len() as u32, hedges)
+                .expect("engine invariants satisfy the hypergraph constructor");
+        let hedge_of = chosen_pos
+            .iter()
+            .enumerate()
+            .map(|(new_t, &k)| hypergraph.hedges_of(new_t as u32).start + k)
+            .collect();
+        Snapshot {
+            hypergraph,
+            matching: HyperMatching { hedge_of },
+            task_ids,
+            proc_ids,
+            live_configs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semimatch_core::solver::{solve, SolverKind};
+
+    fn eager() -> EngineConfig {
+        EngineConfig::default()
+    }
+
+    fn arrive(task: u32, configs: &[(&[u32], u64)]) -> Event {
+        Event::Arrive { task, configs: configs.iter().map(|(p, w)| (p.to_vec(), *w)).collect() }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(Engine::new(EngineConfig { shards: 0, ..eager() }, 2).is_err());
+        assert!(Engine::new(
+            EngineConfig { policy: RepairPolicy::Periodic { every: 0 }, ..eager() },
+            2
+        )
+        .is_err());
+        assert!(Engine::new(
+            EngineConfig { resolve_kind: SolverKind::ExactBisection, ..eager() },
+            2
+        )
+        .is_err());
+        assert!(Engine::new(eager(), 2).is_ok());
+    }
+
+    #[test]
+    fn ingest_validation_errors() {
+        let mut e = Engine::new(eager(), 2).unwrap();
+        e.apply(&arrive(0, &[(&[0], 1)])).unwrap();
+        assert_eq!(e.apply(&arrive(0, &[(&[0], 1)])), Err(ServeError::DuplicateTask(0)));
+        assert_eq!(
+            e.apply(&Event::Arrive { task: 1, configs: vec![] }),
+            Err(ServeError::NoConfigs(1))
+        );
+        assert_eq!(
+            e.apply(&arrive(1, &[(&[5], 1)])),
+            Err(ServeError::DeadPin { task: 1, proc: 5 })
+        );
+        assert_eq!(e.apply(&arrive(1, &[(&[0], 0)])), Err(ServeError::ZeroWeight { task: 1 }));
+        assert_eq!(e.apply(&Event::Depart { task: 9 }), Err(ServeError::UnknownTask(9)));
+        assert_eq!(
+            e.apply(&Event::Reweight { task: 0, weights: vec![1, 2] }),
+            Err(ServeError::WeightCountMismatch { task: 0, expected: 1, got: 2 })
+        );
+        assert_eq!(e.apply(&Event::AddProc { proc: 1 }), Err(ServeError::DuplicateProc(1)));
+        assert_eq!(e.apply(&Event::DropProc { proc: 7 }), Err(ServeError::UnknownProc(7)));
+        // T0 only runs on P0: dropping it must be rejected, state unchanged.
+        assert_eq!(
+            e.apply(&Event::DropProc { proc: 0 }),
+            Err(ServeError::NoLiveConfig { task: 0 })
+        );
+        assert_eq!(e.n_live_procs(), 2);
+        assert_eq!(e.bottleneck(), 1);
+        // Dropping the last processor is refused even when it is idle.
+        e.apply(&Event::Depart { task: 0 }).unwrap();
+        e.apply(&Event::DropProc { proc: 0 }).unwrap();
+        assert_eq!(e.apply(&Event::DropProc { proc: 1 }), Err(ServeError::LastProc(1)));
+    }
+
+    #[test]
+    fn eager_unit_singleton_stays_exact() {
+        // Three unit tasks over two processors; the greedy stream order
+        // would stack P0, the repair must spread them: bottleneck 2.
+        let mut e = Engine::new(eager(), 2).unwrap();
+        e.apply(&arrive(0, &[(&[0], 1)])).unwrap();
+        e.apply(&arrive(1, &[(&[0], 1), (&[1], 1)])).unwrap();
+        e.apply(&arrive(2, &[(&[0], 1), (&[1], 1)])).unwrap();
+        assert!(e.is_unit_singleton());
+        assert_eq!(e.bottleneck(), 2);
+        // Cross-check against the exact solver on the snapshot.
+        let snap = e.snapshot();
+        snap.matching.validate(&snap.hypergraph).unwrap();
+        let g = snap.to_bipartite().expect("singleton configs");
+        let opt = solve(Problem::SingleProc(&g), SolverKind::ExactBisection)
+            .unwrap()
+            .makespan(&Problem::SingleProc(&g));
+        assert_eq!(e.bottleneck(), opt);
+    }
+
+    #[test]
+    fn augmenting_repair_uses_multi_hop_paths() {
+        // T0 on {P0}|{P1} lands on P0 (lowest-id tie), T1 on {P1}|{P2}
+        // lands on P1. T2 on {P0}|{P1} then stacks P0 to load 2; the only
+        // way down is the 2-hop path P0 —T0→ P1 —T1→ P2, which the BFS
+        // must find and shift (T1: P1→P2, then T0: P0→P1).
+        let mut e = Engine::new(eager(), 3).unwrap();
+        e.apply(&arrive(0, &[(&[0], 1), (&[1], 1)])).unwrap();
+        e.apply(&arrive(1, &[(&[1], 1), (&[2], 1)])).unwrap();
+        e.apply(&arrive(2, &[(&[0], 1), (&[1], 1)])).unwrap();
+        assert_eq!(e.bottleneck(), 1, "2-hop shift reaches the perfect spread");
+        assert_eq!((e.load_of(0), e.load_of(1), e.load_of(2)), (Some(1), Some(1), Some(1)));
+        assert!(e.counters().shifts >= 1);
+        let snap = e.snapshot();
+        let g = snap.to_bipartite().unwrap();
+        let opt = solve(Problem::SingleProc(&g), SolverKind::ExactBisection)
+            .unwrap()
+            .makespan(&Problem::SingleProc(&g));
+        assert_eq!(e.bottleneck(), opt);
+    }
+
+    #[test]
+    fn hyper_repair_never_increases_bottleneck() {
+        let mut e = Engine::new(eager(), 3).unwrap();
+        e.apply(&arrive(0, &[(&[0, 1], 5), (&[2], 2)])).unwrap();
+        e.apply(&arrive(1, &[(&[0], 3), (&[1], 3)])).unwrap();
+        e.apply(&arrive(2, &[(&[2], 4), (&[0], 4)])).unwrap();
+        assert!(!e.is_unit_singleton());
+        let before = e.bottleneck();
+        e.repair_now();
+        assert!(e.bottleneck() <= before);
+        let snap = e.snapshot();
+        snap.matching.validate(&snap.hypergraph).unwrap();
+        assert_eq!(snap.matching.makespan(&snap.hypergraph), e.bottleneck());
+    }
+
+    #[test]
+    fn reweight_and_depart_update_loads() {
+        let mut e = Engine::new(eager(), 2).unwrap();
+        e.apply(&arrive(0, &[(&[0], 2), (&[1], 5)])).unwrap();
+        assert_eq!(e.bottleneck(), 2);
+        e.apply(&Event::Reweight { task: 0, weights: vec![9, 4] }).unwrap();
+        // Eager repair re-places T0 onto the now-cheaper {P1} w4.
+        assert_eq!(e.bottleneck(), 4);
+        assert!(!e.is_unit_singleton());
+        e.apply(&Event::Depart { task: 0 }).unwrap();
+        assert_eq!(e.bottleneck(), 0);
+        assert_eq!(e.n_live_tasks(), 0);
+        assert!(e.is_unit_singleton(), "counts drained with the departures");
+    }
+
+    #[test]
+    fn proc_churn_relocates_and_extends() {
+        let mut e = Engine::new(eager(), 2).unwrap();
+        e.apply(&arrive(0, &[(&[0], 1), (&[1], 1)])).unwrap();
+        e.apply(&arrive(1, &[(&[0], 1), (&[1], 1)])).unwrap();
+        assert_eq!(e.bottleneck(), 1);
+        e.apply(&Event::DropProc { proc: 1 }).unwrap();
+        assert_eq!(e.n_live_procs(), 1);
+        assert_eq!(e.bottleneck(), 2, "both tasks squeezed onto P0");
+        // The dropped processor rejoins: dormant {P1} configurations come
+        // back to life and repair spreads the load out again.
+        e.apply(&Event::AddProc { proc: 1 }).unwrap();
+        assert_eq!(e.bottleneck(), 1, "repair re-uses the rejoined processor");
+        // A brand-new processor joins idle (no configuration targets it
+        // yet, so loads are untouched).
+        e.apply(&Event::AddProc { proc: 2 }).unwrap();
+        assert_eq!(e.load_of(2), Some(0));
+        assert_eq!(e.n_live_procs(), 3);
+        assert_eq!(e.bottleneck(), 1);
+    }
+
+    #[test]
+    fn periodic_policy_resolves_with_the_configured_kind() {
+        let cfg = EngineConfig {
+            policy: RepairPolicy::Periodic { every: 1 },
+            resolve_kind: SolverKind::BruteForce,
+            shards: 1,
+        };
+        let mut e = Engine::new(cfg, 2).unwrap();
+        e.apply(&arrive(0, &[(&[0], 3), (&[1], 2)])).unwrap();
+        e.apply(&arrive(1, &[(&[0], 2), (&[1], 3)])).unwrap();
+        e.apply(&arrive(2, &[(&[0], 2), (&[1], 2)])).unwrap();
+        // With per-event resolves, the final state IS the from-scratch
+        // optimum of the final instance.
+        let snap = e.snapshot();
+        let opt = solve(Problem::MultiProc(&snap.hypergraph), SolverKind::BruteForce)
+            .unwrap()
+            .makespan(&Problem::MultiProc(&snap.hypergraph));
+        assert_eq!(e.bottleneck(), opt);
+        assert_eq!(e.counters().resolves, 3);
+    }
+
+    #[test]
+    fn lazy_policy_repairs_only_past_the_slack() {
+        let cfg = EngineConfig { policy: RepairPolicy::Lazy { slack: 10 }, ..eager() };
+        let mut e = Engine::new(cfg, 2).unwrap();
+        for t in 0..6 {
+            e.apply(&arrive(t, &[(&[0], 1), (&[1], 1)])).unwrap();
+        }
+        assert_eq!(e.counters().repairs, 0, "under the slack nothing repairs");
+        let cfg = EngineConfig { policy: RepairPolicy::Lazy { slack: 0 }, ..eager() };
+        let mut tight = Engine::new(cfg, 2).unwrap();
+        for t in 0..6 {
+            tight.apply(&arrive(t, &[(&[0], 1), (&[1], 1)])).unwrap();
+        }
+        assert!(tight.counters().repairs >= 1);
+        assert_eq!(tight.bottleneck(), 3);
+    }
+
+    #[test]
+    fn sharded_engine_rebalances_on_skew() {
+        let cfg = EngineConfig { shards: 2, ..eager() };
+        let mut e = Engine::new(cfg, 4).unwrap();
+        // Weighted tasks (hyper path) hammering one processor: the shard
+        // holding it skews, forcing a rebalance.
+        for t in 0..8 {
+            e.apply(&arrive(t, &[(&[0], 4), (&[t % 4], 5)])).unwrap();
+        }
+        assert!(e.counters().rebalances >= 1, "skew must trigger a rebalance");
+        let snap = e.snapshot();
+        snap.matching.validate(&snap.hypergraph).unwrap();
+        assert_eq!(snap.matching.makespan(&snap.hypergraph), e.bottleneck());
+    }
+
+    #[test]
+    fn snapshot_maps_ids_and_drops_dead_configs() {
+        let mut e = Engine::new(eager(), 3).unwrap();
+        e.apply(&arrive(4, &[(&[0], 1), (&[2], 1)])).unwrap();
+        e.apply(&arrive(7, &[(&[2], 1)])).unwrap();
+        e.apply(&Event::DropProc { proc: 0 }).unwrap();
+        let snap = e.snapshot();
+        assert_eq!(snap.task_ids, vec![4, 7]);
+        assert_eq!(snap.proc_ids, vec![1, 2]);
+        // T4's {P0} config is dead: only {P2} survives, remapped to pin 1.
+        assert_eq!(snap.hypergraph.n_hedges(), 2);
+        assert_eq!(snap.live_configs, vec![vec![1], vec![0]]);
+        assert_eq!(snap.hypergraph.procs_of(0), &[1]);
+        snap.matching.validate(&snap.hypergraph).unwrap();
+    }
+
+    #[test]
+    fn replay_runs_a_generated_trace_end_to_end() {
+        use semimatch_gen::rng::Xoshiro256;
+        use semimatch_gen::trace::{generate_trace, TraceParams};
+        let params = TraceParams {
+            n_procs: 6,
+            arrivals: 120,
+            churn_pct: 30,
+            proc_events: 4,
+            burst_every: 24,
+            burst_len: 6,
+            ..TraceParams::default()
+        };
+        let trace = generate_trace(&params, &mut Xoshiro256::seed_from_u64(5));
+        for shards in [1, 3] {
+            let cfg = EngineConfig { shards, ..eager() };
+            let e = Engine::replay(cfg, &trace).unwrap();
+            assert_eq!(e.counters().events as usize, trace.events.len());
+            let snap = e.snapshot();
+            snap.matching.validate(&snap.hypergraph).unwrap();
+            assert_eq!(snap.matching.makespan(&snap.hypergraph), e.bottleneck());
+        }
+    }
+}

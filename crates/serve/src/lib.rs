@@ -1,0 +1,43 @@
+//! # semimatch-serve
+//!
+//! The streaming & dynamic serving layer: incremental semi-matching over
+//! event traces.
+//!
+//! The rest of the workspace solves one *static* instance per call; under
+//! serving traffic, tasks arrive, depart and change weight continuously
+//! and re-solving from scratch per event wastes nearly all of its work.
+//! This crate maintains a live assignment instead:
+//!
+//! * [`Engine`] ingests [`Event`]s (arrivals with configuration lists,
+//!   departures, reweights, processor adds/drops) and keeps per-processor
+//!   loads current;
+//! * a [`RepairPolicy`] decides when solution *quality* is restored:
+//!   after every event (`Eager`), once the bottleneck drifts past a slack
+//!   (`Lazy`), or by periodic from-scratch re-solves through a resident
+//!   warm-workspace solver of any registered `SolverKind` (`Periodic`);
+//! * repair itself is incremental — bounded augmenting-path searches on
+//!   the unit/single-processor shape (provably bottleneck-optimal at
+//!   every event under `Eager`), shard-local search with skew-triggered
+//!   rebalancing on the general hypergraph shape;
+//! * [`Snapshot`] compacts the live instance back into the static
+//!   [`Hypergraph`](semimatch_graph::Hypergraph) world for audits,
+//!   from-scratch cross-checks and the property tests.
+//!
+//! Traces themselves (the event model, the `.tr` text format, the random
+//! generator) live in [`semimatch_gen::trace`]; the `semimatch replay`
+//! CLI subcommand and the `streaming` criterion bench drive this engine
+//! over generated traces.
+
+#![warn(missing_docs)]
+
+mod engine;
+mod error;
+mod policy;
+
+pub use engine::{Engine, Snapshot, LOCAL_PASSES, SKEW_FACTOR};
+pub use error::{Result, ServeError};
+pub use policy::{Counters, EngineConfig, RepairPolicy};
+
+// Re-exported so engine consumers need only this crate for the full
+// event-ingestion surface.
+pub use semimatch_gen::trace::{Event, Trace};

@@ -1,0 +1,152 @@
+//! Engine configuration: repair policies, sharding and counters.
+
+use std::fmt;
+use std::str::FromStr;
+
+use semimatch_core::solver::SolverKind;
+
+/// When the engine repairs its live assignment.
+///
+/// Every policy places arriving (and displaced) tasks greedily first; the
+/// policy decides when the *repair* machinery — augmenting-path searches
+/// for the unit/single-processor case, shard-local search plus skew
+/// rebalancing for the hypergraph case, or a full from-scratch re-solve —
+/// runs on top of that.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RepairPolicy {
+    /// Repair after every event: the assignment is always at its
+    /// post-repair quality (optimal in the unit/single-processor case).
+    Eager,
+    /// Repair only when the bottleneck exceeds the last repaired
+    /// bottleneck by more than `slack` load units. `slack == u64::MAX`
+    /// degenerates to pure greedy placement (the no-repair baseline).
+    Lazy {
+        /// Tolerated bottleneck growth before a repair triggers.
+        slack: u64,
+    },
+    /// Re-solve the whole live instance from scratch every `every` events
+    /// with the engine's configured [`SolverKind`], through a resident
+    /// warm-workspace solver. `every == 1` is the re-solve-per-event
+    /// baseline the benches compare incremental repair against.
+    Periodic {
+        /// Events between from-scratch resolves (≥ 1).
+        every: u32,
+    },
+}
+
+impl fmt::Display for RepairPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepairPolicy::Eager => write!(f, "eager"),
+            RepairPolicy::Lazy { slack } => write!(f, "lazy:{slack}"),
+            RepairPolicy::Periodic { every } => write!(f, "periodic:{every}"),
+        }
+    }
+}
+
+impl FromStr for RepairPolicy {
+    type Err = String;
+
+    /// Parses `eager`, `lazy:SLACK` and `periodic:EVERY` (the CLI names).
+    fn from_str(s: &str) -> std::result::Result<Self, String> {
+        let lower = s.to_ascii_lowercase();
+        if lower == "eager" {
+            return Ok(RepairPolicy::Eager);
+        }
+        if let Some(v) = lower.strip_prefix("lazy:") {
+            let slack = v.parse().map_err(|_| format!("bad lazy slack '{v}'"))?;
+            return Ok(RepairPolicy::Lazy { slack });
+        }
+        if let Some(v) = lower.strip_prefix("periodic:") {
+            let every: u32 = v.parse().map_err(|_| format!("bad resolve period '{v}'"))?;
+            return Ok(RepairPolicy::Periodic { every });
+        }
+        Err(format!("unknown repair policy '{s}' (eager | lazy:SLACK | periodic:EVERY)"))
+    }
+}
+
+/// Full engine configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// When to repair (see [`RepairPolicy`]).
+    pub policy: RepairPolicy,
+    /// Solver used by from-scratch resolves (periodic policy, or fallback
+    /// paths). Must accept hypergraph (`MULTIPROC`) problems.
+    pub resolve_kind: SolverKind,
+    /// Processor shards (≥ 1). Shards repair independently; cross-shard
+    /// moves happen only in the skew-triggered rebalance pass.
+    pub shards: u32,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { policy: RepairPolicy::Eager, resolve_kind: SolverKind::Evg, shards: 1 }
+    }
+}
+
+/// Repair-work accounting, reported by `semimatch replay` and asserted on
+/// by the benches: how much work the engine did beyond raw placement.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Events ingested.
+    pub events: u64,
+    /// Greedy placements (arrivals plus drop-displaced re-placements).
+    pub placements: u64,
+    /// Full repair invocations (eager: one per event).
+    pub repairs: u64,
+    /// Augmenting-path searches run by the exact repair.
+    pub searches: u64,
+    /// Augmenting paths applied (each shifts ≥ 1 task).
+    pub shifts: u64,
+    /// Accepted local-search moves in the hypergraph repair.
+    pub moves: u64,
+    /// From-scratch resolves of the whole live instance.
+    pub resolves: u64,
+    /// Skew-triggered shard rebalances.
+    pub rebalances: u64,
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "events {}  placements {}  repairs {}  searches {}  shifts {}  moves {}  \
+             resolves {}  rebalances {}",
+            self.events,
+            self.placements,
+            self.repairs,
+            self.searches,
+            self.shifts,
+            self.moves,
+            self.resolves,
+            self.rebalances
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policies_parse_and_round_trip() {
+        for policy in [
+            RepairPolicy::Eager,
+            RepairPolicy::Lazy { slack: 7 },
+            RepairPolicy::Periodic { every: 32 },
+        ] {
+            let shown = policy.to_string();
+            assert_eq!(shown.parse::<RepairPolicy>().unwrap(), policy, "{shown}");
+        }
+        assert!("nonsense".parse::<RepairPolicy>().is_err());
+        assert!("lazy:x".parse::<RepairPolicy>().is_err());
+        assert!("periodic:".parse::<RepairPolicy>().is_err());
+    }
+
+    #[test]
+    fn default_config_is_eager_single_shard() {
+        let cfg = EngineConfig::default();
+        assert_eq!(cfg.policy, RepairPolicy::Eager);
+        assert_eq!(cfg.shards, 1);
+    }
+}

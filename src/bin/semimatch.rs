@@ -58,6 +58,14 @@ usage:
   semimatch exact               FILE.bg [--strategy KIND]  (any exact SINGLEPROC
                                 KIND; incremental|bisection|harvey still work)
   semimatch solvers             (list every registered KIND)
+  semimatch generate-trace      --procs P --arrivals N [--churn PCT]
+                                [--max-configs C] [--max-pins K] [--max-weight W]
+                                [--proc-events E] [--burst-every B] [--burst-len L]
+                                [--seed S] [--out FILE.tr]
+  semimatch replay              FILE.tr [--policy eager|lazy:SLACK|periodic:EVERY]
+                                [--kind KIND] [--shards S]
+                                (stream the trace through the serving engine;
+                                reports throughput, bottleneck and repair work)
   semimatch dot                 FILE.{hg,bg} [--out FILE.dot]
 
 KIND is any solver registry name (see `semimatch solvers`).";
@@ -86,6 +94,18 @@ fn req<'a>(flags: &HashMap<&str, &'a str>, name: &str) -> Result<&'a str, String
 
 fn num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("{what}: cannot parse '{s}'"))
+}
+
+/// Parses the optional flag `--name`, falling back to `default`.
+fn opt_num<T: std::str::FromStr>(
+    flags: &HashMap<&str, &str>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        Some(v) => num(v, &format!("--{name}")),
+        None => Ok(default),
+    }
 }
 
 /// Handles a bulk-stdout write error: a closed pipe (`… | head`) ends the
@@ -133,6 +153,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "solve" => solve(&positional, &flags),
         "exact" => exact(&positional, &flags),
         "solvers" => solvers(),
+        "generate-trace" => generate_trace_cmd(&flags),
+        "replay" => replay(&positional, &flags),
         "dot" => dot(&positional, &flags),
         "verify" => verify(&positional),
         other => Err(format!("unknown command '{other}'")),
@@ -453,6 +475,90 @@ fn exact(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String>
     Ok(())
 }
 
+fn generate_trace_cmd(flags: &HashMap<&str, &str>) -> Result<(), String> {
+    use semimatch::gen::trace::{generate_trace, TraceParams};
+    let defaults = TraceParams::default();
+    let params = TraceParams {
+        n_procs: num(req(flags, "procs")?, "--procs")?,
+        arrivals: num(req(flags, "arrivals")?, "--arrivals")?,
+        churn_pct: opt_num(flags, "churn", defaults.churn_pct)?,
+        max_configs: opt_num(flags, "max-configs", defaults.max_configs)?,
+        max_pins: opt_num(flags, "max-pins", defaults.max_pins)?,
+        max_weight: opt_num(flags, "max-weight", defaults.max_weight)?,
+        proc_events: opt_num(flags, "proc-events", defaults.proc_events)?,
+        burst_every: opt_num(flags, "burst-every", defaults.burst_every)?,
+        burst_len: opt_num(flags, "burst-len", defaults.burst_len)?,
+    };
+    if params.n_procs == 0
+        || params.max_configs == 0
+        || params.max_pins == 0
+        || params.max_weight == 0
+    {
+        return Err("--procs, --max-configs, --max-pins and --max-weight must be at least 1".into());
+    }
+    if params.churn_pct > 100 {
+        return Err("--churn is a percentage (0-100)".into());
+    }
+    let seed = num(flags.get("seed").copied().unwrap_or("42"), "--seed")?;
+    let trace = generate_trace(&params, &mut Xoshiro256::seed_from_u64(seed));
+    match flags.get("out") {
+        Some(path) => {
+            let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+            trace.write(file).map_err(|e| e.to_string())?;
+            eprintln!(
+                "wrote {} ({} events, {} arrivals)",
+                path,
+                trace.events.len(),
+                trace.arrivals()
+            );
+        }
+        None => {
+            let mut out = Vec::new();
+            trace.write(&mut out).map_err(|e| e.to_string())?;
+            emit_bytes(&out);
+        }
+    }
+    Ok(())
+}
+
+fn replay(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String> {
+    use semimatch::serve::{Engine, EngineConfig, RepairPolicy, Trace};
+    let path = *positional.get(1).ok_or("replay needs a trace file argument")?;
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let trace = Trace::read(file).map_err(|e| e.to_string())?;
+    let policy: RepairPolicy = flags.get("policy").copied().unwrap_or("eager").parse()?;
+    let mut cfg = EngineConfig { policy, ..EngineConfig::default() };
+    if let Some(kind) = flags.get("kind") {
+        cfg.resolve_kind = kind.parse().map_err(|e: semimatch::core::CoreError| e.to_string())?;
+    }
+    if let Some(shards) = flags.get("shards") {
+        cfg.shards = num(shards, "--shards")?;
+    }
+    let mut engine = Engine::new(cfg, trace.n_procs).map_err(|e| e.to_string())?;
+    let start = std::time::Instant::now();
+    for (i, ev) in trace.events.iter().enumerate() {
+        engine.apply(ev).map_err(|e| format!("event {} ({}) failed: {e}", i + 1, ev.tag()))?;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let counters = engine.counters();
+    println!("trace:      {path} ({} events, {} arrivals)", trace.events.len(), trace.arrivals());
+    println!("policy:     {} (resolve kind {}, {} shard(s))", policy, cfg.resolve_kind, cfg.shards);
+    println!(
+        "throughput: {:.0} events/sec ({:.4}s total)",
+        trace.events.len() as f64 / secs.max(1e-9),
+        secs
+    );
+    println!(
+        "final:      {} live tasks on {} processors, bottleneck {}{}",
+        engine.n_live_tasks(),
+        engine.n_live_procs(),
+        engine.bottleneck(),
+        if engine.is_unit_singleton() { " (unit/singleton: repair is exact)" } else { "" }
+    );
+    println!("repair:     {counters}");
+    Ok(())
+}
+
 fn solvers() -> Result<(), String> {
     let header = format!("{:<18} {:<10} {:<10} description", "name", "class", "paper");
     emit_lines(std::iter::once(header).chain(SolverKind::ALL.into_iter().map(|kind| {
@@ -659,6 +765,81 @@ mod tests {
             "basic",
             "--algo",
             "expected"
+        ]))
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generate_trace_and_replay_round_trip() {
+        let dir = std::env::temp_dir().join("semimatch-cli-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let tr = dir.join("t.tr");
+        run(&argv(&[
+            "generate-trace",
+            "--procs",
+            "8",
+            "--arrivals",
+            "64",
+            "--churn",
+            "25",
+            "--proc-events",
+            "4",
+            "--burst-every",
+            "16",
+            "--seed",
+            "7",
+            "--out",
+            tr.to_str().unwrap(),
+        ]))
+        .unwrap();
+        for policy in ["eager", "lazy:4", "periodic:8"] {
+            run(&argv(&["replay", tr.to_str().unwrap(), "--policy", policy])).unwrap();
+        }
+        run(&argv(&["replay", tr.to_str().unwrap(), "--shards", "2"])).unwrap();
+        run(&argv(&["replay", tr.to_str().unwrap(), "--policy", "periodic:4", "--kind", "sgh"]))
+            .unwrap();
+        // A SINGLEPROC-shaped trace reports the exact-repair marker.
+        let str_tr = dir.join("s.tr");
+        run(&argv(&[
+            "generate-trace",
+            "--procs",
+            "4",
+            "--arrivals",
+            "32",
+            "--max-pins",
+            "1",
+            "--max-weight",
+            "1",
+            "--out",
+            str_tr.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&["replay", str_tr.to_str().unwrap()])).unwrap();
+        // Error paths.
+        assert!(run(&argv(&["replay", tr.to_str().unwrap(), "--policy", "bogus"])).is_err());
+        assert!(run(&argv(&["replay", tr.to_str().unwrap(), "--kind", "nonsense"])).is_err());
+        assert!(run(&argv(&["replay", tr.to_str().unwrap(), "--shards", "0"])).is_err());
+        assert!(run(&argv(&["replay", dir.join("missing.tr").to_str().unwrap()])).is_err());
+        assert!(run(&argv(&["generate-trace", "--procs", "4"])).is_err(), "missing --arrivals");
+        assert!(run(&argv(&[
+            "generate-trace",
+            "--procs",
+            "4",
+            "--arrivals",
+            "8",
+            "--churn",
+            "200"
+        ]))
+        .is_err());
+        assert!(run(&argv(&[
+            "generate-trace",
+            "--procs",
+            "4",
+            "--arrivals",
+            "8",
+            "--max-weight",
+            "0"
         ]))
         .is_err());
         std::fs::remove_dir_all(&dir).ok();

@@ -28,8 +28,9 @@
 //! | [`graph`] | CSR bipartite graphs & hypergraphs, I/O, statistics |
 //! | [`matching`] | maximum-matching engines (Hopcroft–Karp, push-relabel, …), max-flow, König certificates |
 //! | [`gen`] | HiLo / FewgManyg / hypergraph generators, adversarial families, X3C |
-//! | [`core`] | exact algorithms, the four SINGLEPROC and four MULTIPROC heuristics, lower bounds, refinement, online dispatch |
+//! | [`core`] | exact algorithms, the four SINGLEPROC and four MULTIPROC heuristics, lower bounds, refinement, online dispatch, streaming greedy |
 //! | [`sched`] | task/processor model, schedules, discrete-event simulator, policies |
+//! | [`serve`] | streaming & dynamic serving: event traces, the incremental engine, repair policies, sharding |
 //!
 //! The [`solver`] module unifies every algorithm behind one
 //! `solve(problem, kind)` registry with name-based lookup
@@ -61,6 +62,7 @@ pub use semimatch_gen as gen;
 pub use semimatch_graph as graph;
 pub use semimatch_matching as matching;
 pub use semimatch_sched as sched;
+pub use semimatch_serve as serve;
 
 /// The unified solver registry: every algorithm behind one
 /// `solve(problem, kind)` entry point with name-based lookup.

@@ -1,0 +1,157 @@
+//! Property tests for the serving engine: replaying a random event trace
+//! incrementally must agree with solving the *final* live instance from
+//! scratch.
+//!
+//! * Unit/single-processor traces under eager repair: the engine's
+//!   bottleneck **equals** the exact from-scratch optimum at the end of
+//!   the trace (the augmenting-path repair maintains bottleneck
+//!   optimality through arrivals, departures, reweights and processor
+//!   churn).
+//! * Per-event re-solves (`Periodic { every: 1 }`): the final state is by
+//!   construction the configured kind's from-scratch solution — pinning
+//!   the snapshot/compaction/install machinery.
+//! * Heuristic repair policies never *beat* the optimum, always produce a
+//!   valid assignment whose recomputed makespan matches the engine's
+//!   bottleneck, and never get worse from an extra repair.
+
+use proptest::prelude::*;
+use semimatch::gen::rng::Xoshiro256;
+use semimatch::gen::trace::{generate_trace, TraceParams};
+use semimatch::serve::{Engine, EngineConfig, RepairPolicy};
+use semimatch::solver::{solve, Problem, SolverKind};
+
+/// Random unit-weight singleton traces (the `SINGLEPROC-UNIT` shape) with
+/// full churn: departures, (unit) reweights, bursts and processor churn.
+fn singleproc_trace() -> impl Strategy<Value = semimatch::serve::Trace> {
+    (1u32..6, 1u32..40, 0u32..=100, 0u32..5, 0u64..1_000_000).prop_map(
+        |(procs, arrivals, churn, proc_events, seed)| {
+            let params = TraceParams {
+                n_procs: procs,
+                arrivals,
+                churn_pct: churn,
+                max_configs: 3,
+                max_pins: 1,
+                max_weight: 1,
+                proc_events,
+                burst_every: 8,
+                burst_len: 3,
+            };
+            generate_trace(&params, &mut Xoshiro256::seed_from_u64(seed))
+        },
+    )
+}
+
+/// Random weighted hypergraph traces, kept small enough for brute force.
+fn hyper_trace() -> impl Strategy<Value = semimatch::serve::Trace> {
+    (1u32..5, 1u32..10, 0u32..=100, 0u64..1_000_000).prop_map(|(procs, arrivals, churn, seed)| {
+        let params = TraceParams {
+            n_procs: procs,
+            arrivals,
+            churn_pct: churn,
+            max_configs: 3,
+            max_pins: 2,
+            max_weight: 6,
+            proc_events: 2,
+            burst_every: 0,
+            burst_len: 0,
+        };
+        generate_trace(&params, &mut Xoshiro256::seed_from_u64(seed))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn eager_incremental_repair_matches_from_scratch_exact(trace in singleproc_trace()) {
+        for shards in [1, 2] {
+            let cfg = EngineConfig { shards, ..EngineConfig::default() };
+            let engine = Engine::replay(cfg, &trace).unwrap();
+            prop_assert!(engine.is_unit_singleton());
+            if engine.n_live_tasks() == 0 {
+                prop_assert_eq!(engine.bottleneck(), 0);
+                continue;
+            }
+            let snap = engine.snapshot();
+            snap.matching.validate(&snap.hypergraph).unwrap();
+            prop_assert_eq!(snap.matching.makespan(&snap.hypergraph), engine.bottleneck());
+            let g = snap.to_bipartite().expect("singleton trace");
+            let problem = Problem::SingleProc(&g);
+            let opt = solve(problem, SolverKind::ExactBisection).unwrap().makespan(&problem);
+            prop_assert_eq!(
+                engine.bottleneck(),
+                opt,
+                "incremental repair diverged from the from-scratch optimum ({} shards)",
+                shards
+            );
+        }
+    }
+
+    #[test]
+    fn per_event_resolves_equal_the_from_scratch_kind(trace in hyper_trace()) {
+        for kind in [SolverKind::Evg, SolverKind::StreamingGreedy, SolverKind::BruteForce] {
+            let cfg = EngineConfig {
+                policy: RepairPolicy::Periodic { every: 1 },
+                resolve_kind: kind,
+                shards: 1,
+            };
+            let engine = Engine::replay(cfg, &trace).unwrap();
+            if engine.n_live_tasks() == 0 {
+                prop_assert_eq!(engine.bottleneck(), 0);
+                continue;
+            }
+            let snap = engine.snapshot();
+            let problem = Problem::MultiProc(&snap.hypergraph);
+            let scratch = solve(problem, kind).unwrap().makespan(&problem);
+            prop_assert_eq!(
+                engine.bottleneck(),
+                scratch,
+                "{} resolves must land exactly on the from-scratch solution",
+                kind
+            );
+        }
+    }
+
+    #[test]
+    fn heuristic_policies_are_valid_and_never_beat_the_optimum(trace in hyper_trace()) {
+        let policies = [
+            RepairPolicy::Eager,
+            RepairPolicy::Lazy { slack: 2 },
+            RepairPolicy::Lazy { slack: u64::MAX }, // the no-repair baseline
+            RepairPolicy::Periodic { every: 4 },
+        ];
+        for (policy, shards) in policies.into_iter().zip([1u32, 2, 1, 3]) {
+            let cfg = EngineConfig { policy, shards, ..EngineConfig::default() };
+            let mut engine = Engine::replay(cfg, &trace).unwrap();
+            if engine.n_live_tasks() == 0 {
+                prop_assert_eq!(engine.bottleneck(), 0);
+                continue;
+            }
+            let snap = engine.snapshot();
+            snap.matching.validate(&snap.hypergraph).unwrap();
+            prop_assert_eq!(snap.matching.makespan(&snap.hypergraph), engine.bottleneck());
+            let problem = Problem::MultiProc(&snap.hypergraph);
+            let opt = solve(problem, SolverKind::BruteForce).unwrap().makespan(&problem);
+            prop_assert!(
+                engine.bottleneck() >= opt,
+                "{policy:?} beat the optimum: {} < {opt}",
+                engine.bottleneck()
+            );
+            // Extra repair is monotone: it can only help.
+            let before = engine.bottleneck();
+            engine.repair_now();
+            prop_assert!(engine.bottleneck() <= before, "{policy:?} repair made things worse");
+            let after = engine.snapshot();
+            after.matching.validate(&after.hypergraph).unwrap();
+        }
+    }
+
+    #[test]
+    fn counters_account_for_every_event(trace in hyper_trace()) {
+        let engine = Engine::replay(EngineConfig::default(), &trace).unwrap();
+        let counters = engine.counters();
+        prop_assert_eq!(counters.events as usize, trace.events.len());
+        prop_assert_eq!(counters.repairs as usize, trace.events.len(), "eager repairs per event");
+        prop_assert!(counters.placements >= trace.arrivals() as u64);
+    }
+}
