@@ -11,6 +11,7 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semimatch_core::objective::Objective;
 use semimatch_core::solver::{solve, solve_many, Problem, Solver, SolverKind};
 use semimatch_gen::rng::Xoshiro256;
 use semimatch_gen::{fewg_manyg, hilo_permuted};
@@ -42,15 +43,17 @@ fn bench_repeat_solve(c: &mut Criterion) {
     for kind in kinds {
         // Cold: the stateless facade, fresh scratch per instance.
         group.bench_with_input(BenchmarkId::new("cold", kind.name()), &problems, |b, ps| {
-            b.iter(|| ps.iter().map(|&p| solve(p, kind).unwrap().makespan(&p)).sum::<u64>())
+            b.iter(|| {
+                ps.iter().map(|&p| solve(p, kind).unwrap().makespan(&p).unwrap()).sum::<u64>()
+            })
         });
         // Warm: one workspace-backed solver serves the whole sweep.
         group.bench_with_input(BenchmarkId::new("warm", kind.name()), &problems, |b, ps| {
             b.iter(|| {
-                let row: u64 = solve_many(ps, &[kind])
+                let row: u64 = solve_many(ps, &[kind], Objective::Makespan)
                     .iter()
                     .zip(ps)
-                    .map(|(r, p)| r[0].as_ref().unwrap().makespan(p))
+                    .map(|(r, p)| r[0].as_ref().unwrap().makespan(p).unwrap())
                     .sum();
                 row
             })

@@ -15,11 +15,11 @@ fn row(
     heuristics: &mut [KindSolver],
 ) -> Vec<String> {
     let problem = Problem::SingleProc(g);
-    let opt = exact.solve(problem).unwrap().makespan(&problem);
+    let opt = exact.solve(problem).unwrap().makespan(&problem).unwrap();
     let mut row = vec![name.to_string(), opt.to_string()];
     for solver in heuristics.iter_mut() {
         let sol = solver.solve(problem).unwrap();
-        row.push(sol.makespan(&problem).to_string());
+        row.push(sol.makespan(&problem).unwrap().to_string());
     }
     row
 }
@@ -54,9 +54,9 @@ fn main() {
     let mut hrows = Vec::new();
     for kind in SolverKind::HYPER_HEURISTICS {
         let sol = kind.solve(problem).unwrap();
-        hrows.push(vec![kind.label().to_string(), sol.makespan(&problem).to_string()]);
+        hrows.push(vec![kind.label().to_string(), sol.makespan(&problem).unwrap().to_string()]);
     }
-    let opt = SolverKind::BruteForce.solve(problem).unwrap().makespan(&problem);
+    let opt = SolverKind::BruteForce.solve(problem).unwrap().makespan(&problem).unwrap();
     hrows.push(vec!["brute-force OPT".into(), opt.to_string()]);
     report.push_str(&markdown_table(&["Algorithm", "Makespan"], &hrows));
 

@@ -1,0 +1,151 @@
+//! Objective sweep: every reported cost model × a representative solver
+//! set, on the small end of the Table I grid.
+//!
+//! For each (instance, kind, objective) cell the solver runs *optimizing
+//! that objective* and the cell records the median achieved
+//! `score / objective-lower-bound` ratio plus mean wall-clock seconds.
+//! The report is emitted as markdown (like every other bench bin) **and**
+//! as machine-readable `results/BENCH_objectives.json`, so the
+//! quality/perf trajectory across the objective axis is recorded PR over
+//! PR.
+
+use std::time::Instant;
+
+use semimatch_bench::{emit_report, markdown_table, row_name, scale_config, Options};
+use semimatch_core::objective::Objective;
+use semimatch_core::quality::{mean_f64, median_f64, score_ratio};
+use semimatch_core::solver::{Problem, Solver, SolverKind};
+use semimatch_gen::params::{Config, Family};
+use semimatch_gen::weights::WeightScheme;
+
+/// Solver set for the sweep: the two strongest greedy lineages, their
+/// refined forms, and the streaming pass.
+const KINDS: [SolverKind; 5] = [
+    SolverKind::Sgh,
+    SolverKind::Evg,
+    SolverKind::SghRefined,
+    SolverKind::EvgRefined,
+    SolverKind::StreamingGreedy,
+];
+
+fn grid() -> Vec<Config> {
+    vec![
+        Config { family: Family::Fg, n: 1280, p: 256, dv: 5, dh: 10, weights: WeightScheme::Unit },
+        Config {
+            family: Family::Fg,
+            n: 1280,
+            p: 256,
+            dv: 5,
+            dh: 10,
+            weights: WeightScheme::Related,
+        },
+        Config {
+            family: Family::Mg,
+            n: 1280,
+            p: 256,
+            dv: 5,
+            dh: 10,
+            weights: WeightScheme::Related,
+        },
+    ]
+}
+
+struct Cell {
+    instance: String,
+    kind: SolverKind,
+    objective: Objective,
+    ratio: f64,
+    seconds: f64,
+}
+
+fn main() {
+    let opts = Options::from_args();
+    let mut cells: Vec<Cell> = Vec::new();
+    for cfg in grid() {
+        let cfg = scale_config(cfg, opts.scale);
+        let name = row_name(&cfg, opts.scale);
+        for kind in KINDS {
+            let mut solver = kind.solver();
+            for objective in Objective::REPORTED {
+                let mut ratios = Vec::new();
+                let mut secs = Vec::new();
+                for i in 0..opts.instances {
+                    let h = cfg.instance(opts.seed, i);
+                    let problem = Problem::MultiProc(&h);
+                    let lb = problem.lower_bound(objective).expect("covered");
+                    let start = Instant::now();
+                    let sol = solver.solve_with(problem, objective).expect("covered");
+                    secs.push(start.elapsed().as_secs_f64());
+                    ratios.push(score_ratio(
+                        sol.score(&problem, objective).expect("class matches"),
+                        lb,
+                    ));
+                }
+                cells.push(Cell {
+                    instance: name.clone(),
+                    kind,
+                    objective,
+                    ratio: median_f64(&mut ratios),
+                    seconds: mean_f64(&secs),
+                });
+            }
+        }
+    }
+
+    // Markdown: one section per objective, kinds as columns.
+    let mut report = format!(
+        "# Objective sweep\n\nscale = {}, instances = {}, seed = {}\n\n",
+        opts.scale, opts.instances, opts.seed
+    );
+    for objective in Objective::REPORTED {
+        let mut headers = vec!["Instance".to_string()];
+        headers.extend(KINDS.iter().map(|k| k.label().to_string()));
+        let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut rows = Vec::new();
+        for cfg in grid() {
+            let cfg = scale_config(cfg, opts.scale);
+            let name = row_name(&cfg, opts.scale);
+            let mut row = vec![name.clone()];
+            for kind in KINDS {
+                let cell = cells
+                    .iter()
+                    .find(|c| c.instance == name && c.kind == kind && c.objective == objective)
+                    .expect("cell computed above");
+                row.push(format!("{:.2}", cell.ratio));
+            }
+            rows.push(row);
+        }
+        report.push_str(&format!("## {objective} (score / LB)\n\n"));
+        report.push_str(&markdown_table(&header_refs, &rows));
+        report.push('\n');
+    }
+    emit_report("objectives.md", &report);
+
+    // Machine-readable trajectory record.
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"meta\": {{\"scale\": {}, \"instances\": {}, \"seed\": {}}},\n  \"rows\": [\n",
+        opts.scale, opts.instances, opts.seed
+    ));
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"instance\": \"{}\", \"kind\": \"{}\", \"objective\": \"{}\", \
+             \"ratio\": {:.6}, \"seconds\": {:.6}}}{}\n",
+            c.instance,
+            c.kind.name(),
+            c.objective,
+            c.ratio,
+            c.seconds,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join("BENCH_objectives.json");
+        match std::fs::write(&path, &json) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+}

@@ -53,7 +53,7 @@ fn main() {
                     .filter(|c| matches!(c.family, Family::Fg | Family::Mg))
                     .map(|c| quality_row(c, &opts))
                     .collect();
-                let (avg_q, _) = footer(&fm_rows);
+                let (avg_q, _, _) = footer(&fm_rows);
                 let rank = ranking(&avg_q);
                 rows.push(vec![
                     format!("dv={dv}, dh={dh}"),

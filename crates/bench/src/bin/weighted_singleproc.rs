@@ -47,7 +47,15 @@ fn main() {
                     let problem = Problem::SingleProc(&g);
                     let mut out: Vec<f64> = solvers
                         .iter_mut()
-                        .map(|s| ratio(s.solve(problem).expect("covered").makespan(&problem), lb))
+                        .map(|s| {
+                            ratio(
+                                s.solve(problem)
+                                    .expect("covered")
+                                    .makespan(&problem)
+                                    .expect("class"),
+                                lb,
+                            )
+                        })
                         .collect();
                     out.push(ratio(lpt_greedy(&g).expect("covered").makespan(&g), lb));
                     out

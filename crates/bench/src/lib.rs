@@ -26,8 +26,9 @@ pub mod singleproc;
 use std::time::Instant;
 
 use rayon::prelude::*;
-use semimatch_core::lower_bound::lower_bound_multiproc;
-use semimatch_core::quality::{mean_f64, median_f64, median_u64, ratio};
+use semimatch_core::lower_bound::{lower_bound_flowtime_multiproc, lower_bound_multiproc};
+use semimatch_core::objective::Objective;
+use semimatch_core::quality::{mean_f64, median_f64, median_u64, ratio, score_ratio};
 use semimatch_core::solver::{KindSolver, Problem, Solver, SolverKind};
 use semimatch_gen::params::Config;
 use semimatch_graph::HypergraphStats;
@@ -107,6 +108,12 @@ pub struct QualityRow {
     /// Median `makespan / LB` per heuristic, in
     /// [`SolverKind::HYPER_HEURISTICS`] order.
     pub ratios: Vec<f64>,
+    /// Median `flowtime / FLB` per heuristic (the flow-time gap against
+    /// the balanced-spread flow-time lower bound), same order. The
+    /// heuristics still optimize the makespan here — this column records
+    /// how far the makespan-directed solutions drift on the second
+    /// objective.
+    pub flow_ratios: Vec<f64>,
     /// Mean wall-clock seconds per heuristic.
     pub times: Vec<f64>,
 }
@@ -118,11 +125,14 @@ pub fn solver_set(kinds: &[SolverKind]) -> Vec<KindSolver> {
     kinds.iter().map(|&k| k.solver()).collect()
 }
 
+/// Per-instance sweep sample: `(LB, makespan ratios, flow ratios, times)`.
+type InstanceSample = (u64, Vec<f64>, Vec<f64>, Vec<f64>);
+
 /// Runs the four `MULTIPROC` heuristics on every instance of `cfg`,
 /// dispatching through the [`Solver`] trait with per-worker solver sets.
 pub fn quality_row(cfg: &Config, opts: &Options) -> QualityRow {
     let cfg = scale_config(*cfg, opts.scale);
-    let per_instance: Vec<(u64, Vec<f64>, Vec<f64>)> = (0..opts.instances)
+    let per_instance: Vec<InstanceSample> = (0..opts.instances)
         .into_par_iter()
         .map_init(
             || solver_set(&SolverKind::HYPER_HEURISTICS),
@@ -130,37 +140,47 @@ pub fn quality_row(cfg: &Config, opts: &Options) -> QualityRow {
                 let h = cfg.instance(opts.seed, i);
                 let problem = Problem::MultiProc(&h);
                 let lb = lower_bound_multiproc(&h).expect("generated instances are covered");
+                let flb = lower_bound_flowtime_multiproc(&h).expect("covered");
                 let mut ratios = Vec::with_capacity(solvers.len());
+                let mut flow_ratios = Vec::with_capacity(solvers.len());
                 let mut times = Vec::with_capacity(solvers.len());
                 for solver in solvers.iter_mut() {
                     let start = Instant::now();
                     let sol = solver.solve(problem).expect("generated instances are covered");
                     times.push(start.elapsed().as_secs_f64());
-                    ratios.push(ratio(sol.makespan(&problem), lb));
+                    ratios.push(ratio(sol.makespan(&problem).expect("class matches"), lb));
+                    flow_ratios.push(score_ratio(
+                        sol.score(&problem, Objective::FlowTime).expect("class matches"),
+                        flb,
+                    ));
                 }
-                (lb, ratios, times)
+                (lb, ratios, flow_ratios, times)
             },
         )
         .collect();
     aggregate(row_name(&cfg, opts.scale), per_instance)
 }
 
-fn aggregate(name: String, per_instance: Vec<(u64, Vec<f64>, Vec<f64>)>) -> QualityRow {
-    let k = per_instance.first().map_or(0, |(_, r, _)| r.len());
-    let mut lbs: Vec<u64> = per_instance.iter().map(|&(lb, _, _)| lb).collect();
-    let ratios = (0..k)
-        .map(|j| {
-            let mut xs: Vec<f64> = per_instance.iter().map(|(_, r, _)| r[j]).collect();
-            median_f64(&mut xs)
-        })
-        .collect();
+fn aggregate(name: String, per_instance: Vec<InstanceSample>) -> QualityRow {
+    let k = per_instance.first().map_or(0, |(_, r, _, _)| r.len());
+    let mut lbs: Vec<u64> = per_instance.iter().map(|&(lb, _, _, _)| lb).collect();
+    let column_median = |pick: fn(&InstanceSample) -> &Vec<f64>| {
+        (0..k)
+            .map(|j| {
+                let mut xs: Vec<f64> = per_instance.iter().map(|x| pick(x)[j]).collect();
+                median_f64(&mut xs)
+            })
+            .collect::<Vec<f64>>()
+    };
+    let ratios = column_median(|x| &x.1);
+    let flow_ratios = column_median(|x| &x.2);
     let times = (0..k)
         .map(|j| {
-            let xs: Vec<f64> = per_instance.iter().map(|(_, _, t)| t[j]).collect();
+            let xs: Vec<f64> = per_instance.iter().map(|(_, _, _, t)| t[j]).collect();
             mean_f64(&xs)
         })
         .collect();
-    QualityRow { name, lb: median_u64(&mut lbs), ratios, times }
+    QualityRow { name, lb: median_u64(&mut lbs), ratios, flow_ratios, times }
 }
 
 /// One row of Table I: structural medians over instances.
@@ -271,18 +291,26 @@ pub fn run_quality_table(title: &str, filename: &str, grid: &[Config], opts: &Op
             .map(|r| {
                 let mut row = vec![r.name.clone(), r.lb.to_string()];
                 row.extend(r.ratios.iter().map(|x| format!("{x:.2}")));
+                row.extend(r.flow_ratios.iter().map(|x| format!("{x:.2}")));
                 row
             })
             .collect();
-        let (avg_q, avg_t) = footer(&rows);
+        let (avg_q, avg_f, avg_t) = footer(&rows);
         let mut qrow = vec!["Average quality".to_string(), String::new()];
         qrow.extend(avg_q.iter().map(|x| format!("{x:.2}")));
+        qrow.extend(avg_f.iter().map(|x| format!("{x:.2}")));
         table.push(qrow);
         let mut trow = vec!["Average time (s)".to_string(), String::new()];
         trow.extend(avg_t.iter().map(|x| format!("{x:.3}")));
+        trow.extend(SolverKind::HYPER_HEURISTICS.iter().map(|_| String::new()));
         table.push(trow);
+        // Makespan-gap columns first (the paper's Tables II/III), then the
+        // flow-time gap of the same solutions against the flow-time bound.
         let mut headers = vec!["Instance", "LB"];
         headers.extend(SolverKind::HYPER_HEURISTICS.iter().map(|k| k.label()));
+        let flow_headers: Vec<String> =
+            SolverKind::HYPER_HEURISTICS.iter().map(|k| format!("{} f/FLB", k.label())).collect();
+        headers.extend(flow_headers.iter().map(|s| s.as_str()));
         report.push_str(&format!("## {label}\n\n"));
         report.push_str(&markdown_table(&headers, &table));
         report.push('\n');
@@ -291,14 +319,17 @@ pub fn run_quality_table(title: &str, filename: &str, grid: &[Config], opts: &Op
 }
 
 /// Column-wise averages of the quality rows (the paper's "Average quality"
-/// and "Average time" footer lines).
-pub fn footer(rows: &[QualityRow]) -> (Vec<f64>, Vec<f64>) {
+/// and "Average time" footer lines, plus the flow-time gap averages).
+pub fn footer(rows: &[QualityRow]) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
     let k = rows.first().map_or(0, |r| r.ratios.len());
     let avg_quality =
         (0..k).map(|j| mean_f64(&rows.iter().map(|r| r.ratios[j]).collect::<Vec<_>>())).collect();
+    let avg_flow = (0..k)
+        .map(|j| mean_f64(&rows.iter().map(|r| r.flow_ratios[j]).collect::<Vec<_>>()))
+        .collect();
     let avg_time =
         (0..k).map(|j| mean_f64(&rows.iter().map(|r| r.times[j]).collect::<Vec<_>>())).collect();
-    (avg_quality, avg_time)
+    (avg_quality, avg_flow, avg_time)
 }
 
 #[cfg(test)]
@@ -319,9 +350,14 @@ mod tests {
         assert_eq!(a.lb, b.lb);
         assert_eq!(a.ratios, b.ratios);
         assert_eq!(a.ratios.len(), 4);
+        assert_eq!(a.flow_ratios.len(), 4);
         for &r in &a.ratios {
             assert!(r >= 1.0 - 1e-9, "heuristics cannot beat the lower bound: {r}");
             assert!(r < 50.0, "ratio {r} is implausible");
+        }
+        for &f in &a.flow_ratios {
+            assert!(f >= 1.0 - 1e-9, "flow gap cannot beat the flow-time bound: {f}");
+            assert!(f.is_finite(), "flow gap must be finite on covered instances");
         }
     }
 
@@ -353,11 +389,24 @@ mod tests {
     #[test]
     fn footer_averages() {
         let rows = vec![
-            QualityRow { name: "x".into(), lb: 1, ratios: vec![1.0, 2.0], times: vec![0.1, 0.2] },
-            QualityRow { name: "y".into(), lb: 1, ratios: vec![3.0, 4.0], times: vec![0.3, 0.4] },
+            QualityRow {
+                name: "x".into(),
+                lb: 1,
+                ratios: vec![1.0, 2.0],
+                flow_ratios: vec![2.0, 4.0],
+                times: vec![0.1, 0.2],
+            },
+            QualityRow {
+                name: "y".into(),
+                lb: 1,
+                ratios: vec![3.0, 4.0],
+                flow_ratios: vec![4.0, 6.0],
+                times: vec![0.3, 0.4],
+            },
         ];
-        let (q, t) = footer(&rows);
+        let (q, f, t) = footer(&rows);
         assert_eq!(q, vec![2.0, 3.0]);
+        assert_eq!(f, vec![3.0, 5.0]);
         assert!((t[0] - 0.2).abs() < 1e-12 && (t[1] - 0.3).abs() < 1e-12);
     }
 }

@@ -110,14 +110,17 @@ pub fn singleproc_row(cfg: &BiConfig, opts: &Options) -> SingleProcRow {
                 let t0 = Instant::now();
                 let exact = exact_solver.solve(problem).expect("generator degrees are clamped ≥ 1");
                 let exact_time = t0.elapsed().as_secs_f64();
-                let opt = exact.makespan(&problem);
+                let opt = exact.makespan(&problem).expect("solution matches problem class");
                 let mut ratios = Vec::with_capacity(heuristics.len());
                 let mut times = Vec::with_capacity(heuristics.len());
                 for solver in heuristics.iter_mut() {
                     let t1 = Instant::now();
                     let sol = solver.solve(problem).expect("covered");
                     times.push(t1.elapsed().as_secs_f64());
-                    ratios.push(ratio(sol.makespan(&problem), opt));
+                    ratios.push(ratio(
+                        sol.makespan(&problem).expect("solution matches problem class"),
+                        opt,
+                    ));
                 }
                 (opt, ratios, times, exact_time)
             },

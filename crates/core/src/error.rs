@@ -43,6 +43,16 @@ pub enum CoreError {
     },
     /// No solver with this name is registered (see `SolverKind::ALL`).
     UnknownSolver(String),
+    /// No objective with this name exists (see `Objective::REPORTED`).
+    UnknownObjective(String),
+    /// A solution was scored against a problem of the other class (e.g. a
+    /// `SINGLEPROC` semi-matching against a hypergraph instance).
+    ClassMismatch {
+        /// Class of the problem the caller supplied.
+        problem: &'static str,
+        /// Class of the solution being scored.
+        solution: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -71,6 +81,12 @@ impl fmt::Display for CoreError {
                     write!(f, " {}", kind.name())?;
                 }
                 Ok(())
+            }
+            CoreError::UnknownObjective(name) => {
+                write!(f, "unknown objective '{name}' (makespan | flowtime | l<p> | weighted-load)")
+            }
+            CoreError::ClassMismatch { problem, solution } => {
+                write!(f, "cannot score a {solution} solution against a {problem} problem")
             }
         }
     }

@@ -8,8 +8,10 @@
 use semimatch_graph::{Bipartite, Hypergraph};
 
 use crate::error::{CoreError, Result};
+use crate::hyper::obj_greedy::objective_greedy_hyp;
 use crate::hyper::sgh::sorted_greedy_hyp;
 use crate::hyper::tasks_by_degree;
+use crate::objective::{Objective, Score};
 use crate::problem::{HyperMatching, SemiMatching};
 
 /// Exhaustive optimum of a `MULTIPROC` instance.
@@ -136,18 +138,162 @@ pub fn brute_force_multiproc(h: &Hypergraph, budget: u64) -> Result<(u64, HyperM
     Ok((best_makespan, best))
 }
 
-/// Exhaustive optimum of a `SINGLEPROC` instance (weighted allowed), by
+/// Exhaustive optimum of a `MULTIPROC` instance under an arbitrary
+/// [`Objective`] — the ground truth the flow-time and `L_p` tests compare
+/// against. [`Objective::Makespan`] delegates to [`brute_force_multiproc`]
+/// (which carries the stronger averaged-work bound); sum-type objectives
+/// run a branch-and-bound over the exact partial score, pruned by the
+/// residual minimum work (each hyperedge's marginal cost is at least its
+/// total work `w_h · |h ∩ V2|`, so the cheapest completion of the
+/// remaining tasks costs at least their summed minimum works).
+pub fn brute_force_multiproc_objective(
+    h: &Hypergraph,
+    budget: u64,
+    objective: Objective,
+) -> Result<(Score, HyperMatching)> {
+    if objective.is_bottleneck() {
+        let (m, hm) = brute_force_multiproc(h, budget)?;
+        return Ok((Score(m as u128), hm));
+    }
+    for t in 0..h.n_tasks() {
+        if h.deg_task(t) == 0 {
+            return Err(CoreError::UncoveredTask(t));
+        }
+    }
+    // Incumbent: the objective-aware greedy gives a feasible upper bound.
+    let incumbent = objective_greedy_hyp(h, objective, true)?;
+    let mut best_score = incumbent.score(h, objective);
+    let mut best = incumbent;
+    if h.n_tasks() == 0 {
+        return Ok((Score(0), best));
+    }
+
+    let order = tasks_by_degree(h);
+    let min_work: Vec<u128> = (0..h.n_tasks())
+        .map(|t| {
+            h.hedges_of(t)
+                .map(|hid| h.weight(hid) as u128 * h.hedge_size(hid) as u128)
+                .min()
+                .expect("covered")
+        })
+        .collect();
+    let mut suffix_min_work = vec![0u128; order.len() + 1];
+    for k in (0..order.len()).rev() {
+        suffix_min_work[k] = suffix_min_work[k + 1] + min_work[order[k] as usize];
+    }
+
+    let mut loads = vec![0u64; h.n_procs() as usize];
+    let mut chosen = vec![0u32; h.n_tasks() as usize];
+    let mut nodes = 0u64;
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        h: &Hypergraph,
+        objective: Objective,
+        order: &[u32],
+        suffix_min_work: &[u128],
+        depth: usize,
+        partial: u128,
+        loads: &mut [u64],
+        chosen: &mut [u32],
+        best_score: &mut Score,
+        best: &mut HyperMatching,
+        nodes: &mut u64,
+        budget: u64,
+    ) -> Result<()> {
+        *nodes += 1;
+        if *nodes > budget {
+            return Err(CoreError::BudgetExceeded);
+        }
+        if depth == order.len() {
+            if Score(partial) < *best_score {
+                *best_score = Score(partial);
+                best.hedge_of.copy_from_slice(chosen);
+            }
+            return Ok(());
+        }
+        let t = order[depth];
+        for hid in h.hedges_of(t) {
+            let w = h.weight(hid);
+            let delta = h.procs_of(hid).iter().fold(0u128, |acc, &u| {
+                acc.saturating_add(objective.marginal(loads[u as usize], w))
+            });
+            // Prune: exact partial score plus the residual work floor.
+            let floor = partial.saturating_add(delta).saturating_add(suffix_min_work[depth + 1]);
+            if Score(floor) >= *best_score {
+                continue; // cannot strictly improve
+            }
+            for &u in h.procs_of(hid) {
+                loads[u as usize] += w;
+            }
+            chosen[t as usize] = hid;
+            dfs(
+                h,
+                objective,
+                order,
+                suffix_min_work,
+                depth + 1,
+                partial + delta,
+                loads,
+                chosen,
+                best_score,
+                best,
+                nodes,
+                budget,
+            )?;
+            for &u in h.procs_of(hid) {
+                loads[u as usize] -= w;
+            }
+        }
+        Ok(())
+    }
+
+    dfs(
+        h,
+        objective,
+        &order,
+        &suffix_min_work,
+        0,
+        0,
+        &mut loads,
+        &mut chosen,
+        &mut best_score,
+        &mut best,
+        &mut nodes,
+        budget,
+    )?;
+    Ok((best_score, best))
+}
+
+/// [`brute_force_multiproc_objective`] for `SINGLEPROC` instances, by
 /// lifting every edge to a singleton configuration.
-pub fn brute_force_singleproc(g: &Bipartite, budget: u64) -> Result<(u64, SemiMatching)> {
+pub fn brute_force_singleproc_objective(
+    g: &Bipartite,
+    budget: u64,
+    objective: Objective,
+) -> Result<(Score, SemiMatching)> {
+    let (score, hm) = brute_force_multiproc_objective(&lift(g), budget, objective)?;
+    let sm = SemiMatching { edge_of: hm.hedge_of };
+    debug_assert!(sm.validate(g).is_ok());
+    Ok((score, sm))
+}
+
+/// Lifts a bipartite instance to singleton hyperedges; hyperedge ids
+/// coincide with edge ids because both are grouped by task in insertion
+/// order.
+fn lift(g: &Bipartite) -> Hypergraph {
     let mut b =
         semimatch_graph::HypergraphBuilder::with_capacity(g.n_left(), g.n_right(), g.num_edges());
     for (_, v, u, w) in g.edges() {
         b.weighted_config(v, vec![u], w);
     }
-    let h = b.build().expect("lifting a valid graph is valid");
-    let (makespan, hm) = brute_force_multiproc(&h, budget)?;
-    // Hyperedge ids coincide with edge ids because both are grouped by task
-    // in insertion order.
+    b.build().expect("lifting a valid graph is valid")
+}
+
+/// Exhaustive optimum of a `SINGLEPROC` instance (weighted allowed), by
+/// lifting every edge to a singleton configuration.
+pub fn brute_force_singleproc(g: &Bipartite, budget: u64) -> Result<(u64, SemiMatching)> {
+    let (makespan, hm) = brute_force_multiproc(&lift(g), budget)?;
     let sm = SemiMatching { edge_of: hm.hedge_of };
     debug_assert!(sm.validate(g).is_ok());
     Ok((makespan, sm))

@@ -15,7 +15,10 @@ pub mod brute_force;
 pub mod harvey;
 pub mod unit;
 
-pub use brute_force::{brute_force_multiproc, brute_force_singleproc};
+pub use brute_force::{
+    brute_force_multiproc, brute_force_multiproc_objective, brute_force_singleproc,
+    brute_force_singleproc_objective,
+};
 pub use harvey::harvey_exact;
 pub use unit::{
     exact_unit, exact_unit_in, exact_unit_replicated, exact_unit_replicated_in, ExactResult,

@@ -4,6 +4,7 @@ use semimatch_graph::Bipartite;
 
 use crate::error::{CoreError, Result};
 use crate::greedy::tasks_by_degree;
+use crate::objective::Objective;
 use crate::problem::SemiMatching;
 
 /// Expected-greedy (Algorithm 3): each unassigned task spreads its weight
@@ -16,6 +17,17 @@ use crate::problem::SemiMatching;
 /// edges contribute `w(e)/d_v`, matching the hypergraph generalization
 /// (Algorithm 5).
 pub fn expected_greedy(g: &Bipartite) -> Result<SemiMatching> {
+    expected_greedy_with(g, Objective::Makespan)
+}
+
+/// Objective-aware expected-greedy: for non-makespan objectives the
+/// selection key is the marginal cost of the edge evaluated on the
+/// *expected* loads (`objective.marginal_f64(o(u), w(e))`), so the
+/// forecast drives the same cost model the caller asked for. Under
+/// [`Objective::Makespan`] the key reduces to the paper's `min o(u)`
+/// criterion (identical tie-breaking).
+pub(crate) fn expected_greedy_with(g: &Bipartite, objective: Objective) -> Result<SemiMatching> {
+    let makespan = objective.is_bottleneck();
     let mut o = vec![0.0f64; g.n_right() as usize];
     for v in 0..g.n_left() {
         let dv = g.deg_left(v) as f64;
@@ -26,12 +38,19 @@ pub fn expected_greedy(g: &Bipartite) -> Result<SemiMatching> {
     let mut edge_of = vec![0u32; g.n_left() as usize];
     for v in tasks_by_degree(g) {
         let dv = g.deg_left(v) as f64;
+        // First-candidate seeding: an all-infinite (overflowed) key set
+        // must still pick an edge, not error the task as uncovered.
         let mut best: Option<u32> = None;
-        let mut min_o = f64::INFINITY;
+        let mut min_key = f64::INFINITY;
         for e in g.edge_range(v) {
             let u = g.edge_right(e);
-            if o[u as usize] < min_o {
-                min_o = o[u as usize];
+            let key = if makespan {
+                o[u as usize]
+            } else {
+                objective.marginal_f64(o[u as usize], g.weight(e) as f64)
+            };
+            if best.is_none() || key < min_key {
+                min_key = key;
                 best = Some(e);
             }
         }

@@ -16,6 +16,7 @@
 pub mod egh;
 pub mod evg;
 pub mod lex;
+pub mod obj_greedy;
 pub mod sgh;
 pub mod vgh;
 

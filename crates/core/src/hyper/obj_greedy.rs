@@ -1,0 +1,188 @@
+//! Objective-aware greedy selection for `MULTIPROC` (the non-makespan
+//! face of the §IV-D heuristic family).
+//!
+//! The paper's hypergraph greedies rank a candidate hyperedge by a
+//! *bottleneck* key (`max_{u∈h} l(u)` for SGH, `max_{u∈h} o(u)` for EGH,
+//! the full sorted load vector for VGH/EVG). Those keys only make sense
+//! when the objective is the makespan; under a **sum-type** objective
+//! (flow time, `L_p`, total load) the myopically optimal choice is the
+//! hyperedge with the smallest *marginal cost*
+//! `Σ_{u∈h} (cost(l(u) + w_h) − cost(l(u)))`, and the current-load family
+//! (SGH/VGH) collapses to one marginal rule while the expected-load family
+//! (EGH/EVG) collapses to the same rule over the fractional forecast
+//! `o(u)`. The two functions here implement those collapsed rules; the
+//! solver registry routes the respective [`crate::solver::SolverKind`]s
+//! through them whenever the requested objective is not the makespan.
+
+use semimatch_graph::Hypergraph;
+
+use crate::error::{CoreError, Result};
+use crate::hyper::tasks_by_degree;
+use crate::objective::Objective;
+use crate::problem::HyperMatching;
+
+/// Marginal-cost greedy on the **current** loads: visits tasks by
+/// non-decreasing configuration count (or in input order when `sort` is
+/// false — the online/streaming discipline) and picks the hyperedge with
+/// the smallest total marginal cost under `objective`; ties keep the
+/// first (lowest-id) candidate, matching the whole greedy family.
+pub fn objective_greedy_hyp(
+    h: &Hypergraph,
+    objective: Objective,
+    sort: bool,
+) -> Result<HyperMatching> {
+    let mut loads = vec![0u64; h.n_procs() as usize];
+    let mut hedge_of = vec![0u32; h.n_tasks() as usize];
+    let order: Vec<u32> = if sort { tasks_by_degree(h) } else { (0..h.n_tasks()).collect() };
+    for v in order {
+        // First-candidate seeding (not a MAX sentinel): saturated marginals
+        // must stay selectable or covered tasks would error as uncovered.
+        let mut best: Option<u32> = None;
+        let mut best_delta = 0u128;
+        for hid in h.hedges_of(v) {
+            let w = h.weight(hid);
+            let delta = h.procs_of(hid).iter().fold(0u128, |acc, &u| {
+                acc.saturating_add(objective.marginal(loads[u as usize], w))
+            });
+            if best.is_none() || delta < best_delta {
+                best_delta = delta;
+                best = Some(hid);
+            }
+        }
+        let hid = best.ok_or(CoreError::UncoveredTask(v))?;
+        hedge_of[v as usize] = hid;
+        let w = h.weight(hid);
+        for &u in h.procs_of(hid) {
+            loads[u as usize] += w;
+        }
+    }
+    Ok(HyperMatching { hedge_of })
+}
+
+/// Marginal-cost greedy on the **expected** loads: the EGH/EVG forecast
+/// (`o(u)` accumulates `w_h / d_v` from every unassigned task) ranked by
+/// `Σ_{u∈h} marginal(o(u), w_h)`; selection collapses the distribution
+/// exactly as in Algorithm 5.
+pub fn objective_expected_greedy_hyp(
+    h: &Hypergraph,
+    objective: Objective,
+) -> Result<HyperMatching> {
+    let mut o = vec![0.0f64; h.n_procs() as usize];
+    for v in 0..h.n_tasks() {
+        let dv = h.deg_task(v) as f64;
+        for hid in h.hedges_of(v) {
+            let share = h.weight(hid) as f64 / dv;
+            for &u in h.procs_of(hid) {
+                o[u as usize] += share;
+            }
+        }
+    }
+    let mut hedge_of = vec![0u32; h.n_tasks() as usize];
+    for v in tasks_by_degree(h) {
+        let dv = h.deg_task(v) as f64;
+        // First-candidate seeding: an all-infinite (overflowed) key set
+        // must still pick a configuration, not error as uncovered.
+        let mut best: Option<u32> = None;
+        let mut best_delta = f64::INFINITY;
+        for hid in h.hedges_of(v) {
+            let w = h.weight(hid) as f64;
+            let delta: f64 =
+                h.procs_of(hid).iter().map(|&u| objective.marginal_f64(o[u as usize], w)).sum();
+            if best.is_none() || delta < best_delta {
+                best_delta = delta;
+                best = Some(hid);
+            }
+        }
+        let hid = best.ok_or(CoreError::UncoveredTask(v))?;
+        hedge_of[v as usize] = hid;
+        let w = h.weight(hid) as f64;
+        for &u in h.procs_of(hid) {
+            o[u as usize] += w - w / dv;
+        }
+        for other in h.hedges_of(v) {
+            if other != hid {
+                let share = h.weight(other) as f64 / dv;
+                for &u in h.procs_of(other) {
+                    o[u as usize] -= share;
+                }
+            }
+        }
+    }
+    Ok(HyperMatching { hedge_of })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// T0 is forced onto P0 (w3). T1 then chooses {P0} w1 (marginal flow
+    /// cost 4) or the wide {P1..P7} w1 (marginal flow cost 7): flow time
+    /// prefers stacking P0 a bit higher, the makespan registry path
+    /// prefers the wide spread — the two objectives genuinely disagree.
+    fn disagreement_case() -> Hypergraph {
+        Hypergraph::from_hyperedges(
+            2,
+            8,
+            vec![(0, vec![0], 3), (1, vec![0], 1), (1, vec![1, 2, 3, 4, 5, 6, 7], 1)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn flowtime_and_makespan_disagree_by_design() {
+        let h = disagreement_case();
+        let flow = objective_greedy_hyp(&h, Objective::FlowTime, true).unwrap();
+        flow.validate(&h).unwrap();
+        assert_eq!(flow.hedge_of[1], 1, "flow time stacks P0 to 4");
+        let sgh = crate::hyper::sgh::sorted_greedy_hyp(&h).unwrap();
+        assert_eq!(sgh.hedge_of[1], 2, "makespan criterion spreads wide");
+        assert!(flow.score(&h, Objective::FlowTime) < sgh.score(&h, Objective::FlowTime));
+        assert!(sgh.makespan(&h) < flow.makespan(&h));
+    }
+
+    #[test]
+    fn weighted_load_picks_cheapest_total_work() {
+        // {P0} w4 is 4 units of work; {P1,P2} w3 is 6.
+        let h =
+            Hypergraph::from_hyperedges(1, 3, vec![(0, vec![0], 4), (0, vec![1, 2], 3)]).unwrap();
+        let hm = objective_greedy_hyp(&h, Objective::WeightedLoad, true).unwrap();
+        assert_eq!(hm.hedge_of[0], 0);
+    }
+
+    #[test]
+    fn expected_variant_anticipates_future_load() {
+        // The EGH fixture: T0 must dodge P0 because two heavy tasks will
+        // land there; the expected marginal sees it, the plain one cannot.
+        let h = Hypergraph::from_hyperedges(
+            3,
+            2,
+            vec![
+                (0, vec![0], 1),
+                (0, vec![1], 1),
+                (1, vec![0], 2),
+                (1, vec![0], 2),
+                (2, vec![0], 2),
+                (2, vec![0], 2),
+            ],
+        )
+        .unwrap();
+        let hm = objective_expected_greedy_hyp(&h, Objective::FlowTime).unwrap();
+        hm.validate(&h).unwrap();
+        assert_eq!(hm.hedge_of[0], 1, "expected marginal sends T0 to P1");
+    }
+
+    #[test]
+    fn uncovered_task_errors() {
+        let h = Hypergraph::from_hyperedges(2, 1, vec![(0, vec![0], 1)]).unwrap();
+        for sort in [false, true] {
+            assert_eq!(
+                objective_greedy_hyp(&h, Objective::FlowTime, sort).unwrap_err(),
+                CoreError::UncoveredTask(1)
+            );
+        }
+        assert_eq!(
+            objective_expected_greedy_hyp(&h, Objective::FlowTime).unwrap_err(),
+            CoreError::UncoveredTask(1)
+        );
+    }
+}

@@ -25,11 +25,16 @@
 //!   [`greedy::expected::expected_greedy`];
 //! * hypergraph heuristics (§IV-D): [`hyper::sgh`], [`hyper::egh`],
 //!   [`hyper::vgh`], [`hyper::evg`];
-//! * the lower bound of §IV-C: [`lower_bound::lower_bound_multiproc`];
-//! * beyond the paper: local-search [`refine`] and iterated local search,
-//!   one-pass [`streaming`] greedy (Konrad–Rosén), the Graham LPT baseline
-//!   ([`greedy::lpt`]), load-profile [`analysis`], and solution
-//!   serialization ([`solution_io`]).
+//! * the lower bound of §IV-C: [`lower_bound::lower_bound_multiproc`],
+//!   extended to flow time and the other sum objectives
+//!   ([`lower_bound::lower_bound_objective_multiproc`]);
+//! * beyond the paper: first-class cost models ([`objective`]: makespan,
+//!   flow time, `L_p` norms, total load — the axis every solver entry
+//!   point accepts), local-search [`refine`] and iterated local search
+//!   with objective-aware move acceptance, one-pass [`streaming`] greedy
+//!   (Konrad–Rosén), the Graham LPT baseline ([`greedy::lpt`]),
+//!   load-profile [`analysis`], and solution serialization
+//!   ([`solution_io`]).
 //!
 //! ```
 //! use semimatch_graph::Hypergraph;
@@ -55,6 +60,7 @@ pub mod exact;
 pub mod greedy;
 pub mod hyper;
 pub mod lower_bound;
+pub mod objective;
 pub mod online;
 pub mod problem;
 pub mod quality;
@@ -66,9 +72,10 @@ pub mod streaming;
 
 pub use error::{CoreError, Result};
 pub use hyper::HyperHeuristic;
+pub use objective::{Objective, Score};
 pub use problem::{HyperMatching, SemiMatching};
 pub use solver::{
-    solve, solve_many, KindSolver, Problem, Solution, Solver, SolverClass, SolverKind,
+    solve, solve_many, solve_with, KindSolver, Problem, Solution, Solver, SolverClass, SolverKind,
 };
 
 /// Selector for the four `SINGLEPROC` heuristics (report plumbing).

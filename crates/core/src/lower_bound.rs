@@ -11,10 +11,20 @@
 //! We additionally take the maximum with two trivial bounds — some task
 //! must pay at least its cheapest per-processor time, and loads are
 //! integral — and report `⌈·⌉` since all weights are integers.
+//!
+//! The same counting argument lower-bounds every sum-type
+//! [`Objective`]: any semi-matching occupies at least
+//! `W = Σ_i time_i` units of total processor time, and a convex
+//! per-processor cost summed over `p` processors is minimized by the
+//! balanced load vector spreading `W` — see
+//! [`lower_bound_objective_multiproc`] and the `SINGLEPROC`
+//! specialization. For [`Objective::FlowTime`] this is the natural
+//! flow-time analogue of Eq. 1.
 
 use semimatch_graph::{Bipartite, Hypergraph};
 
 use crate::error::{CoreError, Result};
+use crate::objective::{balanced_score, Objective, Score};
 
 /// The paper's Eq. 1 for `MULTIPROC`, as an exact rational `⌈Σ time_i / p⌉`,
 /// combined with the single-task bound `max_i min_h w_h`.
@@ -55,6 +65,63 @@ pub fn lower_bound_multiproc_f64(h: &Hypergraph) -> Result<f64> {
         total += best;
     }
     Ok(total / h.n_procs().max(1) as f64)
+}
+
+/// Lower bound on the optimal `MULTIPROC` score under any [`Objective`].
+///
+/// [`Objective::Makespan`] delegates to [`lower_bound_multiproc`]
+/// (Eq. 1). For the sum-type objectives, every semi-matching occupies at
+/// least `W = Σ_i time_i` units of total processor time (each task's
+/// cheapest configuration by `w_h · |h ∩ V2|`), and the convex
+/// per-processor cost summed over `p` processors is minimized by the
+/// balanced spread of `W` — so `balanced_score(objective, W, p)` is a
+/// valid floor, with the flow-time case doubling as the repository's
+/// flow-time lower bound.
+pub fn lower_bound_objective_multiproc(h: &Hypergraph, objective: Objective) -> Result<Score> {
+    if objective.is_bottleneck() {
+        return Ok(Score(lower_bound_multiproc(h)? as u128));
+    }
+    let mut total: u128 = 0;
+    for t in 0..h.n_tasks() {
+        let range = h.hedges_of(t);
+        if range.is_empty() {
+            return Err(CoreError::UncoveredTask(t));
+        }
+        let best = range
+            .map(|hid| h.weight(hid) as u128 * h.hedge_size(hid) as u128)
+            .min()
+            .expect("non-empty");
+        total += best;
+    }
+    Ok(balanced_score(objective, total, h.n_procs().max(1) as u64))
+}
+
+/// [`lower_bound_objective_multiproc`] specialized to `SINGLEPROC`
+/// (`time_i = min_e w(e)`, and one edge loads exactly one processor).
+pub fn lower_bound_objective_singleproc(g: &Bipartite, objective: Objective) -> Result<Score> {
+    if objective.is_bottleneck() {
+        return Ok(Score(lower_bound_singleproc(g)? as u128));
+    }
+    let mut total: u128 = 0;
+    for t in 0..g.n_left() {
+        let range = g.edge_range(t);
+        if range.is_empty() {
+            return Err(CoreError::UncoveredTask(t));
+        }
+        total += range.map(|e| g.weight(e)).min().expect("non-empty") as u128;
+    }
+    Ok(balanced_score(objective, total, g.n_right().max(1) as u64))
+}
+
+/// The flow-time analogue of Eq. 1 for `MULTIPROC`:
+/// `Σ_u l(u)(l(u)+1)/2` of the balanced spread of the cheapest total work.
+pub fn lower_bound_flowtime_multiproc(h: &Hypergraph) -> Result<Score> {
+    lower_bound_objective_multiproc(h, Objective::FlowTime)
+}
+
+/// The flow-time analogue of Eq. 1 for `SINGLEPROC`.
+pub fn lower_bound_flowtime_singleproc(g: &Bipartite) -> Result<Score> {
+    lower_bound_objective_singleproc(g, Objective::FlowTime)
 }
 
 /// The same bound specialized to `SINGLEPROC`: `time_i = min_e w(e)`.
@@ -143,5 +210,53 @@ mod tests {
     fn empty_instance() {
         let h = Hypergraph::from_hyperedges(0, 4, vec![]).unwrap();
         assert_eq!(lower_bound_multiproc(&h).unwrap(), 0);
+        assert_eq!(lower_bound_flowtime_multiproc(&h).unwrap(), Score(0));
+    }
+
+    #[test]
+    fn flowtime_bound_is_the_balanced_spread() {
+        // 5 unit tasks, 2 processors → balanced loads (3, 2) → 6 + 3 = 9.
+        let g =
+            Bipartite::from_edges(5, 2, &[(0, 0), (1, 0), (2, 1), (3, 1), (4, 0), (4, 1)]).unwrap();
+        assert_eq!(lower_bound_flowtime_singleproc(&g).unwrap(), Score(9));
+        // The makespan arm delegates to Eq. 1.
+        assert_eq!(
+            lower_bound_objective_singleproc(&g, Objective::Makespan).unwrap(),
+            Score(lower_bound_singleproc(&g).unwrap() as u128)
+        );
+    }
+
+    #[test]
+    fn objective_bounds_never_exceed_any_feasible_score() {
+        use crate::problem::HyperMatching;
+        let h = Hypergraph::from_hyperedges(
+            3,
+            2,
+            vec![
+                (0, vec![0], 2),
+                (0, vec![0, 1], 1),
+                (1, vec![1], 3),
+                (2, vec![0], 1),
+                (2, vec![1], 4),
+            ],
+        )
+        .unwrap();
+        for obj in Objective::REPORTED {
+            let lb = lower_bound_objective_multiproc(&h, obj).unwrap();
+            for c0 in [0u32, 1] {
+                for c2 in [3u32, 4] {
+                    let hm = HyperMatching { hedge_of: vec![c0, 2, c2] };
+                    assert!(hm.score(&h, obj) >= lb, "{obj}: {c0},{c2}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn objective_bound_rejects_uncovered_tasks() {
+        let h = Hypergraph::from_hyperedges(2, 1, vec![(0, vec![0], 1)]).unwrap();
+        assert_eq!(lower_bound_flowtime_multiproc(&h).unwrap_err(), CoreError::UncoveredTask(1));
+        let g = Bipartite::from_edges(2, 1, &[(0, 0)]).unwrap();
+        assert_eq!(lower_bound_flowtime_singleproc(&g).unwrap_err(), CoreError::UncoveredTask(1));
     }
 }

@@ -4,10 +4,14 @@
 //! (`SINGLEPROC`) or hyperedge (`MULTIPROC`). Loads and makespan follow
 //! §II of the paper: the load of a processor is the sum of the weights of
 //! its allocated edges/hyperedges, and the makespan is the maximum load.
+//! Any other cost model evaluates through the same load vector via
+//! [`SemiMatching::score`] / [`HyperMatching::score`] and a
+//! [`crate::objective::Objective`].
 
 use semimatch_graph::{Bipartite, EdgeId, Hypergraph};
 
 use crate::error::{CoreError, Result};
+use crate::objective::{Objective, Score};
 
 /// A semi-matching of a bipartite (`SINGLEPROC`) instance.
 ///
@@ -54,9 +58,15 @@ impl SemiMatching {
         loads
     }
 
-    /// The makespan `max_u l(u)`.
+    /// The solution's cost under `objective`.
+    pub fn score(&self, g: &Bipartite, objective: Objective) -> Score {
+        objective.evaluate(&self.loads(g))
+    }
+
+    /// The makespan `max_u l(u)` — a thin alias for
+    /// [`score`](Self::score) under [`Objective::Makespan`].
     pub fn makespan(&self, g: &Bipartite) -> u64 {
-        self.loads(g).into_iter().max().unwrap_or(0)
+        self.score(g, Objective::Makespan).as_u64()
     }
 
     /// Checks that every task is allocated one of **its own** edges.
@@ -98,9 +108,15 @@ impl HyperMatching {
         loads
     }
 
-    /// The makespan `max_u l(u)`.
+    /// The solution's cost under `objective`.
+    pub fn score(&self, h: &Hypergraph, objective: Objective) -> Score {
+        objective.evaluate(&self.loads(h))
+    }
+
+    /// The makespan `max_u l(u)` — a thin alias for
+    /// [`score`](Self::score) under [`Objective::Makespan`].
     pub fn makespan(&self, h: &Hypergraph) -> u64 {
-        self.loads(h).into_iter().max().unwrap_or(0)
+        self.score(h, Objective::Makespan).as_u64()
     }
 
     /// Checks that every task is allocated one of its own hyperedges.

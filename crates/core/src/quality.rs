@@ -1,6 +1,12 @@
 //! Quality metrics and the paper's median-of-10 aggregation.
 
+use crate::objective::Score;
+
 /// `makespan / lower_bound` as a real ratio (the entries of Tables II/III).
+///
+/// A zero lower bound (an empty instance) is guarded: `0 / 0` reads as a
+/// perfect 1.0 and any positive makespan over a zero bound as `+∞`, so no
+/// NaN ever propagates into bench tables or their averages.
 pub fn ratio(makespan: u64, lower_bound: u64) -> f64 {
     if lower_bound == 0 {
         if makespan == 0 {
@@ -10,6 +16,20 @@ pub fn ratio(makespan: u64, lower_bound: u64) -> f64 {
         }
     } else {
         makespan as f64 / lower_bound as f64
+    }
+}
+
+/// [`ratio`] over objective [`Score`]s (flow-time gap columns and the
+/// `--objective` comparison tables), with the same zero-bound guard.
+pub fn score_ratio(score: Score, lower_bound: Score) -> f64 {
+    if lower_bound.0 == 0 {
+        if score.0 == 0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        score.as_f64() / lower_bound.as_f64()
     }
 }
 
@@ -55,6 +75,22 @@ mod tests {
         assert!((ratio(14, 10) - 1.4).abs() < 1e-12);
         assert_eq!(ratio(0, 0), 1.0);
         assert!(ratio(5, 0).is_infinite());
+    }
+
+    #[test]
+    fn ratios_never_produce_nan() {
+        // The zero-bound guard: aggregating any mix of guarded ratios must
+        // stay NaN-free (NaN would poison medians and averages silently).
+        for (m, lb) in [(0u64, 0u64), (5, 0), (0, 5), (7, 3)] {
+            assert!(!ratio(m, lb).is_nan(), "ratio({m}, {lb})");
+            assert!(
+                !score_ratio(Score(m as u128), Score(lb as u128)).is_nan(),
+                "score_ratio({m}, {lb})"
+            );
+        }
+        assert_eq!(score_ratio(Score(0), Score(0)), 1.0);
+        assert!(score_ratio(Score(9), Score(0)).is_infinite());
+        assert!((score_ratio(Score(9), Score(6)) - 1.5).abs() < 1e-12);
     }
 
     #[test]

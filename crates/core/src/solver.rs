@@ -16,9 +16,21 @@
 //! whole instance set through workspace-reusing solvers. The stateless
 //! [`solve(problem, kind)`](solve) facade remains for one-shot callers.
 //!
+//! The **cost model is a first-class axis**: every entry point takes (or
+//! defaults) an [`Objective`] — [`solve_with`], [`SolverKind::solve_with`],
+//! [`SolverKind::solve_in`], [`Solver::solve_with`] and [`solve_many`].
+//! Under [`Objective::Makespan`] every kind runs its historical paper
+//! algorithm; under a sum-type objective (flow time, `L_p`, total load)
+//! the greedy/refine/ILS families select by marginal objective cost, the
+//! exhaustive search branch-and-bounds on the exact objective score, and
+//! the exact `SINGLEPROC-UNIT` kinds append a cost-reducing-path descent
+//! so their answer is optimal for **every** symmetric convex objective
+//! simultaneously (Harvey–Ladner–Lovász–Tamir).
+//!
 //! The literature treats the engines as interchangeable substrates —
 //! Fakcharoenphol–Laekhanukit–Nanongkai's faster semi-matching algorithms
-//! and Katrenič–Semanišin's Hopcroft–Karp generalization slot into the same
+//! (which optimize exactly the flow-time objective above) and
+//! Katrenič–Semanišin's Hopcroft–Karp generalization slot into the same
 //! problem interface — so the registry (and the `Solver` seam in
 //! particular) is also where future backends land.
 //!
@@ -33,7 +45,7 @@
 //! .unwrap();
 //! let kind: SolverKind = "evg".parse().unwrap();
 //! let solution = solve(Problem::MultiProc(&h), kind).unwrap();
-//! assert!(solution.makespan(&Problem::MultiProc(&h)) >= 2);
+//! assert!(solution.makespan(&Problem::MultiProc(&h)).unwrap() >= 2);
 //! ```
 
 use std::str::FromStr;
@@ -43,19 +55,29 @@ use semimatch_matching::SearchWorkspace;
 
 use crate::error::{CoreError, Result};
 use crate::exact::{
-    brute_force_multiproc, brute_force_singleproc, exact_unit_in, exact_unit_replicated_in,
-    harvey_exact, SearchStrategy,
+    brute_force_multiproc, brute_force_multiproc_objective, brute_force_singleproc,
+    brute_force_singleproc_objective, exact_unit_in, exact_unit_replicated_in, harvey_exact,
+    SearchStrategy,
 };
+use crate::greedy::basic::greedy_in_order_with;
+use crate::greedy::double_sorted::double_sorted_with;
+use crate::greedy::expected::expected_greedy_with;
+use crate::greedy::tasks_by_degree as bi_tasks_by_degree;
+use crate::hyper::obj_greedy::{objective_expected_greedy_hyp, objective_greedy_hyp};
 use crate::hyper::HyperHeuristic;
 use crate::online::{online_schedule, OnlineRule};
 use crate::problem::{HyperMatching, SemiMatching};
-use crate::refine::{iterated_refine, refine};
-use crate::streaming::{streaming_greedy_bipartite, streaming_greedy_hyper};
+use crate::refine::{iterated_refine_with, refine_with};
+use crate::streaming::{streaming_greedy_bipartite_with, streaming_greedy_hyper_with};
 use crate::BiHeuristic;
 
 /// The maximum-matching engine axis, re-exported so registry consumers have
 /// one import surface for every algorithm selector in the workspace.
 pub use semimatch_matching::Algorithm as MatchingEngine;
+
+// The objective axis, re-exported for the same reason: `solver` is the
+// one-stop import surface of the registry.
+pub use crate::objective::{Objective, Score};
 
 /// Node budget handed to the brute-force solvers by the registry.
 pub const BRUTE_FORCE_BUDGET: u64 = 20_000_000;
@@ -95,6 +117,27 @@ impl Problem<'_> {
             Problem::MultiProc(_) => SolverClass::MultiProc,
         }
     }
+
+    /// Human-readable class name, used by [`CoreError::ClassMismatch`].
+    pub fn class_name(&self) -> &'static str {
+        match self {
+            Problem::SingleProc(_) => "SINGLEPROC (bipartite)",
+            Problem::MultiProc(_) => "MULTIPROC (hypergraph)",
+        }
+    }
+
+    /// Lower bound on the optimal score under `objective` (Eq. 1 for the
+    /// makespan, the balanced-spread work bound for the sum objectives).
+    pub fn lower_bound(&self, objective: Objective) -> Result<Score> {
+        match self {
+            Problem::SingleProc(g) => {
+                crate::lower_bound::lower_bound_objective_singleproc(g, objective)
+            }
+            Problem::MultiProc(h) => {
+                crate::lower_bound::lower_bound_objective_multiproc(h, objective)
+            }
+        }
+    }
 }
 
 /// A solution returned by [`solve`], mirroring the problem classes.
@@ -107,17 +150,41 @@ pub enum Solution {
 }
 
 impl Solution {
-    /// Makespan against the problem the solution was computed for.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `problem`'s class does not match the solution's.
-    pub fn makespan(&self, problem: &Problem<'_>) -> u64 {
-        match (self, problem) {
-            (Solution::SingleProc(sm), Problem::SingleProc(g)) => sm.makespan(g),
-            (Solution::MultiProc(hm), Problem::MultiProc(h)) => hm.makespan(h),
-            _ => panic!("solution/problem class mismatch"),
+    /// Human-readable class name, used by [`CoreError::ClassMismatch`].
+    pub fn class_name(&self) -> &'static str {
+        match self {
+            Solution::SingleProc(_) => "SINGLEPROC (bipartite)",
+            Solution::MultiProc(_) => "MULTIPROC (hypergraph)",
         }
+    }
+
+    /// The solution's cost under `objective`, against the problem it was
+    /// computed for.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ClassMismatch`] when `problem`'s class does not match
+    /// the solution's.
+    pub fn score(&self, problem: &Problem<'_>, objective: Objective) -> Result<Score> {
+        match (self, problem) {
+            (Solution::SingleProc(sm), Problem::SingleProc(g)) => Ok(sm.score(g, objective)),
+            (Solution::MultiProc(hm), Problem::MultiProc(h)) => Ok(hm.score(h, objective)),
+            _ => Err(CoreError::ClassMismatch {
+                problem: problem.class_name(),
+                solution: self.class_name(),
+            }),
+        }
+    }
+
+    /// Makespan against the problem the solution was computed for — a thin
+    /// alias for [`score`](Self::score) under [`Objective::Makespan`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ClassMismatch`] when `problem`'s class does not match
+    /// the solution's (previously a panic).
+    pub fn makespan(&self, problem: &Problem<'_>) -> Result<u64> {
+        Ok(self.score(problem, Objective::Makespan)?.as_u64())
     }
 
     /// Validates the solution against its problem.
@@ -125,9 +192,9 @@ impl Solution {
         match (self, problem) {
             (Solution::SingleProc(sm), Problem::SingleProc(g)) => sm.validate(g),
             (Solution::MultiProc(hm), Problem::MultiProc(h)) => hm.validate(h),
-            _ => Err(CoreError::KindMismatch {
-                solver: "solution",
-                expected: "a problem of the solution's own class",
+            _ => Err(CoreError::ClassMismatch {
+                problem: problem.class_name(),
+                solution: self.class_name(),
             }),
         }
     }
@@ -406,6 +473,9 @@ impl SolverKind {
 
     /// Whether this solver is guaranteed optimal (on the instances it
     /// accepts; the `Exact*` kinds additionally require unit weights).
+    /// Exactness holds for every [`Objective`]: the unit solvers append a
+    /// cost-reducing-path descent under sum objectives (simultaneous
+    /// optimality) and the exhaustive search bounds on the exact score.
     pub fn is_exact(self) -> bool {
         matches!(
             self,
@@ -441,13 +511,20 @@ impl SolverKind {
         }
     }
 
-    /// Runs this solver on `problem` with throwaway scratch.
+    /// Runs this solver on `problem` under [`Objective::Makespan`] with
+    /// throwaway scratch.
     ///
     /// One-shot convenience: repeated callers should hold a
     /// [`KindSolver`] (or go through [`solve_many`]) so the engine scratch
     /// is allocated once and reused.
     pub fn solve(self, problem: Problem<'_>) -> Result<Solution> {
-        self.solve_in(problem, &mut SearchWorkspace::new())
+        self.solve_with(problem, Objective::Makespan)
+    }
+
+    /// Runs this solver on `problem` optimizing `objective`, with
+    /// throwaway scratch.
+    pub fn solve_with(self, problem: Problem<'_>, objective: Objective) -> Result<Solution> {
+        self.solve_in(problem, objective, &mut SearchWorkspace::new())
     }
 
     /// Builds a solver object for this kind, owning its own workspace.
@@ -455,9 +532,36 @@ impl SolverKind {
         KindSolver::new(self)
     }
 
-    /// Runs this solver on `problem`, drawing all matching-engine scratch
-    /// (flow arenas, BFS/DFS arrays) from `ws`.
-    pub fn solve_in(self, problem: Problem<'_>, ws: &mut SearchWorkspace) -> Result<Solution> {
+    /// Runs this solver on `problem` optimizing `objective`, drawing all
+    /// matching-engine scratch (flow arenas, BFS/DFS arrays) from `ws`.
+    ///
+    /// Under [`Objective::Makespan`] every kind runs its historical paper
+    /// algorithm. Under a sum-type objective:
+    ///
+    /// * the greedy families (bipartite and hypergraph, including
+    ///   [`SolverKind::Online`] and [`SolverKind::StreamingGreedy`])
+    ///   select by **marginal objective cost** along their usual visit
+    ///   order and tie-breaks (the current-load pair SGH/VGH and the
+    ///   expected-load pair EGH/EVG each collapse to one marginal rule);
+    /// * the refined/ILS kinds run their base heuristic and local search
+    ///   with objective-aware move acceptance;
+    /// * the exact `SINGLEPROC-UNIT` kinds solve for the optimal makespan
+    ///   and then run the Harvey–Ladner–Lovász–Tamir cost-reducing-path
+    ///   descent, whose fixpoint is **simultaneously optimal for every
+    ///   symmetric convex objective** (makespan, flow time, all `L_p`
+    ///   norms; under unit weights the total load is invariant, covering
+    ///   [`Objective::WeightedLoad`] trivially);
+    /// * [`SolverKind::BruteForce`] branch-and-bounds on the exact
+    ///   objective score.
+    pub fn solve_in(
+        self,
+        problem: Problem<'_>,
+        objective: Objective,
+        ws: &mut SearchWorkspace,
+    ) -> Result<Solution> {
+        if !objective.is_bottleneck() {
+            return self.solve_objective(problem, objective, ws);
+        }
         match self {
             SolverKind::Basic => {
                 Ok(Solution::SingleProc(BiHeuristic::Basic.run(self.bipartite(&problem)?)?))
@@ -509,19 +613,19 @@ impl SolverKind {
             SolverKind::EvgRefined => {
                 let h = self.hypergraph(&problem)?;
                 let mut hm = HyperHeuristic::Evg.run(h)?;
-                refine(h, &mut hm, REFINE_PASSES)?;
+                refine_with(h, &mut hm, REFINE_PASSES, Objective::Makespan)?;
                 Ok(Solution::MultiProc(hm))
             }
             SolverKind::SghRefined => {
                 let h = self.hypergraph(&problem)?;
                 let mut hm = HyperHeuristic::Sgh.run(h)?;
-                refine(h, &mut hm, REFINE_PASSES)?;
+                refine_with(h, &mut hm, REFINE_PASSES, Objective::Makespan)?;
                 Ok(Solution::MultiProc(hm))
             }
             SolverKind::SghIls => {
                 let h = self.hypergraph(&problem)?;
                 let mut hm = HyperHeuristic::Sgh.run(h)?;
-                iterated_refine(h, &mut hm, ILS_KICKS, REFINE_PASSES)?;
+                iterated_refine_with(h, &mut hm, ILS_KICKS, REFINE_PASSES, Objective::Makespan)?;
                 Ok(Solution::MultiProc(hm))
             }
             SolverKind::Online => Ok(Solution::MultiProc(online_schedule(
@@ -529,8 +633,12 @@ impl SolverKind {
                 OnlineRule::MinBottleneck,
             )?)),
             SolverKind::StreamingGreedy => match problem {
-                Problem::SingleProc(g) => Ok(Solution::SingleProc(streaming_greedy_bipartite(g)?)),
-                Problem::MultiProc(h) => Ok(Solution::MultiProc(streaming_greedy_hyper(h)?)),
+                Problem::SingleProc(g) => Ok(Solution::SingleProc(
+                    streaming_greedy_bipartite_with(g, Objective::Makespan)?,
+                )),
+                Problem::MultiProc(h) => {
+                    Ok(Solution::MultiProc(streaming_greedy_hyper_with(h, Objective::Makespan)?))
+                }
             },
             SolverKind::BruteForce => match problem {
                 Problem::SingleProc(g) => {
@@ -539,6 +647,104 @@ impl SolverKind {
                 }
                 Problem::MultiProc(h) => {
                     let (_, hm) = brute_force_multiproc(h, BRUTE_FORCE_BUDGET)?;
+                    Ok(Solution::MultiProc(hm))
+                }
+            },
+        }
+    }
+
+    /// The sum-type-objective dispatch behind [`SolverKind::solve_in`].
+    fn solve_objective(
+        self,
+        problem: Problem<'_>,
+        objective: Objective,
+        ws: &mut SearchWorkspace,
+    ) -> Result<Solution> {
+        debug_assert!(!objective.is_bottleneck());
+        match self {
+            SolverKind::Basic => {
+                let g = self.bipartite(&problem)?;
+                let order: Vec<u32> = (0..g.n_left()).collect();
+                Ok(Solution::SingleProc(greedy_in_order_with(g, &order, objective)?))
+            }
+            SolverKind::Sorted => {
+                let g = self.bipartite(&problem)?;
+                let order = bi_tasks_by_degree(g);
+                Ok(Solution::SingleProc(greedy_in_order_with(g, &order, objective)?))
+            }
+            SolverKind::DoubleSorted => {
+                Ok(Solution::SingleProc(double_sorted_with(self.bipartite(&problem)?, objective)?))
+            }
+            SolverKind::Expected => Ok(Solution::SingleProc(expected_greedy_with(
+                self.bipartite(&problem)?,
+                objective,
+            )?)),
+            SolverKind::ExactIncremental
+            | SolverKind::ExactBisection
+            | SolverKind::ExactReplicated => {
+                // Makespan-exact first, then the cost-reducing-path descent:
+                // its fixpoint is simultaneously optimal for every symmetric
+                // convex objective (Harvey et al.).
+                let g = self.bipartite(&problem)?;
+                let Solution::SingleProc(sm) = self.solve_in(problem, Objective::Makespan, ws)?
+                else {
+                    unreachable!("SINGLEPROC problems yield SINGLEPROC solutions")
+                };
+                Ok(Solution::SingleProc(crate::exact::harvey::optimize(g, sm)))
+            }
+            SolverKind::Harvey => {
+                // Already a cost-reducing-path fixpoint: optimal for every
+                // symmetric convex objective as computed.
+                Ok(Solution::SingleProc(harvey_exact(self.bipartite(&problem)?)?))
+            }
+            SolverKind::Sgh | SolverKind::Vgh => Ok(Solution::MultiProc(objective_greedy_hyp(
+                self.hypergraph(&problem)?,
+                objective,
+                true,
+            )?)),
+            SolverKind::Egh | SolverKind::Evg => Ok(Solution::MultiProc(
+                objective_expected_greedy_hyp(self.hypergraph(&problem)?, objective)?,
+            )),
+            SolverKind::EvgRefined => {
+                let h = self.hypergraph(&problem)?;
+                let mut hm = objective_expected_greedy_hyp(h, objective)?;
+                refine_with(h, &mut hm, REFINE_PASSES, objective)?;
+                Ok(Solution::MultiProc(hm))
+            }
+            SolverKind::SghRefined => {
+                let h = self.hypergraph(&problem)?;
+                let mut hm = objective_greedy_hyp(h, objective, true)?;
+                refine_with(h, &mut hm, REFINE_PASSES, objective)?;
+                Ok(Solution::MultiProc(hm))
+            }
+            SolverKind::SghIls => {
+                let h = self.hypergraph(&problem)?;
+                let mut hm = objective_greedy_hyp(h, objective, true)?;
+                iterated_refine_with(h, &mut hm, ILS_KICKS, REFINE_PASSES, objective)?;
+                Ok(Solution::MultiProc(hm))
+            }
+            SolverKind::Online => Ok(Solution::MultiProc(objective_greedy_hyp(
+                self.hypergraph(&problem)?,
+                objective,
+                false,
+            )?)),
+            SolverKind::StreamingGreedy => match problem {
+                Problem::SingleProc(g) => {
+                    Ok(Solution::SingleProc(streaming_greedy_bipartite_with(g, objective)?))
+                }
+                Problem::MultiProc(h) => {
+                    Ok(Solution::MultiProc(streaming_greedy_hyper_with(h, objective)?))
+                }
+            },
+            SolverKind::BruteForce => match problem {
+                Problem::SingleProc(g) => {
+                    let (_, sm) =
+                        brute_force_singleproc_objective(g, BRUTE_FORCE_BUDGET, objective)?;
+                    Ok(Solution::SingleProc(sm))
+                }
+                Problem::MultiProc(h) => {
+                    let (_, hm) =
+                        brute_force_multiproc_objective(h, BRUTE_FORCE_BUDGET, objective)?;
                     Ok(Solution::MultiProc(hm))
                 }
             },
@@ -599,13 +805,24 @@ impl std::fmt::Display for SolverKind {
     }
 }
 
-/// Runs `kind` on `problem` — the single dispatch point for every consumer.
+/// Runs `kind` on `problem` under [`Objective::Makespan`] — the single
+/// dispatch point for every consumer.
 ///
 /// Thin compatibility facade over the [`Solver`] trait: allocates throwaway
 /// scratch per call. Hot loops should hold a [`KindSolver`] (or use
 /// [`solve_many`]) to amortize workspace allocation across solves.
 pub fn solve(problem: Problem<'_>, kind: SolverKind) -> Result<Solution> {
     kind.solve(problem)
+}
+
+/// Runs `kind` on `problem` optimizing `objective` — [`solve`] with the
+/// cost-model axis exposed.
+pub fn solve_with(
+    problem: Problem<'_>,
+    kind: SolverKind,
+    objective: Objective,
+) -> Result<Solution> {
+    kind.solve_with(problem, objective)
 }
 
 /// A solver object: one algorithm plus the scratch state it reuses between
@@ -623,16 +840,29 @@ pub trait Solver {
     /// The registry entry this solver implements.
     fn kind(&self) -> SolverKind;
 
-    /// Solves `problem`, reusing the solver's internal scratch.
-    fn solve(&mut self, problem: Problem<'_>) -> Result<Solution>;
+    /// Solves `problem` optimizing `objective`, reusing the solver's
+    /// internal scratch. The required method: the objective is part of
+    /// the solver contract, not an afterthought.
+    fn solve_with(&mut self, problem: Problem<'_>, objective: Objective) -> Result<Solution>;
 
-    /// Solves `problem` writing over `out`.
+    /// Solves `problem` under [`Objective::Makespan`], reusing the
+    /// solver's internal scratch.
+    fn solve(&mut self, problem: Problem<'_>) -> Result<Solution> {
+        self.solve_with(problem, Objective::Makespan)
+    }
+
+    /// Solves `problem` optimizing `objective`, writing over `out`.
     ///
     /// The default implementation replaces `*out` wholesale (dropping its
     /// old buffers); backends that can rebuild a solution in place override
     /// this to keep the output allocation alive too.
-    fn solve_into(&mut self, problem: Problem<'_>, out: &mut Solution) -> Result<()> {
-        *out = self.solve(problem)?;
+    fn solve_into(
+        &mut self,
+        problem: Problem<'_>,
+        objective: Objective,
+        out: &mut Solution,
+    ) -> Result<()> {
+        *out = self.solve_with(problem, objective)?;
         Ok(())
     }
 
@@ -667,8 +897,8 @@ impl Solver for KindSolver {
         self.kind
     }
 
-    fn solve(&mut self, problem: Problem<'_>) -> Result<Solution> {
-        self.kind.solve_in(problem, &mut self.ws)
+    fn solve_with(&mut self, problem: Problem<'_>, objective: Objective) -> Result<Solution> {
+        self.kind.solve_in(problem, objective, &mut self.ws)
     }
 
     fn warm_start(&mut self, problem: &Problem<'_>) {
@@ -685,8 +915,8 @@ impl Solver for KindSolver {
     }
 }
 
-/// Solves every problem with every kind, reusing one workspace-backed
-/// solver per kind across the whole batch.
+/// Solves every problem with every kind under `objective`, reusing one
+/// workspace-backed solver per kind across the whole batch.
 ///
 /// Returns one row per problem, holding the kinds' results in `kinds`
 /// order. Class-mismatched pairs yield `Err(CoreError::KindMismatch)` in
@@ -697,9 +927,16 @@ impl Solver for KindSolver {
 /// harness) shard the problem list and call `solve_many` — or hold
 /// [`KindSolver`]s — once per worker, which is what "one workspace per
 /// thread" means operationally.
-pub fn solve_many(problems: &[Problem<'_>], kinds: &[SolverKind]) -> Vec<Vec<Result<Solution>>> {
+pub fn solve_many(
+    problems: &[Problem<'_>],
+    kinds: &[SolverKind],
+    objective: Objective,
+) -> Vec<Vec<Result<Solution>>> {
     let mut solvers: Vec<KindSolver> = kinds.iter().map(|&k| KindSolver::new(k)).collect();
-    problems.iter().map(|&problem| solvers.iter_mut().map(|s| s.solve(problem)).collect()).collect()
+    problems
+        .iter()
+        .map(|&problem| solvers.iter_mut().map(|s| s.solve_with(problem, objective)).collect())
+        .collect()
 }
 
 #[cfg(test)]
@@ -797,11 +1034,11 @@ mod tests {
     fn every_singleproc_kind_solves_and_validates() {
         let g = bipartite();
         let problem = Problem::SingleProc(&g);
-        let opt = SolverKind::ExactBisection.solve(problem).unwrap().makespan(&problem);
+        let opt = SolverKind::ExactBisection.solve(problem).unwrap().makespan(&problem).unwrap();
         for kind in SolverKind::SINGLEPROC {
             let sol = solve(problem, kind).unwrap();
             sol.validate(&problem).unwrap();
-            let m = sol.makespan(&problem);
+            let m = sol.makespan(&problem).unwrap();
             if kind.is_exact() {
                 assert_eq!(m, opt, "{kind} is exact but disagreed");
             } else {
@@ -814,12 +1051,56 @@ mod tests {
     fn every_multiproc_kind_solves_and_validates() {
         let h = hypergraph();
         let problem = Problem::MultiProc(&h);
-        let opt = SolverKind::BruteForce.solve(problem).unwrap().makespan(&problem);
+        let opt = SolverKind::BruteForce.solve(problem).unwrap().makespan(&problem).unwrap();
         for kind in SolverKind::MULTIPROC {
             let sol = solve(problem, kind).unwrap();
             sol.validate(&problem).unwrap();
-            assert!(sol.makespan(&problem) >= opt, "{kind} beat the optimum");
+            assert!(sol.makespan(&problem).unwrap() >= opt, "{kind} beat the optimum");
         }
+    }
+
+    #[test]
+    fn every_kind_solves_every_reported_objective() {
+        let g = bipartite();
+        let h = hypergraph();
+        for kind in SolverKind::ALL {
+            let problem = match kind.class() {
+                SolverClass::SingleProc | SolverClass::Either => Problem::SingleProc(&g),
+                SolverClass::MultiProc => Problem::MultiProc(&h),
+            };
+            for obj in Objective::REPORTED {
+                let sol = solve_with(problem, kind, obj).unwrap();
+                sol.validate(&problem).unwrap();
+                // Exact kinds must hit the brute-force optimum under every
+                // objective (the simultaneous-optimality contract).
+                if kind.is_exact() {
+                    let opt = solve_with(problem, SolverKind::BruteForce, obj)
+                        .unwrap()
+                        .score(&problem, obj)
+                        .unwrap();
+                    assert_eq!(sol.score(&problem, obj).unwrap(), opt, "{kind} under {obj}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn score_and_makespan_report_class_mismatch() {
+        let g = bipartite();
+        let h = hypergraph();
+        let sol = solve(Problem::SingleProc(&g), SolverKind::Basic).unwrap();
+        assert!(matches!(
+            sol.makespan(&Problem::MultiProc(&h)),
+            Err(CoreError::ClassMismatch { .. })
+        ));
+        assert!(matches!(
+            sol.score(&Problem::MultiProc(&h), Objective::FlowTime),
+            Err(CoreError::ClassMismatch { .. })
+        ));
+        assert!(matches!(
+            sol.validate(&Problem::MultiProc(&h)),
+            Err(CoreError::ClassMismatch { .. })
+        ));
     }
 
     #[test]
@@ -871,7 +1152,7 @@ mod tests {
         let mut s = SolverKind::ExactBisection.solver();
         let mut out = s.solve(problem).unwrap();
         let expected = out.clone();
-        s.solve_into(problem, &mut out).unwrap();
+        s.solve_into(problem, Objective::Makespan, &mut out).unwrap();
         assert_eq!(out, expected);
         out.validate(&problem).unwrap();
     }
@@ -882,7 +1163,7 @@ mod tests {
         let h = hypergraph();
         let problems = [Problem::SingleProc(&g), Problem::MultiProc(&h)];
         let kinds = [SolverKind::ExactBisection, SolverKind::Evg, SolverKind::BruteForce];
-        let rows = solve_many(&problems, &kinds);
+        let rows = solve_many(&problems, &kinds, Objective::Makespan);
         assert_eq!(rows.len(), problems.len());
         for (row, problem) in rows.iter().zip(&problems) {
             assert_eq!(row.len(), kinds.len());

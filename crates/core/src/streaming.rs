@@ -20,6 +20,7 @@
 use semimatch_graph::{Bipartite, Hypergraph};
 
 use crate::error::{CoreError, Result};
+use crate::objective::Objective;
 use crate::problem::{HyperMatching, SemiMatching};
 
 /// One-pass streaming greedy over a bipartite (`SINGLEPROC`) edge stream.
@@ -43,6 +44,44 @@ pub fn streaming_greedy_bipartite(g: &Bipartite) -> Result<SemiMatching> {
         // Compare resulting loads with the task's contribution removed.
         let excl = |u: usize| loads[u] - if u == cp { cw } else { 0 };
         if excl(p) + w < excl(cp) + cw {
+            loads[cp] -= cw;
+            loads[p] += w;
+            edge_of[t] = e;
+        }
+    }
+    if let Some(t) = edge_of.iter().position(|&e| e == u32::MAX) {
+        return Err(CoreError::UncoveredTask(t as u32));
+    }
+    Ok(SemiMatching { edge_of })
+}
+
+/// Objective-aware one-pass streaming greedy over a bipartite edge
+/// stream: an assigned task switches to the streamed edge iff the switch
+/// strictly lowers its marginal cost under `objective` with its own
+/// contribution removed. [`Objective::Makespan`] delegates to the
+/// historical resulting-load rule.
+pub fn streaming_greedy_bipartite_with(
+    g: &Bipartite,
+    objective: Objective,
+) -> Result<SemiMatching> {
+    if objective.is_bottleneck() {
+        return streaming_greedy_bipartite(g);
+    }
+    let mut loads = vec![0u64; g.n_right() as usize];
+    let mut edge_of = vec![u32::MAX; g.n_left() as usize];
+    for e in 0..g.num_edges() as u32 {
+        let t = g.edge_left(e) as usize;
+        let p = g.edge_right(e) as usize;
+        let w = g.weight(e);
+        let cur = edge_of[t];
+        if cur == u32::MAX {
+            edge_of[t] = e;
+            loads[p] += w;
+            continue;
+        }
+        let (cp, cw) = (g.edge_right(cur) as usize, g.weight(cur));
+        let excl = |u: usize| loads[u] - if u == cp { cw } else { 0 };
+        if objective.marginal(excl(p), w) < objective.marginal(excl(cp), cw) {
             loads[cp] -= cw;
             loads[p] += w;
             edge_of[t] = e;
@@ -78,6 +117,51 @@ pub fn streaming_greedy_hyper(h: &Hypergraph) -> Result<HyperMatching> {
         let key_new = h.procs_of(hid).iter().map(|&u| excl(u)).max().unwrap_or(0) + w;
         let key_cur = cur_pins.iter().map(|&u| excl(u)).max().unwrap_or(0) + cw;
         if key_new < key_cur {
+            for &u in cur_pins {
+                loads[u as usize] -= cw;
+            }
+            for &u in h.procs_of(hid) {
+                loads[u as usize] += w;
+            }
+            hedge_of[t] = hid;
+        }
+    }
+    if let Some(t) = hedge_of.iter().position(|&e| e == u32::MAX) {
+        return Err(CoreError::UncoveredTask(t as u32));
+    }
+    Ok(HyperMatching { hedge_of })
+}
+
+/// Objective-aware one-pass streaming greedy over a hyperedge stream:
+/// switch iff the streamed configuration's total marginal cost (own
+/// contribution removed) strictly beats the held one's.
+/// [`Objective::Makespan`] delegates to the historical bottleneck rule.
+pub fn streaming_greedy_hyper_with(h: &Hypergraph, objective: Objective) -> Result<HyperMatching> {
+    if objective.is_bottleneck() {
+        return streaming_greedy_hyper(h);
+    }
+    let mut loads = vec![0u64; h.n_procs() as usize];
+    let mut hedge_of = vec![u32::MAX; h.n_tasks() as usize];
+    for hid in 0..h.n_hedges() {
+        let t = h.task_of(hid) as usize;
+        let w = h.weight(hid);
+        let cur = hedge_of[t];
+        if cur == u32::MAX {
+            hedge_of[t] = hid;
+            for &u in h.procs_of(hid) {
+                loads[u as usize] += w;
+            }
+            continue;
+        }
+        let cw = h.weight(cur);
+        let cur_pins = h.procs_of(cur);
+        let excl =
+            |u: u32| loads[u as usize] - if cur_pins.binary_search(&u).is_ok() { cw } else { 0 };
+        let delta = |pins: &[u32], weight: u64| {
+            pins.iter()
+                .fold(0u128, |acc, &u| acc.saturating_add(objective.marginal(excl(u), weight)))
+        };
+        if delta(h.procs_of(hid), w) < delta(cur_pins, cw) {
             for &u in cur_pins {
                 loads[u as usize] -= cw;
             }

@@ -24,6 +24,7 @@
 //! [`KindSolver`] so the workspace warm path of the solver registry is
 //! reused across resolves.
 
+use semimatch_core::objective::{Objective, Score};
 use semimatch_core::problem::HyperMatching;
 use semimatch_core::solver::{KindSolver, Problem, Solution, Solver, SolverClass};
 use semimatch_gen::trace::{Event, Trace};
@@ -178,8 +179,9 @@ pub struct Engine {
     nonunit_configs: usize,
     counters: Counters,
     events_since_resolve: u32,
-    /// Bottleneck right after the last repair/resolve (lazy threshold).
-    baseline: u64,
+    /// Objective score right after the last repair/resolve (lazy
+    /// threshold, in the configured objective's units).
+    baseline: Score,
     /// Resident warm-workspace solver for from-scratch resolves.
     resolver: KindSolver,
     scratch: RepairScratch,
@@ -211,7 +213,7 @@ impl Engine {
             nonunit_configs: 0,
             counters: Counters::default(),
             events_since_resolve: 0,
-            baseline: 0,
+            baseline: Score(0),
             resolver: cfg.resolve_kind.solver(),
             scratch: RepairScratch::default(),
         })
@@ -246,6 +248,26 @@ impl Engine {
         self.procs.iter().filter(|p| p.live).map(|p| p.load).max().unwrap_or(0)
     }
 
+    /// Live score of the assignment under `objective`, computed from the
+    /// maintained per-processor loads (`O(p)`, no instance rebuild).
+    pub fn score(&self, objective: Objective) -> Score {
+        if objective.is_bottleneck() {
+            return Score(self.bottleneck() as u128);
+        }
+        Score(
+            self.procs
+                .iter()
+                .filter(|p| p.live)
+                .fold(0u128, |acc, p| acc.saturating_add(objective.proc_cost(p.load))),
+        )
+    }
+
+    /// The live score board: every reported objective with its current
+    /// score, in [`Objective::REPORTED`] order.
+    pub fn scores(&self) -> [(Objective, Score); Objective::REPORTED.len()] {
+        Objective::REPORTED.map(|obj| (obj, self.score(obj)))
+    }
+
     /// Load of processor `proc`, if it is live.
     pub fn load_of(&self, proc: u32) -> Option<u64> {
         self.procs.get(proc as usize).filter(|p| p.live).map(|p| p.load)
@@ -276,8 +298,14 @@ impl Engine {
         match self.cfg.policy {
             RepairPolicy::Eager => self.repair_now(),
             RepairPolicy::Lazy { slack } => {
-                if self.bottleneck() > self.baseline.saturating_add(slack) {
-                    self.repair_now();
+                // `u64::MAX` is the documented never-repair sentinel; it
+                // must hold even for sum objectives whose u128 scores can
+                // legitimately drift past u64::MAX between repairs.
+                if slack != u64::MAX {
+                    let drift = Score(self.baseline.0.saturating_add(slack as u128));
+                    if self.score(self.cfg.objective) > drift {
+                        self.repair_now();
+                    }
                 }
             }
             RepairPolicy::Periodic { every } => {
@@ -454,10 +482,13 @@ impl Engine {
     }
 
     /// Greedy choice among fully-live configurations (optionally further
-    /// restricted to one shard): minimize the resulting bottleneck over
-    /// the configuration's processors; ties keep the lowest index.
+    /// restricted to one shard), keyed by the engine's objective:
+    /// minimize the resulting bottleneck over the configuration's
+    /// processors under the makespan, the total marginal cost under a
+    /// sum objective; ties keep the lowest index.
     fn choose(&self, configs: &[ConfigState], shard: Option<u32>) -> Option<u32> {
-        let mut best: Option<(u64, u32)> = None;
+        let objective = self.cfg.objective;
+        let mut best: Option<(u128, u32)> = None;
         for (i, c) in configs.iter().enumerate() {
             let eligible = c.pins.iter().all(|&p| {
                 let s = &self.procs[p as usize];
@@ -466,8 +497,14 @@ impl Engine {
             if !eligible {
                 continue;
             }
-            let key =
-                c.pins.iter().map(|&p| self.procs[p as usize].load).max().unwrap_or(0) + c.weight;
+            let key = if objective.is_bottleneck() {
+                (c.pins.iter().map(|&p| self.procs[p as usize].load).max().unwrap_or(0) + c.weight)
+                    as u128
+            } else {
+                c.pins.iter().fold(0u128, |acc, &p| {
+                    acc.saturating_add(objective.marginal(self.procs[p as usize].load, c.weight))
+                })
+            };
             if best.is_none_or(|(k, _)| key < k) {
                 best = Some((key, i as u32));
             }
@@ -494,8 +531,11 @@ impl Engine {
     // ---------------------------------------------------------------
 
     /// Runs a full repair immediately, regardless of policy: exact
-    /// augmenting-path repair on unit/singleton state, shard-local search
-    /// plus skew rebalancing otherwise. Never increases the bottleneck.
+    /// augmenting-path repair on unit/singleton state (extended to the
+    /// full cost-reducing descent when the engine optimizes a sum
+    /// objective, so eager repair is simultaneously optimal there too),
+    /// shard-local search plus skew rebalancing otherwise. Never worsens
+    /// the configured objective.
     pub fn repair_now(&mut self) {
         self.counters.repairs += 1;
         if self.is_unit_singleton() {
@@ -503,7 +543,7 @@ impl Engine {
         } else {
             self.heuristic_repair();
         }
-        self.baseline = self.bottleneck();
+        self.baseline = self.score(self.cfg.objective);
     }
 
     /// Augmenting-path repair for the unit/single-processor shape.
@@ -548,6 +588,45 @@ impl Engine {
             }
             if !improved {
                 break;
+            }
+        }
+        // Under a sum objective the bottleneck loop is not enough: a
+        // non-bottleneck processor two units above some reachable one
+        // still admits a cost-reducing path. Continue the descent from
+        // *every* processor until none admits one — the fixpoint is the
+        // Harvey et al. optimal semi-matching, simultaneously optimal for
+        // every symmetric convex objective.
+        if !self.cfg.objective.is_bottleneck() {
+            loop {
+                let mut improved = false;
+                let mut order: Vec<u32> = (0..self.procs.len() as u32)
+                    .filter(|&u| self.procs[u as usize].live && self.procs[u as usize].load >= 2)
+                    .collect();
+                order.sort_by_key(|&u| std::cmp::Reverse(self.procs[u as usize].load));
+                // Drain each source fully and finish the pass before
+                // re-sorting: every shift re-reads live loads, so a stale
+                // order only affects visit priority, and the outer loop
+                // certifies the fixpoint with a clean full pass. This keeps
+                // the rebuild+sort cost at one per improving pass instead
+                // of one per one-unit shift.
+                for u in order {
+                    loop {
+                        let lu = self.procs[u as usize].load;
+                        if lu < 2 {
+                            break;
+                        }
+                        self.counters.searches += 1;
+                        if self.reduce_from(u, lu, &mut assigned) {
+                            self.counters.shifts += 1;
+                            improved = true;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                if !improved {
+                    break;
+                }
             }
         }
         self.scratch.assigned = assigned;
@@ -710,11 +789,12 @@ impl Engine {
     fn resolve(&mut self) -> Result<()> {
         self.counters.resolves += 1;
         if self.n_live_tasks == 0 {
-            self.baseline = 0;
+            self.baseline = Score(0);
             return Ok(());
         }
         let snap = self.snapshot();
-        let solution = self.resolver.solve(Problem::MultiProc(&snap.hypergraph))?;
+        let solution =
+            self.resolver.solve_with(Problem::MultiProc(&snap.hypergraph), self.cfg.objective)?;
         let Solution::MultiProc(hm) = solution else {
             unreachable!("MULTIPROC problems yield MULTIPROC solutions")
         };
@@ -735,7 +815,7 @@ impl Engine {
                 self.tasks[t] = Some(state);
             }
         }
-        self.baseline = self.bottleneck();
+        self.baseline = self.score(self.cfg.objective);
         Ok(())
     }
 
@@ -871,7 +951,8 @@ mod tests {
         let g = snap.to_bipartite().expect("singleton configs");
         let opt = solve(Problem::SingleProc(&g), SolverKind::ExactBisection)
             .unwrap()
-            .makespan(&Problem::SingleProc(&g));
+            .makespan(&Problem::SingleProc(&g))
+            .unwrap();
         assert_eq!(e.bottleneck(), opt);
     }
 
@@ -892,7 +973,8 @@ mod tests {
         let g = snap.to_bipartite().unwrap();
         let opt = solve(Problem::SingleProc(&g), SolverKind::ExactBisection)
             .unwrap()
-            .makespan(&Problem::SingleProc(&g));
+            .makespan(&Problem::SingleProc(&g))
+            .unwrap();
         assert_eq!(e.bottleneck(), opt);
     }
 
@@ -952,7 +1034,7 @@ mod tests {
         let cfg = EngineConfig {
             policy: RepairPolicy::Periodic { every: 1 },
             resolve_kind: SolverKind::BruteForce,
-            shards: 1,
+            ..eager()
         };
         let mut e = Engine::new(cfg, 2).unwrap();
         e.apply(&arrive(0, &[(&[0], 3), (&[1], 2)])).unwrap();
@@ -963,7 +1045,8 @@ mod tests {
         let snap = e.snapshot();
         let opt = solve(Problem::MultiProc(&snap.hypergraph), SolverKind::BruteForce)
             .unwrap()
-            .makespan(&Problem::MultiProc(&snap.hypergraph));
+            .makespan(&Problem::MultiProc(&snap.hypergraph))
+            .unwrap();
         assert_eq!(e.bottleneck(), opt);
         assert_eq!(e.counters().resolves, 3);
     }
@@ -1014,6 +1097,68 @@ mod tests {
         assert_eq!(snap.live_configs, vec![vec![1], vec![0]]);
         assert_eq!(snap.hypergraph.procs_of(0), &[1]);
         snap.matching.validate(&snap.hypergraph).unwrap();
+    }
+
+    #[test]
+    fn scores_board_reports_every_objective() {
+        let mut e = Engine::new(eager(), 2).unwrap();
+        e.apply(&arrive(0, &[(&[0], 1)])).unwrap();
+        e.apply(&arrive(1, &[(&[0], 1)])).unwrap();
+        // Loads (2, 0): makespan 2, flow 3, l2 4, total 2.
+        let board = e.scores();
+        assert_eq!(board[0], (Objective::Makespan, Score(2)));
+        assert!(board.contains(&(Objective::FlowTime, Score(3))));
+        assert!(board.contains(&(Objective::LpNorm(2), Score(4))));
+        assert!(board.contains(&(Objective::WeightedLoad, Score(2))));
+    }
+
+    #[test]
+    fn flowtime_repair_descends_past_the_bottleneck_loop() {
+        use semimatch_core::exact::brute_force_singleproc_objective;
+        // The bottleneck (P0, load 4) is immovable, so the makespan-only
+        // repair loop finds nothing — but P1 at load 2 still admits a
+        // cost-reducing path to the idle P2. Only the full descent (the
+        // sum-objective extension) takes it: (4,2,0) flow 13 → (4,1,1)
+        // flow 12, the brute-force flow optimum.
+        let cfg = EngineConfig {
+            objective: Objective::FlowTime,
+            policy: RepairPolicy::Lazy { slack: u64::MAX },
+            ..eager()
+        };
+        let mut e = Engine::new(cfg, 3).unwrap();
+        for t in 0..4 {
+            e.apply(&arrive(t, &[(&[0], 1)])).unwrap();
+        }
+        e.apply(&arrive(4, &[(&[1], 1), (&[2], 1)])).unwrap(); // ties → P1
+        e.apply(&arrive(5, &[(&[1], 1)])).unwrap();
+        assert_eq!(e.score(Objective::FlowTime), Score(10 + 3));
+        e.repair_now();
+        assert_eq!(e.score(Objective::FlowTime), Score(10 + 1 + 1));
+        let snap = e.snapshot();
+        let g = snap.to_bipartite().expect("singleton configs");
+        let (opt, _) = brute_force_singleproc_objective(&g, 100_000, Objective::FlowTime).unwrap();
+        assert_eq!(e.score(Objective::FlowTime), opt, "full descent reaches the flow optimum");
+        // Simultaneous optimality: the makespan is optimal too.
+        let (mk, _) = brute_force_singleproc_objective(&g, 100_000, Objective::Makespan).unwrap();
+        assert_eq!(Score(e.bottleneck() as u128), mk);
+    }
+
+    #[test]
+    fn weighted_flowtime_repair_never_worsens_the_score() {
+        let cfg = EngineConfig { objective: Objective::FlowTime, shards: 2, ..eager() };
+        let mut e = Engine::new(cfg, 4).unwrap();
+        for t in 0..8 {
+            e.apply(&arrive(t, &[(&[0, 1], 4), (&[t % 4], 5), (&[(t + 1) % 4], 3)])).unwrap();
+        }
+        let before = e.score(Objective::FlowTime);
+        e.repair_now();
+        assert!(e.score(Objective::FlowTime) <= before);
+        let snap = e.snapshot();
+        snap.matching.validate(&snap.hypergraph).unwrap();
+        assert_eq!(
+            snap.matching.score(&snap.hypergraph, Objective::FlowTime),
+            e.score(Objective::FlowTime)
+        );
     }
 
     #[test]

@@ -19,6 +19,12 @@
 //!   the unit/single-processor shape (provably bottleneck-optimal at
 //!   every event under `Eager`), shard-local search with skew-triggered
 //!   rebalancing on the general hypergraph shape;
+//! * the engine optimizes a configurable cost model
+//!   ([`EngineConfig::objective`]): placement, local search, the lazy
+//!   trigger and periodic resolves all target it, the exact unit-singleton
+//!   repair extends to the full cost-reducing descent (simultaneously
+//!   optimal for every symmetric convex objective), and `Engine::scores`
+//!   reports a live score board across all reported objectives;
 //! * [`Snapshot`] compacts the live instance back into the static
 //!   [`Hypergraph`](semimatch_graph::Hypergraph) world for audits,
 //!   from-scratch cross-checks and the property tests.

@@ -3,6 +3,7 @@
 use std::fmt;
 use std::str::FromStr;
 
+use semimatch_core::objective::Objective;
 use semimatch_core::solver::SolverKind;
 
 /// When the engine repairs its live assignment.
@@ -17,11 +18,13 @@ pub enum RepairPolicy {
     /// Repair after every event: the assignment is always at its
     /// post-repair quality (optimal in the unit/single-processor case).
     Eager,
-    /// Repair only when the bottleneck exceeds the last repaired
-    /// bottleneck by more than `slack` load units. `slack == u64::MAX`
-    /// degenerates to pure greedy placement (the no-repair baseline).
+    /// Repair only when the engine's objective score exceeds the last
+    /// repaired score by more than `slack` (in the configured
+    /// [`EngineConfig::objective`]'s units: load for the makespan,
+    /// cost for the sum objectives). `slack == u64::MAX` degenerates to
+    /// pure greedy placement (the no-repair baseline).
     Lazy {
-        /// Tolerated bottleneck growth before a repair triggers.
+        /// Tolerated objective-score growth before a repair triggers.
         slack: u64,
     },
     /// Re-solve the whole live instance from scratch every `every` events
@@ -76,11 +79,21 @@ pub struct EngineConfig {
     /// Processor shards (≥ 1). Shards repair independently; cross-shard
     /// moves happen only in the skew-triggered rebalance pass.
     pub shards: u32,
+    /// The cost model the engine optimizes: greedy placement, local
+    /// search, lazy triggering and periodic resolves all target this
+    /// objective. The engine reports live scores for *all* reported
+    /// objectives regardless (see `Engine::scores`).
+    pub objective: Objective,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { policy: RepairPolicy::Eager, resolve_kind: SolverKind::Evg, shards: 1 }
+        EngineConfig {
+            policy: RepairPolicy::Eager,
+            resolve_kind: SolverKind::Evg,
+            shards: 1,
+            objective: Objective::Makespan,
+        }
     }
 }
 

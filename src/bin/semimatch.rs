@@ -17,14 +17,16 @@ use std::fs::File;
 use std::process::ExitCode;
 
 use semimatch::core::lower_bound::{lower_bound_multiproc, lower_bound_singleproc};
-use semimatch::core::refine::refine;
+use semimatch::core::objective::Objective;
+use semimatch::core::quality::score_ratio;
+use semimatch::core::refine::refine_with;
 use semimatch::gen::params::{Config, Family};
 use semimatch::gen::rng::Xoshiro256;
 use semimatch::gen::weights::WeightScheme;
 use semimatch::gen::{fewg_manyg, hilo_permuted};
 use semimatch::graph::io::{read_bipartite, read_hypergraph, write_bipartite, write_hypergraph};
 use semimatch::graph::{BipartiteStats, HypergraphStats};
-use semimatch::solver::{solve as solve_kind, Problem, Solver, SolverClass, SolverKind};
+use semimatch::solver::{solve_with as solve_kind_with, Problem, Solver, SolverClass, SolverKind};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,8 +52,8 @@ usage:
                                 [--seed S] [--out FILE.bg]
   semimatch stats               FILE.{hg,bg}
   semimatch solve               FILE.{hg,bg} [--algo KIND] [--refine PASSES]
-                                [--save FILE.sol]
-  semimatch solve               FILE.{hg,bg} --kinds KIND,KIND,...
+                                [--objective OBJ] [--save FILE.sol]
+  semimatch solve               FILE.{hg,bg} --kinds KIND,KIND,... [--objective OBJ]
                                 (parse once, solve with every kind, print a
                                 comparison table; workspaces are reused)
   semimatch verify              FILE.hg FILE.sol
@@ -63,12 +65,13 @@ usage:
                                 [--proc-events E] [--burst-every B] [--burst-len L]
                                 [--seed S] [--out FILE.tr]
   semimatch replay              FILE.tr [--policy eager|lazy:SLACK|periodic:EVERY]
-                                [--kind KIND] [--shards S]
+                                [--kind KIND] [--shards S] [--objective OBJ]
                                 (stream the trace through the serving engine;
-                                reports throughput, bottleneck and repair work)
+                                reports throughput, scores and repair work)
   semimatch dot                 FILE.{hg,bg} [--out FILE.dot]
 
-KIND is any solver registry name (see `semimatch solvers`).";
+KIND is any solver registry name (see `semimatch solvers`).
+OBJ is a cost model: makespan (default) | flowtime | l<p> | weighted-load.";
 
 /// Splits `args` into positional arguments and `--flag value` pairs.
 fn parse(args: &[String]) -> Result<(Vec<&str>, HashMap<&str, &str>), String> {
@@ -281,10 +284,21 @@ fn stats(positional: &[&str]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses the optional `--objective` flag (default: makespan).
+fn objective_flag(flags: &HashMap<&str, &str>) -> Result<Objective, String> {
+    flags
+        .get("objective")
+        .copied()
+        .unwrap_or("makespan")
+        .parse()
+        .map_err(|e: semimatch::core::CoreError| e.to_string())
+}
+
 fn solve(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String> {
     let path = *positional.get(1).ok_or("solve needs a file argument")?;
+    let objective = objective_flag(flags)?;
     if let Some(kinds) = flags.get("kinds") {
-        return solve_batch(path, kinds, flags);
+        return solve_batch(path, kinds, objective, flags);
     }
     // Default to the strongest heuristic of the file's problem class.
     let default_algo = if path.ends_with(".bg") { "expected" } else { "evg" };
@@ -296,15 +310,21 @@ fn solve(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String>
         .map_err(|e: semimatch::core::CoreError| e.to_string())?;
     let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
     if path.ends_with(".bg") {
-        solve_bipartite(path, file, kind, flags)
+        solve_bipartite(path, file, kind, objective, flags)
     } else {
-        solve_hypergraph(path, file, kind, flags)
+        solve_hypergraph(path, file, kind, objective, flags)
     }
 }
 
 /// Multi-solver batch mode: parse the instance once, run every requested
-/// kind through workspace-reusing solvers, print a comparison table.
-fn solve_batch(path: &str, kinds_csv: &str, flags: &HashMap<&str, &str>) -> Result<(), String> {
+/// kind through workspace-reusing solvers optimizing `objective`, print a
+/// comparison table (makespan and objective score side by side).
+fn solve_batch(
+    path: &str,
+    kinds_csv: &str,
+    objective: Objective,
+    flags: &HashMap<&str, &str>,
+) -> Result<(), String> {
     if flags.contains_key("algo") || flags.contains_key("refine") || flags.contains_key("save") {
         return Err("--kinds cannot be combined with --algo/--refine/--save".into());
     }
@@ -319,38 +339,42 @@ fn solve_batch(path: &str, kinds_csv: &str, flags: &HashMap<&str, &str>) -> Resu
     let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
     // Parse once; hold the instance for the whole batch.
     let (bipartite, hypergraph);
-    let (problem, lb) = if path.ends_with(".bg") {
+    let problem = if path.ends_with(".bg") {
         bipartite = read_bipartite(file).map_err(|e| e.to_string())?;
-        (
-            Problem::SingleProc(&bipartite),
-            lower_bound_singleproc(&bipartite).map_err(|e| e.to_string())?,
-        )
+        Problem::SingleProc(&bipartite)
     } else {
         hypergraph = read_hypergraph(file).map_err(|e| e.to_string())?;
-        (
-            Problem::MultiProc(&hypergraph),
-            lower_bound_multiproc(&hypergraph).map_err(|e| e.to_string())?,
-        )
+        Problem::MultiProc(&hypergraph)
     };
+    let lb = problem.lower_bound(objective).map_err(|e| e.to_string())?;
     println!("instance:  {path}");
-    println!("lower bound: {lb}");
-    println!("{:<18} {:>10} {:>8} {:>10}", "solver", "makespan", "ratio", "seconds");
+    println!("objective: {objective}  (lower bound {lb})");
+    println!(
+        "{:<18} {:>10} {:>12} {:>8} {:>10}",
+        "solver",
+        "makespan",
+        objective.name(),
+        "ratio",
+        "seconds"
+    );
     // One workspace-backed solver per kind; each sees the already-parsed
     // instance (and would stay warm across a multi-instance batch).
     let mut solved = 0usize;
     for kind in &kinds {
         let mut solver = kind.solver();
         let start = std::time::Instant::now();
-        let outcome = solver.solve(problem);
+        let outcome = solver.solve_with(problem, objective);
         let secs = start.elapsed().as_secs_f64();
         match outcome {
             Ok(sol) => {
-                let m = sol.makespan(&problem);
+                let m = sol.makespan(&problem).map_err(|e| e.to_string())?;
+                let score = sol.score(&problem, objective).map_err(|e| e.to_string())?;
                 println!(
-                    "{:<18} {:>10} {:>8.3} {:>10.4}",
+                    "{:<18} {:>10} {:>12} {:>8.3} {:>10.4}",
                     kind.name(),
                     m,
-                    m as f64 / lb as f64,
+                    score,
+                    score_ratio(score, lb),
                     secs
                 );
                 solved += 1;
@@ -371,6 +395,7 @@ fn solve_bipartite(
     path: &str,
     file: File,
     kind: SolverKind,
+    objective: Objective,
     flags: &HashMap<&str, &str>,
 ) -> Result<(), String> {
     if flags.contains_key("refine") || flags.contains_key("save") {
@@ -378,14 +403,20 @@ fn solve_bipartite(
     }
     let g = read_bipartite(file).map_err(|e| e.to_string())?;
     let problem = Problem::SingleProc(&g);
-    let sol = solve_kind(problem, kind).map_err(|e| e.to_string())?;
+    let sol = solve_kind_with(problem, kind, objective).map_err(|e| e.to_string())?;
     let sm = sol.as_semi().expect("SINGLEPROC problems yield SINGLEPROC solutions");
     let lb = lower_bound_singleproc(&g).map_err(|e| e.to_string())?;
-    let m = sol.makespan(&problem);
+    let m = sol.makespan(&problem).map_err(|e| e.to_string())?;
     println!("instance:  {path}");
     println!("solver:    {} ({})", kind.name(), kind.description());
+    println!("objective: {objective}");
     println!("lower bound: {lb}");
     println!("makespan:    {m}  (ratio {:.3})", m as f64 / lb as f64);
+    if !objective.is_bottleneck() {
+        let olb = problem.lower_bound(objective).map_err(|e| e.to_string())?;
+        let score = sol.score(&problem, objective).map_err(|e| e.to_string())?;
+        println!("{objective}:    {score}  (bound {olb}, ratio {:.3})", score_ratio(score, olb));
+    }
     emit_lines((0..g.n_left()).map(|t| format!("  T{t} -> P{}", sm.proc_of(&g, t))));
     Ok(())
 }
@@ -394,33 +425,52 @@ fn solve_hypergraph(
     path: &str,
     file: File,
     kind: SolverKind,
+    objective: Objective,
     flags: &HashMap<&str, &str>,
 ) -> Result<(), String> {
     let h = read_hypergraph(file).map_err(|e| e.to_string())?;
     let problem = Problem::MultiProc(&h);
-    let sol = solve_kind(problem, kind).map_err(|e| e.to_string())?;
+    let sol = solve_kind_with(problem, kind, objective).map_err(|e| e.to_string())?;
     let mut hm = sol.into_hyper().expect("MULTIPROC problems yield MULTIPROC solutions");
+    // Pre-refine figures, captured together so the report never mixes the
+    // pre- and post-refine solutions on adjacent lines.
     let base = hm.makespan(&h);
+    let base_score = hm.score(&h, objective);
     let refined = if flags.contains_key("refine") {
-        // --refine takes a pass count as its value.
+        // --refine takes a pass count as its value; the descent accepts
+        // moves under the requested objective.
         let passes = num(flags["refine"], "--refine")?;
-        let stats = refine(&h, &mut hm, passes).map_err(|e| e.to_string())?;
-        Some((stats, hm.makespan(&h)))
+        let stats = refine_with(&h, &mut hm, passes, objective).map_err(|e| e.to_string())?;
+        Some((stats, hm.makespan(&h), hm.score(&h, objective)))
     } else {
         None
     };
     let lb = lower_bound_multiproc(&h).map_err(|e| e.to_string())?;
     println!("instance:  {path}");
     println!("solver:    {} ({})", kind.name(), kind.description());
+    println!("objective: {objective}");
     println!("lower bound: {lb}");
     println!("makespan:    {base}  (ratio {:.3})", base as f64 / lb as f64);
-    if let Some((stats, m)) = refined {
+    let olb = if objective.is_bottleneck() {
+        None
+    } else {
+        let olb = problem.lower_bound(objective).map_err(|e| e.to_string())?;
+        println!(
+            "{objective}:    {base_score}  (bound {olb}, ratio {:.3})",
+            score_ratio(base_score, olb)
+        );
+        Some(olb)
+    };
+    if let Some((stats, m, score)) = refined {
         println!(
             "refined:     {m}  (ratio {:.3}; {} moves in {} passes)",
             m as f64 / lb as f64,
             stats.moves,
             stats.passes
         );
+        if let Some(olb) = olb {
+            println!("refined {objective}: {score}  (ratio {:.3})", score_ratio(score, olb));
+        }
     }
     if let Some(out) = flags.get("save") {
         let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
@@ -445,13 +495,16 @@ fn verify(positional: &[&str]) -> Result<(), String> {
         .map_err(|e| format!("invalid solution: {e}"))?;
     let lb = lower_bound_multiproc(&h).map_err(|e| e.to_string())?;
     let profile = semimatch::core::analysis::LoadProfile::of(&h, &hm);
-    println!("solution is VALID");
-    println!(
-        "makespan: {} (lower bound {lb}, ratio {:.3})",
-        hm.makespan(&h),
-        hm.makespan(&h) as f64 / lb as f64
-    );
-    println!("{}", profile.summary());
+    // Through the EPIPE-safe writer: `verify … | head` must exit cleanly.
+    emit_lines([
+        "solution is VALID".to_string(),
+        format!(
+            "makespan: {} (lower bound {lb}, ratio {:.3})",
+            hm.makespan(&h),
+            hm.makespan(&h) as f64 / lb as f64
+        ),
+        profile.summary(),
+    ]);
     Ok(())
 }
 
@@ -469,9 +522,10 @@ fn exact(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String>
         return Err(format!("'{}' is not an exact SINGLEPROC solver", kind.name()));
     }
     let problem = Problem::SingleProc(&g);
-    let sol = solve_kind(problem, kind).map_err(|e| e.to_string())?;
+    let sol = solve_kind_with(problem, kind, Objective::Makespan).map_err(|e| e.to_string())?;
+    let m = sol.makespan(&problem).map_err(|e| e.to_string())?;
     println!("instance: {path}");
-    println!("optimal makespan: {} ({})", sol.makespan(&problem), kind.description());
+    println!("optimal makespan: {m} ({})", kind.description());
     Ok(())
 }
 
@@ -534,6 +588,7 @@ fn replay(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String
     if let Some(shards) = flags.get("shards") {
         cfg.shards = num(shards, "--shards")?;
     }
+    cfg.objective = objective_flag(flags)?;
     let mut engine = Engine::new(cfg, trace.n_procs).map_err(|e| e.to_string())?;
     let start = std::time::Instant::now();
     for (i, ev) in trace.events.iter().enumerate() {
@@ -542,7 +597,10 @@ fn replay(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String
     let secs = start.elapsed().as_secs_f64();
     let counters = engine.counters();
     println!("trace:      {path} ({} events, {} arrivals)", trace.events.len(), trace.arrivals());
-    println!("policy:     {} (resolve kind {}, {} shard(s))", policy, cfg.resolve_kind, cfg.shards);
+    println!(
+        "policy:     {} (resolve kind {}, {} shard(s), objective {})",
+        policy, cfg.resolve_kind, cfg.shards, cfg.objective
+    );
     println!(
         "throughput: {:.0} events/sec ({:.4}s total)",
         trace.events.len() as f64 / secs.max(1e-9),
@@ -555,6 +613,13 @@ fn replay(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String
         engine.bottleneck(),
         if engine.is_unit_singleton() { " (unit/singleton: repair is exact)" } else { "" }
     );
+    let scores = engine
+        .scores()
+        .iter()
+        .map(|(obj, score)| format!("{obj} {score}"))
+        .collect::<Vec<_>>()
+        .join("  ");
+    println!("scores:     {scores}");
     println!("repair:     {counters}");
     Ok(())
 }
@@ -842,6 +907,68 @@ mod tests {
             "0"
         ]))
         .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn solve_objective_flag_and_tables() {
+        use semimatch::graph::io::write_hypergraph;
+        use semimatch::graph::Hypergraph;
+        let dir = std::env::temp_dir().join("semimatch-cli-objective-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        // The makespan/flow-time disagreement instance: T0 pinned to P0
+        // (w3), T1 chooses {P0} w1 (flow-optimal) or a wide 7-processor
+        // spread (makespan-optimal).
+        let hg = dir.join("o.hg");
+        let h = Hypergraph::from_hyperedges(
+            2,
+            8,
+            vec![(0, vec![0], 3), (1, vec![0], 1), (1, vec![1, 2, 3, 4, 5, 6, 7], 1)],
+        )
+        .unwrap();
+        write_hypergraph(&h, std::fs::File::create(&hg).unwrap()).unwrap();
+        // Batch tables under both objectives, plus the single-algo path
+        // with an objective-aware refine.
+        for objective in ["makespan", "flowtime", "l2", "weighted-load"] {
+            run(&argv(&[
+                "solve",
+                hg.to_str().unwrap(),
+                "--kinds",
+                "sgh,evg",
+                "--objective",
+                objective,
+            ]))
+            .unwrap();
+        }
+        run(&argv(&[
+            "solve",
+            hg.to_str().unwrap(),
+            "--algo",
+            "sgh",
+            "--objective",
+            "flowtime",
+            "--refine",
+            "4",
+        ]))
+        .unwrap();
+        // Replay accepts the flag too.
+        let tr = dir.join("o.tr");
+        run(&argv(&[
+            "generate-trace",
+            "--procs",
+            "4",
+            "--arrivals",
+            "32",
+            "--out",
+            tr.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&["replay", tr.to_str().unwrap(), "--objective", "flowtime"])).unwrap();
+        run(&argv(&["replay", tr.to_str().unwrap(), "--objective", "l2", "--policy", "lazy:4"]))
+            .unwrap();
+        // Error path: an unknown objective is rejected everywhere.
+        assert!(run(&argv(&["solve", hg.to_str().unwrap(), "--objective", "bogus"])).is_err());
+        assert!(run(&argv(&["replay", tr.to_str().unwrap(), "--objective", "bogus"])).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -65,15 +65,20 @@ pub use semimatch_sched as sched;
 pub use semimatch_serve as serve;
 
 /// The unified solver registry: every algorithm behind one
-/// `solve(problem, kind)` entry point with name-based lookup.
+/// `solve(problem, kind)` entry point with name-based lookup, and the
+/// objective axis (`solve_with`, `Objective`) for non-makespan cost
+/// models.
 ///
 /// ```
 /// use semimatch::graph::Bipartite;
-/// use semimatch::solver::{solve, Problem, SolverKind};
+/// use semimatch::solver::{solve, solve_with, Objective, Problem, SolverKind};
 ///
 /// let g = Bipartite::from_edges(2, 2, &[(0, 0), (0, 1), (1, 0)]).unwrap();
-/// let sol = solve(Problem::SingleProc(&g), "exact-bisection".parse().unwrap()).unwrap();
-/// assert_eq!(sol.makespan(&Problem::SingleProc(&g)), 1);
+/// let problem = Problem::SingleProc(&g);
+/// let sol = solve(problem, "exact-bisection".parse().unwrap()).unwrap();
+/// assert_eq!(sol.makespan(&problem).unwrap(), 1);
+/// let flow = solve_with(problem, SolverKind::Harvey, Objective::FlowTime).unwrap();
+/// assert_eq!(flow.score(&problem, Objective::FlowTime).unwrap().0, 2);
 /// assert!(SolverKind::ALL.len() >= 10);
 /// ```
 pub use semimatch_core::solver;

@@ -196,3 +196,69 @@ fn exact_strategies_agree_via_cli() {
     assert_eq!(out.status.code(), Some(2));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn objective_flag_changes_the_optimal_choice() {
+    use semimatch::graph::io::write_hypergraph;
+    let dir = tmp_dir("objective");
+    // The disagreement instance: T0 pinned to P0 (w3); T1 either stacks
+    // P0 (flow-time optimal: total cost 10 vs 13) or spreads over seven
+    // processors (makespan optimal: bottleneck 3 vs 4).
+    let hg = dir.join("disagree.hg");
+    let h = Hypergraph::from_hyperedges(
+        2,
+        8,
+        vec![(0, vec![0], 3), (1, vec![0], 1), (1, vec![1, 2, 3, 4, 5, 6, 7], 1)],
+    )
+    .unwrap();
+    write_hypergraph(&h, File::create(&hg).unwrap()).unwrap();
+
+    let run = |objective: &str| {
+        let out = semimatch(&[
+            "solve",
+            hg.to_str().unwrap(),
+            "--kinds",
+            "sgh,evg",
+            "--objective",
+            objective,
+        ]);
+        assert!(out.status.success(), "--objective {objective} failed");
+        stdout(&out)
+    };
+    let mk = run("makespan");
+    let flow = run("flowtime");
+    // Both kinds land on the makespan optimum (3) under makespan and on
+    // the flow-time optimum (score 10, makespan 4) under flowtime — the
+    // comparison tables visibly differ.
+    assert_ne!(mk, flow, "objective flag must change the table");
+    for line in mk.lines().filter(|l| l.starts_with("sgh") || l.starts_with("evg")) {
+        let makespan: u64 = line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert_eq!(makespan, 3, "makespan objective spreads wide: {line}");
+    }
+    for line in flow.lines().filter(|l| l.starts_with("sgh") || l.starts_with("evg")) {
+        let cols: Vec<&str> = line.split_whitespace().collect();
+        assert_eq!(cols[1].parse::<u64>().unwrap(), 4, "flow objective stacks P0: {line}");
+        assert_eq!(cols[2].parse::<u64>().unwrap(), 10, "flow-time score: {line}");
+    }
+
+    // Replay reports a live score board and accepts --objective.
+    let tr = dir.join("t.tr");
+    let gen = semimatch(&[
+        "generate-trace",
+        "--procs",
+        "8",
+        "--arrivals",
+        "64",
+        "--seed",
+        "5",
+        "--out",
+        tr.to_str().unwrap(),
+    ]);
+    assert!(gen.status.success());
+    let out = semimatch(&["replay", tr.to_str().unwrap(), "--objective", "flowtime"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("objective flowtime"), "{text}");
+    assert!(text.contains("scores:") && text.contains("flowtime"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}

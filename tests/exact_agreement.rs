@@ -21,11 +21,11 @@ proptest! {
         for kind in SolverKind::EXACT_SINGLEPROC {
             let sol = solve(problem, kind).unwrap();
             sol.validate(&problem).unwrap();
-            makespans.push((kind.name(), sol.makespan(&problem)));
+            makespans.push((kind.name(), sol.makespan(&problem).unwrap()));
         }
         let brute = solve(problem, SolverKind::BruteForce).unwrap();
         brute.validate(&problem).unwrap();
-        makespans.push(("brute-force", brute.makespan(&problem)));
+        makespans.push(("brute-force", brute.makespan(&problem).unwrap()));
 
         let reference = makespans[0].1;
         for &(name, m) in &makespans {
@@ -37,12 +37,12 @@ proptest! {
     fn lb_opt_heuristic_sandwich(g in covered_bipartite(20, 8)) {
         let problem = Problem::SingleProc(&g);
         let lb = lower_bound_singleproc(&g).unwrap();
-        let opt = solve(problem, SolverKind::ExactBisection).unwrap().makespan(&problem);
+        let opt = solve(problem, SolverKind::ExactBisection).unwrap().makespan(&problem).unwrap();
         prop_assert!(lb <= opt, "lower bound {lb} exceeds optimum {opt}");
         for kind in SolverKind::BI_HEURISTICS {
             let sol = solve(problem, kind).unwrap();
             sol.validate(&problem).unwrap();
-            prop_assert!(sol.makespan(&problem) >= opt, "{} beat the optimum", kind.name());
+            prop_assert!(sol.makespan(&problem).unwrap() >= opt, "{} beat the optimum", kind.name());
         }
     }
 
@@ -52,11 +52,11 @@ proptest! {
         let lb = lower_bound_singleproc(&g).unwrap();
         let brute = solve(problem, SolverKind::BruteForce).unwrap();
         brute.validate(&problem).unwrap();
-        let opt = brute.makespan(&problem);
+        let opt = brute.makespan(&problem).unwrap();
         prop_assert!(lb <= opt);
         // Weighted heuristics stay above the weighted optimum too.
         for kind in SolverKind::BI_HEURISTICS {
-            let m = solve(problem, kind).unwrap().makespan(&problem);
+            let m = solve(problem, kind).unwrap().makespan(&problem).unwrap();
             prop_assert!(m >= opt, "{} beat the weighted optimum", kind.name());
         }
     }

@@ -46,10 +46,10 @@ proptest! {
         let lb = lower_bound_multiproc(&h).unwrap();
         let brute = solve(problem, SolverKind::BruteForce).unwrap();
         brute.validate(&problem).unwrap();
-        let opt = brute.makespan(&problem);
+        let opt = brute.makespan(&problem).unwrap();
         prop_assert!(lb <= opt, "LB {lb} exceeds optimum {opt}");
         for kind in SolverKind::MULTIPROC {
-            let m = solve(problem, kind).unwrap().makespan(&problem);
+            let m = solve(problem, kind).unwrap().makespan(&problem).unwrap();
             prop_assert!(m >= opt, "{} beat the optimum: {m} < {opt}", kind.name());
         }
     }
@@ -80,8 +80,8 @@ proptest! {
             (SolverKind::Sgh, SolverKind::SghRefined),
             (SolverKind::Sgh, SolverKind::SghIls),
         ] {
-            let b = solve(problem, base).unwrap().makespan(&problem);
-            let r = solve(problem, refined).unwrap().makespan(&problem);
+            let b = solve(problem, base).unwrap().makespan(&problem).unwrap();
+            let r = solve(problem, refined).unwrap().makespan(&problem).unwrap();
             prop_assert!(r <= b, "{} worse than {}", refined.name(), base.name());
         }
     }

@@ -77,7 +77,7 @@ proptest! {
             prop_assert_eq!(snap.matching.makespan(&snap.hypergraph), engine.bottleneck());
             let g = snap.to_bipartite().expect("singleton trace");
             let problem = Problem::SingleProc(&g);
-            let opt = solve(problem, SolverKind::ExactBisection).unwrap().makespan(&problem);
+            let opt = solve(problem, SolverKind::ExactBisection).unwrap().makespan(&problem).unwrap();
             prop_assert_eq!(
                 engine.bottleneck(),
                 opt,
@@ -93,7 +93,7 @@ proptest! {
             let cfg = EngineConfig {
                 policy: RepairPolicy::Periodic { every: 1 },
                 resolve_kind: kind,
-                shards: 1,
+                ..EngineConfig::default()
             };
             let engine = Engine::replay(cfg, &trace).unwrap();
             if engine.n_live_tasks() == 0 {
@@ -102,7 +102,7 @@ proptest! {
             }
             let snap = engine.snapshot();
             let problem = Problem::MultiProc(&snap.hypergraph);
-            let scratch = solve(problem, kind).unwrap().makespan(&problem);
+            let scratch = solve(problem, kind).unwrap().makespan(&problem).unwrap();
             prop_assert_eq!(
                 engine.bottleneck(),
                 scratch,
@@ -131,7 +131,7 @@ proptest! {
             snap.matching.validate(&snap.hypergraph).unwrap();
             prop_assert_eq!(snap.matching.makespan(&snap.hypergraph), engine.bottleneck());
             let problem = Problem::MultiProc(&snap.hypergraph);
-            let opt = solve(problem, SolverKind::BruteForce).unwrap().makespan(&problem);
+            let opt = solve(problem, SolverKind::BruteForce).unwrap().makespan(&problem).unwrap();
             prop_assert!(
                 engine.bottleneck() >= opt,
                 "{policy:?} beat the optimum: {} < {opt}",

@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 use semimatch::graph::{Bipartite, Hypergraph};
-use semimatch::solver::{solve, solve_many, Problem, Solver, SolverKind};
+use semimatch::solver::{solve, solve_many, Objective, Problem, Solver, SolverKind};
 
 /// Random unit-weight bipartite instances with every task covered (the
 /// precondition of the exact `SINGLEPROC-UNIT` kinds), small enough for
@@ -56,7 +56,7 @@ proptest! {
                 .unwrap_or_else(|e| panic!("{kind} failed: {e}"));
             sol.validate(&problem).unwrap_or_else(|e| panic!("{kind} invalid: {e}"));
             if kind.is_exact() {
-                let m = sol.makespan(&problem);
+                let m = sol.makespan(&problem).unwrap();
                 match exact_makespan {
                     None => exact_makespan = Some(m),
                     Some(opt) => prop_assert_eq!(m, opt, "{} disagreed with the optimum", kind),
@@ -66,7 +66,7 @@ proptest! {
         // Heuristics cannot beat the exact optimum.
         let opt = exact_makespan.expect("registry has exact SINGLEPROC kinds");
         for kind in SolverKind::BI_HEURISTICS {
-            let m = solve(problem, kind).unwrap().makespan(&problem);
+            let m = solve(problem, kind).unwrap().makespan(&problem).unwrap();
             prop_assert!(m >= opt, "{} beat the optimum ({} < {})", kind, m, opt);
         }
     }
@@ -74,12 +74,12 @@ proptest! {
     #[test]
     fn every_multiproc_kind_validates(h in hypergraph()) {
         let problem = Problem::MultiProc(&h);
-        let opt = solve(problem, SolverKind::BruteForce).unwrap().makespan(&problem);
+        let opt = solve(problem, SolverKind::BruteForce).unwrap().makespan(&problem).unwrap();
         for kind in SolverKind::MULTIPROC {
             let sol = solve(problem, kind)
                 .unwrap_or_else(|e| panic!("{kind} failed: {e}"));
             sol.validate(&problem).unwrap_or_else(|e| panic!("{kind} invalid: {e}"));
-            prop_assert!(sol.makespan(&problem) >= opt, "{} beat brute force", kind);
+            prop_assert!(sol.makespan(&problem).unwrap() >= opt, "{} beat brute force", kind);
         }
     }
 
@@ -87,7 +87,7 @@ proptest! {
     fn warm_solvers_and_batches_match_the_facade(g in covered_bipartite(), h in hypergraph()) {
         let problems = [Problem::SingleProc(&g), Problem::MultiProc(&h)];
         let kinds: Vec<SolverKind> = SolverKind::ALL.to_vec();
-        let rows = solve_many(&problems, &kinds);
+        let rows = solve_many(&problems, &kinds, Objective::Makespan);
         for (row, &problem) in rows.iter().zip(&problems) {
             for (slot, &kind) in row.iter().zip(&kinds) {
                 match (slot, solve(problem, kind)) {

@@ -69,7 +69,7 @@ fn every_kind_is_exercised_on_its_own_class() {
                 (Solution::MultiProc(_), Problem::MultiProc(_)) => {}
                 _ => panic!("{} returned a solution of the wrong class", kind.name()),
             }
-            assert!(sol.makespan(&problem) >= 1);
+            assert!(sol.makespan(&problem).unwrap() >= 1);
         }
     }
 }
@@ -78,9 +78,9 @@ fn every_kind_is_exercised_on_its_own_class() {
 fn exact_kinds_agree_and_heuristics_bound_them() {
     let g = bipartite();
     let problem = Problem::SingleProc(&g);
-    let opt = solve(problem, SolverKind::ExactBisection).unwrap().makespan(&problem);
+    let opt = solve(problem, SolverKind::ExactBisection).unwrap().makespan(&problem).unwrap();
     for kind in SolverKind::SINGLEPROC {
-        let m = solve(problem, kind).unwrap().makespan(&problem);
+        let m = solve(problem, kind).unwrap().makespan(&problem).unwrap();
         if kind.is_exact() {
             assert_eq!(m, opt, "{} is exact but disagreed", kind.name());
         } else {
@@ -89,9 +89,9 @@ fn exact_kinds_agree_and_heuristics_bound_them() {
     }
     let h = hypergraph();
     let hp = Problem::MultiProc(&h);
-    let hopt = solve(hp, SolverKind::BruteForce).unwrap().makespan(&hp);
+    let hopt = solve(hp, SolverKind::BruteForce).unwrap().makespan(&hp).unwrap();
     for kind in SolverKind::MULTIPROC {
-        let m = solve(hp, kind).unwrap().makespan(&hp);
+        let m = solve(hp, kind).unwrap().makespan(&hp).unwrap();
         assert!(m >= hopt, "{} beat the optimum", kind.name());
     }
 }
