@@ -36,7 +36,12 @@ fn sweep(count: u64, n: u32, p: u32) -> Vec<Bipartite> {
 fn bench_repeat_solve(c: &mut Criterion) {
     let instances = sweep(24, 2048, 128);
     let problems: Vec<Problem<'_>> = instances.iter().map(Problem::SingleProc).collect();
-    let kinds = [SolverKind::ExactBisection, SolverKind::ExactReplicated];
+    let kinds = [
+        SolverKind::ExactBisection,
+        SolverKind::ExactReplicated,
+        SolverKind::HopcroftKarpSemi,
+        SolverKind::CostScaling,
+    ];
 
     let mut group = c.benchmark_group("repeat-solve");
     group.sample_size(10).measurement_time(Duration::from_secs(4));
@@ -79,10 +84,39 @@ fn bench_repeat_solve(c: &mut Criterion) {
     }
     group.finish();
 
-    // Sanity: warm and cold must agree bit-for-bit (run once, not timed).
+    // The fast-exact contrast: tall (n ≫ p) unit instances, where the
+    // generalized Hopcroft–Karp phases skip the matching oracle entirely
+    // and the load-range divide-and-conquer brackets with a greedy
+    // witness. Row pair recorded in results/BENCH_fast_exact.md.
+    let tall = sweep(16, 8192, 24);
+    let tall_problems: Vec<Problem<'_>> = tall.iter().map(Problem::SingleProc).collect();
+    let mut group = c.benchmark_group("fast-exact-tall");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for kind in kinds {
+        group.bench_with_input(BenchmarkId::new("warm", kind.name()), &tall_problems, |b, ps| {
+            b.iter(|| {
+                let row: u64 = solve_many(ps, &[kind], Objective::Makespan)
+                    .iter()
+                    .zip(ps)
+                    .map(|(r, p)| r[0].as_ref().unwrap().makespan(p).unwrap())
+                    .sum();
+                row
+            })
+        });
+    }
+    group.finish();
+
+    // Sanity: warm and cold must agree bit-for-bit, and the fast exact
+    // backends must land on the reference optimum (run once, not timed).
     let mut warm = SolverKind::ExactBisection.solver();
     for &p in &problems[..4] {
         assert_eq!(warm.solve(p).unwrap(), solve(p, SolverKind::ExactBisection).unwrap());
+    }
+    for &p in &tall_problems[..2] {
+        let opt = solve(p, SolverKind::ExactBisection).unwrap().makespan(&p).unwrap();
+        for kind in [SolverKind::HopcroftKarpSemi, SolverKind::CostScaling] {
+            assert_eq!(solve(p, kind).unwrap().makespan(&p).unwrap(), opt, "{kind} missed opt");
+        }
     }
 }
 

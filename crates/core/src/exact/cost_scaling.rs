@@ -1,0 +1,142 @@
+//! FLN-style divide-and-conquer exact backend for `SINGLEPROC-UNIT`.
+//!
+//! Fakcharoenphol, Laekhanukit and Nanongkai (*Faster Algorithms for
+//! Semi-Matching Problems*) attack semi-matchings by divide-and-conquer
+//! over the **load range**: capacitated feasibility probes split the range
+//! of possible bottleneck values until the optimal load profile is pinned.
+//! This backend implements that search shape over the repository's
+//! resident flow substrate:
+//!
+//! * the range starts at `[⌈n/p⌉, greedy]` — the counting lower bound
+//!   against a sorted-greedy witness, not the doubling expansion of
+//!   [`SearchStrategy::Bisection`](crate::exact::SearchStrategy) — so the
+//!   first probe already lands mid-profile;
+//! * every probe is a capacitated maximum assignment through the
+//!   workspace's resident Dinic scratch
+//!   ([`max_assignment_in`]) — warm probes allocate only their result;
+//! * an **infeasible** probe at capacity `D` covering `c < n` tasks
+//!   tightens the lower half by the FLN deficiency bound: feasibility at
+//!   `D' ≥ D` can cover at most `c + p·(D' − D)` tasks, so
+//!   `opt ≥ D + ⌈(n − c)/p⌉` — the probe's shortfall skips whole chunks
+//!   of the range instead of one endpoint.
+//!
+//! Under sum objectives the registry appends the Harvey cost-reducing
+//! descent to the profile-search witness, the composition FLN's total-cost
+//! objective (`Objective::FlowTime`) shares with the other exact kinds.
+
+use semimatch_graph::Bipartite;
+use semimatch_matching::capacitated::max_assignment_in;
+use semimatch_matching::SearchWorkspace;
+
+use crate::error::Result;
+use crate::exact::unit::{check_instance, ExactResult};
+use crate::problem::SemiMatching;
+
+/// Exact optimum via divide-and-conquer on the load range, throwaway
+/// scratch.
+///
+/// Errors with [`crate::error::CoreError::RequiresUnitWeights`] on
+/// weighted instances and [`crate::error::CoreError::UncoveredTask`] when
+/// some task has no processor.
+pub fn cost_scaling(g: &Bipartite) -> Result<ExactResult> {
+    cost_scaling_in(g, &mut SearchWorkspace::new())
+}
+
+/// [`cost_scaling`] running every feasibility probe through `ws`'s
+/// resident flow arena. `oracle_calls` counts the capacitated probes.
+pub fn cost_scaling_in(g: &Bipartite, ws: &mut SearchWorkspace) -> Result<ExactResult> {
+    check_instance(g)?;
+    let n = g.n_left();
+    if n == 0 {
+        return Ok(ExactResult {
+            makespan: 0,
+            solution: SemiMatching { edge_of: Vec::new() },
+            oracle_calls: 0,
+        });
+    }
+    let p = g.n_right().max(1);
+    // Witness bracket: greedy bounds the profile from above, counting from
+    // below. Unit weights keep every deadline within u32 (loads ≤ n).
+    let seed = crate::greedy::sorted::sorted_greedy(g)?;
+    let mut hi = seed.makespan(g) as u32;
+    let mut lo = n.div_ceil(p).max(1);
+    let mut calls = 0u32;
+    let mut witness: Option<Vec<u32>> = None; // task→proc at capacity == hi
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        calls += 1;
+        let a = max_assignment_in(g, mid, ws);
+        if a.is_complete() {
+            hi = mid;
+            witness = Some(a.task_to_proc);
+        } else {
+            // FLN deficiency bound: the shortfall dictates how much extra
+            // capacity the whole pool needs before the probe can close.
+            let deficit = (n as u64 - a.cardinality() as u64).div_ceil(p as u64);
+            lo = mid + (deficit as u32).max(1);
+        }
+    }
+    let solution = match witness {
+        Some(assign) => SemiMatching::from_procs(g, &assign)?,
+        None => seed, // the greedy witness already sat on the lower bound
+    };
+    debug_assert_eq!(solution.makespan(g), hi as u64, "witness saturates the pinned profile");
+    Ok(ExactResult { makespan: hi as u64, solution, oracle_calls: calls })
+}
+
+#[cfg(test)]
+#[allow(clippy::type_complexity)] // edge-list test fixtures
+mod tests {
+    use super::*;
+    use crate::error::CoreError;
+    use crate::exact::unit::{exact_unit, SearchStrategy};
+
+    #[test]
+    fn agrees_with_the_matching_based_exact() {
+        let cases: &[(u32, u32, &[(u32, u32)])] = &[
+            (2, 2, &[(0, 0), (0, 1), (1, 0)]),
+            (5, 1, &[(0, 0), (1, 0), (2, 0), (3, 0), (4, 0)]),
+            (4, 2, &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1), (3, 0)]),
+            (7, 4, &[(0, 0), (1, 0), (2, 0), (3, 1), (3, 2), (4, 2), (5, 3), (6, 3), (6, 0)]),
+        ];
+        for &(n1, n2, edges) in cases {
+            let g = Bipartite::from_edges(n1, n2, edges).unwrap();
+            let r = cost_scaling(&g).unwrap();
+            r.solution.validate(&g).unwrap();
+            assert_eq!(r.solution.makespan(&g), r.makespan);
+            assert_eq!(r.makespan, exact_unit(&g, SearchStrategy::Incremental).unwrap().makespan);
+        }
+    }
+
+    #[test]
+    fn deficiency_bound_skips_range_chunks() {
+        // All 8 tasks pinned to P0 beside an idle P1: lb = 4, opt = 8. The
+        // first probe at 6 covers 6 of 8 → deficit ⌈2/2⌉ = 1 → lo = 7; the
+        // plain bisection endpoint step would need the same probes, but the
+        // probe count stays within the binary-search budget regardless.
+        let edges: Vec<(u32, u32)> = (0..8).map(|t| (t, 0)).collect();
+        let g = Bipartite::from_edges(8, 2, &edges).unwrap();
+        let r = cost_scaling(&g).unwrap();
+        assert_eq!(r.makespan, 8);
+        assert!(r.oracle_calls <= 4, "made {} probes", r.oracle_calls);
+    }
+
+    #[test]
+    fn greedy_witness_short_circuits_tight_instances() {
+        // Perfectly spreadable: greedy hits the counting bound, no probes.
+        let g = Bipartite::from_edges(4, 4, &[(0, 0), (1, 1), (2, 2), (3, 3)]).unwrap();
+        let r = cost_scaling(&g).unwrap();
+        assert_eq!(r.makespan, 1);
+        assert_eq!(r.oracle_calls, 0);
+    }
+
+    #[test]
+    fn preconditions_and_empty() {
+        let w = Bipartite::from_weighted_edges(1, 1, &[(0, 0)], &[2]).unwrap();
+        assert_eq!(cost_scaling(&w).unwrap_err(), CoreError::RequiresUnitWeights);
+        let u = Bipartite::from_edges(2, 1, &[(0, 0)]).unwrap();
+        assert_eq!(cost_scaling(&u).unwrap_err(), CoreError::UncoveredTask(1));
+        let e = Bipartite::from_edges(0, 3, &[]).unwrap();
+        assert_eq!(cost_scaling(&e).unwrap().makespan, 0);
+    }
+}

@@ -7,19 +7,30 @@
 //!   max-flow or by literal `G_D` replication.
 //! * [`harvey`] — an independent second exact algorithm via cost-reducing
 //!   paths (Harvey, Ladner, Lovász, Tamir 2006), used to cross-validate.
+//! * [`mod@hk_semi`] — Katrenič–Semanišin's generalized Hopcroft–Karp:
+//!   phases of multi-source level graphs augmenting along all shortest
+//!   load-reducing paths at once (`O(√n · m)`-flavored).
+//! * [`mod@cost_scaling`] — Fakcharoenphol–Laekhanukit–Nanongkai-style
+//!   divide-and-conquer on the load range, pinning the optimal profile
+//!   with capacitated feasibility probes through the resident Dinic
+//!   scratch.
 //! * [`brute_force`] — branch-and-bound exhaustive search for small
 //!   (weighted, hypergraph) instances; the ground truth for every
 //!   heuristic test and for the Theorem 1 reduction.
 
 pub mod brute_force;
+pub mod cost_scaling;
 pub mod harvey;
+pub mod hk_semi;
 pub mod unit;
 
 pub use brute_force::{
     brute_force_multiproc, brute_force_multiproc_objective, brute_force_singleproc,
     brute_force_singleproc_objective,
 };
+pub use cost_scaling::{cost_scaling, cost_scaling_in};
 pub use harvey::harvey_exact;
+pub use hk_semi::{hk_semi, hk_semi_in};
 pub use unit::{
     exact_unit, exact_unit_in, exact_unit_replicated, exact_unit_replicated_in, ExactResult,
     SearchStrategy,

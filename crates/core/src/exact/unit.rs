@@ -101,7 +101,8 @@ pub fn exact_unit_replicated_in(
     search(g, strategy, oracle, &mut calls, ws)
 }
 
-fn check_instance(g: &Bipartite) -> Result<()> {
+/// Shared `SINGLEPROC-UNIT` precondition check for every exact backend.
+pub(crate) fn check_instance(g: &Bipartite) -> Result<()> {
     if !g.is_unit() {
         return Err(CoreError::RequiresUnitWeights);
     }

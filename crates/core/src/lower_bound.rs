@@ -213,6 +213,46 @@ mod tests {
         assert_eq!(lower_bound_flowtime_multiproc(&h).unwrap(), Score(0));
     }
 
+    /// The degenerate corners of the balanced-spread bound: zero tasks,
+    /// zero processors, and both at once must yield a defined `Score(0)`
+    /// for every objective (never a division by zero), and a task without
+    /// processors is an `UncoveredTask` error before any division runs.
+    #[test]
+    fn objective_bounds_are_defined_on_degenerate_instances() {
+        let empty_g = Bipartite::from_edges(0, 0, &[]).unwrap();
+        let no_task_g = Bipartite::from_edges(0, 3, &[]).unwrap();
+        let empty_h = Hypergraph::from_hyperedges(0, 0, vec![]).unwrap();
+        let no_task_h = Hypergraph::from_hyperedges(0, 2, vec![]).unwrap();
+        for obj in Objective::REPORTED {
+            assert_eq!(lower_bound_objective_singleproc(&empty_g, obj).unwrap(), Score(0), "{obj}");
+            assert_eq!(
+                lower_bound_objective_singleproc(&no_task_g, obj).unwrap(),
+                Score(0),
+                "{obj}"
+            );
+            assert_eq!(lower_bound_objective_multiproc(&empty_h, obj).unwrap(), Score(0), "{obj}");
+            assert_eq!(
+                lower_bound_objective_multiproc(&no_task_h, obj).unwrap(),
+                Score(0),
+                "{obj}"
+            );
+        }
+        let uncovered_g = Bipartite::from_edges(1, 0, &[]).unwrap();
+        let uncovered_h = Hypergraph::from_hyperedges(1, 0, vec![]).unwrap();
+        for obj in Objective::REPORTED {
+            assert_eq!(
+                lower_bound_objective_singleproc(&uncovered_g, obj).unwrap_err(),
+                CoreError::UncoveredTask(0),
+                "{obj}"
+            );
+            assert_eq!(
+                lower_bound_objective_multiproc(&uncovered_h, obj).unwrap_err(),
+                CoreError::UncoveredTask(0),
+                "{obj}"
+            );
+        }
+    }
+
     #[test]
     fn flowtime_bound_is_the_balanced_spread() {
         // 5 unit tasks, 2 processors → balanced loads (3, 2) → 6 + 3 = 9.

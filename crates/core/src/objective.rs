@@ -47,6 +47,23 @@ impl Score {
     pub fn as_f64(self) -> f64 {
         self.0 as f64
     }
+
+    /// Table rendering: the exact value when it fits in `u64`, the
+    /// `>u64::MAX` marker otherwise.
+    ///
+    /// Fixed-width comparison tables (CLI `solve --kinds`, bench reports)
+    /// previously narrowed through [`Score::as_u64`]-style saturation, so
+    /// a saturated 39-digit `L_p` score printed as a plausible-looking but
+    /// wrong number. Anything beyond `u64::MAX` is either genuinely
+    /// astronomical or a clamped [`Objective::LpNorm`] cost — both are
+    /// better flagged than misread.
+    pub fn display_clamped(self) -> String {
+        if self.0 > u64::MAX as u128 {
+            ">u64::MAX".into()
+        } else {
+            self.0.to_string()
+        }
+    }
 }
 
 impl fmt::Display for Score {
@@ -117,8 +134,15 @@ impl Objective {
     /// selection loops must therefore seed with their first candidate
     /// rather than a `u128::MAX` sentinel, and comparisons degrade to
     /// tie-breaks instead of misordering.
+    ///
+    /// Uses exactly the [`Objective::proc_cost`] integer arithmetic on
+    /// both ends (never a float fallback), so greedy marginal ranking and
+    /// the exact score agree bit-for-bit; at the `u64` domain boundary
+    /// the raised load saturates instead of wrapping, keeping the
+    /// difference defined and order-preserving (`proc_cost` is monotone,
+    /// so the subtraction cannot underflow).
     pub fn marginal(self, load: u64, add: u64) -> u128 {
-        self.proc_cost(load + add) - self.proc_cost(load)
+        self.proc_cost(load.saturating_add(add)) - self.proc_cost(load)
     }
 
     /// [`Objective::marginal`] over fractional (expected) loads, for the
@@ -195,16 +219,25 @@ fn saturating_pow(base: u128, exp: u32) -> u128 {
 /// vector, since every sum-type objective is convex in each load. Used by
 /// the objective lower bounds; for [`Objective::Makespan`] it degenerates
 /// to `⌈work / p⌉`.
+/// An empty processor set (`p == 0`) cannot serve positive work: the
+/// guard returns `Score(0)` for zero work and `Score(u128::MAX)` (the
+/// "infeasible" top of the order) otherwise instead of dividing by zero.
+/// When `work / p` itself exceeds the `u64` load domain, the bottleneck
+/// arm stays exact in `u128` and the sum arm clamps the per-processor
+/// load to `u64::MAX` (costs are monotone, so the clamped value remains a
+/// valid floor) — previously the quotient was truncated with `as u64`,
+/// silently *wrapping* to a tiny, invalid bound.
 pub fn balanced_score(objective: Objective, work: u128, p: u64) -> Score {
     if p == 0 {
         return Score(if work == 0 { 0 } else { u128::MAX });
     }
-    let q = (work / p as u128) as u64;
+    let q = work / p as u128;
     let r = work % p as u128;
     if objective.is_bottleneck() {
-        return Score(if r > 0 { q as u128 + 1 } else { q as u128 });
+        return Score(if r > 0 { q.saturating_add(1) } else { q });
     }
-    let high = objective.proc_cost(q + 1).saturating_mul(r);
+    let q = u64::try_from(q).unwrap_or(u64::MAX);
+    let high = objective.proc_cost(q.saturating_add(1)).saturating_mul(r);
     let low = objective.proc_cost(q).saturating_mul(p as u128 - r);
     Score(high.saturating_add(low))
 }
@@ -275,6 +308,44 @@ mod tests {
         assert_eq!(Score(42).as_f64(), 42.0);
     }
 
+    /// Regression (integer/float cost-path divergence): `marginal` must
+    /// use exactly the `proc_cost` saturating integer arithmetic. Beyond
+    /// 2^53 an `f64` power loses whole units, so a float fallback would
+    /// rank candidates differently than the exact score.
+    #[test]
+    fn marginal_agrees_with_proc_cost_at_large_loads() {
+        let objectives =
+            [Objective::Makespan, Objective::FlowTime, Objective::LpNorm(2), Objective::LpNorm(3)];
+        for obj in objectives {
+            for load in [0u64, 1, (1 << 32) - 1, 1 << 53, u64::MAX - 7, u64::MAX] {
+                for add in [0u64, 1, 3, u64::MAX] {
+                    let exact = obj
+                        .proc_cost(load.saturating_add(add))
+                        .checked_sub(obj.proc_cost(load))
+                        .expect("proc_cost is monotone");
+                    assert_eq!(obj.marginal(load, add), exact, "{obj} {load}+{add}");
+                }
+            }
+        }
+        // l = 2^32: (l+1)² − l² = 2l + 1 exactly. The f64 path rounds the
+        // costs to multiples of 2048 here and reports 2^33 instead.
+        let l = 1u64 << 32;
+        assert_eq!(Objective::LpNorm(2).marginal(l, 1), 2 * l as u128 + 1);
+        let f = Objective::LpNorm(2).marginal_f64(l as f64, 1.0);
+        assert_ne!(f as u128, 2 * l as u128 + 1, "the float path really does diverge here");
+    }
+
+    /// Regression: `marginal` at the `u64` domain boundary must stay
+    /// defined (the raised load saturates) instead of overflowing.
+    #[test]
+    fn marginal_is_defined_on_the_domain_boundary() {
+        for obj in Objective::REPORTED {
+            assert_eq!(obj.marginal(u64::MAX, 1), 0, "{obj}");
+            assert_eq!(obj.marginal(u64::MAX, u64::MAX), 0, "{obj}");
+        }
+        assert_eq!(Objective::WeightedLoad.marginal(u64::MAX - 2, 5), 2);
+    }
+
     #[test]
     fn lp_norm_saturates_instead_of_wrapping() {
         let huge = Objective::LpNorm(40).proc_cost(u64::MAX);
@@ -292,6 +363,28 @@ mod tests {
         // Degenerate processor counts.
         assert_eq!(balanced_score(Objective::FlowTime, 0, 0), Score(0));
         assert_eq!(balanced_score(Objective::FlowTime, 1, 0), Score(u128::MAX));
+        for obj in Objective::REPORTED {
+            assert_eq!(balanced_score(obj, 0, 0), Score(0), "{obj}");
+            assert_eq!(balanced_score(obj, 7, 0), Score(u128::MAX), "{obj}");
+            assert_eq!(balanced_score(obj, 0, 5), Score(0), "{obj}");
+        }
+    }
+
+    /// Regression: a per-processor quotient beyond `u64::MAX` used to be
+    /// `as u64`-truncated into a tiny (invalid) bound; it must clamp for
+    /// the sum objectives and stay exact for the bottleneck.
+    #[test]
+    fn balanced_score_survives_quotients_beyond_u64() {
+        let work = (u64::MAX as u128) * 6 + 5; // q = 3·u64::MAX + 2 over p = 2
+        let q = (u64::MAX as u128) * 3 + 2;
+        assert_eq!(balanced_score(Objective::Makespan, work, 2), Score(q + 1));
+        // The sum arms clamp the load to u64::MAX: still a valid floor,
+        // and far from the near-zero value truncation produced.
+        for obj in [Objective::WeightedLoad, Objective::FlowTime, Objective::LpNorm(2)] {
+            let got = balanced_score(obj, work, 2);
+            let floor = obj.proc_cost(u64::MAX).saturating_mul(2);
+            assert!(got >= Score(floor), "{obj} truncated: {got}");
+        }
     }
 
     #[test]

@@ -56,8 +56,8 @@ use semimatch_matching::SearchWorkspace;
 use crate::error::{CoreError, Result};
 use crate::exact::{
     brute_force_multiproc, brute_force_multiproc_objective, brute_force_singleproc,
-    brute_force_singleproc_objective, exact_unit_in, exact_unit_replicated_in, harvey_exact,
-    SearchStrategy,
+    brute_force_singleproc_objective, cost_scaling_in, exact_unit_in, exact_unit_replicated_in,
+    harvey_exact, hk_semi_in, SearchStrategy,
 };
 use crate::greedy::basic::greedy_in_order_with;
 use crate::greedy::double_sorted::double_sorted_with;
@@ -280,6 +280,12 @@ pub enum SolverKind {
     ExactReplicated,
     /// Exact via cost-reducing paths (Harvey, Ladner, Lovász, Tamir).
     Harvey,
+    /// Exact via generalized Hopcroft–Karp phases (Katrenič–Semanišin):
+    /// all shortest load-reducing paths augmented at once.
+    HopcroftKarpSemi,
+    /// Exact via divide-and-conquer on the load range with capacitated
+    /// feasibility probes (Fakcharoenphol–Laekhanukit–Nanongkai style).
+    CostScaling,
     // --- MULTIPROC heuristics (§IV-D) ---
     /// sorted-greedy-hyp (Algorithm 4).
     Sgh,
@@ -307,7 +313,7 @@ pub enum SolverKind {
 
 impl SolverKind {
     /// Every registered solver.
-    pub const ALL: [SolverKind; 18] = [
+    pub const ALL: [SolverKind; 20] = [
         SolverKind::Basic,
         SolverKind::Sorted,
         SolverKind::DoubleSorted,
@@ -316,6 +322,8 @@ impl SolverKind {
         SolverKind::ExactBisection,
         SolverKind::ExactReplicated,
         SolverKind::Harvey,
+        SolverKind::HopcroftKarpSemi,
+        SolverKind::CostScaling,
         SolverKind::Sgh,
         SolverKind::Vgh,
         SolverKind::Egh,
@@ -329,7 +337,7 @@ impl SolverKind {
     ];
 
     /// Solvers accepting bipartite (`SINGLEPROC`) problems.
-    pub const SINGLEPROC: [SolverKind; 10] = [
+    pub const SINGLEPROC: [SolverKind; 12] = [
         SolverKind::Basic,
         SolverKind::Sorted,
         SolverKind::DoubleSorted,
@@ -338,6 +346,8 @@ impl SolverKind {
         SolverKind::ExactBisection,
         SolverKind::ExactReplicated,
         SolverKind::Harvey,
+        SolverKind::HopcroftKarpSemi,
+        SolverKind::CostScaling,
         SolverKind::StreamingGreedy,
         SolverKind::BruteForce,
     ];
@@ -380,11 +390,13 @@ impl SolverKind {
         [SolverKind::Sgh, SolverKind::Vgh, SolverKind::Egh, SolverKind::Evg];
 
     /// The exact `SINGLEPROC-UNIT` algorithms.
-    pub const EXACT_SINGLEPROC: [SolverKind; 4] = [
+    pub const EXACT_SINGLEPROC: [SolverKind; 6] = [
         SolverKind::ExactIncremental,
         SolverKind::ExactBisection,
         SolverKind::ExactReplicated,
         SolverKind::Harvey,
+        SolverKind::HopcroftKarpSemi,
+        SolverKind::CostScaling,
     ];
 
     /// Canonical registry name (stable; used by `from_str`, the CLI and
@@ -399,6 +411,8 @@ impl SolverKind {
             SolverKind::ExactBisection => "exact-bisection",
             SolverKind::ExactReplicated => "exact-replicated",
             SolverKind::Harvey => "harvey",
+            SolverKind::HopcroftKarpSemi => "hk-semi",
+            SolverKind::CostScaling => "cost-scaling",
             SolverKind::Sgh => "sgh",
             SolverKind::Vgh => "vgh",
             SolverKind::Egh => "egh",
@@ -423,6 +437,7 @@ impl SolverKind {
             SolverKind::SghRefined => "SGH+refine",
             SolverKind::SghIls => "SGH+ILS",
             SolverKind::StreamingGreedy => "streaming",
+            SolverKind::HopcroftKarpSemi => "HK-semi",
             other => other.name(),
         }
     }
@@ -444,6 +459,8 @@ impl SolverKind {
             | SolverKind::SghIls
             | SolverKind::Online
             | SolverKind::StreamingGreedy
+            | SolverKind::HopcroftKarpSemi
+            | SolverKind::CostScaling
             | SolverKind::BruteForce => "extension",
         }
     }
@@ -458,7 +475,9 @@ impl SolverKind {
             | SolverKind::ExactIncremental
             | SolverKind::ExactBisection
             | SolverKind::ExactReplicated
-            | SolverKind::Harvey => SolverClass::SingleProc,
+            | SolverKind::Harvey
+            | SolverKind::HopcroftKarpSemi
+            | SolverKind::CostScaling => SolverClass::SingleProc,
             SolverKind::Sgh
             | SolverKind::Vgh
             | SolverKind::Egh
@@ -483,6 +502,8 @@ impl SolverKind {
                 | SolverKind::ExactBisection
                 | SolverKind::ExactReplicated
                 | SolverKind::Harvey
+                | SolverKind::HopcroftKarpSemi
+                | SolverKind::CostScaling
                 | SolverKind::BruteForce
         )
     }
@@ -498,6 +519,8 @@ impl SolverKind {
             SolverKind::ExactBisection => "exact, bisection deadline search",
             SolverKind::ExactReplicated => "exact, literal G_D replication",
             SolverKind::Harvey => "exact, cost-reducing paths",
+            SolverKind::HopcroftKarpSemi => "exact, generalized Hopcroft-Karp phases",
+            SolverKind::CostScaling => "exact, load-range divide-and-conquer",
             SolverKind::Sgh => "sorted-greedy-hyp (Alg. 4)",
             SolverKind::Vgh => "vector-greedy-hyp",
             SolverKind::Egh => "expected-greedy-hyp (Alg. 5)",
@@ -598,6 +621,12 @@ impl SolverKind {
             SolverKind::Harvey => {
                 Ok(Solution::SingleProc(harvey_exact(self.bipartite(&problem)?)?))
             }
+            SolverKind::HopcroftKarpSemi => {
+                Ok(Solution::SingleProc(hk_semi_in(self.bipartite(&problem)?, ws)?.solution))
+            }
+            SolverKind::CostScaling => {
+                Ok(Solution::SingleProc(cost_scaling_in(self.bipartite(&problem)?, ws)?.solution))
+            }
             SolverKind::Sgh => {
                 Ok(Solution::MultiProc(HyperHeuristic::Sgh.run(self.hypergraph(&problem)?)?))
             }
@@ -681,7 +710,9 @@ impl SolverKind {
             )?)),
             SolverKind::ExactIncremental
             | SolverKind::ExactBisection
-            | SolverKind::ExactReplicated => {
+            | SolverKind::ExactReplicated
+            | SolverKind::HopcroftKarpSemi
+            | SolverKind::CostScaling => {
                 // Makespan-exact first, then the cost-reducing-path descent:
                 // its fixpoint is simultaneously optimal for every symmetric
                 // convex objective (Harvey et al.).
@@ -789,6 +820,8 @@ impl FromStr for SolverKind {
             "incremental" => Ok(SolverKind::ExactIncremental),
             "bisection" => Ok(SolverKind::ExactBisection),
             "replicated" => Ok(SolverKind::ExactReplicated),
+            "hopcroft-karp-semi" | "katrenic" => Ok(SolverKind::HopcroftKarpSemi),
+            "fln" | "load-range" => Ok(SolverKind::CostScaling),
             "evg+refine" => Ok(SolverKind::EvgRefined),
             "sgh+refine" => Ok(SolverKind::SghRefined),
             "sgh+ils" => Ok(SolverKind::SghIls),
@@ -984,6 +1017,8 @@ mod tests {
                 | SolverKind::ExactBisection
                 | SolverKind::ExactReplicated
                 | SolverKind::Harvey
+                | SolverKind::HopcroftKarpSemi
+                | SolverKind::CostScaling
                 | SolverKind::Sgh
                 | SolverKind::Vgh
                 | SolverKind::Egh

@@ -39,12 +39,14 @@ pub mod hopcroft_karp;
 pub mod matching;
 pub mod push_relabel;
 pub mod replicate;
+pub mod semi;
 pub mod workspace;
 
 pub use capacitated::{feasible, max_assignment, max_assignment_with_capacities, Assignment};
 pub use cover::{certify_maximum, koenig_cover, VertexCover};
 pub use flow::FlowNetwork;
 pub use matching::{Matching, NONE};
+pub use semi::{optimal_semi_assignment, optimal_semi_assignment_in, SemiAssignment};
 pub use workspace::SearchWorkspace;
 
 /// Selector for the maximum-matching engines.

@@ -67,6 +67,14 @@ pub struct SearchWorkspace {
     pub(crate) edge_arcs: Vec<u32>,
     /// Edge-list buffer for graph constructions (`G_D` replication).
     pub(crate) edges: Vec<(u32, u32)>,
+    /// Per-right-vertex BFS level (semi-matching phase descent).
+    pub(crate) rdist: Vec<u32>,
+    /// Intrusive assigned-task list heads, indexed by right vertex.
+    pub(crate) list_head: Vec<u32>,
+    /// Intrusive assigned-task list links, indexed by left vertex.
+    pub(crate) list_next: Vec<u32>,
+    /// Reverse links of [`Self::list_next`], for `O(1)` removal.
+    pub(crate) list_prev: Vec<u32>,
 }
 
 impl SearchWorkspace {
@@ -99,6 +107,10 @@ impl SearchWorkspace {
         grow(&mut self.cursor, n1);
         grow(&mut self.lookahead, n1);
         grow(&mut self.labels, n2);
+        grow(&mut self.rdist, n2);
+        grow(&mut self.list_head, n2);
+        grow(&mut self.list_next, n1);
+        grow(&mut self.list_prev, n1);
     }
 
     /// Pre-sizes the residual-network arena (vertices, directed arcs

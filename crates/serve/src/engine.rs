@@ -196,11 +196,6 @@ impl Engine {
         if let RepairPolicy::Periodic { every: 0 } = cfg.policy {
             return Err(ServeError::Config { msg: "resolve period must be at least 1" });
         }
-        if cfg.resolve_kind.class() == SolverClass::SingleProc {
-            return Err(ServeError::Config {
-                msg: "resolve kind must accept hypergraph (MULTIPROC) snapshots",
-            });
-        }
         let procs =
             (0..n_procs).map(|p| ProcSlot { live: true, load: 0, shard: p % cfg.shards }).collect();
         Ok(Engine {
@@ -345,6 +340,17 @@ impl Engine {
             let mut pins = pins.clone();
             pins.sort_unstable();
             pins.dedup();
+            // A bipartite-only resolve kind can never serve a multi-pin
+            // configuration: reject it here, *before* any state mutates,
+            // so a failed apply() leaves the engine untouched (the resolve
+            // path keeps a defensive check, but it cannot fire for events
+            // validated here).
+            if pins.len() > 1 && self.resolver.kind().class() == SolverClass::SingleProc {
+                return Err(ServeError::Config {
+                    msg: "single-processor (bipartite) resolve kinds require a \
+                          singleton live instance",
+                });
+            }
             for &p in &pins {
                 if !self.procs.get(p as usize).is_some_and(|s| s.live) {
                     return Err(ServeError::DeadPin { task, proc: p });
@@ -786,6 +792,10 @@ impl Engine {
     /// Re-solves the whole live instance from scratch with the configured
     /// kind (through the resident warm-workspace solver) and installs the
     /// result.
+    ///
+    /// `SINGLEPROC`-class resolve kinds (the exact unit backends) see the
+    /// snapshot through [`Snapshot::to_bipartite`]; they require every
+    /// live configuration to be a singleton, and error otherwise.
     fn resolve(&mut self) -> Result<()> {
         self.counters.resolves += 1;
         if self.n_live_tasks == 0 {
@@ -793,17 +803,10 @@ impl Engine {
             return Ok(());
         }
         let snap = self.snapshot();
-        let solution =
-            self.resolver.solve_with(Problem::MultiProc(&snap.hypergraph), self.cfg.objective)?;
-        let Solution::MultiProc(hm) = solution else {
-            unreachable!("MULTIPROC problems yield MULTIPROC solutions")
-        };
-        for (new_t, &hid) in hm.hedge_of.iter().enumerate() {
-            let t = snap.task_ids[new_t];
-            let k = hid - snap.hypergraph.hedges_of(new_t as u32).start;
-            let orig_cfg = snap.live_configs[new_t][k as usize];
-            let state = self.tasks[t as usize].as_mut().expect("snapshot task is live");
-            state.chosen = orig_cfg;
+        if self.resolver.kind().class() == SolverClass::SingleProc {
+            self.resolve_singleproc(&snap)?;
+        } else {
+            self.resolve_multiproc(&snap)?;
         }
         // Rebuild loads wholesale; the resolve replaced the assignment.
         for p in self.procs.iter_mut() {
@@ -816,6 +819,56 @@ impl Engine {
             }
         }
         self.baseline = self.score(self.cfg.objective);
+        Ok(())
+    }
+
+    /// The hypergraph resolve path: solve the snapshot instance directly.
+    fn resolve_multiproc(&mut self, snap: &Snapshot) -> Result<()> {
+        let solution =
+            self.resolver.solve_with(Problem::MultiProc(&snap.hypergraph), self.cfg.objective)?;
+        let Solution::MultiProc(hm) = solution else {
+            unreachable!("MULTIPROC problems yield MULTIPROC solutions")
+        };
+        for (new_t, &hid) in hm.hedge_of.iter().enumerate() {
+            let t = snap.task_ids[new_t];
+            let k = hid - snap.hypergraph.hedges_of(new_t as u32).start;
+            let orig_cfg = snap.live_configs[new_t][k as usize];
+            let state = self.tasks[t as usize].as_mut().expect("snapshot task is live");
+            state.chosen = orig_cfg;
+        }
+        Ok(())
+    }
+
+    /// The bipartite resolve path: solve the singleton-collapsed snapshot
+    /// and map each task's chosen processor back to its lightest live
+    /// singleton configuration on that processor (the same collapse rule
+    /// [`Snapshot::to_bipartite`] applies, so scores round-trip exactly).
+    fn resolve_singleproc(&mut self, snap: &Snapshot) -> Result<()> {
+        let Some(g) = snap.to_bipartite() else {
+            return Err(ServeError::Config {
+                msg: "single-processor (bipartite) resolve kinds require a \
+                      singleton live instance",
+            });
+        };
+        let solution = self.resolver.solve_with(Problem::SingleProc(&g), self.cfg.objective)?;
+        let Solution::SingleProc(sm) = solution else {
+            unreachable!("SINGLEPROC problems yield SINGLEPROC solutions")
+        };
+        let h = &snap.hypergraph;
+        for (new_t, &eid) in sm.edge_of.iter().enumerate() {
+            let chosen_proc = g.edge_right(eid);
+            let mut best: Option<(u32, u64)> = None;
+            for (k, hid) in h.hedges_of(new_t as u32).enumerate() {
+                if h.procs_of(hid) == [chosen_proc] && best.is_none_or(|(_, w)| h.weight(hid) < w) {
+                    best = Some((k as u32, h.weight(hid)));
+                }
+            }
+            let (k, _) = best.expect("the bipartite edge came from a live singleton config");
+            let orig_cfg = snap.live_configs[new_t][k as usize];
+            let t = snap.task_ids[new_t];
+            let state = self.tasks[t as usize].as_mut().expect("snapshot task is live");
+            state.chosen = orig_cfg;
+        }
         Ok(())
     }
 
@@ -893,12 +946,55 @@ mod tests {
             2
         )
         .is_err());
+        // Bipartite resolve kinds are valid config now; shape errors
+        // surface at resolve time instead (see the tests below).
         assert!(Engine::new(
             EngineConfig { resolve_kind: SolverKind::ExactBisection, ..eager() },
             2
         )
-        .is_err());
+        .is_ok());
         assert!(Engine::new(eager(), 2).is_ok());
+    }
+
+    #[test]
+    fn singleproc_resolve_kind_serves_singleton_instances() {
+        for kind in
+            [SolverKind::ExactBisection, SolverKind::HopcroftKarpSemi, SolverKind::CostScaling]
+        {
+            let cfg = EngineConfig {
+                policy: RepairPolicy::Periodic { every: 1 },
+                resolve_kind: kind,
+                ..EngineConfig::default()
+            };
+            let mut e = Engine::new(cfg, 2).unwrap();
+            // Both tasks can only fit makespan 1 by splitting processors.
+            e.apply(&arrive(0, &[(&[0], 1), (&[1], 1)])).unwrap();
+            e.apply(&arrive(1, &[(&[0], 1)])).unwrap();
+            assert_eq!(e.bottleneck(), 1, "{kind} resolve missed the optimum");
+            let snap = e.snapshot();
+            snap.matching.validate(&snap.hypergraph).unwrap();
+        }
+    }
+
+    #[test]
+    fn singleproc_resolve_kind_rejects_wide_configs_before_ingesting() {
+        let cfg = EngineConfig {
+            policy: RepairPolicy::Periodic { every: 1 },
+            resolve_kind: SolverKind::HopcroftKarpSemi,
+            ..EngineConfig::default()
+        };
+        let mut e = Engine::new(cfg, 2).unwrap();
+        let err = e.apply(&arrive(0, &[(&[0], 1), (&[0, 1], 1)])).unwrap_err();
+        assert!(matches!(err, ServeError::Config { .. }), "got {err:?}");
+        // The failed apply must leave the engine untouched: no half-admitted
+        // task, and later singleton events keep working.
+        assert_eq!(e.n_live_tasks(), 0);
+        assert_eq!(e.bottleneck(), 0);
+        e.apply(&arrive(0, &[(&[0], 1)])).unwrap();
+        assert_eq!(e.bottleneck(), 1);
+        // Duplicate pins collapse to a singleton and are accepted.
+        e.apply(&arrive(1, &[(&[1, 1], 1)])).unwrap();
+        assert_eq!(e.n_live_tasks(), 2);
     }
 
     #[test]

@@ -51,8 +51,9 @@ pub enum ServeError {
         /// Weights supplied.
         got: usize,
     },
-    /// The engine configuration is unusable (zero shards, zero resolve
-    /// period, or a resolve kind that cannot solve hypergraph snapshots).
+    /// The engine configuration is unusable for the instance (zero
+    /// shards, zero resolve period, or a bipartite-only resolve kind on a
+    /// live instance with non-singleton configurations).
     Config {
         /// What is wrong.
         msg: &'static str,

@@ -367,13 +367,16 @@ fn solve_batch(
         let secs = start.elapsed().as_secs_f64();
         match outcome {
             Ok(sol) => {
-                let m = sol.makespan(&problem).map_err(|e| e.to_string())?;
+                // display_clamped: scores past u64::MAX (possibly saturated
+                // L_p costs) print the >u64::MAX marker, never a silently
+                // narrowed number.
+                let m = sol.score(&problem, Objective::Makespan).map_err(|e| e.to_string())?;
                 let score = sol.score(&problem, objective).map_err(|e| e.to_string())?;
                 println!(
                     "{:<18} {:>10} {:>12} {:>8.3} {:>10.4}",
                     kind.name(),
-                    m,
-                    score,
+                    m.display_clamped(),
+                    score.display_clamped(),
                     score_ratio(score, lb),
                     secs
                 );

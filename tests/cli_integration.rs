@@ -262,3 +262,32 @@ fn objective_flag_changes_the_optimal_choice() {
     assert!(text.contains("scores:") && text.contains("flowtime"), "{text}");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Regression: the `--kinds` comparison table must flag scores beyond
+/// `u64::MAX` with a marker instead of printing a silently narrowed (or
+/// saturated) number that reads as a real score.
+#[test]
+fn kinds_table_marks_scores_beyond_u64() {
+    let dir = tmp_dir("marker");
+    let bg = dir.join("huge.bg");
+    // Two 2^62-weight tasks pinned to one processor: the makespan (2^63)
+    // still fits u64 and must print exactly, but the l40 score saturates
+    // far past u64::MAX.
+    let w = 1u64 << 62;
+    let g = Bipartite::from_weighted_edges(2, 1, &[(0, 0), (1, 0)], &[w, w]).unwrap();
+    write_bipartite(&g, File::create(&bg).unwrap()).unwrap();
+
+    let out =
+        semimatch(&["solve", bg.to_str().unwrap(), "--kinds", "sorted", "--objective", "l40"]);
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    let row = text.lines().find(|l| l.starts_with("sorted")).unwrap_or_else(|| panic!("{text}"));
+    assert!(row.contains(">u64::MAX"), "saturated l40 score must carry the marker: {row}");
+    assert!(row.contains(&(1u64 << 63).to_string()), "exact makespan still prints: {row}");
+
+    // Under makespan, everything fits: no marker anywhere.
+    let out = semimatch(&["solve", bg.to_str().unwrap(), "--kinds", "sorted"]);
+    assert!(out.status.success());
+    assert!(!stdout(&out).contains(">u64::MAX"), "{}", stdout(&out));
+    std::fs::remove_dir_all(&dir).ok();
+}

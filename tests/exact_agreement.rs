@@ -9,7 +9,8 @@ use common::{covered_bipartite, covered_weighted_bipartite};
 use proptest::prelude::*;
 use semimatch::core::exact::{exact_unit, SearchStrategy};
 use semimatch::core::lower_bound::lower_bound_singleproc;
-use semimatch::solver::{solve, Problem, SolverKind};
+use semimatch::graph::Bipartite;
+use semimatch::solver::{solve, solve_with, Objective, Problem, SolverKind};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -61,6 +62,32 @@ proptest! {
         }
     }
 
+    /// Every exact kind — including the generalized Hopcroft–Karp and
+    /// load-range divide-and-conquer backends — must be **score**-identical
+    /// to brute force under every reported objective, not just agree on
+    /// the makespan (the simultaneous-optimality contract).
+    #[test]
+    fn exact_kinds_are_score_identical_under_every_objective(g in covered_bipartite(9, 4)) {
+        let problem = Problem::SingleProc(&g);
+        for objective in Objective::REPORTED {
+            let opt = solve_with(problem, SolverKind::BruteForce, objective)
+                .unwrap()
+                .score(&problem, objective)
+                .unwrap();
+            for kind in SolverKind::EXACT_SINGLEPROC {
+                let sol = solve_with(problem, kind, objective).unwrap();
+                sol.validate(&problem).unwrap();
+                prop_assert_eq!(
+                    sol.score(&problem, objective).unwrap(),
+                    opt,
+                    "{} disagreed with brute force under {}",
+                    kind.name(),
+                    objective
+                );
+            }
+        }
+    }
+
     #[test]
     fn oracle_counts_favor_bisection_eventually(g in covered_bipartite(20, 2)) {
         // Oracle-call diagnostics sit below the registry, on the concrete
@@ -77,5 +104,58 @@ proptest! {
             bis.oracle_calls,
             g.n_left()
         );
+    }
+}
+
+/// Paper-anchor instances with known optima: every exact kind must land
+/// on the anchor makespan, and on the anchor flow time where the two
+/// objectives pull apart.
+#[test]
+fn exact_kinds_agree_on_paper_anchors() {
+    // (instance, optimal makespan): Fig. 1, the forced pileup, the §IV-A
+    // mixed instance, and the k=3 adversarial chain of Fig. 3 (greedy
+    // reaches 3, the optimum is 1).
+    let fig3 = {
+        let mut edges = Vec::new();
+        let k = 3u32;
+        let mut t = 0;
+        for level in 0..k {
+            let span = 1u32 << (k - 1 - level);
+            for i in 1..=span {
+                edges.push((t, i - 1));
+                edges.push((t, i + span - 1));
+                t += 1;
+            }
+        }
+        Bipartite::from_edges(t, 1 << k, &edges).unwrap()
+    };
+    let anchors: Vec<(Bipartite, u64)> = vec![
+        (Bipartite::from_edges(2, 2, &[(0, 0), (0, 1), (1, 0)]).unwrap(), 1),
+        (Bipartite::from_edges(5, 1, &[(0, 0), (1, 0), (2, 0), (3, 0), (4, 0)]).unwrap(), 5),
+        (
+            Bipartite::from_edges(4, 2, &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1), (3, 0)])
+                .unwrap(),
+            2,
+        ),
+        (fig3, 1),
+    ];
+    for (g, opt) in &anchors {
+        let problem = Problem::SingleProc(g);
+        let flow_opt = solve_with(problem, SolverKind::BruteForce, Objective::FlowTime)
+            .unwrap()
+            .score(&problem, Objective::FlowTime)
+            .unwrap();
+        for kind in SolverKind::EXACT_SINGLEPROC {
+            let sol = solve(problem, kind).unwrap();
+            sol.validate(&problem).unwrap();
+            assert_eq!(sol.makespan(&problem).unwrap(), *opt, "{} missed the anchor", kind.name());
+            let under_flow = solve_with(problem, kind, Objective::FlowTime).unwrap();
+            assert_eq!(
+                under_flow.score(&problem, Objective::FlowTime).unwrap(),
+                flow_opt,
+                "{} missed the anchor flow time",
+                kind.name()
+            );
+        }
     }
 }

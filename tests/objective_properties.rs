@@ -4,10 +4,11 @@
 
 use proptest::prelude::*;
 use semimatch::core::exact::{brute_force_multiproc_objective, brute_force_singleproc_objective};
+use semimatch::core::objective::balanced_score;
 use semimatch::core::refine::refine_with;
 use semimatch::core::HyperMatching;
 use semimatch::graph::{Bipartite, Hypergraph};
-use semimatch::solver::{solve_with, Objective, Problem, SolverKind};
+use semimatch::solver::{solve_with, Objective, Problem, Score, SolverKind};
 
 /// Random unit-weight bipartite instances with every task covered, small
 /// enough for brute force under every objective.
@@ -99,6 +100,31 @@ proptest! {
                     hm.score(&h, objective) <= before,
                     "refine worsened {} from {} ({:?} -> {:?})",
                     objective, start_kind, before, hm.score(&h, objective)
+                );
+            }
+        }
+    }
+
+    /// The balanced-spread score behind `lower_bound_objective_*` is a
+    /// genuine floor for every load vector — including the degenerate
+    /// corners (empty vectors, i.e. zero processors, and zero total work)
+    /// — and huge per-processor loads never wrap it above a real cost.
+    #[test]
+    fn balanced_score_floors_every_load_vector(
+        loads in proptest::collection::vec(0u64..1u64 << 40, 0..12),
+    ) {
+        let work: u128 = loads.iter().map(|&l| l as u128).sum();
+        let p = loads.len() as u64;
+        for obj in Objective::REPORTED {
+            let floor = balanced_score(obj, work, p);
+            if p == 0 {
+                // Zero processors: defined, and "infeasible" iff work > 0.
+                let expect = if work == 0 { Score(0) } else { Score(u128::MAX) };
+                prop_assert_eq!(floor, expect, "{}", obj);
+            } else {
+                prop_assert!(
+                    obj.evaluate(&loads) >= floor,
+                    "{}: {:?} beat the balanced floor {:?}", obj, loads, floor
                 );
             }
         }

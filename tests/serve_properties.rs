@@ -112,6 +112,43 @@ proptest! {
         }
     }
 
+    /// Periodic resolves through the bipartite-only exact backends: on
+    /// unit singleton traces the engine converts the snapshot through
+    /// `to_bipartite`, so the fast exact kinds serve as resolve backends
+    /// — and per-event resolves through an exact kind must keep the
+    /// bottleneck at the from-scratch optimum, exactly like eager
+    /// incremental repair.
+    #[test]
+    fn periodic_singleproc_exact_resolves_stay_optimal(trace in singleproc_trace()) {
+        for kind in [
+            SolverKind::HopcroftKarpSemi,
+            SolverKind::CostScaling,
+            SolverKind::ExactBisection,
+        ] {
+            let cfg = EngineConfig {
+                policy: RepairPolicy::Periodic { every: 1 },
+                resolve_kind: kind,
+                ..EngineConfig::default()
+            };
+            let engine = Engine::replay(cfg, &trace).unwrap();
+            if engine.n_live_tasks() == 0 {
+                prop_assert_eq!(engine.bottleneck(), 0);
+                continue;
+            }
+            let snap = engine.snapshot();
+            snap.matching.validate(&snap.hypergraph).unwrap();
+            let g = snap.to_bipartite().expect("singleton trace");
+            let problem = Problem::SingleProc(&g);
+            let opt = solve(problem, kind).unwrap().makespan(&problem).unwrap();
+            prop_assert_eq!(
+                engine.bottleneck(),
+                opt,
+                "{} periodic resolves diverged from the from-scratch optimum",
+                kind
+            );
+        }
+    }
+
     #[test]
     fn heuristic_policies_are_valid_and_never_beat_the_optimum(trace in hyper_trace()) {
         let policies = [
