@@ -88,7 +88,8 @@ fn bench_repeat_solve(c: &mut Criterion) {
     // generalized Hopcroft–Karp phases skip the matching oracle entirely
     // and the load-range divide-and-conquer brackets with a greedy
     // witness. Row pair recorded in results/BENCH_fast_exact.md.
-    let tall = sweep(16, 8192, 24);
+    // p = 32 keeps HiLo's p-divisible-by-g precondition (g = 16).
+    let tall = sweep(16, 8192, 32);
     let tall_problems: Vec<Problem<'_>> = tall.iter().map(Problem::SingleProc).collect();
     let mut group = c.benchmark_group("fast-exact-tall");
     group.sample_size(10).measurement_time(Duration::from_secs(4));

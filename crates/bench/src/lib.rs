@@ -14,12 +14,16 @@
 //! | `ranking_sweep` | §V-C ranking-stability claim |
 //!
 //! All binaries accept `--scale K` (divide n and p by K), `--instances M`
-//! (instances per configuration, default 10) and `--seed S` (master seed,
-//! default 42), and write a markdown report to `results/`.
+//! (instances per configuration, default 10), `--seed S` (master seed,
+//! default 42) and `--threads T` (work-stealing pool size; 0 = all
+//! cores), and write a markdown report to `results/`.
 //!
 //! The harness follows the paper's protocol: median over the instances for
-//! quality columns, mean wall-clock seconds for time rows. Instances run
-//! in parallel via rayon (the algorithms themselves stay sequential).
+//! quality columns, mean wall-clock seconds for time rows. Instances fan
+//! out across rayon's work-stealing pool, and the large exact backends
+//! (hk-semi phase extraction, cost-scaling capacity probes) additionally
+//! parallelize *inside* a solve — so per-solver wall-clock columns are
+//! measured under whatever pool the harness pinned.
 
 pub mod singleproc;
 
@@ -42,16 +46,20 @@ pub struct Options {
     pub instances: u64,
     /// Master seed.
     pub seed: u64,
+    /// Global pool size (`0` = automatic: `RAYON_NUM_THREADS`, else all
+    /// cores).
+    pub threads: usize,
 }
 
 impl Default for Options {
     fn default() -> Self {
-        Options { scale: 1, instances: 10, seed: 42 }
+        Options { scale: 1, instances: 10, seed: 42, threads: 0 }
     }
 }
 
 impl Options {
-    /// Parses `--scale K --instances M --seed S` from `std::env::args`.
+    /// Parses `--scale K --instances M --seed S --threads T` from
+    /// `std::env::args` and pins the global pool to the requested size.
     /// Unknown flags abort with a usage message.
     pub fn from_args() -> Options {
         let mut opts = Options::default();
@@ -64,16 +72,25 @@ impl Options {
                 "--scale" => opts.scale = value.parse().unwrap_or_else(|_| usage(flag)),
                 "--instances" => opts.instances = value.parse().unwrap_or_else(|_| usage(flag)),
                 "--seed" => opts.seed = value.parse().unwrap_or_else(|_| usage(flag)),
+                "--threads" => opts.threads = value.parse().unwrap_or_else(|_| usage(flag)),
                 _ => usage(flag),
             }
             i += 2;
+        }
+        if let Err(e) = rayon::ThreadPoolBuilder::new().num_threads(opts.threads).build_global() {
+            // Fires only when something already initialized the pool; the
+            // run proceeds on the existing one.
+            eprintln!("warning: --threads ignored: {e}");
         }
         opts
     }
 }
 
 fn usage(flag: &str) -> ! {
-    eprintln!("unknown or malformed flag {flag}; expected --scale K --instances M --seed S");
+    eprintln!(
+        "unknown or malformed flag {flag}; \
+         expected --scale K --instances M --seed S --threads T"
+    );
     std::process::exit(2)
 }
 
@@ -344,7 +361,7 @@ mod tests {
 
     #[test]
     fn quality_row_is_deterministic_and_sane() {
-        let opts = Options { scale: 1, instances: 3, seed: 7 };
+        let opts = Options { scale: 1, instances: 3, seed: 7, ..Options::default() };
         let a = quality_row(&tiny_cfg(), &opts);
         let b = quality_row(&tiny_cfg(), &opts);
         assert_eq!(a.lb, b.lb);
@@ -363,7 +380,7 @@ mod tests {
 
     #[test]
     fn stats_row_matches_config() {
-        let opts = Options { scale: 1, instances: 3, seed: 7 };
+        let opts = Options { scale: 1, instances: 3, seed: 7, ..Options::default() };
         let s = stats_row(&tiny_cfg(), &opts);
         assert_eq!(s.n_tasks, 160);
         assert_eq!(s.n_procs, 32);

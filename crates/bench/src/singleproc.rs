@@ -177,7 +177,7 @@ mod tests {
     #[test]
     fn row_is_sane_on_tiny_instances() {
         let cfg = BiConfig { family: BiFamily::FewgManyg, n: 128, p: 32, g: 4, d: 3 };
-        let opts = Options { scale: 1, instances: 3, seed: 11 };
+        let opts = Options { scale: 1, instances: 3, seed: 11, ..Options::default() };
         let row = singleproc_row(&cfg, &opts);
         assert!(row.opt >= 128_u64.div_ceil(32), "opt at least ⌈n/p⌉");
         assert_eq!(row.ratios.len(), 4);
@@ -189,7 +189,7 @@ mod tests {
     #[test]
     fn hilo_rows_work_too() {
         let cfg = BiConfig { family: BiFamily::HiLo, n: 64, p: 16, g: 4, d: 2 };
-        let opts = Options { scale: 1, instances: 2, seed: 3 };
+        let opts = Options { scale: 1, instances: 2, seed: 3, ..Options::default() };
         let row = singleproc_row(&cfg, &opts);
         assert!(row.opt >= 4);
     }

@@ -24,6 +24,7 @@
 //! descent to the profile-search witness, the composition FLN's total-cost
 //! objective (`Objective::FlowTime`) shares with the other exact kinds.
 
+use rayon::prelude::*;
 use semimatch_graph::Bipartite;
 use semimatch_matching::capacitated::max_assignment_in;
 use semimatch_matching::SearchWorkspace;
@@ -31,6 +32,11 @@ use semimatch_matching::SearchWorkspace;
 use crate::error::Result;
 use crate::exact::unit::{check_instance, ExactResult};
 use crate::problem::SemiMatching;
+
+/// Minimum instance size before probes fan out across the pool: each
+/// parallel probe builds its own flow arena, which only pays for itself
+/// once a single probe clearly dominates the workspace allocation.
+const PAR_PROBE_MIN_TASKS: u32 = 512;
 
 /// Exact optimum via divide-and-conquer on the load range, throwaway
 /// scratch.
@@ -62,18 +68,63 @@ pub fn cost_scaling_in(g: &Bipartite, ws: &mut SearchWorkspace) -> Result<ExactR
     let mut lo = n.div_ceil(p).max(1);
     let mut calls = 0u32;
     let mut witness: Option<Vec<u32>> = None; // task→proc at capacity == hi
+    let threads = rayon::current_num_threads();
+    let par_probes = threads > 1 && n >= PAR_PROBE_MIN_TASKS;
     while lo < hi {
-        let mid = lo + (hi - lo) / 2;
-        calls += 1;
-        let a = max_assignment_in(g, mid, ws);
-        if a.is_complete() {
-            hi = mid;
-            witness = Some(a.task_to_proc);
+        let range = hi - lo;
+        if par_probes && range >= 3 {
+            // Multi-way step: probe `k` evenly spaced interior capacities
+            // at once, one per pool worker. Feasibility is monotone in the
+            // capacity, so every infeasible probe tightens `lo` by its own
+            // deficiency bound and the smallest feasible probe becomes the
+            // new `hi` — the bracket converges to the same optimum as the
+            // binary search, it just eats the range in parallel bites.
+            let k = (threads as u32).min(range - 1).max(2);
+            let mut caps: Vec<u32> =
+                (1..=k).map(|i| lo + ((range as u64 * i as u64) / (k as u64 + 1)) as u32).collect();
+            caps.retain(|&c| c > lo && c < hi);
+            caps.dedup();
+            if caps.is_empty() {
+                caps.push(lo + range / 2);
+            }
+            calls += caps.len() as u32;
+            let probes: Vec<(u32, u64, Option<Vec<u32>>)> = caps
+                .into_par_iter()
+                .map_init(SearchWorkspace::new, |pws, cap| {
+                    let a = max_assignment_in(g, cap, pws);
+                    let complete = a.is_complete();
+                    let card = a.cardinality() as u64;
+                    (cap, card, if complete { Some(a.task_to_proc) } else { None })
+                })
+                .collect();
+            for (cap, card, assign) in probes {
+                match assign {
+                    Some(a) => {
+                        if cap < hi {
+                            hi = cap;
+                            witness = Some(a);
+                        }
+                    }
+                    None => {
+                        let deficit = (n as u64 - card).div_ceil(p as u64);
+                        lo = lo.max(cap + (deficit as u32).max(1));
+                    }
+                }
+            }
         } else {
-            // FLN deficiency bound: the shortfall dictates how much extra
-            // capacity the whole pool needs before the probe can close.
-            let deficit = (n as u64 - a.cardinality() as u64).div_ceil(p as u64);
-            lo = mid + (deficit as u32).max(1);
+            let mid = lo + range / 2;
+            calls += 1;
+            let a = max_assignment_in(g, mid, ws);
+            if a.is_complete() {
+                hi = mid;
+                witness = Some(a.task_to_proc);
+            } else {
+                // FLN deficiency bound: the shortfall dictates how much
+                // extra capacity the whole pool needs before the probe can
+                // close.
+                let deficit = (n as u64 - a.cardinality() as u64).div_ceil(p as u64);
+                lo = mid + (deficit as u32).max(1);
+            }
         }
     }
     let solution = match witness {

@@ -24,6 +24,7 @@
 //! [`KindSolver`] so the workspace warm path of the solver registry is
 //! reused across resolves.
 
+use rayon::prelude::*;
 use semimatch_core::objective::{Objective, Score};
 use semimatch_core::problem::HyperMatching;
 use semimatch_core::solver::{KindSolver, Problem, Solution, Solver, SolverClass};
@@ -702,9 +703,20 @@ impl Engine {
 
     /// Hypergraph repair: shard-local first-improvement sweeps, then — on
     /// shard skew — one global sweep and an LPT re-partition.
+    ///
+    /// The shard-local sweeps touch disjoint state by construction (a
+    /// shard sweep moves only tasks whose chosen configuration pins lie
+    /// entirely in that shard, between configurations of the same shard),
+    /// so with several shards and a multi-threaded pool they run
+    /// concurrently — producing exactly the state the sequential shard
+    /// loop would.
     fn heuristic_repair(&mut self) {
-        for s in 0..self.cfg.shards {
-            self.local_sweeps(Some(s));
+        if self.cfg.shards > 1 && rayon::current_num_threads() > 1 {
+            self.parallel_local_sweeps();
+        } else {
+            for s in 0..self.cfg.shards {
+                self.local_sweeps(Some(s));
+            }
         }
         if self.cfg.shards > 1 {
             let mut min_b = u64::MAX;
@@ -766,6 +778,47 @@ impl Engine {
                 break;
             }
         }
+    }
+
+    /// All shard-local sweeps at once, one pool worker per shard.
+    ///
+    /// Equivalent to running [`Engine::local_sweeps`]`(Some(s))` for every
+    /// shard in order: the shards' working sets are disjoint (see
+    /// [`Engine::heuristic_repair`]), so the concurrent sweeps commute and
+    /// the resulting assignment is identical to the sequential one.
+    fn parallel_local_sweeps(&mut self) {
+        // Partition the movable tasks by owning shard: live, more than one
+        // configuration, chosen configuration entirely inside one shard.
+        // Ownership is stable for the whole round — a shard-restricted
+        // sweep only ever re-chooses configurations of the same shard.
+        let shards = self.cfg.shards as usize;
+        let mut owned: Vec<Vec<u32>> = vec![Vec::new(); shards];
+        for t in 0..self.tasks.len() as u32 {
+            let Some(state) = self.tasks[t as usize].as_ref() else { continue };
+            if state.configs.len() <= 1 {
+                continue;
+            }
+            let pins = &state.configs[state.chosen as usize].pins;
+            let s = self.procs[pins[0] as usize].shard;
+            if pins.iter().all(|&p| self.procs[p as usize].shard == s) {
+                owned[s as usize].push(t);
+            }
+        }
+        let objective = self.cfg.objective;
+        let tasks = SyncSlice::new(&mut self.tasks);
+        let procs = SyncSlice::new(&mut self.procs);
+        let moves: Vec<u64> = (0..shards as u32)
+            .into_par_iter()
+            .map(|s| {
+                // SAFETY: worker `s` dereferences only the tasks in
+                // `owned[s]` (the per-shard sets are disjoint) and writes
+                // only the loads of shard-`s` processors; foreign
+                // processors are touched through raw per-field reads of
+                // `live`/`shard`, which no sweep writes.
+                unsafe { sweep_shard(&tasks, &procs, &owned[s as usize], s, objective) }
+            })
+            .collect();
+        self.counters.moves += moves.iter().sum::<u64>();
     }
 
     /// Longest-processing-time re-partition: live processors, heaviest
@@ -923,6 +976,126 @@ impl Engine {
             live_configs,
         }
     }
+}
+
+/// A raw view of a `&mut [T]` that several pool workers may index into
+/// under an external disjointness argument (each element is dereferenced
+/// by at most one worker; see [`Engine::parallel_local_sweeps`]).
+struct SyncSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: the wrapper only hands out raw pointers; every dereference site
+// carries its own disjointness justification.
+unsafe impl<T: Send> Sync for SyncSlice<'_, T> {}
+
+impl<'a, T> SyncSlice<'a, T> {
+    fn new(slice: &'a mut [T]) -> SyncSlice<'a, T> {
+        SyncSlice { ptr: slice.as_mut_ptr(), len: slice.len(), _marker: std::marker::PhantomData }
+    }
+
+    /// Raw pointer to element `i`. The caller is responsible for aliasing
+    /// discipline on the pointee.
+    fn get(&self, i: usize) -> *mut T {
+        debug_assert!(i < self.len);
+        // SAFETY: `i` is in bounds of the borrowed slice.
+        unsafe { self.ptr.add(i) }
+    }
+}
+
+/// One shard's [`LOCAL_PASSES`] first-improvement sweeps over its owned
+/// tasks — the body of [`Engine::local_sweeps`]`(Some(shard))` lifted to
+/// raw state access so shards can sweep concurrently. Returns the number
+/// of configuration moves.
+///
+/// # Safety
+///
+/// Callers must guarantee that no two concurrent invocations share a task
+/// in `owned` or a processor in `shard`, and that nothing concurrently
+/// writes any processor's `live`/`shard` fields.
+unsafe fn sweep_shard(
+    tasks: &SyncSlice<'_, Option<TaskState>>,
+    procs: &SyncSlice<'_, ProcSlot>,
+    owned: &[u32],
+    shard: u32,
+    objective: Objective,
+) -> u64 {
+    let mut moves = 0u64;
+    for _ in 0..LOCAL_PASSES {
+        let mut moved = false;
+        for &t in owned {
+            // SAFETY: `owned` sets are disjoint across workers, so this is
+            // the only live reference to the task.
+            let Some(state) = (*tasks.get(t as usize)).as_mut() else { continue };
+            let c = &state.configs[state.chosen as usize];
+            for &p in &c.pins {
+                // SAFETY: the chosen configuration's pins are all in this
+                // worker's shard; only this worker writes their loads.
+                (*procs.get(p as usize)).load -= c.weight;
+            }
+            let best = choose_in_shard(procs, &state.configs, shard, objective)
+                .expect("the chosen configuration itself is always eligible");
+            if best != state.chosen {
+                state.chosen = best;
+                moves += 1;
+                moved = true;
+            }
+            let c = &state.configs[state.chosen as usize];
+            for &p in &c.pins {
+                // SAFETY: as above — `choose_in_shard` only returns
+                // configurations pinned entirely inside this shard.
+                (*procs.get(p as usize)).load += c.weight;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    moves
+}
+
+/// [`Engine::choose`] restricted to one shard, reading processor state
+/// through the shared raw view.
+///
+/// # Safety
+///
+/// Same contract as [`sweep_shard`]: foreign processors may only have
+/// their `live`/`shard` fields read (per-field raw reads — no `&ProcSlot`
+/// is formed, so a concurrent in-shard `load` write elsewhere is not an
+/// aliasing violation), and in-shard loads must be owned by the caller.
+unsafe fn choose_in_shard(
+    procs: &SyncSlice<'_, ProcSlot>,
+    configs: &[ConfigState],
+    shard: u32,
+    objective: Objective,
+) -> Option<u32> {
+    let mut best: Option<(u128, u32)> = None;
+    for (i, c) in configs.iter().enumerate() {
+        let eligible = c.pins.iter().all(|&p| {
+            let s = procs.get(p as usize);
+            // SAFETY (per contract): field-granular reads; `live`/`shard`
+            // are never written during sweeps.
+            (*s).live && (*s).shard == shard
+        });
+        if !eligible {
+            continue;
+        }
+        // All pins below are in-shard, so their loads are this worker's.
+        let key = if objective.is_bottleneck() {
+            (c.pins.iter().map(|&p| (*procs.get(p as usize)).load).max().unwrap_or(0) + c.weight)
+                as u128
+        } else {
+            c.pins.iter().fold(0u128, |acc, &p| {
+                acc.saturating_add(objective.marginal((*procs.get(p as usize)).load, c.weight))
+            })
+        };
+        if best.is_none_or(|(k, _)| key < k) {
+            best = Some((key, i as u32));
+        }
+    }
+    best.map(|(_, i)| i)
 }
 
 #[cfg(test)]
@@ -1177,6 +1350,52 @@ mod tests {
         let snap = e.snapshot();
         snap.matching.validate(&snap.hypergraph).unwrap();
         assert_eq!(snap.matching.makespan(&snap.hypergraph), e.bottleneck());
+    }
+
+    #[test]
+    fn parallel_shard_sweeps_match_sequential_exactly() {
+        // The concurrent per-shard sweeps must land in bit-for-bit the
+        // same state as the sequential shard loop: a replay under a
+        // multi-threaded pool and under a single-threaded pool (which
+        // takes the sequential branch) must agree on every load.
+        let mut st = 0xabcdef12345u64;
+        let mut rng = move || {
+            st ^= st << 13;
+            st ^= st >> 7;
+            st ^= st << 17;
+            st
+        };
+        let n_procs = 16u32;
+        let mut events = Vec::new();
+        for t in 0..400u32 {
+            let mut configs: Vec<(Vec<u32>, u64)> = Vec::new();
+            for _ in 0..1 + rng() % 3 {
+                let a = (rng() % n_procs as u64) as u32;
+                let b = (rng() % n_procs as u64) as u32;
+                let pins = if a == b { vec![a] } else { vec![a, b] };
+                configs.push((pins, 1 + rng() % 4));
+            }
+            events.push(Event::Arrive { task: t, configs });
+            if t % 5 == 4 {
+                events.push(Event::Depart { task: t - (rng() % 5) as u32 });
+            }
+        }
+        let cfg = EngineConfig { shards: 4, ..eager() };
+        let run = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            pool.install(|| {
+                let mut e = Engine::new(cfg, n_procs).unwrap();
+                for ev in &events {
+                    e.apply(ev).unwrap();
+                }
+                let loads: Vec<u64> = (0..n_procs).map(|p| e.load_of(p).unwrap()).collect();
+                (e.bottleneck(), loads, e.counters().moves)
+            })
+        };
+        let seq = run(1);
+        for threads in [2usize, 4, 8] {
+            assert_eq!(run(threads), seq, "replay diverged at {threads} threads");
+        }
     }
 
     #[test]

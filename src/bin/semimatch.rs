@@ -71,7 +71,11 @@ usage:
   semimatch dot                 FILE.{hg,bg} [--out FILE.dot]
 
 KIND is any solver registry name (see `semimatch solvers`).
-OBJ is a cost model: makespan (default) | flowtime | l<p> | weighted-load.";
+OBJ is a cost model: makespan (default) | flowtime | l<p> | weighted-load.
+
+Every command also accepts --threads N to pin the size of the global
+work-stealing pool (0 = all cores; the RAYON_NUM_THREADS environment
+variable is the fallback), keeping runs reproducible on shared machines.";
 
 /// Splits `args` into positional arguments and `--flag value` pairs.
 fn parse(args: &[String]) -> Result<(Vec<&str>, HashMap<&str, &str>), String> {
@@ -148,6 +152,15 @@ fn emit_lines<I: IntoIterator<Item = String>>(lines: I) {
 
 fn run(args: &[String]) -> Result<(), String> {
     let (positional, flags) = parse(args)?;
+    // Pin the global pool before any command touches it. `0` keeps the
+    // automatic size (RAYON_NUM_THREADS, else all cores).
+    if let Some(n) = flags.get("threads") {
+        let n: usize = num(n, "--threads")?;
+        semimatch::rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+            .map_err(|e| format!("--threads: {e}"))?;
+    }
     let command = *positional.first().ok_or("missing command")?;
     match command {
         "generate" => generate(&flags),

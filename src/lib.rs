@@ -64,6 +64,12 @@ pub use semimatch_matching as matching;
 pub use semimatch_sched as sched;
 pub use semimatch_serve as serve;
 
+/// The work-stealing thread pool the whole stack runs on (the vendored
+/// `rayon` surface) — re-exported so embedders and the CLI can pin the
+/// global pool size (`rayon::ThreadPoolBuilder`) or scope work to a local
+/// pool (`ThreadPool::install`) without a separate dependency.
+pub use rayon;
+
 /// The unified solver registry: every algorithm behind one
 /// `solve(problem, kind)` entry point with name-based lookup, and the
 /// objective axis (`solve_with`, `Objective`) for non-makespan cost

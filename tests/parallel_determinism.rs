@@ -1,0 +1,154 @@
+//! Thread-count determinism: every registered solver kind — and the
+//! serving engine's replay — must return the **same objective score**
+//! whether it runs on one worker or many.
+//!
+//! The parallel paths (the work-stealing semi-matching extraction, the
+//! multi-way cost-scaling probes, the sharded serve sweeps) are designed
+//! to be *deterministic-equivalent*: they may take different internal
+//! routes, but the score they report is bit-identical to the sequential
+//! run. This suite pins that contract across local pools of 1, 2 and 4
+//! workers, on the shared proptest instance generators and on a seeded
+//! tall instance large enough to cross every parallelism threshold.
+
+mod common;
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use semimatch::gen::rng::Xoshiro256;
+use semimatch::gen::trace::{generate_trace, TraceParams};
+use semimatch::graph::Bipartite;
+use semimatch::rayon::{ThreadPool, ThreadPoolBuilder};
+use semimatch::serve::{Engine, EngineConfig};
+use semimatch::solver::{solve, Problem, SolverKind};
+
+/// Local pools of 1, 2 and 4 workers, built once. Oversubscription is
+/// deliberate: on a small host the 4-worker pool still exercises real
+/// interleavings via preemption.
+fn pools() -> &'static [ThreadPool] {
+    static POOLS: OnceLock<Vec<ThreadPool>> = OnceLock::new();
+    POOLS.get_or_init(|| {
+        [1usize, 2, 4]
+            .iter()
+            .map(|&t| ThreadPoolBuilder::new().num_threads(t).build().expect("local pool"))
+            .collect()
+    })
+}
+
+/// Scores of `kind` on `problem` under every pool must be identical.
+fn scores_across_pools(problem: Problem<'_>, kind: SolverKind) -> u64 {
+    let mut first = None;
+    for pool in pools() {
+        let m = pool.install(|| {
+            let sol = solve(problem, kind).unwrap_or_else(|e| panic!("{kind} failed: {e}"));
+            sol.makespan(&problem).unwrap()
+        });
+        match first {
+            None => first = Some(m),
+            Some(expect) => assert_eq!(
+                m,
+                expect,
+                "{kind}: makespan changed with thread count ({} threads)",
+                pool.current_num_threads()
+            ),
+        }
+    }
+    first.expect("at least one pool")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every `SINGLEPROC` kind reports the same makespan at 1, 2 and 4
+    /// workers, and the exact kinds all agree with each other under the
+    /// widest pool.
+    #[test]
+    fn singleproc_kinds_are_thread_count_invariant(g in common::covered_bipartite(8, 5)) {
+        let problem = Problem::SingleProc(&g);
+        let mut optimum = None;
+        for kind in SolverKind::SINGLEPROC {
+            let m = scores_across_pools(problem, kind);
+            if kind.is_exact() {
+                match optimum {
+                    None => optimum = Some(m),
+                    Some(opt) => prop_assert_eq!(m, opt, "{} disagrees on the optimum", kind),
+                }
+            }
+        }
+    }
+
+    /// Every `MULTIPROC` kind reports the same makespan at 1, 2 and 4
+    /// workers on weighted hypergraph instances.
+    #[test]
+    fn multiproc_kinds_are_thread_count_invariant(
+        h in common::covered_hypergraph(7, 4, 4)
+    ) {
+        let problem = Problem::MultiProc(&h);
+        for kind in SolverKind::MULTIPROC {
+            scores_across_pools(problem, kind);
+        }
+    }
+
+    /// Replaying the same sharded trace under every pool yields the same
+    /// bottleneck and the same per-objective score board: the concurrent
+    /// shard sweeps are bit-equivalent to the sequential shard loop.
+    #[test]
+    fn sharded_replay_is_thread_count_invariant(seed in 0u64..1_000_000) {
+        let params = TraceParams {
+            n_procs: 12,
+            arrivals: 80,
+            churn_pct: 25,
+            max_configs: 3,
+            max_pins: 3,
+            max_weight: 8,
+            proc_events: 0,
+            burst_every: 0,
+            burst_len: 0,
+        };
+        let trace = generate_trace(&params, &mut Xoshiro256::seed_from_u64(seed));
+        let cfg = EngineConfig { shards: 4, ..EngineConfig::default() };
+        let mut first = None;
+        for pool in pools() {
+            let engine = pool.install(|| Engine::replay(cfg, &trace)).unwrap();
+            let snapshot = (engine.bottleneck(), engine.scores());
+            match &first {
+                None => first = Some(snapshot),
+                Some(expect) => prop_assert_eq!(&snapshot, expect),
+            }
+        }
+    }
+}
+
+/// A tall covered instance (n = 4096, p = 24): large enough that
+/// `HopcroftKarpSemi` crosses `PAR_TASK_THRESHOLD` and `CostScaling`
+/// crosses `PAR_PROBE_MIN_TASKS`, so the parallel extraction and the
+/// multi-way probes really run under the 2- and 4-worker pools.
+#[test]
+fn tall_instance_parallel_paths_hit_the_sequential_optimum() {
+    let n = 4096u32;
+    let p = 24u32;
+    let mut rng = Xoshiro256::seed_from_u64(0x5eed_7a11);
+    let lists: Vec<Vec<u32>> = (0..n)
+        .map(|_| {
+            let deg = 1 + rng.below(3) as usize;
+            let mut procs: Vec<u32> = Vec::with_capacity(deg);
+            while procs.len() < deg {
+                let q = rng.below(p as u64) as u32;
+                if !procs.contains(&q) {
+                    procs.push(q);
+                }
+            }
+            procs.sort_unstable();
+            procs
+        })
+        .collect();
+    let g = Bipartite::from_adjacency(n, p, &lists).unwrap();
+    let problem = Problem::SingleProc(&g);
+
+    // The reference optimum from a kind with no parallel fast path.
+    let opt = solve(problem, SolverKind::ExactBisection).unwrap().makespan(&problem).unwrap();
+    for kind in [SolverKind::HopcroftKarpSemi, SolverKind::CostScaling] {
+        let m = scores_across_pools(problem, kind);
+        assert_eq!(m, opt, "{kind} missed the optimum on the tall instance");
+    }
+}

@@ -1,0 +1,565 @@
+//! The work-stealing thread pool behind the vendored `rayon` surface.
+//!
+//! Architecture (a deliberately small crossbeam-deque-style core):
+//!
+//! * **one deque per worker** — owners push/pop at the back (LIFO, keeps
+//!   the hot splits of a `join` tree cache-local), thieves steal from the
+//!   front (FIFO, takes the oldest/biggest subtree first);
+//! * **a global injector** queue for jobs arriving from non-pool threads
+//!   (`ThreadPool::install`, top-level `join`/`collect` calls);
+//! * **stack jobs + latches** — `join` allocates its deferred closure on
+//!   the caller's stack and publishes a type-erased [`JobRef`]; the latch
+//!   synchronizes completion, and a worker that finds its job stolen keeps
+//!   executing other people's jobs while it waits;
+//! * **epoch-free sleep** — idle workers park on a condvar with a bounded
+//!   timeout after registering in a sleeper count, so pushes only pay for
+//!   a notification when somebody is actually asleep.
+//!
+//! The deques are `Mutex<VecDeque<_>>`, not lock-free Chase–Lev arrays:
+//! jobs in this workspace are coarse (whole solver calls, bench instances,
+//! DFS source chunks), so the lock cost is noise and the safe code keeps
+//! the vendored stub auditable. The unsafe surface is confined to the
+//! type-erased job pointer (`JobRef`), with the same contract real rayon
+//! uses: whoever publishes a stack job blocks until its latch is set, so
+//! the pointee outlives every reader.
+
+use std::cell::{RefCell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Jobs
+// ---------------------------------------------------------------------------
+
+/// A type-erased pointer to a job living on some owner's stack.
+///
+/// # Safety contract
+///
+/// The publisher of a `JobRef` must keep the pointee alive and pinned until
+/// the job's latch reports completion, and `execute` must be called at most
+/// once.
+#[derive(Clone, Copy)]
+pub(crate) struct JobRef {
+    ptr: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+// SAFETY: a JobRef is only ever dereferenced through `execute`, whose
+// contract (above) guarantees the pointee is alive; the pointer itself is
+// freely sendable.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Identity: two refs are the same job iff they point at the same
+    /// stack slot. (Function pointers are deliberately not compared —
+    /// distinct instantiations may share code.)
+    fn same_job(&self, other: &JobRef) -> bool {
+        std::ptr::eq(self.ptr, other.ptr)
+    }
+
+    /// Runs the job. See the struct-level safety contract.
+    pub(crate) unsafe fn execute(self) {
+        (self.execute_fn)(self.ptr)
+    }
+}
+
+/// A completion latch: an atomic flag plus a condvar for blocked waiters.
+pub(crate) struct Latch {
+    done: AtomicBool,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new() -> Latch {
+        Latch { done: AtomicBool::new(false), lock: Mutex::new(()), cv: Condvar::new() }
+    }
+
+    /// Non-blocking completion check.
+    pub(crate) fn probe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Marks the latch set and wakes every blocked waiter.
+    fn set(&self) {
+        self.done.store(true, Ordering::Release);
+        // Lock/unlock pairs with the waiters' re-check under the lock, so
+        // a wakeup between their probe and their wait cannot be lost.
+        let _guard = self.lock.lock().unwrap();
+        self.cv.notify_all();
+    }
+
+    /// Blocks the calling thread until the latch is set. Only for threads
+    /// with no deque to drain (non-workers).
+    fn wait_blocking(&self) {
+        let mut guard = self.lock.lock().unwrap();
+        while !self.probe() {
+            guard = self.cv.wait(guard).unwrap();
+        }
+    }
+
+    /// Parks for at most `timeout` or until set, whichever is first.
+    fn wait_timeout(&self, timeout: Duration) {
+        let guard = self.lock.lock().unwrap();
+        if !self.probe() {
+            let _ = self.cv.wait_timeout(guard, timeout).unwrap();
+        }
+    }
+}
+
+/// A job allocated on its publisher's stack: the closure, a slot for the
+/// (possibly panicked) result, and the completion latch.
+pub(crate) struct StackJob<F, R> {
+    f: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+    latch: Latch,
+}
+
+// SAFETY: the closure and result cells are accessed by exactly one thread
+// at a time — the executor before the latch is set, the owner after — and
+// the latch's Release/Acquire pair orders the handoff.
+unsafe impl<F: Send, R: Send> Sync for StackJob<F, R> {}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R,
+{
+    fn new(f: F) -> StackJob<F, R> {
+        StackJob { f: UnsafeCell::new(Some(f)), result: UnsafeCell::new(None), latch: Latch::new() }
+    }
+
+    /// The type-erased handle. Publishing it activates the safety contract
+    /// described on [`JobRef`].
+    unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef { ptr: self as *const Self as *const (), execute_fn: Self::execute_erased }
+    }
+
+    /// Runs the closure, stores the result, sets the latch.
+    unsafe fn execute_erased(this: *const ()) {
+        let this = &*(this as *const Self);
+        let f = (*this.f.get()).take().expect("job executed twice");
+        let result = panic::catch_unwind(AssertUnwindSafe(f));
+        *this.result.get() = Some(result);
+        this.latch.set();
+    }
+
+    /// Runs the job inline on the owner (after popping it back unstolen).
+    fn execute_inline(&self) {
+        // SAFETY: we hold `&self`; nobody else has the JobRef anymore.
+        unsafe { Self::execute_erased(self as *const Self as *const ()) }
+    }
+
+    /// Consumes the job and yields the stored result.
+    fn into_result(self) -> std::thread::Result<R> {
+        self.result.into_inner().expect("job completed without a result")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry (the pool proper)
+// ---------------------------------------------------------------------------
+
+/// Shared state of one pool: deques, injector, sleep machinery.
+pub(crate) struct Registry {
+    deques: Vec<Mutex<VecDeque<JobRef>>>,
+    injector: Mutex<VecDeque<JobRef>>,
+    /// Upper bound on queued jobs (incremented before a push, decremented
+    /// after a successful pop), used by idle workers to decide to sleep.
+    pending: AtomicUsize,
+    sleepers: AtomicUsize,
+    sleep_lock: Mutex<()>,
+    sleep_cv: Condvar,
+    terminate: AtomicBool,
+}
+
+thread_local! {
+    /// The worker identity of the current thread, if it belongs to a pool.
+    static WORKER: RefCell<Option<WorkerCtx>> = const { RefCell::new(None) };
+}
+
+/// A worker thread's identity: its registry and deque index.
+#[derive(Clone)]
+pub(crate) struct WorkerCtx {
+    registry: Arc<Registry>,
+    index: usize,
+}
+
+/// The current thread's worker identity, if any.
+pub(crate) fn current_worker() -> Option<WorkerCtx> {
+    WORKER.with(|w| w.borrow().clone())
+}
+
+impl Registry {
+    fn new(n_threads: usize) -> Arc<Registry> {
+        Arc::new(Registry {
+            deques: (0..n_threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            pending: AtomicUsize::new(0),
+            sleepers: AtomicUsize::new(0),
+            sleep_lock: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+            terminate: AtomicBool::new(false),
+        })
+    }
+
+    fn spawn_workers(registry: &Arc<Registry>) -> Vec<std::thread::JoinHandle<()>> {
+        (0..registry.deques.len())
+            .map(|index| {
+                let registry = Arc::clone(registry);
+                std::thread::Builder::new()
+                    .name(format!("semimatch-rayon-{index}"))
+                    .spawn(move || worker_main(registry, index))
+                    .expect("spawning a pool worker thread")
+            })
+            .collect()
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// Pushes onto `worker`'s own deque (LIFO end).
+    fn push_local(&self, worker: usize, job: JobRef) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.deques[worker].lock().unwrap().push_back(job);
+        self.notify();
+    }
+
+    /// Pushes onto the global injector (from non-pool threads).
+    fn inject(&self, job: JobRef) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.injector.lock().unwrap().push_back(job);
+        self.notify();
+    }
+
+    fn notify(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.sleep_lock.lock().unwrap();
+            self.sleep_cv.notify_all();
+        }
+    }
+
+    /// Pops the back of `worker`'s deque iff it is exactly `job` (i.e. the
+    /// deferred half of a `join` that nobody stole). Balanced push/pop
+    /// discipline means the back is either our job or the job is gone.
+    fn pop_local_if(&self, worker: usize, job: &JobRef) -> bool {
+        let mut deque = self.deques[worker].lock().unwrap();
+        if deque.back().is_some_and(|j| j.same_job(job)) {
+            deque.pop_back();
+            drop(deque);
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// One work-finding sweep for `worker`: own deque (back), then steal
+    /// from the other deques (front), then the injector.
+    fn find_work(&self, worker: usize) -> Option<JobRef> {
+        if let Some(job) = self.deques[worker].lock().unwrap().pop_back() {
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+            return Some(job);
+        }
+        let n = self.deques.len();
+        for offset in 1..n {
+            let victim = (worker + offset) % n;
+            if let Some(job) = self.deques[victim].lock().unwrap().pop_front() {
+                self.pending.fetch_sub(1, Ordering::SeqCst);
+                return Some(job);
+            }
+        }
+        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+            return Some(job);
+        }
+        None
+    }
+
+    /// Parks an idle worker. The sleeper registration + pending re-check
+    /// under the lock closes the race with [`Registry::notify`]; a bounded
+    /// timeout bounds the damage of any missed edge case.
+    fn idle_wait(&self) {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let guard = self.sleep_lock.lock().unwrap();
+        if self.pending.load(Ordering::SeqCst) == 0 && !self.terminate.load(Ordering::SeqCst) {
+            let _ = self.sleep_cv.wait_timeout(guard, Duration::from_millis(10)).unwrap();
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A pool worker's main loop: drain work, sleep when there is none, exit
+/// on termination.
+fn worker_main(registry: Arc<Registry>, index: usize) {
+    WORKER.with(|w| {
+        *w.borrow_mut() = Some(WorkerCtx { registry: Arc::clone(&registry), index });
+    });
+    while !registry.terminate.load(Ordering::SeqCst) {
+        match registry.find_work(index) {
+            // SAFETY: publishers keep stack jobs alive until their latch
+            // is set; executing is the single hand-off point.
+            Some(job) => unsafe { job.execute() },
+            None => registry.idle_wait(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------------
+
+/// Runs `a` and `b`, potentially in parallel, returning both results.
+///
+/// The fork-join primitive of the pool: `b` is pushed onto the calling
+/// worker's deque where an idle worker may steal it while the caller runs
+/// `a`. If nobody stole it, the caller runs it inline — so the sequential
+/// path costs one deque push/pop beyond the two calls. Called from outside
+/// the pool, the whole join is shipped to a worker first.
+///
+/// Panics in either closure propagate to the caller, after **both**
+/// closures have come to rest (completed or never started) — a stolen job
+/// is always waited out, so no closure outlives the call.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    match current_worker() {
+        Some(ctx) => join_on_worker(&ctx, a, b),
+        None => {
+            let registry = global_registry();
+            in_registry_worker(registry, move |ctx| join_on_worker(ctx, a, b))
+        }
+    }
+}
+
+fn join_on_worker<A, B, RA, RB>(ctx: &WorkerCtx, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let b_job = StackJob::new(b);
+    // SAFETY: we block below (pop-or-wait) until b_job's latch is set or
+    // the job is back in our hands, so the stack slot outlives the ref.
+    let b_ref = unsafe { b_job.as_job_ref() };
+    ctx.registry.push_local(ctx.index, b_ref);
+
+    let ra = panic::catch_unwind(AssertUnwindSafe(a));
+
+    if ctx.registry.pop_local_if(ctx.index, &b_ref) {
+        // Nobody stole it: run inline.
+        b_job.execute_inline();
+    } else {
+        // Stolen. Keep the core busy on other jobs while the thief works.
+        while !b_job.latch.probe() {
+            match ctx.registry.find_work(ctx.index) {
+                // SAFETY: same publisher contract as in `worker_main`.
+                Some(job) => unsafe { job.execute() },
+                None => b_job.latch.wait_timeout(Duration::from_micros(200)),
+            }
+        }
+    }
+
+    let rb = b_job.into_result();
+    match (ra, rb) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        // `a`'s panic wins when both went down, matching rayon.
+        (Err(payload), _) => panic::resume_unwind(payload),
+        (_, Err(payload)) => panic::resume_unwind(payload),
+    }
+}
+
+/// Runs `op` on a worker of `registry`, blocking the calling thread until
+/// it completes. Calls from a worker of the same registry run inline.
+pub(crate) fn in_registry_worker<OP, R>(registry: &Arc<Registry>, op: OP) -> R
+where
+    OP: FnOnce(&WorkerCtx) -> R + Send,
+    R: Send,
+{
+    if let Some(ctx) = current_worker() {
+        if Arc::ptr_eq(&ctx.registry, registry) {
+            return op(&ctx);
+        }
+    }
+    let job = StackJob::new(move || {
+        let ctx = current_worker().expect("injected jobs run on pool workers");
+        op(&ctx)
+    });
+    // SAFETY: `wait_blocking` below keeps this frame (and thus the job)
+    // alive until the worker has finished executing it.
+    let job_ref = unsafe { job.as_job_ref() };
+    registry.inject(job_ref);
+    job.latch.wait_blocking();
+    match job.into_result() {
+        Ok(r) => r,
+        Err(payload) => panic::resume_unwind(payload),
+    }
+}
+
+/// The registry parallel operations should run on: the current worker's
+/// pool when called from inside one ([`ThreadPool::install`] nesting),
+/// the global pool otherwise.
+pub(crate) fn current_registry() -> Arc<Registry> {
+    match current_worker() {
+        Some(ctx) => ctx.registry,
+        None => Arc::clone(global_registry()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Builder, global pool
+// ---------------------------------------------------------------------------
+
+/// Error raised by [`ThreadPoolBuilder::build_global`] when the global
+/// pool already exists (it is built at most once per process).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    msg: &'static str,
+}
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.msg)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Configures a [`ThreadPool`] (mirroring `rayon::ThreadPoolBuilder`).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Parses a `RAYON_NUM_THREADS`-style override: a positive integer is a
+/// thread count; `0`, empty or malformed values mean "automatic".
+pub(crate) fn parse_env_threads(value: &str) -> Option<usize> {
+    match value.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => None,
+    }
+}
+
+/// The process-default thread count: `RAYON_NUM_THREADS` when set to a
+/// positive integer, the number of available cores otherwise.
+fn default_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .as_deref()
+        .and_then(parse_env_threads)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with automatic thread count.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the worker count; `0` (the default) means automatic
+    /// (`RAYON_NUM_THREADS`, else all available cores).
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    fn resolved_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            default_num_threads()
+        }
+    }
+
+    /// Builds an owned pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let registry = Registry::new(self.resolved_threads().max(1));
+        let handles = Registry::spawn_workers(&registry);
+        Ok(ThreadPool { registry, handles })
+    }
+
+    /// Installs this configuration as the process-global pool. Errors if
+    /// the global pool was already created (explicitly or lazily).
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let registry = Registry::new(self.resolved_threads().max(1));
+        let mut fresh = false;
+        let installed = GLOBAL.get_or_init(|| {
+            fresh = true;
+            let _workers = Registry::spawn_workers(&registry);
+            Arc::clone(&registry)
+        });
+        let _ = installed;
+        if fresh {
+            Ok(())
+        } else {
+            Err(ThreadPoolBuildError { msg: "the global thread pool has already been initialized" })
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+
+/// The global registry, created on first use with default configuration.
+/// Its workers are detached and live for the rest of the process.
+pub(crate) fn global_registry() -> &'static Arc<Registry> {
+    GLOBAL.get_or_init(|| {
+        let registry = Registry::new(default_num_threads().max(1));
+        let _workers = Registry::spawn_workers(&registry);
+        registry
+    })
+}
+
+/// The number of worker threads of the current pool: the enclosing
+/// [`ThreadPool::install`] pool when called from inside one, the global
+/// pool (created on demand) otherwise.
+pub fn current_num_threads() -> usize {
+    current_registry().num_threads()
+}
+
+/// An owned work-stealing thread pool (mirroring `rayon::ThreadPool`).
+///
+/// Dropping the pool terminates its workers (outstanding `install` calls
+/// have completed by then — `install` borrows the pool).
+pub struct ThreadPool {
+    registry: Arc<Registry>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Runs `op` inside this pool: parallel operations called from `op`
+    /// (`join`, `par_iter`, nested `install`s) fan out over this pool's
+    /// workers instead of the global pool.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        in_registry_worker(&self.registry, move |_| op())
+    }
+
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.registry.num_threads()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.terminate.store(true, Ordering::SeqCst);
+        {
+            let _guard = self.registry.sleep_lock.lock().unwrap();
+            self.registry.sleep_cv.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
