@@ -11,6 +11,7 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semimatch_core::exact::{cost_scaling_cold_in, cost_scaling_in};
 use semimatch_core::objective::Objective;
 use semimatch_core::solver::{solve, solve_many, Problem, Solver, SolverKind};
 use semimatch_gen::rng::Xoshiro256;
@@ -19,28 +20,29 @@ use semimatch_graph::Bipartite;
 use semimatch_matching::{maximum_matching, maximum_matching_in, Algorithm, SearchWorkspace};
 
 /// A sweep of same-shaped instances, alternating both bipartite families.
-fn sweep(count: u64, n: u32, p: u32) -> Vec<Bipartite> {
+fn sweep(count: u64, n: u32, p: u32, g: u32, d: u32) -> Vec<Bipartite> {
     let root = Xoshiro256::seed_from_u64(42);
     (0..count)
         .map(|i| {
             let mut rng = root.stream(i);
             if i % 2 == 0 {
-                hilo_permuted(n, p, 16, 6, &mut rng)
+                hilo_permuted(n, p, g, d, &mut rng)
             } else {
-                fewg_manyg(n, p, 16, 6, &mut rng)
+                fewg_manyg(n, p, g, d, &mut rng)
             }
         })
         .collect()
 }
 
 fn bench_repeat_solve(c: &mut Criterion) {
-    let instances = sweep(24, 2048, 128);
+    let instances = sweep(24, 2048, 128, 16, 6);
     let problems: Vec<Problem<'_>> = instances.iter().map(Problem::SingleProc).collect();
     let kinds = [
         SolverKind::ExactBisection,
         SolverKind::ExactReplicated,
         SolverKind::HopcroftKarpSemi,
         SolverKind::CostScaling,
+        SolverKind::MinCostFlow,
     ];
 
     let mut group = c.benchmark_group("repeat-solve");
@@ -84,12 +86,13 @@ fn bench_repeat_solve(c: &mut Criterion) {
     }
     group.finish();
 
-    // The fast-exact contrast: tall (n ≫ p) unit instances, where the
-    // generalized Hopcroft–Karp phases skip the matching oracle entirely
-    // and the load-range divide-and-conquer brackets with a greedy
-    // witness. Row pair recorded in results/BENCH_fast_exact.md.
-    // p = 32 keeps HiLo's p-divisible-by-g precondition (g = 16).
-    let tall = sweep(16, 8192, 32);
+    // The fast-exact contrast: tall (n ≫ p) loose-bound unit instances
+    // (g = 4, d = 2 skews eligibility, pushing the optimum well above the
+    // ⌈n/p⌉ counting bound), where the generalized Hopcroft–Karp phases
+    // skip the matching oracle entirely and the load-range
+    // divide-and-conquer brackets with a greedy witness. Row pair recorded
+    // in results/BENCH_fast_exact.md.
+    let tall = sweep(16, 8192, 32, 4, 2);
     let tall_problems: Vec<Problem<'_>> = tall.iter().map(Problem::SingleProc).collect();
     let mut group = c.benchmark_group("fast-exact-tall");
     group.sample_size(10).measurement_time(Duration::from_secs(4));
@@ -105,6 +108,22 @@ fn bench_repeat_solve(c: &mut Criterion) {
             })
         });
     }
+    // The warm-started capacity probes against the cold ablation: same
+    // divide-and-conquer, but "cold-probes" rebuilds the capacitated
+    // network from scratch per probe where "warm-probes" retargets the
+    // resident network's processor arcs and repairs the flow. Probe and
+    // augmentation counters for the same contrast live in
+    // results/BENCH_fast_exact.json (the fast_exact bin).
+    group.bench_with_input(BenchmarkId::new("warm-probes", "cost-scaling"), &tall, |b, gs| {
+        let mut ws = SearchWorkspace::new();
+        b.iter(|| gs.iter().map(|g| cost_scaling_in(g, &mut ws).unwrap().makespan).sum::<u64>())
+    });
+    group.bench_with_input(BenchmarkId::new("cold-probes", "cost-scaling"), &tall, |b, gs| {
+        let mut ws = SearchWorkspace::new();
+        b.iter(|| {
+            gs.iter().map(|g| cost_scaling_cold_in(g, &mut ws).unwrap().makespan).sum::<u64>()
+        })
+    });
     group.finish();
 
     // Sanity: warm and cold must agree bit-for-bit, and the fast exact
@@ -113,11 +132,15 @@ fn bench_repeat_solve(c: &mut Criterion) {
     for &p in &problems[..4] {
         assert_eq!(warm.solve(p).unwrap(), solve(p, SolverKind::ExactBisection).unwrap());
     }
-    for &p in &tall_problems[..2] {
+    for (g, &p) in tall.iter().zip(&tall_problems).take(2) {
         let opt = solve(p, SolverKind::ExactBisection).unwrap().makespan(&p).unwrap();
-        for kind in [SolverKind::HopcroftKarpSemi, SolverKind::CostScaling] {
+        for kind in [SolverKind::HopcroftKarpSemi, SolverKind::CostScaling, SolverKind::MinCostFlow]
+        {
             assert_eq!(solve(p, kind).unwrap().makespan(&p).unwrap(), opt, "{kind} missed opt");
         }
+        let mut ws = SearchWorkspace::new();
+        assert_eq!(cost_scaling_in(g, &mut ws).unwrap().makespan, opt, "warm probes missed opt");
+        assert_eq!(cost_scaling_cold_in(g, &mut ws).unwrap().makespan, opt, "cold missed opt");
     }
 }
 

@@ -4,21 +4,39 @@
 //! Semi-Matching Problems*) attack semi-matchings by divide-and-conquer
 //! over the **load range**: capacitated feasibility probes split the range
 //! of possible bottleneck values until the optimal load profile is pinned.
-//! This backend implements that search shape over the repository's
-//! resident flow substrate:
+//! This backend implements both halves of that design over the
+//! repository's resident flow substrate:
 //!
 //! * the range starts at `[⌈n/p⌉, greedy]` — the counting lower bound
-//!   against a sorted-greedy witness, not the doubling expansion of
-//!   [`SearchStrategy::Bisection`](crate::exact::SearchStrategy) — so the
-//!   first probe already lands mid-profile;
-//! * every probe is a capacitated maximum assignment through the
-//!   workspace's resident Dinic scratch
-//!   ([`max_assignment_in`]) — warm probes allocate only their result;
+//!   against a sorted-greedy witness, computed **once**: recursion levels
+//!   inherit the bracket instead of re-sorting the subinstance;
+//! * every probe is **warm-started**: one resident flow network per
+//!   monotone probe direction survives across probes ([`warm_probe_in`]),
+//!   anchored at the highest *infeasible* capacity. A probe raises the
+//!   sink arcs in place
+//!   ([`FlowNetwork::raise_capacity`](semimatch_matching::FlowNetwork::raise_capacity))
+//!   and augments only the delta — short residual paths, since the fresh
+//!   headroom sits one hop from the sink — then rolls back to the anchor
+//!   via an `O(arcs)` flow checkpoint when the answer is feasible
+//!   ([`probe_checkpoint`]/[`probe_rollback`]): the session never cancels
+//!   a near-maximum flow, the direction whose re-augmentation is slower
+//!   than a rebuild;
 //! * an **infeasible** probe at capacity `D` covering `c < n` tasks
 //!   tightens the lower half by the FLN deficiency bound: feasibility at
 //!   `D' ≥ D` can cover at most `c + p·(D' − D)` tasks, so
-//!   `opt ≥ D + ⌈(n − c)/p⌉` — the probe's shortfall skips whole chunks
-//!   of the range instead of one endpoint.
+//!   `opt ≥ D + ⌈(n − c)/p⌉`;
+//! * after each infeasible probe the instance itself is **partitioned**:
+//!   the tasks and processors reachable from the uncovered tasks along
+//!   the probe's assignment (the saturated high side) keep searching,
+//!   while every other task commits to its probe processor at load
+//!   `≤ D < opt` — deep levels of the search touch `o(m)` edges, and the
+//!   deficiency bound sharpens to `⌈u/|S_P|⌉` over the surviving
+//!   processors.
+//!
+//! All recursion bookkeeping (active views, committed assignments, BFS
+//! marks) is allocated once per call; the flow scratch lives in the
+//! [`SearchWorkspace`] arena (or in resident per-worker probe slots on the
+//! parallel path), so no per-level allocation appears.
 //!
 //! Under sum objectives the registry appends the Harvey cost-reducing
 //! descent to the profile-search witness, the composition FLN's total-cost
@@ -26,17 +44,30 @@
 
 use rayon::prelude::*;
 use semimatch_graph::Bipartite;
-use semimatch_matching::capacitated::max_assignment_in;
-use semimatch_matching::SearchWorkspace;
+use semimatch_matching::capacitated::{
+    extract_probe_in, max_assignment_in, probe_checkpoint, probe_rollback, warm_probe_in,
+    ProbeState,
+};
+use semimatch_matching::{SearchWorkspace, NONE};
 
 use crate::error::Result;
 use crate::exact::unit::{check_instance, ExactResult};
 use crate::problem::SemiMatching;
 
 /// Minimum instance size before probes fan out across the pool: each
-/// parallel probe builds its own flow arena, which only pays for itself
-/// once a single probe clearly dominates the workspace allocation.
+/// parallel probe keeps its own resident flow arena, which only pays for
+/// itself once a single probe clearly dominates the workspace allocation.
 const PAR_PROBE_MIN_TASKS: u32 = 512;
+
+/// A resident parallel-probe slot: its warm network state, workspace and
+/// extraction buffer move through the work-stealing pool by value and come
+/// back with the probe result, so repeated rounds allocate nothing.
+#[derive(Default)]
+struct ProbeSlot {
+    st: ProbeState,
+    ws: SearchWorkspace,
+    out: Vec<u32>,
+}
 
 /// Exact optimum via divide-and-conquer on the load range, throwaway
 /// scratch.
@@ -51,6 +82,20 @@ pub fn cost_scaling(g: &Bipartite) -> Result<ExactResult> {
 /// [`cost_scaling`] running every feasibility probe through `ws`'s
 /// resident flow arena. `oracle_calls` counts the capacitated probes.
 pub fn cost_scaling_in(g: &Bipartite, ws: &mut SearchWorkspace) -> Result<ExactResult> {
+    cost_scaling_seeded_in(g, None, ws)
+}
+
+/// [`cost_scaling_in`] additionally warm-started from a caller-provided
+/// assignment (`task → processor`): a *valid, complete* seed tightens the
+/// upper bracket to its makespan and stands in as the initial witness, so
+/// a near-optimal seed (a serving engine's live assignment) skips most of
+/// the search. Invalid or incomplete seeds are ignored — exactness never
+/// depends on the seed.
+pub fn cost_scaling_seeded_in(
+    g: &Bipartite,
+    warm_seed: Option<&[u32]>,
+    ws: &mut SearchWorkspace,
+) -> Result<ExactResult> {
     check_instance(g)?;
     let n = g.n_left();
     if n == 0 {
@@ -60,18 +105,48 @@ pub fn cost_scaling_in(g: &Bipartite, ws: &mut SearchWorkspace) -> Result<ExactR
             oracle_calls: 0,
         });
     }
-    let p = g.n_right().max(1);
+    let p = g.n_right();
     // Witness bracket: greedy bounds the profile from above, counting from
     // below. Unit weights keep every deadline within u32 (loads ≤ n).
     let seed = crate::greedy::sorted::sorted_greedy(g)?;
     let mut hi = seed.makespan(g) as u32;
-    let mut lo = n.div_ceil(p).max(1);
+    let mut lo = n.div_ceil(p.max(1)).max(1);
+    let mut witness: Vec<u32> = vec![NONE; n as usize];
+    let mut have_witness = false;
+    if let Some(sa) = warm_seed {
+        if let Some(mk) = seed_makespan(g, sa) {
+            if (mk as u64) < hi as u64 {
+                hi = mk;
+                witness.copy_from_slice(sa);
+                have_witness = true;
+            }
+        }
+    }
     let mut calls = 0u32;
-    let mut witness: Option<Vec<u32>> = None; // task→proc at capacity == hi
+
+    // ---- FLN active-subinstance state, allocated once per call ----
+    let mut active_tasks: Vec<u32> = (0..n).collect();
+    let mut active_procs: Vec<u32> = (0..p).collect();
+    let mut proc_pos: Vec<u32> = (0..p).collect();
+    // Low-side assignments fixed by partitioning; `NONE` ⇔ still active.
+    let mut committed: Vec<u32> = vec![NONE; n as usize];
+    let mut task_mark = vec![false; n as usize];
+    let mut proc_mark = vec![false; p as usize];
+    let mut bfs_queue: Vec<u32> = Vec::new();
+    // Subinstance build id: bumping it invalidates every resident probe
+    // network (they rebuild over the shrunk view on next use).
+    let mut epoch = 0u64;
+    let mut seq_state = ProbeState::default();
+    let mut seq_out: Vec<u32> = vec![NONE; n as usize];
+    let mut slots: Vec<ProbeSlot> = Vec::new();
+
     let threads = rayon::current_num_threads();
     let par_probes = threads > 1 && n >= PAR_PROBE_MIN_TASKS;
     while lo < hi {
         let range = hi - lo;
+        // The round's best (largest-capacity) infeasible probe drives the
+        // partition; (capacity, uncovered, slot index or sequential).
+        let mut part: Option<(u32, u64, Option<usize>)> = None;
         if par_probes && range >= 3 {
             // Multi-way step: probe `k` evenly spaced interior capacities
             // at once, one per pool worker. Feasibility is monotone in the
@@ -88,51 +163,286 @@ pub fn cost_scaling_in(g: &Bipartite, ws: &mut SearchWorkspace) -> Result<ExactR
                 caps.push(lo + range / 2);
             }
             calls += caps.len() as u32;
-            let probes: Vec<(u32, u64, Option<Vec<u32>>)> = caps
+            while slots.len() < caps.len() {
+                slots.push(ProbeSlot::default());
+            }
+            let spare = slots.split_off(caps.len());
+            let jobs: Vec<(u32, ProbeSlot)> = caps.into_iter().zip(slots.drain(..)).collect();
+            let (at, ap, pp) = (&active_tasks, &active_procs, &proc_pos);
+            let done: Vec<(u32, u64, ProbeSlot)> = jobs
                 .into_par_iter()
-                .map_init(SearchWorkspace::new, |pws, cap| {
-                    let a = max_assignment_in(g, cap, pws);
-                    let complete = a.is_complete();
-                    let card = a.cardinality() as u64;
-                    (cap, card, if complete { Some(a.task_to_proc) } else { None })
+                .map(|(cap, mut slot)| {
+                    // Same monotone-session policy as the sequential path,
+                    // per slot: checkpoint a warm raise and roll back on a
+                    // feasible answer, so each resident network stays
+                    // anchored at its highest infeasible capacity.
+                    let warm = slot.st.is_warm(epoch) && cap >= slot.st.capacity();
+                    if warm {
+                        probe_checkpoint(&mut slot.st, &slot.ws);
+                    }
+                    let card = warm_probe_in(g, at, ap, pp, epoch, cap, &mut slot.st, &mut slot.ws);
+                    slot.out.resize(g.n_left() as usize, NONE);
+                    extract_probe_in(g, at, pp, &mut slot.out, &slot.ws);
+                    if warm && card == at.len() as u64 {
+                        probe_rollback(&mut slot.st, &mut slot.ws);
+                    }
+                    (cap, card, slot)
                 })
                 .collect();
-            for (cap, card, assign) in probes {
-                match assign {
-                    Some(a) => {
-                        if cap < hi {
-                            hi = cap;
-                            witness = Some(a);
-                        }
+            let active_n = active_tasks.len() as u64;
+            for (i, (cap, card, slot)) in done.iter().enumerate() {
+                if *card == active_n {
+                    if *cap < hi {
+                        hi = *cap;
+                        snapshot_witness(&mut witness, &committed, &active_tasks, &slot.out);
+                        have_witness = true;
                     }
-                    None => {
-                        let deficit = (n as u64 - card).div_ceil(p as u64);
-                        lo = lo.max(cap + (deficit as u32).max(1));
+                } else {
+                    let uncovered = active_n - card;
+                    lo =
+                        lo.max(cap + (uncovered.div_ceil(active_procs.len() as u64) as u32).max(1));
+                    if part.is_none_or(|(c, _, _)| c < *cap) {
+                        part = Some((*cap, uncovered, Some(i)));
                     }
                 }
             }
+            if let Some((cap, uncovered, Some(i))) = part {
+                let shrunk = partition_active(
+                    g,
+                    &done[i].2.out,
+                    &mut committed,
+                    &mut active_tasks,
+                    &mut active_procs,
+                    &mut proc_pos,
+                    &mut task_mark,
+                    &mut proc_mark,
+                    &mut bfs_queue,
+                );
+                lo = lo.max(cap + (uncovered.div_ceil(active_procs.len() as u64) as u32).max(1));
+                if shrunk {
+                    epoch += 1;
+                }
+            }
+            slots.extend(done.into_iter().map(|(_, _, slot)| slot));
+            slots.extend(spare);
         } else {
-            let mid = lo + range / 2;
+            // Anchored sequential probe. A fresh session (first probe, or a
+            // partition just shrunk the view) builds the resident network at
+            // `lo` — the cheap end: an infeasible build routes short paths
+            // and immediately sharpens `lo`, a feasible one closes the
+            // bracket outright. A warm session answers the bisection
+            // midpoint by a checkpointed *raise* from its anchor (the
+            // highest infeasible capacity seen) and rolls back on a
+            // feasible answer, so the resident flow only ever moves in the
+            // monotone raising direction — the direction whose augmenting
+            // paths stay short.
+            let fresh = !seq_state.is_warm(epoch);
+            let cap = if fresh { lo } else { lo + range / 2 };
             calls += 1;
-            let a = max_assignment_in(g, mid, ws);
-            if a.is_complete() {
-                hi = mid;
-                witness = Some(a.task_to_proc);
+            if !fresh {
+                probe_checkpoint(&mut seq_state, ws);
+            }
+            let card = warm_probe_in(
+                g,
+                &active_tasks,
+                &active_procs,
+                &proc_pos,
+                epoch,
+                cap,
+                &mut seq_state,
+                ws,
+            );
+            extract_probe_in(g, &active_tasks, &proc_pos, &mut seq_out, ws);
+            let active_n = active_tasks.len() as u64;
+            if card == active_n {
+                hi = cap;
+                snapshot_witness(&mut witness, &committed, &active_tasks, &seq_out);
+                have_witness = true;
+                if !fresh {
+                    probe_rollback(&mut seq_state, ws);
+                }
             } else {
                 // FLN deficiency bound: the shortfall dictates how much
-                // extra capacity the whole pool needs before the probe can
-                // close.
-                let deficit = (n as u64 - a.cardinality() as u64).div_ceil(p as u64);
-                lo = mid + (deficit as u32).max(1);
+                // extra capacity the whole surviving pool needs before the
+                // probe can close.
+                let uncovered = active_n - card;
+                lo = cap + (uncovered.div_ceil(active_procs.len() as u64) as u32).max(1);
+                let shrunk = partition_active(
+                    g,
+                    &seq_out,
+                    &mut committed,
+                    &mut active_tasks,
+                    &mut active_procs,
+                    &mut proc_pos,
+                    &mut task_mark,
+                    &mut proc_mark,
+                    &mut bfs_queue,
+                );
+                lo = lo.max(cap + (uncovered.div_ceil(active_procs.len() as u64) as u32).max(1));
+                if shrunk {
+                    epoch += 1;
+                }
             }
+        }
+    }
+    let solution = if have_witness {
+        SemiMatching::from_procs(g, &witness)?
+    } else {
+        seed // the greedy witness already sat on the lower bound
+    };
+    debug_assert_eq!(solution.makespan(g), hi as u64, "witness saturates the pinned profile");
+    Ok(ExactResult { makespan: hi as u64, solution, oracle_calls: calls })
+}
+
+/// The cold ablation baseline behind the warm-vs-cold bench contrast: the
+/// same bracket and deficiency-bound search as [`cost_scaling_in`], but
+/// every probe clears and refills the flow arena from scratch
+/// ([`max_assignment_in`]) and the instance is never partitioned. Probes
+/// run sequentially so the comparison isolates warm-starting alone.
+pub fn cost_scaling_cold_in(g: &Bipartite, ws: &mut SearchWorkspace) -> Result<ExactResult> {
+    check_instance(g)?;
+    let n = g.n_left();
+    if n == 0 {
+        return Ok(ExactResult {
+            makespan: 0,
+            solution: SemiMatching { edge_of: Vec::new() },
+            oracle_calls: 0,
+        });
+    }
+    let p = g.n_right().max(1);
+    let seed = crate::greedy::sorted::sorted_greedy(g)?;
+    let mut hi = seed.makespan(g) as u32;
+    let mut lo = n.div_ceil(p).max(1);
+    let mut calls = 0u32;
+    let mut witness: Option<Vec<u32>> = None;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        calls += 1;
+        let a = max_assignment_in(g, mid, ws);
+        if a.is_complete() {
+            hi = mid;
+            witness = Some(a.task_to_proc);
+        } else {
+            let deficit = (n as u64 - a.cardinality() as u64).div_ceil(p as u64);
+            lo = mid + (deficit as u32).max(1);
         }
     }
     let solution = match witness {
         Some(assign) => SemiMatching::from_procs(g, &assign)?,
-        None => seed, // the greedy witness already sat on the lower bound
+        None => seed,
     };
-    debug_assert_eq!(solution.makespan(g), hi as u64, "witness saturates the pinned profile");
     Ok(ExactResult { makespan: hi as u64, solution, oracle_calls: calls })
+}
+
+/// Makespan of a caller-provided `task → processor` seed, or `None` when
+/// the seed is not a valid complete assignment on `g`.
+fn seed_makespan(g: &Bipartite, assign: &[u32]) -> Option<u32> {
+    if assign.len() != g.n_left() as usize {
+        return None;
+    }
+    let mut max_load = 0u32;
+    let mut loads = vec![0u32; g.n_right() as usize];
+    for (v, &u) in assign.iter().enumerate() {
+        if u == NONE || g.neighbors(v as u32).binary_search(&u).is_err() {
+            return None;
+        }
+        loads[u as usize] += 1;
+        max_load = max_load.max(loads[u as usize]);
+    }
+    Some(max_load)
+}
+
+/// Full-length witness snapshot: committed low-side assignments overlaid
+/// with the feasible probe's assignment of the active tasks.
+fn snapshot_witness(witness: &mut [u32], committed: &[u32], active: &[u32], out: &[u32]) {
+    witness.copy_from_slice(committed);
+    for &v in active {
+        witness[v as usize] = out[v as usize];
+    }
+}
+
+/// FLN partition after an infeasible probe: BFS from the uncovered tasks
+/// along the probe's assignment structure. A reached task contributes all
+/// its (active) processors; a reached processor contributes the tasks the
+/// probe assigned to it — so the reached set `(S_T, S_P)` is edge-closed
+/// (`N(S_T) ⊆ S_P`) and, by maximality of the probe flow, every processor
+/// in `S_P` is saturated. Tasks outside `S_T` therefore sit on processors
+/// outside `S_P` at load `≤ D < opt` and can be committed for good; the
+/// search continues on the strictly smaller `(S_T, S_P)` whose optimum
+/// equals the global optimum. Returns whether anything shrank (the caller
+/// bumps the probe epoch). `O(active edges)`, allocation-free.
+#[allow(clippy::too_many_arguments)]
+fn partition_active(
+    g: &Bipartite,
+    out: &[u32],
+    committed: &mut [u32],
+    active_tasks: &mut Vec<u32>,
+    active_procs: &mut Vec<u32>,
+    proc_pos: &mut [u32],
+    task_mark: &mut [bool],
+    proc_mark: &mut [bool],
+    queue: &mut Vec<u32>,
+) -> bool {
+    let n = g.n_left();
+    queue.clear();
+    for &v in active_tasks.iter() {
+        if out[v as usize] == NONE {
+            task_mark[v as usize] = true;
+            queue.push(v);
+        }
+    }
+    // Alternating BFS; processors are encoded as `n + u` in the queue.
+    let mut head = 0;
+    while head < queue.len() {
+        let x = queue[head];
+        head += 1;
+        if x < n {
+            for &u in g.neighbors(x) {
+                if proc_pos[u as usize] != NONE && !proc_mark[u as usize] {
+                    proc_mark[u as usize] = true;
+                    queue.push(n + u);
+                }
+            }
+        } else {
+            let u = x - n;
+            for &t in g.rneighbors(u) {
+                // `out` entries of long-committed tasks are stale; the
+                // `committed` guard keeps the walk inside the active view.
+                if !task_mark[t as usize] && committed[t as usize] == NONE && out[t as usize] == u {
+                    task_mark[t as usize] = true;
+                    queue.push(t);
+                }
+            }
+        }
+    }
+    let st = active_tasks.iter().filter(|&&v| task_mark[v as usize]).count();
+    let sp = active_procs.iter().filter(|&&u| proc_mark[u as usize]).count();
+    let shrunk = (st < active_tasks.len() || sp < active_procs.len()) && st > 0 && sp > 0;
+    if shrunk {
+        for &v in active_tasks.iter() {
+            if !task_mark[v as usize] {
+                committed[v as usize] = out[v as usize];
+            }
+        }
+        active_tasks.retain(|&v| task_mark[v as usize]);
+        for &u in active_procs.iter() {
+            if !proc_mark[u as usize] {
+                proc_pos[u as usize] = NONE;
+            }
+        }
+        active_procs.retain(|&u| proc_mark[u as usize]);
+        for (j, &u) in active_procs.iter().enumerate() {
+            proc_pos[u as usize] = j as u32;
+        }
+    }
+    for &x in queue.iter() {
+        if x < n {
+            task_mark[x as usize] = false;
+        } else {
+            proc_mark[(x - n) as usize] = false;
+        }
+    }
+    shrunk
 }
 
 #[cfg(test)]
@@ -156,15 +466,18 @@ mod tests {
             r.solution.validate(&g).unwrap();
             assert_eq!(r.solution.makespan(&g), r.makespan);
             assert_eq!(r.makespan, exact_unit(&g, SearchStrategy::Incremental).unwrap().makespan);
+            // The cold ablation baseline lands on the same optimum.
+            let c = cost_scaling_cold_in(&g, &mut SearchWorkspace::new()).unwrap();
+            assert_eq!(c.makespan, r.makespan);
         }
     }
 
     #[test]
     fn deficiency_bound_skips_range_chunks() {
         // All 8 tasks pinned to P0 beside an idle P1: lb = 4, opt = 8. The
-        // first probe at 6 covers 6 of 8 → deficit ⌈2/2⌉ = 1 → lo = 7; the
-        // plain bisection endpoint step would need the same probes, but the
-        // probe count stays within the binary-search budget regardless.
+        // first probe at 6 covers 6 of 8; the partition drops the idle P1,
+        // sharpening the deficiency bound to ⌈2/1⌉ and closing the bracket
+        // in a single probe — well within the binary-search budget.
         let edges: Vec<(u32, u32)> = (0..8).map(|t| (t, 0)).collect();
         let g = Bipartite::from_edges(8, 2, &edges).unwrap();
         let r = cost_scaling(&g).unwrap();
@@ -182,6 +495,57 @@ mod tests {
     }
 
     #[test]
+    fn partitioning_commits_the_low_side() {
+        // A pinned-heavy island (tasks 0..6 → P0) next to an independent
+        // spreadable island (tasks 6..10 over P1, P2): the first infeasible
+        // probe splits them, the low side commits, and the optimum is the
+        // island bottleneck.
+        let mut edges: Vec<(u32, u32)> = (0..6).map(|t| (t, 0)).collect();
+        edges.extend((6..10).flat_map(|t| [(t, 1), (t, 2)]));
+        let g = Bipartite::from_edges(10, 3, &edges).unwrap();
+        let r = cost_scaling(&g).unwrap();
+        r.solution.validate(&g).unwrap();
+        assert_eq!(r.makespan, 6);
+        assert_eq!(r.makespan, exact_unit(&g, SearchStrategy::Incremental).unwrap().makespan);
+    }
+
+    #[test]
+    fn warm_seed_tightens_the_bracket() {
+        // Spreadable 2-regular instance; seed the solver with an optimal
+        // assignment — the answer is unchanged and no probe can beat the
+        // seeded witness.
+        let g = Bipartite::from_edges(
+            6,
+            3,
+            &[
+                (0, 0),
+                (0, 1),
+                (1, 1),
+                (1, 2),
+                (2, 2),
+                (2, 0),
+                (3, 0),
+                (3, 1),
+                (4, 1),
+                (4, 2),
+                (5, 2),
+                (5, 0),
+            ],
+        )
+        .unwrap();
+        let base = cost_scaling(&g).unwrap();
+        let seed: Vec<u32> = base.solution.edge_of.iter().map(|&e| g.edge_right(e)).collect();
+        let mut ws = SearchWorkspace::new();
+        let seeded = cost_scaling_seeded_in(&g, Some(&seed), &mut ws).unwrap();
+        assert_eq!(seeded.makespan, base.makespan);
+        seeded.solution.validate(&g).unwrap();
+        // Garbage seeds are ignored, not trusted.
+        let junk = vec![2u32; 6];
+        let junk_r = cost_scaling_seeded_in(&g, Some(&junk), &mut ws).unwrap();
+        assert_eq!(junk_r.makespan, base.makespan);
+    }
+
+    #[test]
     fn preconditions_and_empty() {
         let w = Bipartite::from_weighted_edges(1, 1, &[(0, 0)], &[2]).unwrap();
         assert_eq!(cost_scaling(&w).unwrap_err(), CoreError::RequiresUnitWeights);
@@ -189,5 +553,39 @@ mod tests {
         assert_eq!(cost_scaling(&u).unwrap_err(), CoreError::UncoveredTask(1));
         let e = Bipartite::from_edges(0, 3, &[]).unwrap();
         assert_eq!(cost_scaling(&e).unwrap().makespan, 0);
+    }
+
+    /// Randomized cross-check: warm partitioned search == incremental
+    /// matching exact == cold baseline on a mix of shapes.
+    #[test]
+    fn randomized_agreement_with_cold_and_incremental() {
+        let mut state = 0x5eed_cafe_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..40 {
+            let n1 = 2 + (next() % 12) as u32;
+            let n2 = 1 + (next() % 5) as u32;
+            let mut edges = Vec::new();
+            for v in 0..n1 {
+                let deg = 1 + (next() % 3).min(n2 as u64 - 1) as u32;
+                let start = (next() % n2 as u64) as u32;
+                for d in 0..=deg {
+                    edges.push((v, (start + d) % n2));
+                }
+            }
+            edges.sort_unstable();
+            edges.dedup();
+            let g = Bipartite::from_edges(n1, n2, &edges).unwrap();
+            let warm = cost_scaling(&g).unwrap();
+            warm.solution.validate(&g).unwrap();
+            let cold = cost_scaling_cold_in(&g, &mut SearchWorkspace::new()).unwrap();
+            let incr = exact_unit(&g, SearchStrategy::Incremental).unwrap();
+            assert_eq!(warm.makespan, incr.makespan, "round {round}");
+            assert_eq!(cold.makespan, incr.makespan, "round {round}");
+        }
     }
 }

@@ -1,0 +1,185 @@
+//! Min-cost-flow exact backend (`SolverKind::MinCostFlow`, `mcf`).
+//!
+//! One successive-shortest-augmenting-paths solve with Johnson potentials
+//! ([`FlowNetwork::min_cost_max_flow`](semimatch_matching::FlowNetwork::min_cost_max_flow))
+//! replaces the deadline/probe searches of the other exact kinds:
+//!
+//! * **Unit instances** route through convex unit-arc bundles — processor
+//!   `u` offers `deg(u)` sink arcs with marginals `1, 2, 3, …`, so the
+//!   optimum of the flow is the flow-time-optimal (balanced) assignment.
+//!   By Harvey–Ladner–Lovász–Tamir, that profile is majorization-minimal
+//!   and hence simultaneously optimal for the makespan and **every**
+//!   symmetric convex objective — one flow solve, no search loop.
+//! * **Weighted instances** get their first fast exact kind: under
+//!   [`Objective::WeightedLoad`] the total cost separates per task, so a
+//!   min-cost max-flow with the edge weights as (integer) arc costs and
+//!   uncapacitated sinks is exact. The remaining objectives on weighted
+//!   instances stay out of reach for *any* polynomial backend (they embed
+//!   PARTITION), so they keep reporting
+//!   [`CoreError::RequiresUnitWeights`].
+//!
+//! All costs, potentials and reduced costs are integers (`i128`) — no
+//! float fallback anywhere, matching the repository's exact-arithmetic
+//! contract.
+
+use semimatch_graph::Bipartite;
+use semimatch_matching::capacitated::{balanced_assignment_in, min_weight_assignment_in};
+use semimatch_matching::SearchWorkspace;
+
+use crate::error::{CoreError, Result};
+use crate::exact::unit::{check_instance, ExactResult};
+use crate::objective::Objective;
+use crate::problem::SemiMatching;
+
+/// Exact optimum makespan via one balanced min-cost flow, throwaway
+/// scratch.
+///
+/// Errors with [`CoreError::RequiresUnitWeights`] on weighted instances
+/// (use [`mcf_objective_in`] with [`Objective::WeightedLoad`] for the
+/// weighted exact path) and [`CoreError::UncoveredTask`] when some task
+/// has no processor.
+pub fn mcf(g: &Bipartite) -> Result<ExactResult> {
+    mcf_in(g, &mut SearchWorkspace::new())
+}
+
+/// [`mcf`] drawing the flow arena from `ws`. `oracle_calls` reports the
+/// number of shortest-path augmentations of the single flow solve — the
+/// unit this backend's work is measured in, where the probe-search kinds
+/// report capacitated probes.
+pub fn mcf_in(g: &Bipartite, ws: &mut SearchWorkspace) -> Result<ExactResult> {
+    check_instance(g)?;
+    if g.n_left() == 0 {
+        return Ok(ExactResult {
+            makespan: 0,
+            solution: SemiMatching { edge_of: Vec::new() },
+            oracle_calls: 0,
+        });
+    }
+    let before = ws.flow_augmentations();
+    let a = balanced_assignment_in(g, ws);
+    let solution = SemiMatching::from_procs(g, &a.task_to_proc)?;
+    let makespan = a.loads.iter().copied().max().unwrap_or(0) as u64;
+    let calls = (ws.flow_augmentations() - before).min(u32::MAX as u64) as u32;
+    Ok(ExactResult { makespan, solution, oracle_calls: calls })
+}
+
+/// The objective-aware dispatch behind the registry's `mcf` entry.
+///
+/// * unit instance → the balanced flow, simultaneously optimal for every
+///   [`Objective::REPORTED`] member;
+/// * weighted + [`Objective::WeightedLoad`] → the weighted min-cost flow,
+///   exact for the total occupied load;
+/// * weighted + anything else → [`CoreError::RequiresUnitWeights`].
+pub fn mcf_objective_in(
+    g: &Bipartite,
+    objective: Objective,
+    ws: &mut SearchWorkspace,
+) -> Result<SemiMatching> {
+    if g.is_unit() {
+        return Ok(mcf_in(g, ws)?.solution);
+    }
+    for v in 0..g.n_left() {
+        if g.deg_left(v) == 0 {
+            return Err(CoreError::UncoveredTask(v));
+        }
+    }
+    match objective {
+        Objective::WeightedLoad => {
+            let a = min_weight_assignment_in(g, ws);
+            SemiMatching::from_procs(g, &a.task_to_proc)
+        }
+        _ => Err(CoreError::RequiresUnitWeights),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::brute_force::brute_force_singleproc_objective;
+    use crate::exact::unit::{exact_unit, SearchStrategy};
+    use crate::solver::BRUTE_FORCE_BUDGET;
+
+    #[test]
+    fn one_flow_matches_the_deadline_search() {
+        type Case = (u32, u32, Vec<(u32, u32)>);
+        let cases: &[Case] = &[
+            (2, 2, vec![(0, 0), (0, 1), (1, 0)]),
+            (5, 1, vec![(0, 0), (1, 0), (2, 0), (3, 0), (4, 0)]),
+            (7, 4, vec![(0, 0), (1, 0), (2, 0), (3, 1), (3, 2), (4, 2), (5, 3), (6, 3), (6, 0)]),
+        ];
+        for (n1, n2, edges) in cases {
+            let g = Bipartite::from_edges(*n1, *n2, edges).unwrap();
+            let r = mcf(&g).unwrap();
+            r.solution.validate(&g).unwrap();
+            assert_eq!(r.solution.makespan(&g), r.makespan);
+            assert_eq!(r.makespan, exact_unit(&g, SearchStrategy::Incremental).unwrap().makespan);
+        }
+    }
+
+    #[test]
+    fn unit_instances_are_simultaneously_optimal() {
+        let g = Bipartite::from_edges(
+            6,
+            3,
+            &[(0, 0), (0, 1), (1, 0), (2, 1), (2, 2), (3, 2), (4, 0), (4, 2), (5, 1)],
+        )
+        .unwrap();
+        let mut ws = SearchWorkspace::new();
+        for obj in Objective::REPORTED {
+            let sm = mcf_objective_in(&g, obj, &mut ws).unwrap();
+            sm.validate(&g).unwrap();
+            let (opt, _) = brute_force_singleproc_objective(&g, BRUTE_FORCE_BUDGET, obj).unwrap();
+            assert_eq!(sm.score(&g, obj), opt, "{obj}");
+        }
+    }
+
+    #[test]
+    fn weighted_total_load_is_exact() {
+        // Weighted instance where per-task cheapest edges collide on one
+        // processor — irrelevant for total load, which has no capacity
+        // coupling; the exact answer is the sum of per-task minima.
+        let g = Bipartite::from_weighted_edges(
+            3,
+            2,
+            &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 0)],
+            &[2, 5, 1, 7, 3],
+        )
+        .unwrap();
+        let mut ws = SearchWorkspace::new();
+        let sm = mcf_objective_in(&g, Objective::WeightedLoad, &mut ws).unwrap();
+        sm.validate(&g).unwrap();
+        let (opt, _) =
+            brute_force_singleproc_objective(&g, BRUTE_FORCE_BUDGET, Objective::WeightedLoad)
+                .unwrap();
+        assert_eq!(sm.score(&g, Objective::WeightedLoad), opt);
+        assert_eq!(sm.score(&g, Objective::WeightedLoad).as_u64(), 2 + 1 + 3);
+    }
+
+    #[test]
+    fn weighted_other_objectives_refuse() {
+        let g = Bipartite::from_weighted_edges(1, 1, &[(0, 0)], &[2]).unwrap();
+        let mut ws = SearchWorkspace::new();
+        assert_eq!(mcf(&g).unwrap_err(), CoreError::RequiresUnitWeights);
+        for obj in [Objective::Makespan, Objective::FlowTime, Objective::LpNorm(2)] {
+            assert_eq!(
+                mcf_objective_in(&g, obj, &mut ws).unwrap_err(),
+                CoreError::RequiresUnitWeights,
+                "{obj}"
+            );
+        }
+    }
+
+    #[test]
+    fn preconditions_and_empty() {
+        let u = Bipartite::from_edges(2, 1, &[(0, 0)]).unwrap();
+        assert_eq!(mcf(&u).unwrap_err(), CoreError::UncoveredTask(1));
+        let mut ws = SearchWorkspace::new();
+        let uw = Bipartite::from_weighted_edges(2, 1, &[(0, 0)], &[3]).unwrap();
+        assert_eq!(
+            mcf_objective_in(&uw, Objective::WeightedLoad, &mut ws).unwrap_err(),
+            CoreError::UncoveredTask(1)
+        );
+        let e = Bipartite::from_edges(0, 3, &[]).unwrap();
+        assert_eq!(mcf(&e).unwrap().makespan, 0);
+    }
+}

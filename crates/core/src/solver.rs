@@ -56,8 +56,8 @@ use semimatch_matching::SearchWorkspace;
 use crate::error::{CoreError, Result};
 use crate::exact::{
     brute_force_multiproc, brute_force_multiproc_objective, brute_force_singleproc,
-    brute_force_singleproc_objective, cost_scaling_in, exact_unit_in, exact_unit_replicated_in,
-    harvey_exact, hk_semi_in, SearchStrategy,
+    brute_force_singleproc_objective, cost_scaling_in, cost_scaling_seeded_in, exact_unit_in,
+    exact_unit_replicated_in, harvey_exact, hk_semi_in, mcf_in, mcf_objective_in, SearchStrategy,
 };
 use crate::greedy::basic::greedy_in_order_with;
 use crate::greedy::double_sorted::double_sorted_with;
@@ -286,6 +286,11 @@ pub enum SolverKind {
     /// Exact via divide-and-conquer on the load range with capacitated
     /// feasibility probes (Fakcharoenphol–Laekhanukit–Nanongkai style).
     CostScaling,
+    /// Exact via one min-cost max-flow over convex unit-arc bundles
+    /// (Johnson potentials, integer arithmetic). Balanced — hence
+    /// simultaneously optimal for every reported objective — on unit
+    /// instances; the first fast exact kind for weighted total load.
+    MinCostFlow,
     // --- MULTIPROC heuristics (§IV-D) ---
     /// sorted-greedy-hyp (Algorithm 4).
     Sgh,
@@ -313,7 +318,7 @@ pub enum SolverKind {
 
 impl SolverKind {
     /// Every registered solver.
-    pub const ALL: [SolverKind; 20] = [
+    pub const ALL: [SolverKind; 21] = [
         SolverKind::Basic,
         SolverKind::Sorted,
         SolverKind::DoubleSorted,
@@ -324,6 +329,7 @@ impl SolverKind {
         SolverKind::Harvey,
         SolverKind::HopcroftKarpSemi,
         SolverKind::CostScaling,
+        SolverKind::MinCostFlow,
         SolverKind::Sgh,
         SolverKind::Vgh,
         SolverKind::Egh,
@@ -337,7 +343,7 @@ impl SolverKind {
     ];
 
     /// Solvers accepting bipartite (`SINGLEPROC`) problems.
-    pub const SINGLEPROC: [SolverKind; 12] = [
+    pub const SINGLEPROC: [SolverKind; 13] = [
         SolverKind::Basic,
         SolverKind::Sorted,
         SolverKind::DoubleSorted,
@@ -348,6 +354,7 @@ impl SolverKind {
         SolverKind::Harvey,
         SolverKind::HopcroftKarpSemi,
         SolverKind::CostScaling,
+        SolverKind::MinCostFlow,
         SolverKind::StreamingGreedy,
         SolverKind::BruteForce,
     ];
@@ -390,13 +397,14 @@ impl SolverKind {
         [SolverKind::Sgh, SolverKind::Vgh, SolverKind::Egh, SolverKind::Evg];
 
     /// The exact `SINGLEPROC-UNIT` algorithms.
-    pub const EXACT_SINGLEPROC: [SolverKind; 6] = [
+    pub const EXACT_SINGLEPROC: [SolverKind; 7] = [
         SolverKind::ExactIncremental,
         SolverKind::ExactBisection,
         SolverKind::ExactReplicated,
         SolverKind::Harvey,
         SolverKind::HopcroftKarpSemi,
         SolverKind::CostScaling,
+        SolverKind::MinCostFlow,
     ];
 
     /// Canonical registry name (stable; used by `from_str`, the CLI and
@@ -413,6 +421,7 @@ impl SolverKind {
             SolverKind::Harvey => "harvey",
             SolverKind::HopcroftKarpSemi => "hk-semi",
             SolverKind::CostScaling => "cost-scaling",
+            SolverKind::MinCostFlow => "mcf",
             SolverKind::Sgh => "sgh",
             SolverKind::Vgh => "vgh",
             SolverKind::Egh => "egh",
@@ -461,6 +470,7 @@ impl SolverKind {
             | SolverKind::StreamingGreedy
             | SolverKind::HopcroftKarpSemi
             | SolverKind::CostScaling
+            | SolverKind::MinCostFlow
             | SolverKind::BruteForce => "extension",
         }
     }
@@ -477,7 +487,8 @@ impl SolverKind {
             | SolverKind::ExactReplicated
             | SolverKind::Harvey
             | SolverKind::HopcroftKarpSemi
-            | SolverKind::CostScaling => SolverClass::SingleProc,
+            | SolverKind::CostScaling
+            | SolverKind::MinCostFlow => SolverClass::SingleProc,
             SolverKind::Sgh
             | SolverKind::Vgh
             | SolverKind::Egh
@@ -504,6 +515,7 @@ impl SolverKind {
                 | SolverKind::Harvey
                 | SolverKind::HopcroftKarpSemi
                 | SolverKind::CostScaling
+                | SolverKind::MinCostFlow
                 | SolverKind::BruteForce
         )
     }
@@ -521,6 +533,7 @@ impl SolverKind {
             SolverKind::Harvey => "exact, cost-reducing paths",
             SolverKind::HopcroftKarpSemi => "exact, generalized Hopcroft-Karp phases",
             SolverKind::CostScaling => "exact, load-range divide-and-conquer",
+            SolverKind::MinCostFlow => "exact, one min-cost flow (weighted total load too)",
             SolverKind::Sgh => "sorted-greedy-hyp (Alg. 4)",
             SolverKind::Vgh => "vector-greedy-hyp",
             SolverKind::Egh => "expected-greedy-hyp (Alg. 5)",
@@ -627,6 +640,9 @@ impl SolverKind {
             SolverKind::CostScaling => {
                 Ok(Solution::SingleProc(cost_scaling_in(self.bipartite(&problem)?, ws)?.solution))
             }
+            SolverKind::MinCostFlow => {
+                Ok(Solution::SingleProc(mcf_in(self.bipartite(&problem)?, ws)?.solution))
+            }
             SolverKind::Sgh => {
                 Ok(Solution::MultiProc(HyperHeuristic::Sgh.run(self.hypergraph(&problem)?)?))
             }
@@ -728,6 +744,12 @@ impl SolverKind {
                 // symmetric convex objective as computed.
                 Ok(Solution::SingleProc(harvey_exact(self.bipartite(&problem)?)?))
             }
+            SolverKind::MinCostFlow => {
+                // The balanced flow is majorization-minimal as computed (no
+                // descent needed), and the weighted path handles total load.
+                let g = self.bipartite(&problem)?;
+                Ok(Solution::SingleProc(mcf_objective_in(g, objective, ws)?))
+            }
             SolverKind::Sgh | SolverKind::Vgh => Ok(Solution::MultiProc(objective_greedy_hyp(
                 self.hypergraph(&problem)?,
                 objective,
@@ -822,6 +844,7 @@ impl FromStr for SolverKind {
             "replicated" => Ok(SolverKind::ExactReplicated),
             "hopcroft-karp-semi" | "katrenic" => Ok(SolverKind::HopcroftKarpSemi),
             "fln" | "load-range" => Ok(SolverKind::CostScaling),
+            "min-cost-flow" | "mincostflow" => Ok(SolverKind::MinCostFlow),
             "evg+refine" => Ok(SolverKind::EvgRefined),
             "sgh+refine" => Ok(SolverKind::SghRefined),
             "sgh+ils" => Ok(SolverKind::SghIls),
@@ -903,6 +926,18 @@ pub trait Solver {
     /// real [`Solver::solve`] hits the warm path. Optional; a no-op by
     /// default.
     fn warm_start(&mut self, _problem: &Problem<'_>) {}
+
+    /// [`Solver::warm_start`] plus a *solution seed*: `seed[v]` names the
+    /// processor currently running task `v` (one entry per task). Backends
+    /// that can exploit a known-good assignment — the load-range search
+    /// tightens its bracket to the seed's makespan and starts probing below
+    /// it — consume the seed on their **next** solve of the same problem;
+    /// everyone else just pre-sizes. The seed is advisory: entries that
+    /// name a processor not adjacent to their task are ignored, and the
+    /// solve result is identical to the unseeded one (only faster).
+    fn warm_start_with(&mut self, problem: &Problem<'_>, _seed: &[u32]) {
+        self.warm_start(problem);
+    }
 }
 
 /// The registry's [`Solver`] implementation: a [`SolverKind`] bound to a
@@ -911,12 +946,16 @@ pub trait Solver {
 pub struct KindSolver {
     kind: SolverKind,
     ws: SearchWorkspace,
+    /// One-shot solution seed installed by [`Solver::warm_start_with`],
+    /// consumed (taken) by the next solve. Only the kinds that can exploit
+    /// it store one.
+    seed: Option<Vec<u32>>,
 }
 
 impl KindSolver {
     /// A solver for `kind` with an empty (lazily grown) workspace.
     pub fn new(kind: SolverKind) -> Self {
-        KindSolver { kind, ws: SearchWorkspace::new() }
+        KindSolver { kind, ws: SearchWorkspace::new(), seed: None }
     }
 
     /// The underlying workspace (e.g. to share it with non-registry code).
@@ -931,6 +970,18 @@ impl Solver for KindSolver {
     }
 
     fn solve_with(&mut self, problem: Problem<'_>, objective: Objective) -> Result<Solution> {
+        if self.kind == SolverKind::CostScaling {
+            if let (Some(seed), Problem::SingleProc(g)) = (self.seed.take(), &problem) {
+                let r = cost_scaling_seeded_in(g, Some(&seed), &mut self.ws)?;
+                let sm = if objective.is_bottleneck() {
+                    r.solution
+                } else {
+                    crate::exact::harvey::optimize(g, r.solution)
+                };
+                return Ok(Solution::SingleProc(sm));
+            }
+        }
+        self.seed = None;
         self.kind.solve_in(problem, objective, &mut self.ws)
     }
 
@@ -944,6 +995,25 @@ impl Solver for KindSolver {
             self.ws.reserve(g.n_left(), g.n_right());
             let (n1, n2) = (g.n_left() as usize, g.n_right() as usize);
             self.ws.reserve_flow(n1 + n2 + 2, 2 * (n1 + g.num_edges() + n2), g.num_edges());
+        }
+    }
+
+    fn warm_start_with(&mut self, problem: &Problem<'_>, seed: &[u32]) {
+        self.warm_start(problem);
+        // Only the load-range search exploits a solution seed today; other
+        // kinds would store it to no effect, so they skip the copy.
+        if self.kind == SolverKind::CostScaling {
+            if let Problem::SingleProc(g) = problem {
+                if seed.len() == g.n_left() as usize {
+                    match &mut self.seed {
+                        Some(buf) => {
+                            buf.clear();
+                            buf.extend_from_slice(seed);
+                        }
+                        slot => *slot = Some(seed.to_vec()),
+                    }
+                }
+            }
         }
     }
 }
@@ -1019,6 +1089,7 @@ mod tests {
                 | SolverKind::Harvey
                 | SolverKind::HopcroftKarpSemi
                 | SolverKind::CostScaling
+                | SolverKind::MinCostFlow
                 | SolverKind::Sgh
                 | SolverKind::Vgh
                 | SolverKind::Egh
@@ -1156,6 +1227,41 @@ mod tests {
     fn aliases_resolve() {
         assert_eq!("bisection".parse::<SolverKind>().unwrap(), SolverKind::ExactBisection);
         assert_eq!("EVG+refine".parse::<SolverKind>().unwrap(), SolverKind::EvgRefined);
+        assert_eq!("min-cost-flow".parse::<SolverKind>().unwrap(), SolverKind::MinCostFlow);
+    }
+
+    #[test]
+    fn seeded_warm_start_matches_unseeded_solves() {
+        // warm_start_with feeds the previous assignment back as a seed; the
+        // result must be score-identical to the unseeded solve for every
+        // kind (seed-consuming or not), under every reported objective.
+        let g = bipartite();
+        let problem = Problem::SingleProc(&g);
+        for kind in [SolverKind::CostScaling, SolverKind::MinCostFlow, SolverKind::Sorted] {
+            let mut s = kind.solver();
+            let mut prev: Option<Solution> = None;
+            for obj in Objective::REPORTED {
+                match &prev {
+                    Some(Solution::SingleProc(sm)) => {
+                        let procs: Vec<u32> = sm.edge_of.iter().map(|&e| g.edge_right(e)).collect();
+                        s.warm_start_with(&problem, &procs);
+                    }
+                    _ => s.warm_start(&problem),
+                }
+                let seeded = s.solve_with(problem, obj).unwrap();
+                seeded.validate(&problem).unwrap();
+                let fresh = solve_with(problem, kind, obj).unwrap();
+                assert_eq!(
+                    seeded.score(&problem, obj).unwrap(),
+                    fresh.score(&problem, obj).unwrap(),
+                    "{kind} under {obj} diverged when seeded"
+                );
+                prev = Some(seeded);
+            }
+            // A garbage-length seed is ignored, not an error.
+            s.warm_start_with(&problem, &[0]);
+            s.solve(problem).unwrap().validate(&problem).unwrap();
+        }
     }
 
     #[test]

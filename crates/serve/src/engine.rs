@@ -185,6 +185,10 @@ pub struct Engine {
     baseline: Score,
     /// Resident warm-workspace solver for from-scratch resolves.
     resolver: KindSolver,
+    /// Task→processor seed handed to the resolver before each bipartite
+    /// resolve (the live assignment, compacted ids); persists so seeding
+    /// allocates nothing once warm.
+    seed_buf: Vec<u32>,
     scratch: RepairScratch,
 }
 
@@ -211,6 +215,7 @@ impl Engine {
             events_since_resolve: 0,
             baseline: Score(0),
             resolver: cfg.resolve_kind.solver(),
+            seed_buf: Vec::new(),
             scratch: RepairScratch::default(),
         })
     }
@@ -903,7 +908,16 @@ impl Engine {
                       singleton live instance",
             });
         };
-        let solution = self.resolver.solve_with(Problem::SingleProc(&g), self.cfg.objective)?;
+        // Seed the resolver with the live assignment: each compacted task's
+        // chosen configuration is a singleton, so its processor is a valid
+        // starting point. Seed-aware kinds (the load-range search) tighten
+        // their bracket to it; the result is identical either way.
+        let problem = Problem::SingleProc(&g);
+        self.seed_buf.clear();
+        self.seed_buf
+            .extend(snap.matching.hedge_of.iter().map(|&hid| snap.hypergraph.procs_of(hid)[0]));
+        self.resolver.warm_start_with(&problem, &self.seed_buf);
+        let solution = self.resolver.solve_with(problem, self.cfg.objective)?;
         let Solution::SingleProc(sm) = solution else {
             unreachable!("SINGLEPROC problems yield SINGLEPROC solutions")
         };
@@ -1131,9 +1145,12 @@ mod tests {
 
     #[test]
     fn singleproc_resolve_kind_serves_singleton_instances() {
-        for kind in
-            [SolverKind::ExactBisection, SolverKind::HopcroftKarpSemi, SolverKind::CostScaling]
-        {
+        for kind in [
+            SolverKind::ExactBisection,
+            SolverKind::HopcroftKarpSemi,
+            SolverKind::CostScaling,
+            SolverKind::MinCostFlow,
+        ] {
             let cfg = EngineConfig {
                 policy: RepairPolicy::Periodic { every: 1 },
                 resolve_kind: kind,
@@ -1147,6 +1164,47 @@ mod tests {
             let snap = e.snapshot();
             snap.matching.validate(&snap.hypergraph).unwrap();
         }
+    }
+
+    #[test]
+    fn seeded_periodic_resolves_replay_like_unseeded_ones() {
+        // Every Periodic resolve hands the live assignment to the resolver
+        // as a warm-start seed. The seed is advisory: across a churny
+        // replay, each post-resolve state must still be the from-scratch
+        // optimum of the live instance — byte-for-byte the behavior of an
+        // unseeded engine.
+        let cfg = EngineConfig {
+            policy: RepairPolicy::Periodic { every: 1 },
+            resolve_kind: SolverKind::CostScaling,
+            ..eager()
+        };
+        let mut e = Engine::new(cfg, 3).unwrap();
+        let events = [
+            arrive(0, &[(&[0], 1), (&[1], 1)]),
+            arrive(1, &[(&[0], 1)]),
+            arrive(2, &[(&[0], 1), (&[2], 1)]),
+            arrive(3, &[(&[1], 1), (&[2], 1)]),
+            Event::Depart { task: 1 },
+            arrive(4, &[(&[0], 1)]),
+            arrive(5, &[(&[0], 1), (&[1], 1)]),
+            Event::Depart { task: 3 },
+            arrive(6, &[(&[2], 1)]),
+        ];
+        for ev in &events {
+            e.apply(ev).unwrap();
+            if e.n_live_tasks() == 0 {
+                continue;
+            }
+            let snap = e.snapshot();
+            snap.matching.validate(&snap.hypergraph).unwrap();
+            let g = snap.to_bipartite().expect("trace is all singletons");
+            let opt = solve(Problem::SingleProc(&g), SolverKind::ExactBisection)
+                .unwrap()
+                .makespan(&Problem::SingleProc(&g))
+                .unwrap();
+            assert_eq!(e.bottleneck(), opt, "seeded resolve drifted from the optimum");
+        }
+        assert_eq!(e.counters().resolves, events.len() as u64);
     }
 
     #[test]

@@ -88,6 +88,38 @@ proptest! {
         }
     }
 
+    /// The min-cost-flow kind is the only fast exact backend accepting
+    /// weighted instances: under the total-load objective it must hit the
+    /// brute-force optimum, and under every other reported objective it
+    /// must refuse cleanly (those are NP-hard with weights) — never return
+    /// a silently suboptimal answer.
+    #[test]
+    fn mcf_is_exact_on_weighted_total_load(g in covered_weighted_bipartite(8, 4, 9)) {
+        let problem = Problem::SingleProc(&g);
+        for objective in Objective::REPORTED {
+            let result = solve_with(problem, SolverKind::MinCostFlow, objective);
+            if g.is_unit() || objective == Objective::WeightedLoad {
+                let sol = result.unwrap();
+                sol.validate(&problem).unwrap();
+                let opt = solve_with(problem, SolverKind::BruteForce, objective)
+                    .unwrap()
+                    .score(&problem, objective)
+                    .unwrap();
+                prop_assert_eq!(
+                    sol.score(&problem, objective).unwrap(),
+                    opt,
+                    "mcf missed the weighted optimum under {}",
+                    objective
+                );
+            } else {
+                prop_assert_eq!(
+                    result.unwrap_err(),
+                    semimatch::core::error::CoreError::RequiresUnitWeights
+                );
+            }
+        }
+    }
+
     #[test]
     fn oracle_counts_favor_bisection_eventually(g in covered_bipartite(20, 2)) {
         // Oracle-call diagnostics sit below the registry, on the concrete

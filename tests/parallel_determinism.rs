@@ -147,7 +147,7 @@ fn tall_instance_parallel_paths_hit_the_sequential_optimum() {
 
     // The reference optimum from a kind with no parallel fast path.
     let opt = solve(problem, SolverKind::ExactBisection).unwrap().makespan(&problem).unwrap();
-    for kind in [SolverKind::HopcroftKarpSemi, SolverKind::CostScaling] {
+    for kind in [SolverKind::HopcroftKarpSemi, SolverKind::CostScaling, SolverKind::MinCostFlow] {
         let m = scores_across_pools(problem, kind);
         assert_eq!(m, opt, "{kind} missed the optimum on the tall instance");
     }
