@@ -23,11 +23,19 @@
 //! flow-augmentation count metered off the resident workspace. The run
 //! asserts all three land on identical makespans, then writes
 //! `results/BENCH_fast_exact.md` and `results/BENCH_fast_exact.json`
-//! (with `host_cores`, so numbers are read in context).
+//! (with `host_cores`, `threads` and the git revision, so numbers are
+//! read in context, plus a `metrics` object holding the run's whole
+//! telemetry registry — probe counts, session temperatures, span
+//! histograms, pool stats). An existing JSON recorded on a host with a
+//! different core count is only overwritten under `--force`.
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use semimatch_bench::{emit_report, markdown_table, Options};
+use semimatch_bench::{
+    emit_report, guard_host_cores, indent_json, markdown_table, record_pool_stats, Options,
+    RunStamp,
+};
 use semimatch_core::exact::{cost_scaling_cold_in, cost_scaling_in, mcf_in};
 use semimatch_gen::rng::Xoshiro256;
 use semimatch_gen::{fewg_manyg, hilo_permuted};
@@ -103,6 +111,13 @@ fn main() {
     let opts = Options::from_args();
     let scale = opts.scale.max(1);
     let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    guard_host_cores("BENCH_fast_exact.json", host_cores, opts.force);
+    // The timed sections all run under the 1-worker local pool below.
+    let stamp = RunStamp::capture(1);
+    // Telemetry for the whole run: solver counters accumulate across every
+    // backend and repeat, and land as the report's `metrics` object.
+    let collecting = Arc::new(semimatch_obs::Collecting::new());
+    semimatch_obs::install(collecting.clone());
     // p = 32 keeps HiLo's p-divisible-by-g precondition (g = 16).
     let (n, p) = ((8192 / scale).max(64), 32);
     let count = opts.instances.max(2);
@@ -128,6 +143,9 @@ fn main() {
     for r in &rows[1..] {
         assert_eq!(r.checksum, rows[0].checksum, "{}: exact backends disagreed", r.backend);
     }
+    record_pool_stats(&pool.stats());
+    semimatch_obs::uninstall();
+    let metrics = collecting.registry().render_json();
     let cold = &rows[0];
     let warm = &rows[1];
     let warm_speedup = cold.seconds / warm.seconds.max(f64::EPSILON);
@@ -171,9 +189,10 @@ fn main() {
     let mut json = String::from("{\n");
     json.push_str(&format!(
         "  \"meta\": {{\"scale\": {scale}, \"instances\": {count}, \"n\": {n}, \"p\": {p}, \
-         \"seed\": {}, \"host_cores\": {host_cores}, \"repeats\": {REPEATS}, \
+         \"seed\": {}, {}, \"repeats\": {REPEATS}, \
          \"pool_threads\": 1, \"warm_speedup_vs_cold\": {warm_speedup:.4}}},\n  \"rows\": [\n",
-        opts.seed
+        opts.seed,
+        stamp.json_fields()
     ));
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
@@ -187,6 +206,10 @@ fn main() {
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    // Whole-run telemetry (all backends × repeats): solver counters,
+    // probe-session temperatures, span histograms and pool stats.
+    json.push_str(&format!("  \"metrics\": {}\n", indent_json(&metrics, "  ")));
+    json.push_str("}\n");
     emit_report("BENCH_fast_exact.json", &json);
 }

@@ -9,9 +9,13 @@
 //! quality/perf trajectory across the objective axis is recorded PR over
 //! PR.
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use semimatch_bench::{emit_report, markdown_table, row_name, scale_config, Options};
+use semimatch_bench::{
+    emit_report, guard_host_cores, indent_json, markdown_table, row_name, scale_config, Options,
+    RunStamp,
+};
 use semimatch_core::objective::Objective;
 use semimatch_core::quality::{mean_f64, median_f64, score_ratio};
 use semimatch_core::solver::{Problem, Solver, SolverKind};
@@ -60,6 +64,10 @@ struct Cell {
 
 fn main() {
     let opts = Options::from_args();
+    let stamp = RunStamp::capture(rayon::current_num_threads());
+    guard_host_cores("BENCH_objectives.json", stamp.host_cores, opts.force);
+    let collecting = Arc::new(semimatch_obs::Collecting::new());
+    semimatch_obs::install(collecting.clone());
     let mut cells: Vec<Cell> = Vec::new();
     for cfg in grid() {
         let cfg = scale_config(cfg, opts.scale);
@@ -91,6 +99,9 @@ fn main() {
             }
         }
     }
+
+    semimatch_obs::uninstall();
+    let metrics = collecting.registry().render_json();
 
     // Markdown: one section per objective, kinds as columns.
     let mut report = format!(
@@ -124,8 +135,11 @@ fn main() {
     // Machine-readable trajectory record.
     let mut json = String::from("{\n");
     json.push_str(&format!(
-        "  \"meta\": {{\"scale\": {}, \"instances\": {}, \"seed\": {}}},\n  \"rows\": [\n",
-        opts.scale, opts.instances, opts.seed
+        "  \"meta\": {{\"scale\": {}, \"instances\": {}, \"seed\": {}, {}}},\n  \"rows\": [\n",
+        opts.scale,
+        opts.instances,
+        opts.seed,
+        stamp.json_fields()
     ));
     for (i, c) in cells.iter().enumerate() {
         json.push_str(&format!(
@@ -139,7 +153,9 @@ fn main() {
             if i + 1 == cells.len() { "" } else { "," }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"metrics\": {}\n", indent_json(&metrics, "  ")));
+    json.push_str("}\n");
     let dir = std::path::Path::new("results");
     if std::fs::create_dir_all(dir).is_ok() {
         let path = dir.join("BENCH_objectives.json");

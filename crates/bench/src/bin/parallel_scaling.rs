@@ -17,9 +17,13 @@
 //! records ≈1× (the numbers are only meaningful read next to
 //! `host_cores`).
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use semimatch_bench::{emit_report, markdown_table, Options};
+use semimatch_bench::{
+    emit_report, guard_host_cores, indent_json, markdown_table, record_pool_stats, Options,
+    RunStamp,
+};
 use semimatch_core::objective::Objective;
 use semimatch_core::solver::{solve_many, Problem, SolverKind};
 use semimatch_gen::rng::Xoshiro256;
@@ -89,6 +93,9 @@ fn time_under<F: FnMut() -> u64 + Send>(threads: usize, mut work: F) -> (f64, u6
         checksum = pool.install(&mut work);
         best = best.min(start.elapsed().as_secs_f64());
     }
+    // Additive fold across every local pool of the sweep: the report's
+    // `metrics` object then carries fleet totals (tasks, steals, sleeps).
+    record_pool_stats(&pool.stats());
     (best, checksum)
 }
 
@@ -96,7 +103,11 @@ fn main() {
     let opts = Options::from_args();
     let scale = opts.scale.max(1);
     let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    guard_host_cores("BENCH_parallel.json", host_cores, opts.force);
     let counts = thread_counts();
+    let stamp = RunStamp::capture(*counts.last().expect("nonempty"));
+    let collecting = Arc::new(semimatch_obs::Collecting::new());
+    semimatch_obs::install(collecting.clone());
 
     // p = 32 keeps HiLo's p-divisible-by-g precondition (g = 16).
     let tall = tall_sweep(16, (8192 / scale).max(64), 32);
@@ -138,6 +149,9 @@ fn main() {
         }
         cells.push(Cell { workload, threads: t, seconds: secs });
     }
+
+    semimatch_obs::uninstall();
+    let metrics = collecting.registry().render_json();
 
     let base = |w: &str| -> f64 {
         cells.iter().find(|c| c.workload == w && c.threads == 1).expect("1-thread cell").seconds
@@ -191,9 +205,14 @@ fn main() {
     // Machine-readable trajectory record.
     let mut json = String::from("{\n");
     json.push_str(&format!(
-        "  \"meta\": {{\"scale\": {}, \"seed\": {}, \"host_cores\": {}, \"repeats\": {}, \
+        "  \"meta\": {{\"scale\": {}, \"seed\": {}, {}, \"repeats\": {}, \
          \"widest_pool\": {}, \"aggregate_speedup_at_widest\": {:.4}}},\n  \"rows\": [\n",
-        scale, opts.seed, host_cores, REPEATS, widest, aggregate
+        scale,
+        opts.seed,
+        stamp.json_fields(),
+        REPEATS,
+        widest,
+        aggregate
     ));
     for (i, c) in cells.iter().enumerate() {
         json.push_str(&format!(
@@ -206,6 +225,10 @@ fn main() {
             if i + 1 == cells.len() { "" } else { "," }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    // Whole-sweep telemetry: solver counters across every pool size plus
+    // the summed work-stealing stats of all local pools.
+    json.push_str(&format!("  \"metrics\": {}\n", indent_json(&metrics, "  ")));
+    json.push_str("}\n");
     emit_report("BENCH_parallel.json", &json);
 }

@@ -49,24 +49,32 @@ pub struct Options {
     /// Global pool size (`0` = automatic: `RAYON_NUM_THREADS`, else all
     /// cores).
     pub threads: usize,
+    /// Overwrite a results JSON recorded on a different host
+    /// (see [`guard_host_cores`]).
+    pub force: bool,
 }
 
 impl Default for Options {
     fn default() -> Self {
-        Options { scale: 1, instances: 10, seed: 42, threads: 0 }
+        Options { scale: 1, instances: 10, seed: 42, threads: 0, force: false }
     }
 }
 
 impl Options {
-    /// Parses `--scale K --instances M --seed S --threads T` from
-    /// `std::env::args` and pins the global pool to the requested size.
-    /// Unknown flags abort with a usage message.
+    /// Parses `--scale K --instances M --seed S --threads T [--force]`
+    /// from `std::env::args` and pins the global pool to the requested
+    /// size. Unknown flags abort with a usage message.
     pub fn from_args() -> Options {
         let mut opts = Options::default();
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
             let flag = args[i].as_str();
+            if flag == "--force" {
+                opts.force = true;
+                i += 1;
+                continue;
+            }
             let value = args.get(i + 1).unwrap_or_else(|| usage(flag));
             match flag {
                 "--scale" => opts.scale = value.parse().unwrap_or_else(|_| usage(flag)),
@@ -89,9 +97,105 @@ impl Options {
 fn usage(flag: &str) -> ! {
     eprintln!(
         "unknown or malformed flag {flag}; \
-         expected --scale K --instances M --seed S --threads T"
+         expected --scale K --instances M --seed S --threads T [--force]"
     );
     std::process::exit(2)
+}
+
+/// Host and build provenance stamped into every machine-readable report:
+/// core count, resolved pool width, and the source revision
+/// (`git describe --always --dirty`, `"unknown"` outside a checkout).
+#[derive(Clone, Debug)]
+pub struct RunStamp {
+    pub host_cores: usize,
+    pub threads: usize,
+    pub git: String,
+}
+
+impl RunStamp {
+    /// Captures the stamp for the current process. `threads` should be
+    /// the pool width the timed sections actually ran under.
+    pub fn capture(threads: usize) -> RunStamp {
+        let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let git = std::process::Command::new("git")
+            .args(["describe", "--always", "--dirty"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string());
+        RunStamp { host_cores, threads, git }
+    }
+
+    /// The stamp as JSON object fields (no surrounding braces), ready to
+    /// splice into a `"meta"` object.
+    pub fn json_fields(&self) -> String {
+        format!(
+            "\"host_cores\": {}, \"threads\": {}, \"git\": \"{}\"",
+            self.host_cores,
+            self.threads,
+            self.git.replace('\\', "\\\\").replace('"', "\\\"")
+        )
+    }
+}
+
+/// Timing rows from different hosts are not comparable, and the results
+/// JSONs are checked in as trajectory records — refuse to clobber one
+/// recorded with a different `host_cores` unless the caller passed
+/// `--force`. Call this *before* the expensive run, so a refusal costs
+/// nothing.
+pub fn guard_host_cores(filename: &str, host_cores: usize, force: bool) {
+    let path = std::path::Path::new("results").join(filename);
+    let Ok(existing) = std::fs::read_to_string(&path) else {
+        return; // nothing to overwrite
+    };
+    let recorded: Option<usize> = existing.split("\"host_cores\":").nth(1).and_then(|rest| {
+        rest.trim_start().split(|c: char| !c.is_ascii_digit()).next()?.parse().ok()
+    });
+    match recorded {
+        Some(prev) if prev != host_cores && !force => {
+            eprintln!(
+                "error: {} was recorded with host_cores = {prev}, this host has {host_cores}; \
+                 timings are not comparable across hosts. Pass --force to overwrite.",
+                path.display()
+            );
+            std::process::exit(2);
+        }
+        _ => {}
+    }
+}
+
+/// Re-indents a rendered JSON document (e.g. the `obs` registry dump) so
+/// it nests as an object value inside a hand-built report at the given
+/// indent depth. The first line is left alone — it lands after a
+/// `"metrics": ` key.
+pub fn indent_json(doc: &str, indent: &str) -> String {
+    let mut out = String::with_capacity(doc.len());
+    for (i, line) in doc.lines().enumerate() {
+        if i > 0 {
+            out.push('\n');
+            out.push_str(indent);
+        }
+        out.push_str(line);
+    }
+    out
+}
+
+/// Folds a pool's work-stealing statistics into the installed telemetry
+/// registry (no-op when no recorder is installed). Counters are additive,
+/// so calling this once per local pool accumulates fleet totals.
+pub fn record_pool_stats(stats: &rayon::PoolStats) {
+    if !semimatch_obs::enabled() {
+        return;
+    }
+    semimatch_obs::gauge_set("pool.threads", stats.threads() as i64);
+    semimatch_obs::counter_add("pool.tasks_executed", stats.tasks_executed());
+    semimatch_obs::counter_add("pool.steals", stats.steals());
+    semimatch_obs::counter_add("pool.injector_pops", stats.injector_pops());
+    semimatch_obs::counter_add("pool.sleeps", stats.sleeps());
+    semimatch_obs::counter_add("pool.wakes", stats.wakes);
 }
 
 /// Scales a configuration down by `Options::scale`, preserving the n/p

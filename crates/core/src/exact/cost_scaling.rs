@@ -49,6 +49,7 @@ use semimatch_matching::capacitated::{
     ProbeState,
 };
 use semimatch_matching::{SearchWorkspace, NONE};
+use semimatch_obs as obs;
 
 use crate::error::Result;
 use crate::exact::unit::{check_instance, ExactResult};
@@ -67,6 +68,11 @@ struct ProbeSlot {
     st: ProbeState,
     ws: SearchWorkspace,
     out: Vec<u32>,
+    /// Whether this slot has already served a probe in the current solve —
+    /// a reused slot is a warm session for the telemetry tally (its arena
+    /// and adjacency are resident, even if a partition forces the arcs to
+    /// be retargeted over the shrunk view).
+    used: bool,
 }
 
 /// Exact optimum via divide-and-conquer on the load range, throwaway
@@ -96,6 +102,7 @@ pub fn cost_scaling_seeded_in(
     warm_seed: Option<&[u32]>,
     ws: &mut SearchWorkspace,
 ) -> Result<ExactResult> {
+    let _span = obs::span!("cost_scaling.solve");
     check_instance(g)?;
     let n = g.n_left();
     if n == 0 {
@@ -123,6 +130,13 @@ pub fn cost_scaling_seeded_in(
         }
     }
     let mut calls = 0u32;
+    // Telemetry accumulators, flushed once at return (plain locals: the
+    // probe loop itself never touches the registry).
+    let mut warm_sessions = 0u64;
+    let mut cold_sessions = 0u64;
+    let mut rollbacks = 0u64;
+    let mut partitions = 0u64;
+    let mut deficiency_skips = 0u64;
 
     // ---- FLN active-subinstance state, allocated once per call ----
     let mut active_tasks: Vec<u32> = (0..n).collect();
@@ -137,6 +151,7 @@ pub fn cost_scaling_seeded_in(
     // network (they rebuild over the shrunk view on next use).
     let mut epoch = 0u64;
     let mut seq_state = ProbeState::default();
+    let mut seq_used = false;
     let mut seq_out: Vec<u32> = vec![NONE; n as usize];
     let mut slots: Vec<ProbeSlot> = Vec::new();
 
@@ -168,6 +183,18 @@ pub fn cost_scaling_seeded_in(
             }
             let spare = slots.split_off(caps.len());
             let jobs: Vec<(u32, ProbeSlot)> = caps.into_iter().zip(slots.drain(..)).collect();
+            // Checkpoint/rollback eligibility is decided by pre-dispatch
+            // slot state; recompute it here (same predicate as inside the
+            // closure) so the accumulators stay off the parallel path. The
+            // session-temperature tally is a separate axis: a slot that has
+            // served any earlier probe this solve is a warm session (its
+            // arena is resident), whether or not a partition invalidated
+            // the epoch in between.
+            let warm_flags: Vec<bool> = jobs
+                .iter()
+                .map(|(cap, slot)| slot.st.is_warm(epoch) && *cap >= slot.st.capacity())
+                .collect();
+            let used_flags: Vec<bool> = jobs.iter().map(|(_, slot)| slot.used).collect();
             let (at, ap, pp) = (&active_tasks, &active_procs, &proc_pos);
             let done: Vec<(u32, u64, ProbeSlot)> = jobs
                 .into_par_iter()
@@ -186,12 +213,21 @@ pub fn cost_scaling_seeded_in(
                     if warm && card == at.len() as u64 {
                         probe_rollback(&mut slot.st, &mut slot.ws);
                     }
+                    slot.used = true;
                     (cap, card, slot)
                 })
                 .collect();
             let active_n = active_tasks.len() as u64;
             for (i, (cap, card, slot)) in done.iter().enumerate() {
+                if used_flags[i] {
+                    warm_sessions += 1;
+                } else {
+                    cold_sessions += 1;
+                }
                 if *card == active_n {
+                    if warm_flags[i] {
+                        rollbacks += 1;
+                    }
                     if *cap < hi {
                         hi = *cap;
                         snapshot_witness(&mut witness, &committed, &active_tasks, &slot.out);
@@ -199,8 +235,11 @@ pub fn cost_scaling_seeded_in(
                     }
                 } else {
                     let uncovered = active_n - card;
-                    lo =
-                        lo.max(cap + (uncovered.div_ceil(active_procs.len() as u64) as u32).max(1));
+                    let bound = (uncovered.div_ceil(active_procs.len() as u64) as u32).max(1);
+                    if bound > 1 {
+                        deficiency_skips += 1;
+                    }
+                    lo = lo.max(cap + bound);
                     if part.is_none_or(|(c, _, _)| c < *cap) {
                         part = Some((*cap, uncovered, Some(i)));
                     }
@@ -221,6 +260,7 @@ pub fn cost_scaling_seeded_in(
                 lo = lo.max(cap + (uncovered.div_ceil(active_procs.len() as u64) as u32).max(1));
                 if shrunk {
                     epoch += 1;
+                    partitions += 1;
                 }
             }
             slots.extend(done.into_iter().map(|(_, _, slot)| slot));
@@ -239,6 +279,16 @@ pub fn cost_scaling_seeded_in(
             let fresh = !seq_state.is_warm(epoch);
             let cap = if fresh { lo } else { lo + range / 2 };
             calls += 1;
+            // Temperature tally: the first probe of the solve builds the
+            // resident arena from nothing (cold); every later probe reuses
+            // it (warm) — even an epoch-invalidated rebuild retargets arcs
+            // inside the already-sized arena.
+            if seq_used {
+                warm_sessions += 1;
+            } else {
+                cold_sessions += 1;
+                seq_used = true;
+            }
             if !fresh {
                 probe_checkpoint(&mut seq_state, ws);
             }
@@ -260,13 +310,18 @@ pub fn cost_scaling_seeded_in(
                 have_witness = true;
                 if !fresh {
                     probe_rollback(&mut seq_state, ws);
+                    rollbacks += 1;
                 }
             } else {
                 // FLN deficiency bound: the shortfall dictates how much
                 // extra capacity the whole surviving pool needs before the
                 // probe can close.
                 let uncovered = active_n - card;
-                lo = cap + (uncovered.div_ceil(active_procs.len() as u64) as u32).max(1);
+                let bound = (uncovered.div_ceil(active_procs.len() as u64) as u32).max(1);
+                if bound > 1 {
+                    deficiency_skips += 1;
+                }
+                lo = cap + bound;
                 let shrunk = partition_active(
                     g,
                     &seq_out,
@@ -281,9 +336,19 @@ pub fn cost_scaling_seeded_in(
                 lo = lo.max(cap + (uncovered.div_ceil(active_procs.len() as u64) as u32).max(1));
                 if shrunk {
                     epoch += 1;
+                    partitions += 1;
                 }
             }
         }
+    }
+    if obs::enabled() {
+        obs::counter_add("cost_scaling.solves", 1);
+        obs::counter_add("cost_scaling.probes", calls as u64);
+        obs::counter_add("cost_scaling.warm_sessions", warm_sessions);
+        obs::counter_add("cost_scaling.cold_sessions", cold_sessions);
+        obs::counter_add("cost_scaling.rollbacks", rollbacks);
+        obs::counter_add("cost_scaling.partitions", partitions);
+        obs::counter_add("cost_scaling.deficiency_skips", deficiency_skips);
     }
     let solution = if have_witness {
         SemiMatching::from_procs(g, &witness)?
@@ -326,6 +391,10 @@ pub fn cost_scaling_cold_in(g: &Bipartite, ws: &mut SearchWorkspace) -> Result<E
             let deficit = (n as u64 - a.cardinality() as u64).div_ceil(p as u64);
             lo = mid + (deficit as u32).max(1);
         }
+    }
+    if obs::enabled() {
+        obs::counter_add("cost_scaling.cold_ablation.solves", 1);
+        obs::counter_add("cost_scaling.cold_ablation.probes", calls as u64);
     }
     let solution = match witness {
         Some(assign) => SemiMatching::from_procs(g, &assign)?,

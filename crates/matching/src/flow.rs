@@ -31,6 +31,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use semimatch_obs as obs;
+
 /// CSR flow network with residual arcs and resident Dinic scratch.
 #[derive(Clone, Debug, Default)]
 pub struct FlowNetwork {
@@ -212,6 +214,10 @@ impl FlowNetwork {
         // Undo the excess on the arc itself, then repair conservation at
         // both endpoints.
         let excess = routed - new_cap;
+        if obs::enabled() {
+            obs::counter_add("flow.cancellation_batches", 1);
+            obs::observe("flow.cancel_batch_units", excess);
+        }
         self.cap[a ^ 1] -= excess;
         self.cancel_units_upstream(self.head[a ^ 1], excess);
         self.cancel_units_downstream(self.head[a], excess);
@@ -310,6 +316,9 @@ impl FlowNetwork {
     /// Rebuilds the CSR arc index by counting sort over arc tails.
     /// `O(V + E)`, allocation-free once the index arrays have grown.
     fn build_csr(&mut self) {
+        if obs::enabled() {
+            obs::counter_add("flow.csr_rebuilds", 1);
+        }
         let m = self.head.len();
         self.arc_start.clear();
         self.arc_start.resize(self.n + 1, 0);
@@ -355,6 +364,8 @@ impl FlowNetwork {
         self.level.resize(n, u32::MAX);
         self.iter_ptr.resize(n, 0);
         let mut total = 0u64;
+        let augs_before = self.augmentations;
+        let mut phases = 0u64;
         loop {
             // BFS: layer the residual graph.
             self.level.iter_mut().for_each(|l| *l = u32::MAX);
@@ -375,8 +386,13 @@ impl FlowNetwork {
                 }
             }
             if self.level[sink as usize] == u32::MAX {
+                if obs::enabled() {
+                    obs::counter_add("flow.augmentations", self.augmentations - augs_before);
+                    obs::counter_add("flow.dinic_phases", phases);
+                }
                 return total;
             }
+            phases += 1;
             // Blocking flow via iterative DFS with current-arc pointers.
             self.iter_ptr.iter_mut().for_each(|i| *i = 0);
             loop {
@@ -463,7 +479,10 @@ impl FlowNetwork {
         self.parent.resize(n, u32::MAX);
         let mut total_flow = 0u64;
         let mut total_cost = 0i128;
+        let augs_before = self.augmentations;
+        let mut dijkstra_rounds = 0u64;
         loop {
+            dijkstra_rounds += 1;
             // Dijkstra over reduced costs, lazy-deletion heap.
             self.dist.iter_mut().for_each(|d| *d = u128::MAX);
             self.dist[source as usize] = 0;
@@ -491,6 +510,11 @@ impl FlowNetwork {
             }
             let d_sink = self.dist[sink as usize];
             if d_sink == u128::MAX {
+                if obs::enabled() {
+                    obs::counter_add("mcf.dijkstra_rounds", dijkstra_rounds);
+                    obs::counter_add("mcf.potentials_resets", 1);
+                    obs::counter_add("flow.augmentations", self.augmentations - augs_before);
+                }
                 return (total_flow, total_cost);
             }
             // Potential update keeps every residual reduced cost ≥ 0, with

@@ -27,6 +27,7 @@
 //! returned assignment.
 
 use semimatch_graph::Bipartite;
+use semimatch_obs as obs;
 
 use crate::matching::NONE;
 use crate::workspace::SearchWorkspace;
@@ -67,6 +68,7 @@ pub fn optimal_semi_assignment(g: &Bipartite) -> SemiAssignment {
 /// unit weights before dispatching here). The returned assignment
 /// minimizes the maximum load over all complete assignments.
 pub fn optimal_semi_assignment_in(g: &Bipartite, ws: &mut SearchWorkspace) -> SemiAssignment {
+    let _span = obs::span!("hk_semi.solve");
     let n1 = g.n_left() as usize;
     let n2 = g.n_right() as usize;
     ws.reserve(g.n_left(), g.n_right());
@@ -95,6 +97,7 @@ pub fn optimal_semi_assignment_in(g: &Bipartite, ws: &mut SearchWorkspace) -> Se
 
     let mut phases = 0u32;
     let mut flips = 0u64;
+    let mut bfs_levels = 0u64;
     loop {
         let l_max = ws.labels[..n2].iter().copied().max().unwrap_or(0);
         if l_max <= 1 {
@@ -141,6 +144,7 @@ pub fn optimal_semi_assignment_in(g: &Bipartite, ws: &mut SearchWorkspace) -> Se
             break; // no bottleneck processor can shed load: optimal
         }
         phases += 1;
+        bfs_levels += found_level as u64;
         // ---- DFS phase: pull a maximal set of shortest paths out of the
         // level graph. Exhausted processors are dead-marked (stamped) so
         // later sources skip them; path validity (source still at L,
@@ -157,6 +161,14 @@ pub fn optimal_semi_assignment_in(g: &Bipartite, ws: &mut SearchWorkspace) -> Se
         }
     }
 
+    if obs::enabled() {
+        // Flushed once per solve: the phase loop itself touches no
+        // telemetry, so instrumentation cost stays off the descent.
+        obs::counter_add("hk_semi.solves", 1);
+        obs::counter_add("hk_semi.phases", phases as u64);
+        obs::counter_add("hk_semi.paths_extracted", flips);
+        obs::counter_add("hk_semi.bfs_levels", bfs_levels);
+    }
     let loads = ws.labels[..n2].to_vec();
     SemiAssignment { task_to_proc, loads, phases, flips }
 }

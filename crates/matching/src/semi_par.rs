@@ -44,10 +44,11 @@
 //! optimality certificate: **bit-identical optimal makespan**, even
 //! though phase/flip counts may differ run to run.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 use rayon::prelude::*;
 use semimatch_graph::Bipartite;
+use semimatch_obs as obs;
 
 use crate::matching::NONE;
 use crate::semi::SemiAssignment;
@@ -83,6 +84,9 @@ struct ParState {
     pred: Vec<AtomicU32>,
     /// Claim word per processor: `FREE` / `DEAD` / `HELD`.
     claim: Vec<AtomicU32>,
+    /// Claim CAS attempts that lost (processor already `HELD`/`DEAD`).
+    /// Only bumped while a collecting recorder is installed.
+    cas_failures: AtomicU64,
 }
 
 impl ParState {
@@ -100,6 +104,7 @@ impl ParState {
 /// flip count may differ. Allocates its own atomic scratch; prefer the
 /// sequential warm path for small or repeated solves.
 pub fn optimal_semi_assignment_par(g: &Bipartite) -> SemiAssignment {
+    let _span = obs::span!("hk_semi.solve_par");
     let n1 = g.n_left() as usize;
     let n2 = g.n_right() as usize;
 
@@ -140,12 +145,15 @@ pub fn optimal_semi_assignment_par(g: &Bipartite) -> SemiAssignment {
         lookahead: (0..n1).map(|_| AtomicU32::new(0)).collect(),
         pred: (0..n1.max(n2)).map(|_| AtomicU32::new(NONE)).collect(),
         claim: (0..n2).map(|_| AtomicU32::new(FREE)).collect(),
+        cas_failures: AtomicU64::new(0),
     };
 
     let mut rdist = vec![u32::MAX; n2];
     let mut queue: Vec<u32> = Vec::new();
     let mut phases = 0u32;
     let mut flips = 0u64;
+    let mut bfs_levels = 0u64;
+    let mut fallback_rounds = 0u64;
     loop {
         let l_max = (0..n2 as u32).map(|u| state.load(u)).max().unwrap_or(0);
         if l_max <= 1 {
@@ -191,6 +199,7 @@ pub fn optimal_semi_assignment_par(g: &Bipartite) -> SemiAssignment {
             break; // no bottleneck processor can shed load: optimal
         }
         phases += 1;
+        bfs_levels += found_level as u64;
 
         let sources: Vec<u32> =
             (0..n2 as u32).filter(|&u| rdist[u as usize] == 0 && state.load(u) == l_max).collect();
@@ -226,6 +235,7 @@ pub fn optimal_semi_assignment_par(g: &Bipartite) -> SemiAssignment {
             for c in &state.claim {
                 c.store(FREE, Ordering::Relaxed);
             }
+            fallback_rounds += 1;
             phase_flips = extract_sequential(g, &state, &rdist, &sources, l_max);
         }
         if phase_flips == 0 {
@@ -237,6 +247,14 @@ pub fn optimal_semi_assignment_par(g: &Bipartite) -> SemiAssignment {
         flips += phase_flips;
     }
 
+    if obs::enabled() {
+        obs::counter_add("hk_semi.solves", 1);
+        obs::counter_add("hk_semi.phases", phases as u64);
+        obs::counter_add("hk_semi.paths_extracted", flips);
+        obs::counter_add("hk_semi.bfs_levels", bfs_levels);
+        obs::counter_add("hk_semi.par.cas_failures", state.cas_failures.load(Ordering::Relaxed));
+        obs::counter_add("hk_semi.par.fallback_rounds", fallback_rounds);
+    }
     SemiAssignment {
         task_to_proc: state.task_to_proc.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
         loads: state.loads.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
@@ -285,6 +303,9 @@ fn claim_dfs(
         .compare_exchange(FREE, HELD, Ordering::Acquire, Ordering::Relaxed)
         .is_err()
     {
+        if obs::enabled() {
+            s.cas_failures.fetch_add(1, Ordering::Relaxed);
+        }
         return false; // dead-marked by an earlier walk of our own chunk
     }
     stack.clear();
@@ -302,16 +323,20 @@ fn claim_dfs(
             while k < nbrs.len() {
                 let w = nbrs[k];
                 k += 1;
-                if rdist[w as usize] == du + 1
-                    && s.claim[w as usize]
+                if rdist[w as usize] == du + 1 {
+                    if s.claim[w as usize]
                         .compare_exchange(FREE, HELD, Ordering::Acquire, Ordering::Relaxed)
                         .is_ok()
-                {
-                    // `HELD` and `DEAD` processors are skipped alike: a
-                    // transient miss only defers the path to a later
-                    // phase.
-                    next_proc = w;
-                    break;
+                    {
+                        // `HELD` and `DEAD` processors are skipped alike:
+                        // a transient miss only defers the path to a
+                        // later phase.
+                        next_proc = w;
+                        break;
+                    }
+                    if obs::enabled() {
+                        s.cas_failures.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
             s.lookahead[tcur as usize].store(k as u32, Ordering::Relaxed);

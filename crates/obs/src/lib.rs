@@ -1,0 +1,331 @@
+//! Zero-dependency telemetry for the semimatch workspace.
+//!
+//! Three pieces, none of which pull in external crates (the workspace
+//! vendor policy applies to observability too — no `tracing`, no
+//! `metrics`):
+//!
+//! * [`Registry`] — named [`Counter`]s, [`Gauge`]s and log2-bucketed
+//!   [`Histogram`]s behind plain atomics, safe to update from rayon
+//!   workers (see [`registry`]).
+//! * [`span!`] — RAII span timers that feed per-span duration histograms
+//!   and, optionally, a bounded [`TraceRing`] exportable as Chrome
+//!   `trace_event` JSON (see [`trace`]).
+//! * [`Recorder`] — the dispatch seam. The process-global recorder
+//!   defaults to [`Noop`]; instrumented code guards every telemetry
+//!   statement behind [`enabled()`] (one relaxed atomic load), so the
+//!   default build pays a branch and nothing else. Installing a
+//!   [`Collecting`] recorder (what `--metrics` / `--trace-out` do) turns
+//!   the same statements into registry updates.
+//!
+//! Instrumentation contract: telemetry must never change results. The
+//! recorder has no channel back into solver state, and every call site is
+//! gated on [`enabled()`]; `tests/obs_properties.rs` checks that solutions
+//! are bit-identical with and without a collecting recorder installed.
+
+pub mod registry;
+pub mod trace;
+
+pub use registry::{Counter, Gauge, Histogram, Metric, MetricValue, Registry};
+pub use trace::{TraceEvent, TraceRing, DEFAULT_TRACE_CAPACITY};
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+/// Sink for telemetry events. All methods default to no-ops so [`Noop`]
+/// is the empty impl; [`Collecting`] overrides everything.
+pub trait Recorder: Send + Sync {
+    /// Whether instrumented code should bother emitting at all. The
+    /// global [`enabled()`] flag is latched from this at install time.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Adds `delta` to the counter `name`.
+    fn counter_add(&self, _name: &str, _delta: u64) {}
+
+    /// Overwrites the gauge `name`.
+    fn gauge_set(&self, _name: &str, _value: i64) {}
+
+    /// Records one histogram observation for `name`.
+    fn observe(&self, _name: &str, _value: u64) {}
+
+    /// Monotonic nanoseconds since the recorder's epoch (0 when the
+    /// recorder keeps no clock).
+    fn now_ns(&self) -> u64 {
+        0
+    }
+
+    /// Called when a [`Span`] closes.
+    fn span_close(&self, _name: &'static str, _start_ns: u64, _dur_ns: u64, _tid: u64) {}
+}
+
+/// The default recorder: discards everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Noop;
+
+impl Recorder for Noop {}
+
+/// Recorder that aggregates into a [`Registry`] and (optionally) appends
+/// closed spans to a [`TraceRing`].
+#[derive(Debug)]
+pub struct Collecting {
+    registry: Registry,
+    ring: Option<TraceRing>,
+    epoch: Instant,
+}
+
+impl Collecting {
+    /// Metrics only, no trace ring.
+    pub fn new() -> Self {
+        Collecting { registry: Registry::new(), ring: None, epoch: Instant::now() }
+    }
+
+    /// Metrics plus a trace ring bounded at `capacity` events.
+    pub fn with_trace(capacity: usize) -> Self {
+        Collecting {
+            registry: Registry::new(),
+            ring: Some(TraceRing::new(capacity)),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// The backing registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The trace ring, when one was requested.
+    pub fn ring(&self) -> Option<&TraceRing> {
+        self.ring.as_ref()
+    }
+}
+
+impl Default for Collecting {
+    fn default() -> Self {
+        Collecting::new()
+    }
+}
+
+impl Recorder for Collecting {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn counter_add(&self, name: &str, delta: u64) {
+        self.registry.counter_add(name, delta);
+    }
+
+    fn gauge_set(&self, name: &str, value: i64) {
+        self.registry.gauge_set(name, value);
+    }
+
+    fn observe(&self, name: &str, value: u64) {
+        self.registry.observe(name, value);
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    fn span_close(&self, name: &'static str, start_ns: u64, dur_ns: u64, tid: u64) {
+        self.registry.observe(&format!("span.{name}"), dur_ns);
+        if let Some(ring) = &self.ring {
+            ring.push(TraceEvent { name, start_ns, dur_ns, tid });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Process-global recorder
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static RECORDER: RwLock<Option<Arc<dyn Recorder>>> = RwLock::new(None);
+
+/// Cheap hot-path check: is a recorder that wants events installed?
+/// One relaxed atomic load — this is the entire cost of instrumentation
+/// under the default [`Noop`] configuration.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs `recorder` as the process-global sink, returning the previous
+/// one (if any). [`enabled()`] latches `recorder.enabled()`.
+pub fn install(recorder: Arc<dyn Recorder>) -> Option<Arc<dyn Recorder>> {
+    let mut slot = RECORDER.write().unwrap();
+    ENABLED.store(recorder.enabled(), Ordering::Relaxed);
+    slot.replace(recorder)
+}
+
+/// Removes the global recorder (reverting to [`Noop`] behaviour) and
+/// returns it.
+pub fn uninstall() -> Option<Arc<dyn Recorder>> {
+    let mut slot = RECORDER.write().unwrap();
+    ENABLED.store(false, Ordering::Relaxed);
+    slot.take()
+}
+
+fn with_recorder(f: impl FnOnce(&dyn Recorder)) {
+    if let Some(r) = RECORDER.read().unwrap().as_deref() {
+        f(r);
+    }
+}
+
+/// Adds `delta` to the global counter `name` (no-op when disabled).
+#[inline]
+pub fn counter_add(name: &str, delta: u64) {
+    if enabled() {
+        with_recorder(|r| r.counter_add(name, delta));
+    }
+}
+
+/// Overwrites the global gauge `name` (no-op when disabled).
+#[inline]
+pub fn gauge_set(name: &str, value: i64) {
+    if enabled() {
+        with_recorder(|r| r.gauge_set(name, value));
+    }
+}
+
+/// Records one observation for the global histogram `name` (no-op when
+/// disabled).
+#[inline]
+pub fn observe(name: &str, value: u64) {
+    if enabled() {
+        with_recorder(|r| r.observe(name, value));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+fn current_tid() -> u64 {
+    TID.with(|t| *t)
+}
+
+/// RAII span timer. Create via [`span!`]; on drop it records its duration
+/// into the histogram `span.<name>` and appends to the trace ring when
+/// one is configured. Inert (a single branch at construction, nothing at
+/// drop) while no collecting recorder is installed.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    start_ns: Option<u64>,
+}
+
+impl Span {
+    /// Opens the span `name`, reading the clock only when [`enabled()`].
+    pub fn enter(name: &'static str) -> Span {
+        if !enabled() {
+            return Span { name, start_ns: None };
+        }
+        let mut start = None;
+        with_recorder(|r| start = Some(r.now_ns()));
+        Span { name, start_ns: start }
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start_ns) = self.start_ns {
+            with_recorder(|r| {
+                let dur_ns = r.now_ns().saturating_sub(start_ns);
+                r.span_close(self.name, start_ns, dur_ns, current_tid());
+            });
+        }
+    }
+}
+
+/// Opens an RAII [`Span`] named by its dot-separated argument:
+/// `let _s = obs::span!("dinic.phase");`. Bind it — an unnamed temporary
+/// drops immediately and times nothing.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::Span::enter($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // The recorder slot is process-global; serialize the tests that touch
+    // it so the harness's parallel threads cannot interleave installs.
+    static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn noop_by_default_and_free_fns_are_inert() {
+        let _guard = GLOBAL_LOCK.lock().unwrap();
+        uninstall();
+        assert!(!enabled());
+        counter_add("unseen", 1);
+        gauge_set("unseen", 1);
+        observe("unseen", 1);
+        let c = Arc::new(Collecting::new());
+        install(c.clone());
+        assert!(enabled());
+        assert!(c.registry().snapshot().is_empty(), "pre-install events must be dropped");
+        uninstall();
+    }
+
+    #[test]
+    fn collecting_routes_all_event_kinds() {
+        let _guard = GLOBAL_LOCK.lock().unwrap();
+        let c = Arc::new(Collecting::with_trace(16));
+        install(c.clone());
+        assert!(enabled());
+        counter_add("t.count", 2);
+        counter_add("t.count", 3);
+        gauge_set("t.gauge", -4);
+        observe("t.hist", 100);
+        {
+            let _outer = span!("t.outer");
+            let _inner = span!("t.inner");
+        }
+        uninstall();
+        counter_add("t.count", 99); // after uninstall: dropped
+        assert_eq!(c.registry().counter("t.count").get(), 5);
+        assert_eq!(c.registry().gauge("t.gauge").get(), -4);
+        assert_eq!(c.registry().histogram("t.hist").count(), 1);
+        assert_eq!(c.registry().histogram("span.t.outer").count(), 1);
+        assert_eq!(c.registry().histogram("span.t.inner").count(), 1);
+        let events = c.ring().unwrap().events();
+        assert_eq!(events.len(), 2);
+        // Inner drops first and nests inside outer on the same thread.
+        let (inner, outer) = (&events[0], &events[1]);
+        assert_eq!(inner.name, "t.inner");
+        assert_eq!(outer.name, "t.outer");
+        assert_eq!(inner.tid, outer.tid);
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns);
+    }
+
+    #[test]
+    fn install_returns_previous_recorder() {
+        let _guard = GLOBAL_LOCK.lock().unwrap();
+        uninstall();
+        let a: Arc<dyn Recorder> = Arc::new(Collecting::new());
+        let b: Arc<dyn Recorder> = Arc::new(Noop);
+        assert!(install(a).is_none());
+        let prev = install(b).expect("first recorder handed back");
+        assert!(prev.enabled());
+        assert!(!enabled(), "Noop recorder leaves the fast-path flag down");
+        uninstall();
+    }
+}

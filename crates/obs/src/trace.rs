@@ -1,0 +1,144 @@
+//! Bounded in-memory trace ring and Chrome `trace_event` JSON export.
+//!
+//! Closed spans append complete-duration events (`"ph": "X"`) to a
+//! mutex-guarded ring. The ring is bounded: once `capacity` events are
+//! held, further events are counted but dropped, so a long replay cannot
+//! grow memory without limit. [`TraceRing::render_chrome_json`] emits the
+//! JSON-array flavour of the trace-event format, loadable directly in
+//! `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use crate::registry::json_string;
+
+/// Default ring capacity (events), plenty for a full replay while staying
+/// under a few MiB.
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// One closed span: a complete event on a virtual thread lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span name (the `obs::span!` argument).
+    pub name: &'static str,
+    /// Start, nanoseconds since the recorder epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Virtual thread id (per-OS-thread, assigned on first span).
+    pub tid: u64,
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    events: Vec<TraceEvent>,
+    dropped: u64,
+}
+
+/// Bounded collector of [`TraceEvent`]s.
+#[derive(Debug)]
+pub struct TraceRing {
+    capacity: usize,
+    ring: Mutex<Ring>,
+}
+
+impl TraceRing {
+    /// Ring holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        TraceRing { capacity, ring: Mutex::new(Ring::default()) }
+    }
+
+    /// Appends `ev`, or counts it as dropped when the ring is full.
+    pub fn push(&self, ev: TraceEvent) {
+        let mut ring = self.ring.lock().unwrap();
+        if ring.events.len() < self.capacity {
+            ring.events.push(ev);
+        } else {
+            ring.dropped += 1;
+        }
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().events.len()
+    }
+
+    /// True when no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().unwrap().dropped
+    }
+
+    /// Copies out the held events in arrival order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.ring.lock().unwrap().events.clone()
+    }
+
+    /// Renders the ring as a Chrome `trace_event` JSON array: one
+    /// complete event (`"ph": "X"`) per span, timestamps and durations in
+    /// microseconds as the format requires.
+    pub fn render_chrome_json(&self) -> String {
+        let ring = self.ring.lock().unwrap();
+        let mut out = String::from("[\n");
+        for (i, ev) in ring.events.iter().enumerate() {
+            let sep = if i + 1 == ring.events.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "  {{\"name\": {}, \"cat\": \"obs\", \"ph\": \"X\", \"ts\": {}.{:03}, \"dur\": {}.{:03}, \"pid\": 1, \"tid\": {}}}{}",
+                json_string(ev.name),
+                ev.start_ns / 1_000,
+                ev.start_ns % 1_000,
+                ev.dur_ns / 1_000,
+                ev.dur_ns % 1_000,
+                ev.tid,
+                sep,
+            );
+        }
+        out.push(']');
+        out
+    }
+}
+
+impl Default for TraceRing {
+    fn default() -> Self {
+        TraceRing::new(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_and_counts_drops() {
+        let ring = TraceRing::new(2);
+        for i in 0..5 {
+            ring.push(TraceEvent { name: "t", start_ns: i, dur_ns: 1, tid: 1 });
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 3);
+        assert_eq!(ring.events()[1].start_ns, 1);
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let ring = TraceRing::new(8);
+        ring.push(TraceEvent { name: "outer", start_ns: 1_500, dur_ns: 2_000_500, tid: 1 });
+        let json = ring.render_chrome_json();
+        assert!(json.starts_with('['));
+        assert!(json.ends_with(']'));
+        assert!(json.contains("\"name\": \"outer\""));
+        assert!(json.contains("\"ts\": 1.500"));
+        assert!(json.contains("\"dur\": 2000.500"));
+        assert!(json.contains("\"ph\": \"X\""));
+    }
+
+    #[test]
+    fn empty_ring_renders_empty_array() {
+        assert_eq!(TraceRing::new(4).render_chrome_json(), "[\n]");
+    }
+}

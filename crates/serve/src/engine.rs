@@ -25,11 +25,13 @@
 //! reused across resolves.
 
 use rayon::prelude::*;
-use semimatch_core::objective::{Objective, Score};
+use semimatch_core::objective::{balanced_score, Objective, Score};
 use semimatch_core::problem::HyperMatching;
 use semimatch_core::solver::{KindSolver, Problem, Solution, Solver, SolverClass};
 use semimatch_gen::trace::{Event, Trace};
 use semimatch_graph::{Bipartite, Hypergraph};
+
+use semimatch_obs as obs;
 
 use crate::error::{Result, ServeError};
 use crate::policy::{Counters, EngineConfig, RepairPolicy};
@@ -57,6 +59,12 @@ struct ConfigState {
 struct TaskState {
     configs: Vec<ConfigState>,
     chosen: u32,
+}
+
+/// The cheapest weight among a task's configurations: its unavoidable
+/// contribution to total work under *any* assignment.
+fn min_config_weight(configs: &[ConfigState]) -> u128 {
+    configs.iter().map(|c| c.weight).min().unwrap_or(0) as u128
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -179,6 +187,10 @@ pub struct Engine {
     /// Live configurations (over live tasks) with weight ≠ 1.
     nonunit_configs: usize,
     counters: Counters,
+    /// Σ over live tasks of their cheapest configuration weight: the work
+    /// any assignment must place somewhere, maintained incrementally for
+    /// the O(1) per-event lower-bound gauge.
+    min_weight_sum: u128,
     events_since_resolve: u32,
     /// Objective score right after the last repair/resolve (lazy
     /// threshold, in the configured objective's units).
@@ -212,6 +224,7 @@ impl Engine {
             wide_configs: 0,
             nonunit_configs: 0,
             counters: Counters::default(),
+            min_weight_sum: 0,
             events_since_resolve: 0,
             baseline: Score(0),
             resolver: cfg.resolve_kind.solver(),
@@ -279,6 +292,15 @@ impl Engine {
         self.counters
     }
 
+    /// An `O(1)` lower bound on the configured objective over the live
+    /// instance: every live task must place at least its cheapest
+    /// configuration's weight somewhere, and no assignment beats spreading
+    /// that total perfectly evenly. Paired with [`Engine::score`] this
+    /// gives a live optimality-gap estimate after every event.
+    pub fn lower_bound_estimate(&self) -> Score {
+        balanced_score(self.cfg.objective, self.min_weight_sum, self.n_live_procs as u64)
+    }
+
     /// Whether every live configuration is a unit-weight singleton — the
     /// shape on which repair is exact. Conservative: a weighted or wide
     /// configuration pinned on dropped processors still counts.
@@ -296,6 +318,24 @@ impl Engine {
             Event::DropProc { proc } => self.drop_proc(*proc)?,
         }
         self.counters.events += 1;
+        if !obs::enabled() {
+            return self.run_policy();
+        }
+        let repair_start = std::time::Instant::now();
+        let res = self.run_policy();
+        let elapsed = repair_start.elapsed().as_nanos();
+        obs::observe("serve.repair_latency_ns", elapsed.min(u64::MAX as u128) as u64);
+        obs::counter_add("serve.events", 1);
+        let score = self.score(self.cfg.objective);
+        obs::gauge_set("serve.score", score.0.min(i64::MAX as u128) as i64);
+        let lb = self.lower_bound_estimate();
+        obs::gauge_set("serve.lower_bound", lb.0.min(i64::MAX as u128) as i64);
+        res
+    }
+
+    /// The policy dispatch of [`Engine::apply`]: decides whether the
+    /// ingested event triggers repair work, and runs it.
+    fn run_policy(&mut self) -> Result<()> {
         match self.cfg.policy {
             RepairPolicy::Eager => self.repair_now(),
             RepairPolicy::Lazy { slack } => {
@@ -370,6 +410,7 @@ impl Engine {
         self.nonunit_configs += states.iter().filter(|c| c.weight != 1).count();
         let state = TaskState { configs: states, chosen };
         self.add_contribution(&state);
+        self.min_weight_sum += min_config_weight(&state.configs);
         self.tasks[slot] = Some(state);
         self.n_live_tasks += 1;
         self.counters.placements += 1;
@@ -383,6 +424,7 @@ impl Engine {
             .and_then(Option::take)
             .ok_or(ServeError::UnknownTask(task))?;
         self.remove_contribution(&state);
+        self.min_weight_sum = self.min_weight_sum.saturating_sub(min_config_weight(&state.configs));
         self.wide_configs -= state.configs.iter().filter(|c| c.pins.len() > 1).count();
         self.nonunit_configs -= state.configs.iter().filter(|c| c.weight != 1).count();
         self.n_live_tasks -= 1;
@@ -408,6 +450,7 @@ impl Engine {
         // Re-borrow mutably only after validation.
         let mut state = self.tasks[task as usize].take().expect("checked live above");
         self.remove_contribution(&state);
+        self.min_weight_sum = self.min_weight_sum.saturating_sub(min_config_weight(&state.configs));
         for (cfg, &w) in state.configs.iter_mut().zip(weights) {
             match (cfg.weight != 1, w != 1) {
                 (false, true) => self.nonunit_configs += 1,
@@ -416,6 +459,7 @@ impl Engine {
             }
             cfg.weight = w;
         }
+        self.min_weight_sum += min_config_weight(&state.configs);
         self.add_contribution(&state);
         self.tasks[task as usize] = Some(state);
         Ok(())
@@ -549,6 +593,7 @@ impl Engine {
     /// shard-local search plus skew rebalancing otherwise. Never worsens
     /// the configured objective.
     pub fn repair_now(&mut self) {
+        let _span = obs::span!("serve.repair");
         self.counters.repairs += 1;
         if self.is_unit_singleton() {
             self.exact_repair();
@@ -855,6 +900,7 @@ impl Engine {
     /// snapshot through [`Snapshot::to_bipartite`]; they require every
     /// live configuration to be a singleton, and error otherwise.
     fn resolve(&mut self) -> Result<()> {
+        let _span = obs::span!("serve.resolve");
         self.counters.resolves += 1;
         if self.n_live_tasks == 0 {
             self.baseline = Score(0);
@@ -1333,6 +1379,28 @@ mod tests {
         assert_eq!(e.bottleneck(), 0);
         assert_eq!(e.n_live_tasks(), 0);
         assert!(e.is_unit_singleton(), "counts drained with the departures");
+    }
+
+    #[test]
+    fn lower_bound_tracks_live_min_weights_and_never_exceeds_score() {
+        let mut e = Engine::new(eager(), 2).unwrap();
+        assert_eq!(e.lower_bound_estimate(), Score(0));
+        // T0's cheapest configuration is w2 ⇒ ⌈2/2⌉ = 1.
+        e.apply(&arrive(0, &[(&[0], 2), (&[1], 5)])).unwrap();
+        assert_eq!(e.lower_bound_estimate(), Score(1));
+        // T1 adds its cheapest w4 ⇒ ⌈6/2⌉ = 3; eager repair hits it.
+        e.apply(&arrive(1, &[(&[0], 4), (&[1], 4)])).unwrap();
+        assert_eq!(e.lower_bound_estimate(), Score(3));
+        assert!(e.lower_bound_estimate() <= e.score(e.config().objective));
+        // Reweighting swaps which configuration is cheapest (min 5→3).
+        e.apply(&Event::Reweight { task: 0, weights: vec![9, 3] }).unwrap();
+        assert_eq!(e.lower_bound_estimate(), Score(4), "⌈(3 + 4)/2⌉");
+        assert!(e.lower_bound_estimate() <= e.score(e.config().objective));
+        // Departures drain the sum back to the remaining task.
+        e.apply(&Event::Depart { task: 0 }).unwrap();
+        assert_eq!(e.lower_bound_estimate(), Score(2));
+        e.apply(&Event::Depart { task: 1 }).unwrap();
+        assert_eq!(e.lower_bound_estimate(), Score(0));
     }
 
     #[test]

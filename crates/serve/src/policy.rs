@@ -119,6 +119,50 @@ pub struct Counters {
     pub rebalances: u64,
 }
 
+impl Counters {
+    /// Work done since `earlier` was captured: per-field saturating
+    /// difference. `replay` uses this to report per-policy increments
+    /// (and policy-vs-policy comparisons) instead of raw totals.
+    pub fn delta(&self, earlier: &Counters) -> Counters {
+        Counters {
+            events: self.events.saturating_sub(earlier.events),
+            placements: self.placements.saturating_sub(earlier.placements),
+            repairs: self.repairs.saturating_sub(earlier.repairs),
+            searches: self.searches.saturating_sub(earlier.searches),
+            shifts: self.shifts.saturating_sub(earlier.shifts),
+            moves: self.moves.saturating_sub(earlier.moves),
+            resolves: self.resolves.saturating_sub(earlier.resolves),
+            rebalances: self.rebalances.saturating_sub(earlier.rebalances),
+        }
+    }
+
+    /// Field names and values in [`fmt::Display`] order, for generic
+    /// rendering (tables, metric export).
+    pub fn fields(&self) -> [(&'static str, u64); 8] {
+        [
+            ("events", self.events),
+            ("placements", self.placements),
+            ("repairs", self.repairs),
+            ("searches", self.searches),
+            ("shifts", self.shifts),
+            ("moves", self.moves),
+            ("resolves", self.resolves),
+            ("rebalances", self.rebalances),
+        ]
+    }
+
+    /// Adds every field to the installed obs recorder as
+    /// `serve.counters.<field>` counters (no-op when telemetry is off).
+    pub fn publish(&self) {
+        if !semimatch_obs::enabled() {
+            return;
+        }
+        for (name, v) in self.fields() {
+            semimatch_obs::counter_add(&format!("serve.counters.{name}"), v);
+        }
+    }
+}
+
 impl fmt::Display for Counters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -154,6 +198,18 @@ mod tests {
         assert!("nonsense".parse::<RepairPolicy>().is_err());
         assert!("lazy:x".parse::<RepairPolicy>().is_err());
         assert!("periodic:".parse::<RepairPolicy>().is_err());
+    }
+
+    #[test]
+    fn counter_deltas_saturate_per_field() {
+        let earlier = Counters { events: 10, placements: 4, repairs: 9, ..Default::default() };
+        let later = Counters { events: 25, placements: 7, repairs: 3, ..Default::default() };
+        let d = later.delta(&earlier);
+        assert_eq!(d.events, 15);
+        assert_eq!(d.placements, 3);
+        assert_eq!(d.repairs, 0, "regressions saturate to zero");
+        assert_eq!(d.moves, 0);
+        assert_eq!(later.delta(&later), Counters::default());
     }
 
     #[test]

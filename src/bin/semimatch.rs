@@ -75,24 +75,136 @@ OBJ is a cost model: makespan (default) | flowtime | l<p> | weighted-load.
 
 Every command also accepts --threads N to pin the size of the global
 work-stealing pool (0 = all cores; the RAYON_NUM_THREADS environment
-variable is the fallback), keeping runs reproducible on shared machines.";
+variable is the fallback), keeping runs reproducible on shared machines.
 
-/// Splits `args` into positional arguments and `--flag value` pairs.
+Telemetry (any command, most useful on solve/replay):
+  --metrics[=text|json]   append a dump of every recorded counter, gauge
+                          and histogram after the normal output. The JSON
+                          dump is the last thing on stdout and starts at
+                          the first line beginning with '{'.
+  --trace-out FILE        also write span timings as Chrome trace_event
+                          JSON (open in chrome://tracing or Perfetto).
+replay --policy also accepts a comma-separated list; each policy replays
+the trace through its own engine and the report shows per-policy counter
+deltas against the first policy.";
+
+/// Splits `args` into positional arguments and flag pairs. Flags come as
+/// `--flag value` or `--flag=value`; `--metrics` alone is also accepted
+/// (it defaults to the text format, and consumes a following bare token
+/// only when it names a format).
 fn parse(args: &[String]) -> Result<(Vec<&str>, HashMap<&str, &str>), String> {
     let mut positional = Vec::new();
     let mut flags = HashMap::new();
     let mut i = 0;
     while i < args.len() {
         if let Some(name) = args[i].strip_prefix("--") {
-            let value = args.get(i + 1).ok_or_else(|| format!("flag --{name} needs a value"))?;
-            flags.insert(name, value.as_str());
-            i += 2;
+            if let Some((name, value)) = name.split_once('=') {
+                flags.insert(name, value);
+                i += 1;
+            } else if name == "metrics" {
+                match args.get(i + 1).map(String::as_str) {
+                    Some(v @ ("json" | "text")) => {
+                        flags.insert(name, v);
+                        i += 2;
+                    }
+                    _ => {
+                        flags.insert(name, "text");
+                        i += 1;
+                    }
+                }
+            } else {
+                let value =
+                    args.get(i + 1).ok_or_else(|| format!("flag --{name} needs a value"))?;
+                flags.insert(name, value.as_str());
+                i += 2;
+            }
         } else {
             positional.push(args[i].as_str());
             i += 1;
         }
     }
     Ok((positional, flags))
+}
+
+/// The per-invocation telemetry session: when `--metrics` and/or
+/// `--trace-out` are present, installs a [`Collecting`] recorder before
+/// the command body runs (so every solver / engine / pool flush lands in
+/// one registry) and emits the requested dumps after it succeeds.
+struct Telemetry {
+    recorder: Option<std::sync::Arc<semimatch::obs::Collecting>>,
+    format: Option<&'static str>,
+    trace_out: Option<String>,
+}
+
+impl Telemetry {
+    fn from_flags(flags: &HashMap<&str, &str>) -> Result<Telemetry, String> {
+        let format = match flags.get("metrics").copied() {
+            None => None,
+            Some("json") => Some("json"),
+            Some("text") | Some("") => Some("text"),
+            Some(other) => {
+                return Err(format!("--metrics: unknown format '{other}' (json | text)"))
+            }
+        };
+        let trace_out = flags.get("trace-out").map(|s| s.to_string());
+        let recorder = if format.is_some() || trace_out.is_some() {
+            let collecting = if trace_out.is_some() {
+                semimatch::obs::Collecting::with_trace(semimatch::obs::DEFAULT_TRACE_CAPACITY)
+            } else {
+                semimatch::obs::Collecting::new()
+            };
+            let collecting = std::sync::Arc::new(collecting);
+            semimatch::obs::install(collecting.clone());
+            Some(collecting)
+        } else {
+            None
+        };
+        Ok(Telemetry { recorder, format, trace_out })
+    }
+
+    /// Folds the global pool's scheduler activity into the registry, then
+    /// writes the metrics dump (last thing on stdout — a JSON dump starts
+    /// at the first line beginning with `{`) and the Chrome trace file.
+    /// Detaches the recorder without dumping (failed command).
+    fn abort(self) {
+        if self.recorder.is_some() {
+            semimatch::obs::uninstall();
+        }
+    }
+
+    fn finish(self) -> Result<(), String> {
+        let Some(recorder) = self.recorder else { return Ok(()) };
+        semimatch::obs::uninstall();
+        if let Some(stats) = semimatch::rayon::global_pool_stats() {
+            let reg = recorder.registry();
+            reg.gauge_set("pool.threads", stats.threads() as i64);
+            reg.counter_add("pool.tasks_executed", stats.tasks_executed());
+            reg.counter_add("pool.steals", stats.steals());
+            reg.counter_add("pool.injector_pops", stats.injector_pops());
+            reg.counter_add("pool.sleeps", stats.sleeps());
+            reg.counter_add("pool.wakes", stats.wakes);
+            for (i, w) in stats.workers.iter().enumerate() {
+                reg.counter_add(&format!("pool.worker.{i}.tasks_executed"), w.tasks_executed);
+                reg.counter_add(&format!("pool.worker.{i}.steals"), w.steals);
+            }
+        }
+        match self.format {
+            Some("json") => {
+                let mut dump = recorder.registry().render_json();
+                dump.push('\n');
+                emit_bytes(dump.as_bytes());
+            }
+            Some(_) => emit_bytes(recorder.registry().render_text().as_bytes()),
+            None => {}
+        }
+        if let Some(path) = self.trace_out {
+            let ring = recorder.ring().expect("--trace-out installs a trace ring");
+            std::fs::write(&path, ring.render_chrome_json())
+                .map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("wrote {} ({} span events, {} dropped)", path, ring.len(), ring.dropped());
+        }
+        Ok(())
+    }
 }
 
 fn req<'a>(flags: &HashMap<&str, &'a str>, name: &str) -> Result<&'a str, String> {
@@ -162,7 +274,10 @@ fn run(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("--threads: {e}"))?;
     }
     let command = *positional.first().ok_or("missing command")?;
-    match command {
+    // Install the collecting recorder (if requested) before the command
+    // body so every gated instrumentation site in the stack records.
+    let telemetry = Telemetry::from_flags(&flags)?;
+    let result = match command {
         "generate" => generate(&flags),
         "generate-bipartite" => generate_bipartite(&flags),
         "stats" => stats(&positional),
@@ -174,7 +289,12 @@ fn run(args: &[String]) -> Result<(), String> {
         "dot" => dot(&positional, &flags),
         "verify" => verify(&positional),
         other => Err(format!("unknown command '{other}'")),
+    };
+    if result.is_err() {
+        telemetry.abort();
+        return result;
     }
+    telemetry.finish()
 }
 
 fn generate(flags: &HashMap<&str, &str>) -> Result<(), String> {
@@ -592,51 +712,112 @@ fn generate_trace_cmd(flags: &HashMap<&str, &str>) -> Result<(), String> {
 }
 
 fn replay(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String> {
-    use semimatch::serve::{Engine, EngineConfig, RepairPolicy, Trace};
+    use semimatch::serve::{Counters, Engine, EngineConfig, RepairPolicy, Trace};
     let path = *positional.get(1).ok_or("replay needs a trace file argument")?;
     let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
     let trace = Trace::read(file).map_err(|e| e.to_string())?;
-    let policy: RepairPolicy = flags.get("policy").copied().unwrap_or("eager").parse()?;
-    let mut cfg = EngineConfig { policy, ..EngineConfig::default() };
+    let policies: Vec<RepairPolicy> = flags
+        .get("policy")
+        .copied()
+        .unwrap_or("eager")
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(str::parse)
+        .collect::<Result<_, _>>()?;
+    if policies.is_empty() {
+        return Err("--policy needs at least one policy name".into());
+    }
+    let mut base = EngineConfig::default();
     if let Some(kind) = flags.get("kind") {
-        cfg.resolve_kind = kind.parse().map_err(|e: semimatch::core::CoreError| e.to_string())?;
+        base.resolve_kind = kind.parse().map_err(|e: semimatch::core::CoreError| e.to_string())?;
     }
     if let Some(shards) = flags.get("shards") {
-        cfg.shards = num(shards, "--shards")?;
+        base.shards = num(shards, "--shards")?;
     }
-    cfg.objective = objective_flag(flags)?;
-    let mut engine = Engine::new(cfg, trace.n_procs).map_err(|e| e.to_string())?;
-    let start = std::time::Instant::now();
-    for (i, ev) in trace.events.iter().enumerate() {
-        engine.apply(ev).map_err(|e| format!("event {} ({}) failed: {e}", i + 1, ev.tag()))?;
-    }
-    let secs = start.elapsed().as_secs_f64();
-    let counters = engine.counters();
+    base.objective = objective_flag(flags)?;
+
     println!("trace:      {path} ({} events, {} arrivals)", trace.events.len(), trace.arrivals());
+    let mut runs: Vec<(RepairPolicy, Engine, f64)> = Vec::with_capacity(policies.len());
+    for &policy in &policies {
+        let cfg = EngineConfig { policy, ..base };
+        let mut engine = Engine::new(cfg, trace.n_procs).map_err(|e| e.to_string())?;
+        let start = std::time::Instant::now();
+        for (i, ev) in trace.events.iter().enumerate() {
+            engine
+                .apply(ev)
+                .map_err(|e| format!("[{policy}] event {} ({}) failed: {e}", i + 1, ev.tag()))?;
+        }
+        let secs = start.elapsed().as_secs_f64();
+        engine.counters().publish();
+        runs.push((policy, engine, secs));
+    }
+    if let [(policy, engine, secs)] = &runs[..] {
+        // Single policy: the classic report.
+        println!(
+            "policy:     {} (resolve kind {}, {} shard(s), objective {})",
+            policy, base.resolve_kind, base.shards, base.objective
+        );
+        println!(
+            "throughput: {:.0} events/sec ({:.4}s total)",
+            trace.events.len() as f64 / secs.max(1e-9),
+            secs
+        );
+        println!(
+            "final:      {} live tasks on {} processors, bottleneck {}{}",
+            engine.n_live_tasks(),
+            engine.n_live_procs(),
+            engine.bottleneck(),
+            if engine.is_unit_singleton() { " (unit/singleton: repair is exact)" } else { "" }
+        );
+        let scores = engine
+            .scores()
+            .iter()
+            .map(|(obj, score)| format!("{obj} {score}"))
+            .collect::<Vec<_>>()
+            .join("  ");
+        println!("scores:     {scores}");
+        println!("repair:     {}", engine.counters());
+        return Ok(());
+    }
+    // Multi-policy comparison: one engine per policy over the same trace;
+    // counters reported as signed deltas against the first policy's run
+    // (built from the saturating `Counters::delta` in both directions).
     println!(
-        "policy:     {} (resolve kind {}, {} shard(s), objective {})",
-        policy, cfg.resolve_kind, cfg.shards, cfg.objective
+        "compare:    {} policies (resolve kind {}, {} shard(s), objective {})",
+        runs.len(),
+        base.resolve_kind,
+        base.shards,
+        base.objective
     );
-    println!(
-        "throughput: {:.0} events/sec ({:.4}s total)",
-        trace.events.len() as f64 / secs.max(1e-9),
-        secs
-    );
-    println!(
-        "final:      {} live tasks on {} processors, bottleneck {}{}",
-        engine.n_live_tasks(),
-        engine.n_live_procs(),
-        engine.bottleneck(),
-        if engine.is_unit_singleton() { " (unit/singleton: repair is exact)" } else { "" }
-    );
-    let scores = engine
-        .scores()
-        .iter()
-        .map(|(obj, score)| format!("{obj} {score}"))
-        .collect::<Vec<_>>()
-        .join("  ");
-    println!("scores:     {scores}");
-    println!("repair:     {counters}");
+    let baseline: Counters = runs[0].1.counters();
+    for (policy, engine, secs) in &runs {
+        let counters = engine.counters();
+        println!(
+            "[{policy}]  {:.0} events/sec  bottleneck {}  {} {}",
+            trace.events.len() as f64 / secs.max(1e-9),
+            engine.bottleneck(),
+            base.objective,
+            engine.score(base.objective),
+        );
+        let gain = counters.delta(&baseline);
+        let loss = baseline.delta(&counters);
+        let row = counters
+            .fields()
+            .iter()
+            .zip(gain.fields().iter().zip(loss.fields().iter()))
+            .map(|((name, v), ((_, up), (_, down)))| {
+                if *up > 0 {
+                    format!("{name} {v} (+{up})")
+                } else if *down > 0 {
+                    format!("{name} {v} (-{down})")
+                } else {
+                    format!("{name} {v}")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("  ");
+        println!("    {row}");
+    }
     Ok(())
 }
 
@@ -695,6 +876,32 @@ mod tests {
     fn parse_rejects_dangling_flag() {
         let args = argv(&["solve", "--algo"]);
         assert!(parse(&args).is_err());
+    }
+
+    #[test]
+    fn parse_accepts_equals_form_and_bare_metrics() {
+        let args = argv(&["solve", "x.hg", "--algo=sgh", "--metrics"]);
+        let (pos, flags) = parse(&args).unwrap();
+        assert_eq!(pos, vec!["solve", "x.hg"]);
+        assert_eq!(flags["algo"], "sgh");
+        assert_eq!(flags["metrics"], "text", "bare --metrics defaults to text");
+        // `--metrics` consumes a following token only when it is a format.
+        let args = argv(&["replay", "--metrics", "json", "t.tr"]);
+        let (pos, flags) = parse(&args).unwrap();
+        assert_eq!(pos, vec!["replay", "t.tr"]);
+        assert_eq!(flags["metrics"], "json");
+        let args = argv(&["replay", "--metrics", "t.tr"]);
+        let (pos, flags) = parse(&args).unwrap();
+        assert_eq!(pos, vec!["replay", "t.tr"]);
+        assert_eq!(flags["metrics"], "text");
+        // The = form bypasses the lookahead entirely.
+        let args = argv(&["replay", "--metrics=json"]);
+        let (_, flags) = parse(&args).unwrap();
+        assert_eq!(flags["metrics"], "json");
+        // Unknown formats are rejected at telemetry setup.
+        let mut bad = HashMap::new();
+        bad.insert("metrics", "xml");
+        assert!(Telemetry::from_flags(&bad).is_err());
     }
 
     #[test]
@@ -897,7 +1104,12 @@ mod tests {
         ]))
         .unwrap();
         run(&argv(&["replay", str_tr.to_str().unwrap()])).unwrap();
+        // Comma-separated policies replay once per policy and compare.
+        run(&argv(&["replay", tr.to_str().unwrap(), "--policy", "eager,lazy:4,periodic:8"]))
+            .unwrap();
         // Error paths.
+        assert!(run(&argv(&["replay", tr.to_str().unwrap(), "--policy", ","])).is_err());
+        assert!(run(&argv(&["replay", tr.to_str().unwrap(), "--policy", "eager,bogus"])).is_err());
         assert!(run(&argv(&["replay", tr.to_str().unwrap(), "--policy", "bogus"])).is_err());
         assert!(run(&argv(&["replay", tr.to_str().unwrap(), "--kind", "nonsense"])).is_err());
         assert!(run(&argv(&["replay", tr.to_str().unwrap(), "--shards", "0"])).is_err());

@@ -61,6 +61,7 @@ pub use semimatch_core as core;
 pub use semimatch_gen as gen;
 pub use semimatch_graph as graph;
 pub use semimatch_matching as matching;
+pub use semimatch_obs as obs;
 pub use semimatch_sched as sched;
 pub use semimatch_serve as serve;
 

@@ -291,3 +291,128 @@ fn kinds_table_marks_scores_beyond_u64() {
     assert!(!stdout(&out).contains(">u64::MAX"), "{}", stdout(&out));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Extracts the `--metrics=json` dump from a command's stdout: the suffix
+/// starting at the first line that begins with `{` (the documented
+/// extraction convention — the dump is the last thing printed).
+fn metrics_json(text: &str) -> &str {
+    let start = text
+        .lines()
+        .find(|l| l.starts_with('{'))
+        .map(|l| l.as_ptr() as usize - text.as_ptr() as usize)
+        .unwrap_or_else(|| panic!("no JSON dump in stdout: {text}"));
+    text[start..].trim_end()
+}
+
+/// Checks the metrics dump's schema line by line: a sorted flat object
+/// whose every value is `{"type": "counter"|"gauge", "value": N}` or
+/// `{"type": "histogram", "count": N, "sum": N, "buckets": {...}}`.
+fn assert_metrics_schema(json: &str) {
+    assert!(json.starts_with("{\n") && json.ends_with('}'), "not an object: {json}");
+    let mut names = Vec::new();
+    for line in json.lines().skip(1) {
+        if line == "}" {
+            break;
+        }
+        let line = line.trim().trim_end_matches(',');
+        let (name, value) = line
+            .strip_prefix('"')
+            .and_then(|l| l.split_once("\": "))
+            .unwrap_or_else(|| panic!("malformed metric line: {line}"));
+        names.push(name.to_string());
+        let well_formed = (value.contains("\"type\": \"counter\"")
+            || value.contains("\"type\": \"gauge\""))
+            && value.contains("\"value\": ")
+            || value.contains("\"type\": \"histogram\"")
+                && value.contains("\"count\": ")
+                && value.contains("\"sum\": ")
+                && value.contains("\"buckets\": {");
+        assert!(well_formed, "metric {name} breaks the schema: {value}");
+    }
+    assert!(!names.is_empty(), "metrics dump is empty");
+    let mut sorted = names.clone();
+    sorted.sort();
+    assert_eq!(names, sorted, "dump must be sorted by metric name");
+}
+
+/// Reads the integer value of a `counter`/`gauge` metric out of the dump.
+fn metric_value(json: &str, name: &str) -> i64 {
+    let line = json
+        .lines()
+        .find(|l| l.trim_start().starts_with(&format!("\"{name}\"")))
+        .unwrap_or_else(|| panic!("metric {name} missing from dump: {json}"));
+    line.split("\"value\": ")
+        .nth(1)
+        .and_then(|rest| rest.split(|c: char| !c.is_ascii_digit() && c != '-').next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("metric {name} has no integer value: {line}"))
+}
+
+/// The ISSUE's CLI telemetry contract: `solve --metrics=json` and
+/// `replay --metrics=json` both end stdout with a schema-conformant JSON
+/// dump carrying the layer's key series (solver probes; serving repair
+/// latency plus the live score/lower-bound gauge pair).
+#[test]
+fn solve_and_replay_emit_metrics_json() {
+    let dir = tmp_dir("metrics");
+    let bg = dir.join("inst.bg");
+    let gen = semimatch(&[
+        "generate-bipartite",
+        "--gen",
+        "hilo",
+        "--n",
+        "512",
+        "--p",
+        "8",
+        "--g",
+        "4",
+        "--d",
+        "2",
+        "--out",
+        bg.to_str().unwrap(),
+    ]);
+    assert!(gen.status.success());
+    let out =
+        semimatch(&["solve", bg.to_str().unwrap(), "--algo", "cost-scaling", "--metrics=json"]);
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("makespan"), "normal output precedes the dump: {text}");
+    let json = metrics_json(&text);
+    assert_metrics_schema(json);
+    assert!(metric_value(json, "cost_scaling.solves") >= 1, "{json}");
+    assert!(metric_value(json, "cost_scaling.probes") >= 1, "{json}");
+    assert!(json.contains("\"span.cost_scaling.solve\""), "span histogram missing: {json}");
+
+    let tr = dir.join("inst.tr");
+    let gen = semimatch(&[
+        "generate-trace",
+        "--procs",
+        "16",
+        "--arrivals",
+        "300",
+        "--churn",
+        "20",
+        "--seed",
+        "9",
+        "--out",
+        tr.to_str().unwrap(),
+    ]);
+    assert!(gen.status.success());
+    let out = semimatch(&["replay", tr.to_str().unwrap(), "--metrics=json"]);
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    let json = metrics_json(&text);
+    assert_metrics_schema(json);
+    let events = metric_value(json, "serve.events");
+    assert!(events >= 300, "every trace event recorded: {events}");
+    let line = json
+        .lines()
+        .find(|l| l.trim_start().starts_with("\"serve.repair_latency_ns\""))
+        .expect("repair latency histogram");
+    assert!(line.contains("\"type\": \"histogram\""), "{line}");
+    assert!(!line.contains("\"count\": 0,"), "latency histogram must be populated: {line}");
+    let score = metric_value(json, "serve.score");
+    let lb = metric_value(json, "serve.lower_bound");
+    assert!(lb >= 1 && score >= lb, "gauge pair must bracket: lb {lb}, score {score}");
+    std::fs::remove_dir_all(&dir).ok();
+}

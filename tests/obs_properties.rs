@@ -1,0 +1,333 @@
+//! Telemetry subsystem properties: exact counts under concurrency, the
+//! Noop recorder's zero-interference guarantee, Chrome trace export, and
+//! the warm-vs-cold probe accounting of the cost-scaling solver.
+
+use std::sync::{Arc, Mutex};
+
+use proptest::prelude::*;
+use semimatch::core::exact::{cost_scaling_cold_in, cost_scaling_seeded_in};
+use semimatch::gen::rng::Xoshiro256;
+use semimatch::gen::{fewg_manyg, hilo_permuted};
+use semimatch::graph::Bipartite;
+use semimatch::matching::SearchWorkspace;
+use semimatch::obs::{Collecting, MetricValue, Registry};
+use semimatch::solver::{solve_with, Objective, Problem, SolverKind};
+
+/// The recorder slot is process-global; every test that installs one
+/// holds this lock so the harness's parallel threads cannot interleave.
+static GLOBAL_RECORDER_LOCK: Mutex<()> = Mutex::new(());
+
+fn counter_value(reg: &Registry, name: &str) -> u64 {
+    match reg.snapshot().into_iter().find(|(n, _)| n == name) {
+        Some((_, MetricValue::Counter(v))) => v,
+        other => panic!("expected counter '{name}', got {other:?}"),
+    }
+}
+
+// -------------------------------------------------------------------
+// Registry exactness under a multi-threaded hammer
+// -------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn registry_counts_exact_under_parallel_hammer(
+        threads in 2usize..8,
+        per_thread in 1u64..400,
+        delta in 1u64..5,
+    ) {
+        let reg = Arc::new(Registry::new());
+        let pool = semimatch::rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            use semimatch::rayon::prelude::*;
+            (0..threads).into_par_iter().for_each(|t| {
+                for i in 0..per_thread {
+                    reg.counter_add("hammer.counter", delta);
+                    reg.observe("hammer.histogram", i);
+                    reg.gauge_set("hammer.gauge", (t as i64) * 1000 + i as i64);
+                }
+            });
+        });
+        let expected = threads as u64 * per_thread * delta;
+        prop_assert_eq!(counter_value(&reg, "hammer.counter"), expected);
+        match reg.snapshot().into_iter().find(|(n, _)| n == "hammer.histogram") {
+            Some((_, MetricValue::Histogram { count, sum, buckets })) => {
+                prop_assert_eq!(count, threads as u64 * per_thread);
+                // Σ 0..per_thread, once per thread.
+                let per = per_thread * (per_thread - 1) / 2;
+                prop_assert_eq!(sum, threads as u64 * per);
+                let bucket_total: u64 = buckets.iter().map(|&(_, c)| c).sum();
+                prop_assert_eq!(bucket_total, count);
+            }
+            other => return Err(TestCaseError::fail(format!("missing histogram: {other:?}"))),
+        }
+    }
+}
+
+// -------------------------------------------------------------------
+// Noop recorder: solver outputs are bit-identical with telemetry off/on
+// -------------------------------------------------------------------
+
+#[test]
+fn recorder_state_never_changes_solver_output() {
+    let _guard = GLOBAL_RECORDER_LOCK.lock().unwrap();
+    let mut rng = Xoshiro256::seed_from_u64(99);
+    let instances = vec![
+        hilo_permuted(96, 8, 4, 2, &mut rng),
+        fewg_manyg(120, 12, 4, 3, &mut rng),
+        hilo_permuted(64, 16, 4, 4, &mut rng),
+    ];
+    let kinds =
+        [SolverKind::Basic, SolverKind::Expected, SolverKind::ExactBisection, SolverKind::Harvey];
+    for g in &instances {
+        let problem = Problem::SingleProc(g);
+        for kind in kinds {
+            // Baseline with no recorder installed (the Noop path).
+            let baseline = solve_with(problem, kind, Objective::Makespan).unwrap();
+            // Same solve with a collecting recorder swallowing every
+            // metric and span: the Solution must be bit-identical.
+            let collecting = Arc::new(Collecting::with_trace(1024));
+            semimatch::obs::install(collecting.clone());
+            let recorded = solve_with(problem, kind, Objective::Makespan);
+            semimatch::obs::uninstall();
+            let recorded = recorded.unwrap();
+            let a = baseline.as_semi().unwrap();
+            let b = recorded.as_semi().unwrap();
+            assert_eq!(a.edge_of, b.edge_of, "{kind:?} diverged under telemetry");
+        }
+    }
+}
+
+// -------------------------------------------------------------------
+// Chrome trace export: valid JSON, spans nest correctly
+// -------------------------------------------------------------------
+
+/// A minimal JSON validity walker (no serde in the tree): consumes one
+/// JSON value from `s` starting at `i`, returning the next index.
+fn json_value(s: &[u8], mut i: usize) -> Result<usize, String> {
+    fn skip_ws(s: &[u8], mut i: usize) -> usize {
+        while i < s.len() && (s[i] as char).is_whitespace() {
+            i += 1;
+        }
+        i
+    }
+    i = skip_ws(s, i);
+    if i >= s.len() {
+        return Err("unexpected end".into());
+    }
+    match s[i] {
+        b'{' => {
+            i = skip_ws(s, i + 1);
+            if s.get(i) == Some(&b'}') {
+                return Ok(i + 1);
+            }
+            loop {
+                i = json_value(s, i)?; // key (must be a string, checked below)
+                i = skip_ws(s, i);
+                if s.get(i) != Some(&b':') {
+                    return Err(format!("expected ':' at {i}"));
+                }
+                i = json_value(s, i + 1)?;
+                i = skip_ws(s, i);
+                match s.get(i) {
+                    Some(&b',') => i += 1,
+                    Some(&b'}') => return Ok(i + 1),
+                    other => return Err(format!("expected ',' or '}}' at {i}, got {other:?}")),
+                }
+            }
+        }
+        b'[' => {
+            i = skip_ws(s, i + 1);
+            if s.get(i) == Some(&b']') {
+                return Ok(i + 1);
+            }
+            loop {
+                i = json_value(s, i)?;
+                i = skip_ws(s, i);
+                match s.get(i) {
+                    Some(&b',') => i += 1,
+                    Some(&b']') => return Ok(i + 1),
+                    other => return Err(format!("expected ',' or ']' at {i}, got {other:?}")),
+                }
+            }
+        }
+        b'"' => {
+            i += 1;
+            while i < s.len() {
+                match s[i] {
+                    b'\\' => i += 2,
+                    b'"' => return Ok(i + 1),
+                    _ => i += 1,
+                }
+            }
+            Err("unterminated string".into())
+        }
+        b't' => {
+            if s[i..].starts_with(b"true") {
+                Ok(i + 4)
+            } else {
+                Err(format!("bad literal at {i}"))
+            }
+        }
+        b'f' => {
+            if s[i..].starts_with(b"false") {
+                Ok(i + 5)
+            } else {
+                Err(format!("bad literal at {i}"))
+            }
+        }
+        b'n' => {
+            if s[i..].starts_with(b"null") {
+                Ok(i + 4)
+            } else {
+                Err(format!("bad literal at {i}"))
+            }
+        }
+        c if c == b'-' || c.is_ascii_digit() => {
+            i += 1;
+            while i < s.len()
+                && (s[i].is_ascii_digit() || matches!(s[i], b'.' | b'e' | b'E' | b'+' | b'-'))
+            {
+                i += 1;
+            }
+            Ok(i)
+        }
+        c => Err(format!("unexpected byte '{}' at {i}", c as char)),
+    }
+}
+
+/// Whole-document JSON check: one value plus trailing whitespace.
+fn assert_valid_json(doc: &str) {
+    let bytes = doc.as_bytes();
+    let end = json_value(bytes, 0).unwrap_or_else(|e| panic!("invalid JSON: {e}\n{doc}"));
+    assert!(
+        bytes[end..].iter().all(|b| (*b as char).is_whitespace()),
+        "trailing garbage after JSON value at byte {end}"
+    );
+}
+
+#[test]
+fn chrome_trace_is_valid_json_and_spans_nest() {
+    let _guard = GLOBAL_RECORDER_LOCK.lock().unwrap();
+    let collecting = Arc::new(Collecting::with_trace(1024));
+    semimatch::obs::install(collecting.clone());
+    {
+        let _outer = semimatch::obs::span!("test.outer");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        {
+            let _inner = semimatch::obs::span!("test.inner");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    semimatch::obs::uninstall();
+
+    let ring = collecting.ring().expect("with_trace installs a ring");
+    let events = ring.events();
+    assert_eq!(events.len(), 2, "one event per closed span");
+    // Spans close inner-first.
+    let inner = &events[0];
+    let outer = &events[1];
+    assert_eq!(inner.name, "test.inner");
+    assert_eq!(outer.name, "test.outer");
+    assert_eq!(inner.tid, outer.tid, "same thread");
+    // Proper nesting: the inner interval sits inside the outer one.
+    assert!(outer.start_ns <= inner.start_ns);
+    assert!(
+        inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns,
+        "inner span must end before its enclosing span"
+    );
+    // The export is a valid JSON array of complete ("ph":"X") events.
+    let doc = ring.render_chrome_json();
+    assert_valid_json(&doc);
+    assert!(doc.contains("\"ph\": \"X\""));
+    assert!(doc.contains("\"test.inner\""));
+    // Registry side: each span close observed a duration histogram.
+    let reg = collecting.registry();
+    match reg.snapshot().into_iter().find(|(n, _)| n == "span.test.outer") {
+        Some((_, MetricValue::Histogram { count, .. })) => assert_eq!(count, 1),
+        other => panic!("missing span histogram: {other:?}"),
+    }
+}
+
+// -------------------------------------------------------------------
+// Warm-vs-cold probe accounting (the ISSUE acceptance instance)
+// -------------------------------------------------------------------
+
+/// A density staircase. An infeasible capacity probe's deficient closure
+/// always has every closure processor saturated, so the FLN deficiency
+/// bound `cap + ceil(uncovered / closure_procs)` equals the closure's
+/// *average* density exactly — a single uniform block therefore resolves
+/// in one probe. To force a genuine multi-probe session the closure must
+/// hide a denser core behind a lighter bridge: here block A (120 tasks on
+/// procs {0,1}, density 60) bridges through block B (48 tasks on {1,2})
+/// so the first probe's closure is A∪B (density 56 < 60), the second
+/// probe's closure is A alone, and the resident network serves probe two
+/// warm.
+fn density_staircase() -> Bipartite {
+    let mut edges = Vec::new();
+    let mut t = 0u32;
+    for _ in 0..120 {
+        edges.push((t, 0));
+        edges.push((t, 1));
+        t += 1;
+    }
+    for _ in 0..48 {
+        edges.push((t, 1));
+        edges.push((t, 2));
+        t += 1;
+    }
+    // A private light block on proc 3 pads n so the initial global bracket
+    // (lo = ceil(188/4) = 47) sits below |B| — the probe then saturates
+    // proc 2 and spills B into the closure instead of draining it away.
+    for _ in 0..20 {
+        edges.push((t, 3));
+        t += 1;
+    }
+    Bipartite::from_edges(t, 4, &edges).unwrap()
+}
+
+#[test]
+fn seeded_cost_scaling_reports_warm_sessions_and_beats_cold_probes() {
+    let _guard = GLOBAL_RECORDER_LOCK.lock().unwrap();
+    let g = density_staircase();
+    // A deliberately skewed (but valid) seed: each task on its left pin.
+    // The wide bracket forces a real bisection over the resident network.
+    let seed: Vec<u32> =
+        (0..g.n_left()).map(|t| g.edge_range(t).map(|e| g.edge_right(e)).min().unwrap()).collect();
+
+    let collecting = Arc::new(Collecting::new());
+    semimatch::obs::install(collecting.clone());
+    let mut ws = SearchWorkspace::new();
+    let warm_run = cost_scaling_seeded_in(&g, Some(&seed), &mut ws);
+    // The same workload through the cold rebuild-per-probe ablation,
+    // plus a few tall instances on both backends: the probe-count
+    // advantage of the warm machinery shows up on the aggregate.
+    let mut cold_ws = SearchWorkspace::new();
+    let cold_run = cost_scaling_cold_in(&g, &mut cold_ws);
+    let mut rng = Xoshiro256::seed_from_u64(42);
+    for i in 0..4u64 {
+        let tall = hilo_permuted(2048, 8, 4, 2, &mut rng);
+        let w = cost_scaling_seeded_in(&tall, None, &mut ws).unwrap();
+        let c = cost_scaling_cold_in(&tall, &mut cold_ws).unwrap();
+        assert_eq!(w.makespan, c.makespan, "instance {i}");
+    }
+    semimatch::obs::uninstall();
+    let warm_run = warm_run.unwrap();
+    let cold_run = cold_run.unwrap();
+    assert_eq!(warm_run.makespan, cold_run.makespan, "both backends are exact");
+
+    let reg = collecting.registry();
+    let warm_sessions = counter_value(reg, "cost_scaling.warm_sessions");
+    let probes = counter_value(reg, "cost_scaling.probes");
+    let cold_probes = counter_value(reg, "cost_scaling.cold_ablation.probes");
+    assert!(warm_sessions > 0, "resident network never went warm (probes {probes})");
+    assert!(
+        probes < cold_probes,
+        "warm-started search must probe less than the cold ablation \
+         ({probes} vs {cold_probes})"
+    );
+}

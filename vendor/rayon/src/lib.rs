@@ -24,7 +24,10 @@
 
 mod pool;
 
-pub use pool::{current_num_threads, join, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder};
+pub use pool::{
+    current_num_threads, global_pool_stats, join, PoolStats, ThreadPool, ThreadPoolBuildError,
+    ThreadPoolBuilder, WorkerStats,
+};
 
 /// Everything a `use rayon::prelude::*` caller needs.
 pub mod prelude {
@@ -439,6 +442,29 @@ mod tests {
         assert_eq!(pool::parse_env_threads("0"), None, "0 means automatic");
         assert_eq!(pool::parse_env_threads("cores"), None);
         assert_eq!(pool::parse_env_threads(""), None);
+    }
+
+    #[test]
+    fn pool_stats_observe_queue_traffic() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let before = pool.stats();
+        assert_eq!(before.threads(), 4);
+        let _: Vec<u64> = pool.install(|| {
+            (0u64..2048)
+                .into_par_iter()
+                .map(|x| {
+                    std::thread::yield_now();
+                    x
+                })
+                .collect()
+        });
+        let after = pool.stats();
+        // The injected install job itself goes through the injector.
+        assert!(after.injector_pops() >= 1, "{after:?}");
+        assert!(after.tasks_executed() >= after.injector_pops() + after.steals(), "{after:?}");
+        assert!(after.tasks_executed() > before.tasks_executed(), "{after:?}");
+        // Stats never force the global pool into existence.
+        let _ = global_pool_stats();
     }
 
     #[test]

@@ -26,7 +26,7 @@
 use std::cell::{RefCell, UnsafeCell};
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
@@ -162,6 +162,69 @@ where
 // Registry (the pool proper)
 // ---------------------------------------------------------------------------
 
+/// Always-on per-worker activity counters (relaxed atomics — noise next
+/// to the deque locks they sit behind). These are the pool's stats hook:
+/// the crate stays dependency-free, and observability layers pull a
+/// [`PoolStats`] snapshot out instead of the pool pushing events anywhere.
+#[derive(Default)]
+struct WorkerCounters {
+    tasks_executed: AtomicU64,
+    steals: AtomicU64,
+    injector_pops: AtomicU64,
+    sleeps: AtomicU64,
+}
+
+/// Point-in-time counters of one worker thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Jobs this worker obtained from the queues and executed (inline
+    /// unstolen `join` halves are not queue traffic and are not counted).
+    pub tasks_executed: u64,
+    /// Of those, jobs stolen from another worker's deque.
+    pub steals: u64,
+    /// Of those, jobs taken from the global injector.
+    pub injector_pops: u64,
+    /// Times this worker parked on the sleep condvar.
+    pub sleeps: u64,
+}
+
+/// Point-in-time activity snapshot of a pool, from [`ThreadPool::stats`]
+/// or [`global_pool_stats`](crate::global_pool_stats).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Per-worker counters, indexed by worker.
+    pub workers: Vec<WorkerStats>,
+    /// Wake broadcasts issued because a push found sleeping workers.
+    pub wakes: u64,
+}
+
+impl PoolStats {
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Total jobs executed off the queues, across workers.
+    pub fn tasks_executed(&self) -> u64 {
+        self.workers.iter().map(|w| w.tasks_executed).sum()
+    }
+
+    /// Total cross-worker steals.
+    pub fn steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    /// Total injector pops.
+    pub fn injector_pops(&self) -> u64 {
+        self.workers.iter().map(|w| w.injector_pops).sum()
+    }
+
+    /// Total sleep transitions.
+    pub fn sleeps(&self) -> u64 {
+        self.workers.iter().map(|w| w.sleeps).sum()
+    }
+}
+
 /// Shared state of one pool: deques, injector, sleep machinery.
 pub(crate) struct Registry {
     deques: Vec<Mutex<VecDeque<JobRef>>>,
@@ -173,6 +236,8 @@ pub(crate) struct Registry {
     sleep_lock: Mutex<()>,
     sleep_cv: Condvar,
     terminate: AtomicBool,
+    worker_stats: Vec<WorkerCounters>,
+    wakes: AtomicU64,
 }
 
 thread_local! {
@@ -202,7 +267,26 @@ impl Registry {
             sleep_lock: Mutex::new(()),
             sleep_cv: Condvar::new(),
             terminate: AtomicBool::new(false),
+            worker_stats: (0..n_threads).map(|_| WorkerCounters::default()).collect(),
+            wakes: AtomicU64::new(0),
         })
+    }
+
+    /// Snapshot of the activity counters.
+    pub(crate) fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self
+                .worker_stats
+                .iter()
+                .map(|w| WorkerStats {
+                    tasks_executed: w.tasks_executed.load(Ordering::Relaxed),
+                    steals: w.steals.load(Ordering::Relaxed),
+                    injector_pops: w.injector_pops.load(Ordering::Relaxed),
+                    sleeps: w.sleeps.load(Ordering::Relaxed),
+                })
+                .collect(),
+            wakes: self.wakes.load(Ordering::Relaxed),
+        }
     }
 
     fn spawn_workers(registry: &Arc<Registry>) -> Vec<std::thread::JoinHandle<()>> {
@@ -237,6 +321,7 @@ impl Registry {
 
     fn notify(&self) {
         if self.sleepers.load(Ordering::SeqCst) > 0 {
+            self.wakes.fetch_add(1, Ordering::Relaxed);
             let _guard = self.sleep_lock.lock().unwrap();
             self.sleep_cv.notify_all();
         }
@@ -260,8 +345,10 @@ impl Registry {
     /// One work-finding sweep for `worker`: own deque (back), then steal
     /// from the other deques (front), then the injector.
     fn find_work(&self, worker: usize) -> Option<JobRef> {
+        let stats = &self.worker_stats[worker];
         if let Some(job) = self.deques[worker].lock().unwrap().pop_back() {
             self.pending.fetch_sub(1, Ordering::SeqCst);
+            stats.tasks_executed.fetch_add(1, Ordering::Relaxed);
             return Some(job);
         }
         let n = self.deques.len();
@@ -269,11 +356,15 @@ impl Registry {
             let victim = (worker + offset) % n;
             if let Some(job) = self.deques[victim].lock().unwrap().pop_front() {
                 self.pending.fetch_sub(1, Ordering::SeqCst);
+                stats.tasks_executed.fetch_add(1, Ordering::Relaxed);
+                stats.steals.fetch_add(1, Ordering::Relaxed);
                 return Some(job);
             }
         }
         if let Some(job) = self.injector.lock().unwrap().pop_front() {
             self.pending.fetch_sub(1, Ordering::SeqCst);
+            stats.tasks_executed.fetch_add(1, Ordering::Relaxed);
+            stats.injector_pops.fetch_add(1, Ordering::Relaxed);
             return Some(job);
         }
         None
@@ -282,10 +373,11 @@ impl Registry {
     /// Parks an idle worker. The sleeper registration + pending re-check
     /// under the lock closes the race with [`Registry::notify`]; a bounded
     /// timeout bounds the damage of any missed edge case.
-    fn idle_wait(&self) {
+    fn idle_wait(&self, worker: usize) {
         self.sleepers.fetch_add(1, Ordering::SeqCst);
         let guard = self.sleep_lock.lock().unwrap();
         if self.pending.load(Ordering::SeqCst) == 0 && !self.terminate.load(Ordering::SeqCst) {
+            self.worker_stats[worker].sleeps.fetch_add(1, Ordering::Relaxed);
             let _ = self.sleep_cv.wait_timeout(guard, Duration::from_millis(10)).unwrap();
         }
         self.sleepers.fetch_sub(1, Ordering::SeqCst);
@@ -303,7 +395,7 @@ fn worker_main(registry: Arc<Registry>, index: usize) {
             // SAFETY: publishers keep stack jobs alive until their latch
             // is set; executing is the single hand-off point.
             Some(job) => unsafe { job.execute() },
-            None => registry.idle_wait(),
+            None => registry.idle_wait(index),
         }
     }
 }
@@ -549,6 +641,18 @@ impl ThreadPool {
     pub fn current_num_threads(&self) -> usize {
         self.registry.num_threads()
     }
+
+    /// Snapshot of this pool's activity counters.
+    pub fn stats(&self) -> PoolStats {
+        self.registry.stats()
+    }
+}
+
+/// Snapshot of the global pool's activity counters, or `None` when the
+/// global pool has not been created yet (reading stats never forces pool
+/// creation).
+pub fn global_pool_stats() -> Option<PoolStats> {
+    GLOBAL.get().map(|registry| registry.stats())
 }
 
 impl Drop for ThreadPool {
