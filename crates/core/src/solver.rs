@@ -68,7 +68,10 @@ use crate::hyper::HyperHeuristic;
 use crate::online::{online_schedule, OnlineRule};
 use crate::problem::{HyperMatching, SemiMatching};
 use crate::refine::{iterated_refine_with, refine_with};
-use crate::streaming::{streaming_greedy_bipartite_with, streaming_greedy_hyper_with};
+use crate::streaming::{
+    streaming_greedy_bipartite_two_pass_with, streaming_greedy_bipartite_with,
+    streaming_greedy_hyper_two_pass_with, streaming_greedy_hyper_with, two_pass_enabled,
+};
 use crate::BiHeuristic;
 
 /// The maximum-matching engine axis, re-exported so registry consumers have
@@ -678,12 +681,16 @@ impl SolverKind {
                 OnlineRule::MinBottleneck,
             )?)),
             SolverKind::StreamingGreedy => match problem {
-                Problem::SingleProc(g) => Ok(Solution::SingleProc(
-                    streaming_greedy_bipartite_with(g, Objective::Makespan)?,
-                )),
-                Problem::MultiProc(h) => {
-                    Ok(Solution::MultiProc(streaming_greedy_hyper_with(h, Objective::Makespan)?))
-                }
+                Problem::SingleProc(g) => Ok(Solution::SingleProc(if two_pass_enabled() {
+                    streaming_greedy_bipartite_two_pass_with(g, Objective::Makespan)?
+                } else {
+                    streaming_greedy_bipartite_with(g, Objective::Makespan)?
+                })),
+                Problem::MultiProc(h) => Ok(Solution::MultiProc(if two_pass_enabled() {
+                    streaming_greedy_hyper_two_pass_with(h, Objective::Makespan)?
+                } else {
+                    streaming_greedy_hyper_with(h, Objective::Makespan)?
+                })),
             },
             SolverKind::BruteForce => match problem {
                 Problem::SingleProc(g) => {
@@ -782,12 +789,16 @@ impl SolverKind {
                 false,
             )?)),
             SolverKind::StreamingGreedy => match problem {
-                Problem::SingleProc(g) => {
-                    Ok(Solution::SingleProc(streaming_greedy_bipartite_with(g, objective)?))
-                }
-                Problem::MultiProc(h) => {
-                    Ok(Solution::MultiProc(streaming_greedy_hyper_with(h, objective)?))
-                }
+                Problem::SingleProc(g) => Ok(Solution::SingleProc(if two_pass_enabled() {
+                    streaming_greedy_bipartite_two_pass_with(g, objective)?
+                } else {
+                    streaming_greedy_bipartite_with(g, objective)?
+                })),
+                Problem::MultiProc(h) => Ok(Solution::MultiProc(if two_pass_enabled() {
+                    streaming_greedy_hyper_two_pass_with(h, objective)?
+                } else {
+                    streaming_greedy_hyper_with(h, objective)?
+                })),
             },
             SolverKind::BruteForce => match problem {
                 Problem::SingleProc(g) => {

@@ -17,11 +17,32 @@
 //! `O(|h ∩ V2|)`; the whole pass is `O(Σ|h ∩ V2|)` time and `O(n + p)`
 //! memory.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use semimatch_graph::{Bipartite, Hypergraph};
 
 use crate::error::{CoreError, Result};
 use crate::objective::Objective;
 use crate::problem::{HyperMatching, SemiMatching};
+
+/// Process-wide opt-in for the two-pass refinement on
+/// `SolverKind::StreamingGreedy` (see [`set_two_pass`]). Off by default:
+/// the registry kind stays the historical one-pass algorithm.
+static TWO_PASS: AtomicBool = AtomicBool::new(false);
+
+/// Turns the two-pass `StreamingGreedy` refinement on or off for the
+/// whole process. When on, the solver registry dispatches
+/// `SolverKind::StreamingGreedy` to the `*_two_pass*` variants below; the
+/// one-pass entry points themselves are unaffected. The CLI exposes this
+/// as `solve --two-pass`.
+pub fn set_two_pass(enabled: bool) {
+    TWO_PASS.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether the two-pass `StreamingGreedy` refinement is enabled.
+pub fn two_pass_enabled() -> bool {
+    TWO_PASS.load(Ordering::Relaxed)
+}
 
 /// One-pass streaming greedy over a bipartite (`SINGLEPROC`) edge stream.
 ///
@@ -177,6 +198,112 @@ pub fn streaming_greedy_hyper_with(h: &Hypergraph, objective: Objective) -> Resu
     Ok(HyperMatching { hedge_of })
 }
 
+/// Two-pass streaming greedy over a bipartite edge stream (Konrad &
+/// Rosén's multi-pass refinement): pass 1 is
+/// [`streaming_greedy_bipartite_with`]; pass 2 re-streams the edges and
+/// re-places only tasks currently sitting on an *overloaded* processor
+/// (load above the balanced ceiling `⌈total/p⌉` after pass 1), under the
+/// same strict-improvement switch rule. Every accepted switch strictly
+/// lowers the affected pair's resulting load (bottleneck) or the total
+/// cost (sum objectives), so the refined score is **never worse** than
+/// one pass — the agreement property the tests pin.
+pub fn streaming_greedy_bipartite_two_pass_with(
+    g: &Bipartite,
+    objective: Objective,
+) -> Result<SemiMatching> {
+    let sm = streaming_greedy_bipartite_with(g, objective)?;
+    let mut edge_of = sm.edge_of;
+    let mut loads = vec![0u64; g.n_right() as usize];
+    for &e in &edge_of {
+        loads[g.edge_right(e) as usize] += g.weight(e);
+    }
+    let overloaded = overloaded_procs(&loads);
+    for e in 0..g.num_edges() as u32 {
+        let t = g.edge_left(e) as usize;
+        let cur = edge_of[t];
+        let (cp, cw) = (g.edge_right(cur) as usize, g.weight(cur));
+        if !overloaded[cp] {
+            continue;
+        }
+        let p = g.edge_right(e) as usize;
+        let w = g.weight(e);
+        let excl = |u: usize| loads[u] - if u == cp { cw } else { 0 };
+        let switches = if objective.is_bottleneck() {
+            excl(p) + w < excl(cp) + cw
+        } else {
+            objective.marginal(excl(p), w) < objective.marginal(excl(cp), cw)
+        };
+        if switches {
+            loads[cp] -= cw;
+            loads[p] += w;
+            edge_of[t] = e;
+        }
+    }
+    Ok(SemiMatching { edge_of })
+}
+
+/// Two-pass streaming greedy over a hyperedge stream: pass 1 is
+/// [`streaming_greedy_hyper_with`]; pass 2 re-streams the hyperedges and
+/// re-places only tasks whose current configuration touches an overloaded
+/// processor, under the same strict-improvement rule (so the score never
+/// worsens — see [`streaming_greedy_bipartite_two_pass_with`]).
+pub fn streaming_greedy_hyper_two_pass_with(
+    h: &Hypergraph,
+    objective: Objective,
+) -> Result<HyperMatching> {
+    let hm = streaming_greedy_hyper_with(h, objective)?;
+    let mut hedge_of = hm.hedge_of;
+    let mut loads = vec![0u64; h.n_procs() as usize];
+    for &hid in &hedge_of {
+        for &u in h.procs_of(hid) {
+            loads[u as usize] += h.weight(hid);
+        }
+    }
+    let overloaded = overloaded_procs(&loads);
+    for hid in 0..h.n_hedges() {
+        let t = h.task_of(hid) as usize;
+        let cur = hedge_of[t];
+        let cw = h.weight(cur);
+        let cur_pins = h.procs_of(cur);
+        if !cur_pins.iter().any(|&u| overloaded[u as usize]) {
+            continue;
+        }
+        let w = h.weight(hid);
+        let excl =
+            |u: u32| loads[u as usize] - if cur_pins.binary_search(&u).is_ok() { cw } else { 0 };
+        let switches = if objective.is_bottleneck() {
+            let key_new = h.procs_of(hid).iter().map(|&u| excl(u)).max().unwrap_or(0) + w;
+            let key_cur = cur_pins.iter().map(|&u| excl(u)).max().unwrap_or(0) + cw;
+            key_new < key_cur
+        } else {
+            let delta = |pins: &[u32], weight: u64| {
+                pins.iter()
+                    .fold(0u128, |acc, &u| acc.saturating_add(objective.marginal(excl(u), weight)))
+            };
+            delta(h.procs_of(hid), w) < delta(cur_pins, cw)
+        };
+        if switches {
+            for &u in cur_pins {
+                loads[u as usize] -= cw;
+            }
+            for &u in h.procs_of(hid) {
+                loads[u as usize] += w;
+            }
+            hedge_of[t] = hid;
+        }
+    }
+    Ok(HyperMatching { hedge_of })
+}
+
+/// Processors whose load sits strictly above the balanced ceiling
+/// `⌈total/p⌉` — the pass-2 targets.
+fn overloaded_procs(loads: &[u64]) -> Vec<bool> {
+    let total: u128 = loads.iter().map(|&l| l as u128).sum();
+    let p = loads.len().max(1) as u128;
+    let thresh = total.div_ceil(p);
+    loads.iter().map(|&l| (l as u128) > thresh).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,6 +347,42 @@ mod tests {
         assert!(matches!(streaming_greedy_bipartite(&g), Err(CoreError::UncoveredTask(1))));
         let h = Hypergraph::from_hyperedges(2, 1, vec![(0, vec![0], 1)]).unwrap();
         assert!(matches!(streaming_greedy_hyper(&h), Err(CoreError::UncoveredTask(1))));
+    }
+
+    #[test]
+    fn second_pass_rescues_tasks_stranded_on_overloaded_procs() {
+        // Stream order traps one pass: T0's P1 alternative streams while
+        // P0 and P1 still tie (ties keep the held edge), then T1 and T2
+        // pile onto P0 with no alternatives. Pass 1 ends at makespan 3;
+        // pass 2 revisits the overloaded P0 and moves T0 to the idle P1
+        // edge it skipped.
+        let g = Bipartite::from_edges(3, 2, &[(0, 0), (0, 1), (1, 0), (2, 0)]).unwrap();
+        let one = streaming_greedy_bipartite_with(&g, Objective::Makespan).unwrap();
+        let two = streaming_greedy_bipartite_two_pass_with(&g, Objective::Makespan).unwrap();
+        two.validate(&g).unwrap();
+        assert_eq!(one.makespan(&g), 3);
+        assert_eq!(two.makespan(&g), 2, "refinement strictly helps here");
+
+        let h = Hypergraph::from_hyperedges(
+            2,
+            2,
+            vec![(0, vec![0], 2), (0, vec![1], 2), (1, vec![0], 2)],
+        )
+        .unwrap();
+        let one = streaming_greedy_hyper_with(&h, Objective::Makespan).unwrap();
+        let two = streaming_greedy_hyper_two_pass_with(&h, Objective::Makespan).unwrap();
+        two.validate(&h).unwrap();
+        assert_eq!(one.makespan(&h), 4);
+        assert_eq!(two.makespan(&h), 2);
+    }
+
+    #[test]
+    fn two_pass_flag_defaults_off_and_round_trips() {
+        assert!(!two_pass_enabled(), "registry default is the one-pass algorithm");
+        set_two_pass(true);
+        assert!(two_pass_enabled());
+        set_two_pass(false);
+        assert!(!two_pass_enabled());
     }
 
     #[test]

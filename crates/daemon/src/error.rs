@@ -1,0 +1,65 @@
+//! Error type for the serving daemon.
+
+use std::fmt;
+
+use semimatch_serve::ServeError;
+
+/// Errors surfaced by daemon control-plane operations (admission,
+/// eviction, submission, configuration). Data-plane failures during a
+/// pump — an event a tenant's engine rejects — are *not* errors: the
+/// daemon sheds the event and accounts for it instead of crashing the
+/// serving loop (see `TenantStatus::shed_apply_error`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DaemonError {
+    /// The daemon configuration is unusable (zero shards, zero queue
+    /// capacity, zero tenant capacity).
+    Config {
+        /// What is wrong.
+        msg: &'static str,
+    },
+    /// An admission was rejected because the daemon is at its configured
+    /// tenant capacity.
+    AtCapacity {
+        /// The configured `max_tenants`.
+        limit: usize,
+    },
+    /// An admission reused a live tenant id.
+    TenantExists(u32),
+    /// A submit/evict/status referenced a tenant that is not admitted.
+    UnknownTenant(u32),
+    /// A tenant's engine could not be constructed at admission.
+    Engine {
+        /// The tenant being admitted.
+        tenant: u32,
+        /// The underlying engine error.
+        source: ServeError,
+    },
+}
+
+impl fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DaemonError::Config { msg } => write!(f, "daemon configuration: {msg}"),
+            DaemonError::AtCapacity { limit } => {
+                write!(f, "admission rejected: daemon is at its {limit}-tenant capacity")
+            }
+            DaemonError::TenantExists(t) => write!(f, "tenant {t} is already admitted"),
+            DaemonError::UnknownTenant(t) => write!(f, "tenant {t} is not admitted"),
+            DaemonError::Engine { tenant, source } => {
+                write!(f, "tenant {tenant}: engine setup failed: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DaemonError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DaemonError::Engine { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, DaemonError>;

@@ -50,5 +50,8 @@ pub use hilo::{hilo, hilo_permuted};
 pub use hyper::{hyper_instance, HyperKind, HyperParams};
 pub use params::{Config, Family, SIZE_GRID};
 pub use rng::Xoshiro256;
-pub use trace::{generate_trace, Event, Trace, TraceParams};
+pub use trace::{
+    generate_multiplexed, generate_trace, Event, MultiplexParams, MultiplexedTrace, Trace,
+    TraceParams,
+};
 pub use weights::{apply_weights, WeightScheme};

@@ -429,6 +429,140 @@ fn arrive(
     events.push(Event::Arrive { task, configs });
 }
 
+/// Parameters of the multi-tenant multiplexed generator
+/// ([`generate_multiplexed`]).
+///
+/// Each tenant gets its own independent per-tenant trace (generated from
+/// `per_tenant` under a derived rng stream, so tenant `t`'s trace depends
+/// only on `(per_tenant, seed, t)`); the multiplexer then interleaves the
+/// per-tenant streams into one global event sequence with *skewed tenant
+/// hotness*: tenant `t`'s arrival volume is scaled by `1 / (t+1)^hotness`
+/// and its events are drawn into the interleave with probability
+/// proportional to the same Zipf-like weight (`hotness == 0` is uniform).
+/// Tenant 0 is the hottest, mirroring real multi-tenant traffic where a
+/// few tenants dominate the event rate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MultiplexParams {
+    /// Number of tenants (≥ 1); ids are `0..tenants`.
+    pub tenants: u32,
+    /// Zipf-like skew exponent: tenant `t` carries weight
+    /// `1 / (t+1)^hotness`, which scales both its arrival volume and its
+    /// interleave probability. `0` ⇒ uniform tenants.
+    pub hotness: u32,
+    /// Trace shape of the hottest tenant (tenant 0). Cooler tenants reuse
+    /// it with `arrivals` scaled down by their Zipf weight (min 1), each
+    /// under an independent rng stream.
+    pub per_tenant: TraceParams,
+}
+
+impl Default for MultiplexParams {
+    fn default() -> Self {
+        MultiplexParams { tenants: 4, hotness: 1, per_tenant: TraceParams::default() }
+    }
+}
+
+/// A multi-tenant event sequence: per-tenant [`Trace`] streams interleaved
+/// into one global arrival order. Every tenant owns an *independent*
+/// instance (its own processor pool `0..n_procs` and task-id space), so
+/// demultiplexing by tenant recovers exactly the per-tenant traces.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MultiplexedTrace {
+    /// Initial processor-pool size of **each** tenant's instance.
+    pub n_procs: u32,
+    /// Number of tenants; ids are `0..tenants`.
+    pub tenants: u32,
+    /// The interleaved stream: `(tenant, event)` in global arrival order.
+    /// Events of one tenant appear in that tenant's original trace order.
+    pub events: Vec<(u32, Event)>,
+}
+
+impl MultiplexedTrace {
+    /// Demultiplexes back into one [`Trace`] per tenant (index = tenant
+    /// id), preserving per-tenant event order. The round-trip property the
+    /// serving daemon's determinism contract rests on: replaying tenant
+    /// `t`'s demultiplexed trace through a standalone engine must agree
+    /// with the daemon's engine for tenant `t` at any shard count.
+    pub fn per_tenant(&self) -> Vec<Trace> {
+        let mut traces: Vec<Trace> = (0..self.tenants)
+            .map(|_| Trace { n_procs: self.n_procs, events: Vec::new() })
+            .collect();
+        for (tenant, ev) in &self.events {
+            traces[*tenant as usize].events.push(ev.clone());
+        }
+        traces
+    }
+
+    /// Writes the interleaved stream in an extended `.tr` form with a
+    /// tenant column: `tenants T`, `procs N`, then `T <tenant> <event…>`
+    /// lines reusing the single-tenant event syntax.
+    pub fn write<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "tenants {}", self.tenants)?;
+        writeln!(w, "procs {}", self.n_procs)?;
+        for (tenant, ev) in &self.events {
+            write!(w, "T {tenant} ")?;
+            let single = Trace { n_procs: 0, events: vec![ev.clone()] };
+            let mut line = Vec::new();
+            single.write(&mut line)?;
+            // Drop the `procs 0` header the helper emits.
+            let text = String::from_utf8(line).expect("trace text is ascii");
+            let body = text.lines().nth(1).expect("one event line");
+            writeln!(w, "{body}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Generates a reproducible multi-tenant trace: per-tenant traces from
+/// derived rng streams, interleaved with Zipf-skewed tenant hotness. All
+/// randomness flows through `rng`, so `(params, seed)` pins the multiplex
+/// bit-for-bit (the same contract as [`generate_trace`]).
+pub fn generate_multiplexed(params: &MultiplexParams, rng: &mut Xoshiro256) -> MultiplexedTrace {
+    assert!(params.tenants >= 1, "need at least one tenant");
+    // Per-tenant traces from independent derived streams; the root rng
+    // itself then drives the interleave choices.
+    // Zipf-like weights: w_t = SCALE / (t+1)^hotness, clamped to ≥ 1 so
+    // every tenant both receives arrivals and drains. hotness == 0
+    // degenerates to uniform.
+    const SCALE: u64 = 1 << 20;
+    let weight = |t: u32| -> u64 {
+        let denom = (t as u64 + 1).saturating_pow(params.hotness).max(1);
+        (SCALE / denom).max(1)
+    };
+    let mut streams: Vec<std::vec::IntoIter<Event>> = (0..params.tenants)
+        .map(|t| {
+            let arrivals = ((params.per_tenant.arrivals as u64 * weight(t)) / SCALE).max(1) as u32;
+            let shape = TraceParams { arrivals, ..params.per_tenant.clone() };
+            let mut trng = rng.stream(t as u64);
+            generate_trace(&shape, &mut trng).events.into_iter()
+        })
+        .collect();
+    let mut alive: Vec<u32> = (0..params.tenants).collect();
+    let mut total: u64 = alive.iter().map(|&t| weight(t)).sum();
+    let mut events = Vec::new();
+    while !alive.is_empty() {
+        // Weighted draw over tenants that still have events.
+        let mut r = rng.below(total);
+        let mut pick = alive.len() - 1;
+        for (i, &t) in alive.iter().enumerate() {
+            let w = weight(t);
+            if r < w {
+                pick = i;
+                break;
+            }
+            r -= w;
+        }
+        let tenant = alive[pick];
+        match streams[tenant as usize].next() {
+            Some(ev) => events.push((tenant, ev)),
+            None => {
+                alive.remove(pick);
+                total -= weight(tenant);
+            }
+        }
+    }
+    MultiplexedTrace { n_procs: params.per_tenant.n_procs, tenants: params.tenants, events }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -567,6 +701,81 @@ mod tests {
                 }
                 other => panic!("expected burst arrival, got {other:?}"),
             }
+        }
+    }
+
+    fn mplex_params() -> MultiplexParams {
+        MultiplexParams {
+            tenants: 6,
+            hotness: 1,
+            per_tenant: TraceParams { n_procs: 4, arrivals: 48, churn_pct: 20, ..params() },
+        }
+    }
+
+    #[test]
+    fn multiplexed_traces_are_deterministic_and_demux_to_applicable_tenants() {
+        let p = mplex_params();
+        let a = generate_multiplexed(&p, &mut Xoshiro256::seed_from_u64(11));
+        let b = generate_multiplexed(&p, &mut Xoshiro256::seed_from_u64(11));
+        assert_eq!(a, b, "same seed, same multiplex");
+        assert_eq!(a.tenants, 6);
+        let per = a.per_tenant();
+        assert_eq!(per.len(), 6);
+        for (t, trace) in per.iter().enumerate() {
+            assert_eq!(trace.n_procs, 4);
+            assert!(!trace.events.is_empty(), "tenant {t} got events");
+            check_applicable(trace);
+        }
+        // Demux preserves per-tenant order and loses nothing.
+        let total: usize = per.iter().map(|t| t.events.len()).sum();
+        assert_eq!(total, a.events.len());
+    }
+
+    #[test]
+    fn hotness_skews_tenant_volume_and_zero_is_uniform() {
+        let hot = generate_multiplexed(&mplex_params(), &mut Xoshiro256::seed_from_u64(2));
+        let per = hot.per_tenant();
+        assert!(
+            per[0].events.len() > 2 * per[5].events.len(),
+            "tenant 0 ({}) should dominate tenant 5 ({})",
+            per[0].events.len(),
+            per[5].events.len()
+        );
+        let flat = MultiplexParams { hotness: 0, ..mplex_params() };
+        let uniform = generate_multiplexed(&flat, &mut Xoshiro256::seed_from_u64(2));
+        let per = uniform.per_tenant();
+        let (lo, hi) = (
+            per.iter().map(|t| t.arrivals()).min().unwrap(),
+            per.iter().map(|t| t.arrivals()).max().unwrap(),
+        );
+        // Uniform weights give every tenant the same arrival budget; only
+        // churn/burst randomness differs.
+        assert!(hi < lo + lo, "uniform tenants stay comparable ({lo}..{hi})");
+    }
+
+    #[test]
+    fn multiplexed_text_form_has_tenant_column() {
+        let p = MultiplexParams {
+            tenants: 2,
+            hotness: 0,
+            per_tenant: TraceParams {
+                n_procs: 2,
+                arrivals: 3,
+                churn_pct: 0,
+                proc_events: 0,
+                burst_every: 0,
+                ..TraceParams::default()
+            },
+        };
+        let m = generate_multiplexed(&p, &mut Xoshiro256::seed_from_u64(5));
+        let mut buf = Vec::new();
+        m.write(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("tenants 2"));
+        assert_eq!(lines.next(), Some("procs 2"));
+        for line in lines {
+            assert!(line.starts_with("T 0 ") || line.starts_with("T 1 "), "{line}");
         }
     }
 }

@@ -301,6 +301,30 @@ impl Engine {
         balanced_score(self.cfg.objective, self.min_weight_sum, self.n_live_procs as u64)
     }
 
+    /// The live optimality gap under the configured objective:
+    /// `score − lower_bound_estimate` (saturating). Zero means the live
+    /// assignment provably matches the balanced lower bound; the daemon
+    /// compares this against each tenant's SLO after every pump.
+    pub fn gap(&self) -> Score {
+        let score = self.score(self.cfg.objective);
+        Score(score.0.saturating_sub(self.lower_bound_estimate().0))
+    }
+
+    /// Swaps the repair policy of a **live** engine, leaving state and
+    /// counters intact. The serving daemon uses this seam for per-tenant
+    /// policy control: a tenant that exhausts its migration budget is
+    /// demoted to pure greedy placement (`Lazy { slack: u64::MAX }`) for
+    /// the rest of the batch and restored afterwards. Returns the policy
+    /// that was in force.
+    pub fn set_policy(&mut self, policy: RepairPolicy) -> Result<RepairPolicy> {
+        if let RepairPolicy::Periodic { every: 0 } = policy {
+            return Err(ServeError::Config { msg: "resolve period must be at least 1" });
+        }
+        let old = self.cfg.policy;
+        self.cfg.policy = policy;
+        Ok(old)
+    }
+
     /// Whether every live configuration is a unit-weight singleton — the
     /// shape on which repair is exact. Conservative: a weighted or wide
     /// configuration pinned on dropped processors still counts.

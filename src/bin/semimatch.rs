@@ -68,6 +68,17 @@ usage:
                                 [--kind KIND] [--shards S] [--objective OBJ]
                                 (stream the trace through the serving engine;
                                 reports throughput, scores and repair work)
+  semimatch serve               --tenants N [--shards S] [--policy POLICY]
+                                [--slo-gap G] [--queue-cap Q] [--budget B]
+                                [--batch B] [--procs P] [--arrivals A]
+                                [--hotness H] [--churn PCT] [--max-configs C]
+                                [--max-pins K] [--max-weight W] [--proc-events E]
+                                [--kind KIND] [--objective OBJ] [--seed S]
+                                [--out FILE.mtr]
+                                (multi-tenant serving daemon over a generated
+                                multiplexed workload: sharded event router,
+                                bounded per-tenant queues, migration budgets
+                                and per-tenant optimality-gap SLO reporting)
   semimatch dot                 FILE.{hg,bg} [--out FILE.dot]
 
 KIND is any solver registry name (see `semimatch solvers`).
@@ -85,8 +96,11 @@ Telemetry (any command, most useful on solve/replay):
   --trace-out FILE        also write span timings as Chrome trace_event
                           JSON (open in chrome://tracing or Perfetto).
 replay --policy also accepts a comma-separated list; each policy replays
-the trace through its own engine and the report shows per-policy counter
-deltas against the first policy.";
+the trace through its own engine and the report shows per-policy final
+gaps (score - lower bound) plus counter deltas against the first policy.
+solve --two-pass turns on the two-pass StreamingGreedy refinement
+(second pass re-places tasks on overloaded processors); other kinds
+ignore it.";
 
 /// Splits `args` into positional arguments and flag pairs. Flags come as
 /// `--flag value` or `--flag=value`; `--metrics` alone is also accepted
@@ -100,6 +114,9 @@ fn parse(args: &[String]) -> Result<(Vec<&str>, HashMap<&str, &str>), String> {
         if let Some(name) = args[i].strip_prefix("--") {
             if let Some((name, value)) = name.split_once('=') {
                 flags.insert(name, value);
+                i += 1;
+            } else if name == "two-pass" {
+                flags.insert(name, "on");
                 i += 1;
             } else if name == "metrics" {
                 match args.get(i + 1).map(String::as_str) {
@@ -286,6 +303,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "solvers" => solvers(),
         "generate-trace" => generate_trace_cmd(&flags),
         "replay" => replay(&positional, &flags),
+        "serve" => serve_cmd(&flags),
         "dot" => dot(&positional, &flags),
         "verify" => verify(&positional),
         other => Err(format!("unknown command '{other}'")),
@@ -430,6 +448,9 @@ fn objective_flag(flags: &HashMap<&str, &str>) -> Result<Objective, String> {
 fn solve(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String> {
     let path = *positional.get(1).ok_or("solve needs a file argument")?;
     let objective = objective_flag(flags)?;
+    // Opt into the two-pass StreamingGreedy refinement for this process;
+    // every other kind ignores the flag.
+    semimatch::core::streaming::set_two_pass(flags.contains_key("two-pass"));
     if let Some(kinds) = flags.get("kinds") {
         return solve_batch(path, kinds, objective, flags);
     }
@@ -776,6 +797,13 @@ fn replay(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String
             .collect::<Vec<_>>()
             .join("  ");
         println!("scores:     {scores}");
+        println!(
+            "gap:        {} ({} {} - lower bound {})",
+            engine.gap(),
+            base.objective,
+            engine.score(base.objective),
+            engine.lower_bound_estimate()
+        );
         println!("repair:     {}", engine.counters());
         return Ok(());
     }
@@ -793,11 +821,12 @@ fn replay(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String
     for (policy, engine, secs) in &runs {
         let counters = engine.counters();
         println!(
-            "[{policy}]  {:.0} events/sec  bottleneck {}  {} {}",
+            "[{policy}]  {:.0} events/sec  bottleneck {}  {} {}  gap {}",
             trace.events.len() as f64 / secs.max(1e-9),
             engine.bottleneck(),
             base.objective,
             engine.score(base.objective),
+            engine.gap(),
         );
         let gain = counters.delta(&baseline);
         let loss = baseline.delta(&counters);
@@ -818,6 +847,134 @@ fn replay(positional: &[&str], flags: &HashMap<&str, &str>) -> Result<(), String
             .join("  ");
         println!("    {row}");
     }
+    Ok(())
+}
+
+/// `semimatch serve`: the multi-tenant serving daemon over a generated
+/// multiplexed workload. Generates per-tenant traces with Zipf-skewed
+/// hotness, routes them through the sharded daemon in batches, and
+/// reports aggregate throughput, backpressure accounting and every
+/// tenant's live optimality gap against the configured SLO. With
+/// `--metrics` the full daemon metric catalog (gap gauges, queue depths,
+/// shed counters, per-shard pump histograms) lands in the dump.
+fn serve_cmd(flags: &HashMap<&str, &str>) -> Result<(), String> {
+    use semimatch::daemon::{Daemon, DaemonConfig};
+    use semimatch::gen::trace::{generate_multiplexed, MultiplexParams, TraceParams};
+    use semimatch::serve::{EngineConfig, RepairPolicy};
+
+    let tenants: u32 = num(req(flags, "tenants")?, "--tenants")?;
+    if tenants == 0 {
+        return Err("--tenants must be at least 1".into());
+    }
+    let defaults = TraceParams::default();
+    let per_tenant = TraceParams {
+        n_procs: opt_num(flags, "procs", 8)?,
+        arrivals: opt_num(flags, "arrivals", 512)?,
+        churn_pct: opt_num(flags, "churn", defaults.churn_pct)?,
+        max_configs: opt_num(flags, "max-configs", defaults.max_configs)?,
+        max_pins: opt_num(flags, "max-pins", defaults.max_pins)?,
+        max_weight: opt_num(flags, "max-weight", defaults.max_weight)?,
+        proc_events: opt_num(flags, "proc-events", 0)?,
+        burst_every: 0,
+        burst_len: 0,
+    };
+    if per_tenant.n_procs == 0
+        || per_tenant.arrivals == 0
+        || per_tenant.max_configs == 0
+        || per_tenant.max_pins == 0
+        || per_tenant.max_weight == 0
+    {
+        return Err("--procs, --arrivals, --max-configs, --max-pins and --max-weight \
+                    must be at least 1"
+            .into());
+    }
+    if per_tenant.churn_pct > 100 {
+        return Err("--churn is a percentage (0-100)".into());
+    }
+    let params = MultiplexParams { tenants, hotness: opt_num(flags, "hotness", 1)?, per_tenant };
+    let seed = num(flags.get("seed").copied().unwrap_or("42"), "--seed")?;
+    let trace = generate_multiplexed(&params, &mut Xoshiro256::seed_from_u64(seed));
+    if let Some(path) = flags.get("out") {
+        let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        trace.write(file).map_err(|e| e.to_string())?;
+        eprintln!("wrote {} ({} multiplexed events)", path, trace.events.len());
+    }
+
+    let policy: RepairPolicy = flags.get("policy").copied().unwrap_or("eager").parse()?;
+    let mut engine = EngineConfig { policy, ..EngineConfig::default() };
+    engine.objective = objective_flag(flags)?;
+    if let Some(kind) = flags.get("kind") {
+        engine.resolve_kind =
+            kind.parse().map_err(|e: semimatch::core::CoreError| e.to_string())?;
+    }
+    let cfg = DaemonConfig {
+        shards: opt_num(flags, "shards", 1)?,
+        engine,
+        queue_capacity: opt_num(flags, "queue-cap", 1024)?,
+        migration_budget: opt_num(flags, "budget", u64::MAX)?,
+        max_tenants: opt_num(flags, "max-tenants", tenants as usize)?,
+        slo_gap: opt_num(flags, "slo-gap", u128::MAX)?,
+    };
+    let batch: usize = opt_num(flags, "batch", 256)?;
+    let mut daemon = Daemon::new(cfg).map_err(|e| e.to_string())?;
+    let start = std::time::Instant::now();
+    daemon.run(&trace, batch).map_err(|e| e.to_string())?;
+    let secs = start.elapsed().as_secs_f64();
+    daemon.publish_metrics();
+
+    let c = daemon.counters();
+    println!(
+        "daemon:     {} tenant(s) on {} shard(s), policy {}, objective {}",
+        daemon.n_tenants(),
+        cfg.shards,
+        engine.policy,
+        engine.objective
+    );
+    println!(
+        "workload:   {} events (hotness {}, {} procs/tenant, seed {}), batch {}",
+        trace.events.len(),
+        params.hotness,
+        trace.n_procs,
+        seed,
+        batch
+    );
+    println!(
+        "throughput: {:.0} events/sec ({:.4}s total, {} pumps)",
+        c.applied as f64 / secs.max(1e-9),
+        secs,
+        c.pumps
+    );
+    println!(
+        "backpressure: {} shed (queue-full {}, apply-error {}), {} budget exhaustions",
+        c.shed(),
+        c.shed_queue_full,
+        c.shed_apply_error,
+        c.budget_exhaustions
+    );
+    let statuses = daemon.statuses();
+    let violations = statuses.iter().filter(|st| !st.slo_ok).count();
+    match cfg.slo_gap {
+        u128::MAX => println!("slo:        no gap SLO configured"),
+        g => println!("slo:        gap <= {g}: {violations} tenant(s) in violation"),
+    }
+    let header = format!(
+        "{:>7} {:>5} {:>7} {:>7} {:>5} {:>10} {:>10} {:>10} {:>4}",
+        "tenant", "shard", "events", "tasks", "shed", "score", "lower", "gap", "slo"
+    );
+    emit_lines(std::iter::once(header).chain(statuses.iter().map(|st| {
+        format!(
+            "{:>7} {:>5} {:>7} {:>7} {:>5} {:>10} {:>10} {:>10} {:>4}",
+            st.tenant,
+            st.shard,
+            st.applied,
+            st.live_tasks,
+            st.shed,
+            st.score.0,
+            st.lower_bound.0,
+            st.gap.0,
+            if st.slo_ok { "ok" } else { "VIOL" }
+        )
+    })));
     Ok(())
 }
 

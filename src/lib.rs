@@ -31,6 +31,7 @@
 //! | [`core`] | exact algorithms, the four SINGLEPROC and four MULTIPROC heuristics, lower bounds, refinement, online dispatch, streaming greedy |
 //! | [`sched`] | task/processor model, schedules, discrete-event simulator, policies |
 //! | [`serve`] | streaming & dynamic serving: event traces, the incremental engine, repair policies, sharding |
+//! | [`daemon`] | multi-tenant serving daemon: sharded event router, per-tenant backpressure, live optimality-gap SLOs |
 //!
 //! The [`solver`] module unifies every algorithm behind one
 //! `solve(problem, kind)` registry with name-based lookup
@@ -58,6 +59,7 @@
 //! ```
 
 pub use semimatch_core as core;
+pub use semimatch_daemon as daemon;
 pub use semimatch_gen as gen;
 pub use semimatch_graph as graph;
 pub use semimatch_matching as matching;

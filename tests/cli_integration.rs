@@ -416,3 +416,77 @@ fn solve_and_replay_emit_metrics_json() {
     assert!(lb >= 1 && score >= lb, "gauge pair must bracket: lb {lb}, score {score}");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// The serving-daemon subcommand (the ISSUE's smoke contract): a
+/// per-tenant status table on stdout, a schema-conformant metrics dump
+/// with a finite gap gauge per tenant, and zero shed at low load —
+/// plus the `--two-pass` solve flag and the per-policy gap column of
+/// `replay --policy a,b,c`.
+#[test]
+fn serve_subcommand_reports_tenant_gaps_and_sheds_nothing() {
+    let out = semimatch(&[
+        "serve",
+        "--tenants",
+        "3",
+        "--shards",
+        "2",
+        "--arrivals",
+        "60",
+        "--seed",
+        "11",
+        "--metrics=json",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("daemon:") && text.contains("throughput:"), "{text}");
+    assert!(text.contains("backpressure:"), "{text}");
+    let json = metrics_json(&text);
+    assert_metrics_schema(json);
+    for t in 0..3 {
+        let gap = metric_value(json, &format!("daemon.tenant.{t}.gap"));
+        assert!(gap >= 0, "tenant {t} gap must be finite and non-negative: {gap}");
+        let score = metric_value(json, &format!("daemon.tenant.{t}.score"));
+        let lower = metric_value(json, &format!("daemon.tenant.{t}.lower_bound"));
+        assert_eq!(gap, score - lower, "published gap disagrees with its gauges");
+    }
+    assert_eq!(metric_value(json, "daemon.tenants"), 3, "{json}");
+    assert_eq!(metric_value(json, "daemon.shed_queue_full"), 0, "low load must not shed");
+    assert_eq!(metric_value(json, "daemon.shed_apply_error"), 0, "generated traces apply cleanly");
+    assert!(json.contains("\"daemon.tenant.gap\""), "gap histogram missing: {json}");
+
+    // `solve --two-pass` routes streaming-greedy through the refinement.
+    let dir = tmp_dir("serve-cli");
+    let (bg, _hg) = write_tiny_instances(&dir);
+    let out =
+        semimatch(&["solve", bg.to_str().unwrap(), "--algo", "streaming-greedy", "--two-pass"]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).contains("makespan"), "{}", stdout(&out));
+
+    // The replay policy comparison prints a final gap per policy row.
+    let tr = dir.join("t.tr");
+    let gen = semimatch(&[
+        "generate-trace",
+        "--procs",
+        "6",
+        "--arrivals",
+        "80",
+        "--churn",
+        "25",
+        "--seed",
+        "3",
+        "--out",
+        tr.to_str().unwrap(),
+    ]);
+    assert!(gen.status.success());
+    let out = semimatch(&["replay", tr.to_str().unwrap(), "--policy", "eager,lazy:4,periodic:16"]);
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    for policy in ["[eager]", "[lazy:4]", "[periodic:16]"] {
+        let row = text
+            .lines()
+            .find(|l| l.trim_start().starts_with(policy))
+            .unwrap_or_else(|| panic!("no comparison row for {policy}: {text}"));
+        assert!(row.contains("gap "), "row lacks the final gap: {row}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

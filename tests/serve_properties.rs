@@ -183,6 +183,35 @@ proptest! {
         }
     }
 
+    /// At **every** event of a random trace — not just at the end — the
+    /// engine's live score stays at or above its balanced lower bound,
+    /// and the published gap is exactly their (saturating) difference.
+    /// This is the invariant the daemon's per-tenant SLO check and the
+    /// `serve.score` / `serve.lower_bound` gauges rely on.
+    #[test]
+    fn score_never_drops_below_the_lower_bound_at_any_event(trace in hyper_trace()) {
+        use semimatch::solver::Objective;
+        for (policy, objective) in [
+            (RepairPolicy::Eager, Objective::Makespan),
+            (RepairPolicy::Lazy { slack: 4 }, Objective::FlowTime),
+            (RepairPolicy::Lazy { slack: u64::MAX }, Objective::Makespan),
+            (RepairPolicy::Periodic { every: 3 }, Objective::WeightedLoad),
+        ] {
+            let cfg = EngineConfig { policy, objective, ..EngineConfig::default() };
+            let mut engine = Engine::new(cfg, trace.n_procs).unwrap();
+            for (i, ev) in trace.events.iter().enumerate() {
+                engine.apply(ev).unwrap();
+                let score = engine.score(objective);
+                let lb = engine.lower_bound_estimate();
+                prop_assert!(
+                    score >= lb,
+                    "{policy:?}/{objective:?} event {i}: score {score} below lower bound {lb}"
+                );
+                prop_assert_eq!(engine.gap().0, score.0 - lb.0);
+            }
+        }
+    }
+
     #[test]
     fn counters_account_for_every_event(trace in hyper_trace()) {
         let engine = Engine::replay(EngineConfig::default(), &trace).unwrap();

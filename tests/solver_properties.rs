@@ -106,3 +106,66 @@ proptest! {
         }
     }
 }
+
+/// Weighted variants of the instances above, for the two-pass streaming
+/// refinement agreement (weights are where a second pass can pay off).
+fn weighted_bipartite() -> impl Strategy<Value = Bipartite> {
+    covered_bipartite().prop_flat_map(|g| {
+        let m = g.num_edges();
+        proptest::collection::vec(1u64..=9, m).prop_map(move |ws| {
+            let mut g = g.clone();
+            g.set_weights(ws).expect("positive weights of matching length");
+            g
+        })
+    })
+}
+
+fn weighted_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    hypergraph().prop_flat_map(|h| {
+        let m = h.n_hedges() as usize;
+        proptest::collection::vec(1u64..=9, m).prop_map(move |ws| {
+            let mut h = h.clone();
+            h.set_weights(ws).expect("positive weights of matching length");
+            h
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The two-pass streaming refinement agrees with one pass on
+    /// validity and never scores worse, under every reported objective —
+    /// the contract behind `solve --two-pass`. The two-pass entry points
+    /// are called directly (not through the process-global flag) so this
+    /// test cannot race other test threads.
+    #[test]
+    fn two_pass_streaming_never_scores_worse(
+        g in weighted_bipartite(),
+        h in weighted_hypergraph(),
+    ) {
+        use semimatch::core::streaming::{
+            streaming_greedy_bipartite_two_pass_with, streaming_greedy_bipartite_with,
+            streaming_greedy_hyper_two_pass_with, streaming_greedy_hyper_with,
+        };
+        for objective in Objective::REPORTED {
+            let one = streaming_greedy_bipartite_with(&g, objective).unwrap();
+            let two = streaming_greedy_bipartite_two_pass_with(&g, objective).unwrap();
+            one.validate(&g).unwrap();
+            two.validate(&g).unwrap();
+            prop_assert!(
+                two.score(&g, objective) <= one.score(&g, objective),
+                "bipartite second pass worsened {objective:?}"
+            );
+
+            let one = streaming_greedy_hyper_with(&h, objective).unwrap();
+            let two = streaming_greedy_hyper_two_pass_with(&h, objective).unwrap();
+            one.validate(&h).unwrap();
+            two.validate(&h).unwrap();
+            prop_assert!(
+                two.score(&h, objective) <= one.score(&h, objective),
+                "hyper second pass worsened {objective:?}"
+            );
+        }
+    }
+}
