@@ -1,0 +1,183 @@
+//! The checked-in allowlist.
+//!
+//! A baseline entry grants a *counted* exemption for a finding, keyed by
+//! `(rule, file, trimmed source line)` rather than by line number, so pure
+//! line motion (an unrelated edit above the site) does not invalidate it.
+//! Every entry must carry a human justification; entries whose key no longer
+//! matches anything (or matches fewer sites than `count`) are *stale* and
+//! fail the run — the baseline only ever shrinks.
+//!
+//! File format (`analyze.baseline`, tab-separated, one entry per line):
+//!
+//! ```text
+//! # comment lines and blank lines are ignored
+//! rule<TAB>file<TAB>count<TAB>trimmed source line<TAB>justification
+//! ```
+//!
+//! Source lines never contain tabs (rustfmt uses spaces), so the snippet
+//! field is unambiguous.
+
+use crate::report::Finding;
+use std::collections::HashMap;
+
+/// One parsed baseline entry.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    pub rule: String,
+    pub file: String,
+    pub count: usize,
+    pub snippet: String,
+    pub justification: String,
+    /// 1-based line in the baseline file (for stale diagnostics).
+    pub line: usize,
+}
+
+impl Entry {
+    fn key(&self) -> (String, String, String) {
+        (self.rule.clone(), self.file.clone(), self.snippet.clone())
+    }
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    pub entries: Vec<Entry>,
+}
+
+impl Baseline {
+    /// Parse baseline text. Errors (malformed lines, zero counts, missing
+    /// justifications, duplicate keys) are configuration mistakes and abort
+    /// the run rather than silently weakening the gate.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = Vec::new();
+        let mut seen: HashMap<(String, String, String), usize> = HashMap::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim_end();
+            if line.is_empty() || line.trim_start().starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('\t').collect();
+            if fields.len() != 5 {
+                return Err(format!(
+                    "baseline line {lineno}: expected 5 tab-separated fields \
+                     (rule, file, count, snippet, justification), got {}",
+                    fields.len()
+                ));
+            }
+            let count: usize = fields[2].parse().map_err(|_| {
+                format!("baseline line {lineno}: count {:?} is not a number", fields[2])
+            })?;
+            if count == 0 {
+                return Err(format!("baseline line {lineno}: count must be >= 1"));
+            }
+            let justification = fields[4].trim();
+            if justification.is_empty() {
+                return Err(format!("baseline line {lineno}: justification must not be empty"));
+            }
+            let entry = Entry {
+                rule: fields[0].to_string(),
+                file: fields[1].to_string(),
+                count,
+                snippet: fields[3].trim().to_string(),
+                justification: justification.to_string(),
+                line: lineno,
+            };
+            if seen.insert(entry.key(), lineno).is_some() {
+                return Err(format!(
+                    "baseline line {lineno}: duplicate entry for ({}, {}, {:?}) — merge the counts",
+                    entry.rule, entry.file, entry.snippet
+                ));
+            }
+            entries.push(entry);
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Split `findings` into (unbaselined, suppressed count, stale entries).
+    ///
+    /// Each entry suppresses up to `count` matching findings. An entry that
+    /// matches fewer findings than its count is stale: the code improved and
+    /// the baseline must shrink to match.
+    pub fn apply(&self, findings: Vec<Finding>) -> (Vec<Finding>, usize, Vec<String>) {
+        let mut budget: HashMap<(String, String, String), usize> = HashMap::new();
+        for e in &self.entries {
+            budget.insert(e.key(), e.count);
+        }
+        let mut kept = Vec::new();
+        let mut suppressed = 0usize;
+        for f in findings {
+            let key = (f.rule.to_string(), f.file.clone(), f.snippet.clone());
+            match budget.get_mut(&key) {
+                Some(b) if *b > 0 => {
+                    *b -= 1;
+                    suppressed += 1;
+                }
+                _ => kept.push(f),
+            }
+        }
+        let mut stale = Vec::new();
+        for e in &self.entries {
+            let left = budget.get(&e.key()).copied().unwrap_or(0);
+            if left > 0 {
+                stale.push(format!(
+                    "line {}: ({}, {}, {:?}) expects {} site(s), found {}",
+                    e.line,
+                    e.rule,
+                    e.file,
+                    e.snippet,
+                    e.count,
+                    e.count - left
+                ));
+            }
+        }
+        (kept, suppressed, stale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, snippet: &str) -> Finding {
+        Finding { rule, file: file.into(), line: 1, message: "m".into(), snippet: snippet.into() }
+    }
+
+    #[test]
+    fn parse_and_apply() {
+        let b = Baseline::parse("# hdr\nr1\ta.rs\t2\tlet x;\tcounters are monotonic\n").unwrap();
+        let fs = vec![finding("r1", "a.rs", "let x;"), finding("r1", "a.rs", "let x;")];
+        let (kept, n, stale) = b.apply(fs);
+        assert!(kept.is_empty());
+        assert_eq!(n, 2);
+        assert!(stale.is_empty());
+    }
+
+    #[test]
+    fn overflow_count_reports() {
+        let b = Baseline::parse("r1\ta.rs\t1\tlet x;\tok\n").unwrap();
+        let fs = vec![finding("r1", "a.rs", "let x;"), finding("r1", "a.rs", "let x;")];
+        let (kept, n, stale) = b.apply(fs);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(n, 1);
+        assert!(stale.is_empty());
+    }
+
+    #[test]
+    fn stale_entry_detected() {
+        let b = Baseline::parse("r1\ta.rs\t2\tlet x;\tok\n").unwrap();
+        let (kept, n, stale) = b.apply(vec![finding("r1", "a.rs", "let x;")]);
+        assert!(kept.is_empty());
+        assert_eq!(n, 1);
+        assert_eq!(stale.len(), 1);
+        assert!(stale[0].contains("expects 2"));
+    }
+
+    #[test]
+    fn rejects_missing_justification() {
+        assert!(Baseline::parse("r1\ta.rs\t1\tlet x;\t \n").is_err());
+        assert!(Baseline::parse("r1\ta.rs\t0\tlet x;\tok\n").is_err());
+        assert!(Baseline::parse("r1\ta.rs\tone\tlet x;\tok\n").is_err());
+        assert!(Baseline::parse("just\tthree\tfields\n").is_err());
+    }
+}

@@ -1,0 +1,7 @@
+//! `semimatch-analyze`: the standalone static-analysis gate binary.
+//! All logic lives in the library; see `semimatch_analyze::cli_main`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(semimatch_analyze::cli_main(&args));
+}

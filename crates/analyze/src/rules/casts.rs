@@ -1,0 +1,61 @@
+//! `truncating-cast`: `as u64` / `as u32` / `as usize` in the score,
+//! objective, and lower-bound arithmetic paths. PR 5 fixed a real bug of
+//! this class (a `u128 → u64` truncation in the balanced-load lower bound),
+//! so new `as` casts here must either be replaced with `try_from` (saturate
+//! or propagate) or carry a `// cast:` comment proving the value fits.
+
+use crate::lexer::word_positions;
+use crate::report::Finding;
+use crate::rules::{justified, snippet};
+use crate::workspace::Workspace;
+
+pub const RULE: &str = "truncating-cast";
+
+/// Score/objective/lower-bound arithmetic under audit.
+pub const SCOPED_FILES: [&str; 3] = [
+    "crates/core/src/objective.rs",
+    "crates/core/src/lower_bound.rs",
+    "crates/core/src/quality.rs",
+];
+
+const TARGETS: [&str; 3] = ["u64", "u32", "usize"];
+
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if !SCOPED_FILES.contains(&file.rel.as_str()) {
+            continue;
+        }
+        for (lineno, line) in file.code_lines() {
+            let chars: Vec<char> = line.code.chars().collect();
+            let mut hit: Option<&str> = None;
+            for pos in word_positions(&line.code, "as") {
+                let mut j = pos + 2;
+                while j < chars.len() && chars[j] == ' ' {
+                    j += 1;
+                }
+                let word: String =
+                    chars[j..].iter().take_while(|c| c.is_alphanumeric() || **c == '_').collect();
+                if let Some(t) = TARGETS.iter().find(|t| **t == word) {
+                    hit = Some(t);
+                    break;
+                }
+            }
+            let Some(target) = hit else { continue };
+            if !justified(file, lineno - 1, "cast:", None) {
+                out.push(Finding {
+                    rule: RULE,
+                    file: file.rel.clone(),
+                    line: lineno,
+                    message: format!(
+                        "`as {target}` in score/lower-bound arithmetic without a `// cast:` \
+                         justification — use `try_from` (saturating or propagating) or prove \
+                         the value fits"
+                    ),
+                    snippet: snippet(file, lineno),
+                });
+            }
+        }
+    }
+    out
+}

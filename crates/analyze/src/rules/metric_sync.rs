@@ -1,0 +1,224 @@
+//! `metric-sync`: every metric name the code publishes must appear in the
+//! README metric catalog, and every catalog row must correspond to a real
+//! emission site. Emission sites are `counter_add(…)` / `gauge_set(…)` /
+//! `observe(…)` calls (free functions or `Registry` methods) whose first
+//! argument is a string literal or a `format!` template. Templates are
+//! normalized by collapsing `{…}` interpolations to `<>`, and catalog
+//! placeholders `<…>` normalize the same way, so `daemon.tenant.{id}.gap`
+//! matches a catalog row `daemon.tenant.<id>.gap`.
+
+use crate::lexer::{word_positions, Line};
+use crate::report::Finding;
+use crate::workspace::Workspace;
+use std::collections::BTreeMap;
+
+pub const RULE: &str = "metric-sync";
+
+const BEGIN: &str = "<!-- metric-catalog:begin -->";
+const END: &str = "<!-- metric-catalog:end -->";
+
+const CALLS: [&str; 3] = ["counter_add", "gauge_set", "observe"];
+
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    // Emission sites: normalized name -> first (file, line, raw snippet).
+    let mut emitted: BTreeMap<String, (String, usize, String)> = BTreeMap::new();
+    let mut any_scoped = false;
+    for file in &ws.files {
+        let scoped = (file.rel.starts_with("crates/") || file.rel.starts_with("src/"))
+            && !file.rel.starts_with("crates/analyze/");
+        if !scoped {
+            continue;
+        }
+        any_scoped = true;
+        for (lineno, line) in file.code_lines() {
+            for name in metric_names(line) {
+                emitted
+                    .entry(normalize(&name))
+                    .or_insert_with(|| (file.rel.clone(), lineno, line.raw.trim().to_string()));
+            }
+        }
+    }
+    if !any_scoped {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let Some(readme) = &ws.readme else {
+        if emitted.is_empty() {
+            return out;
+        }
+        out.push(Finding {
+            rule: RULE,
+            file: "README.md".to_string(),
+            line: 1,
+            message: "README.md not found — the metric catalog cannot be checked".to_string(),
+            snippet: String::new(),
+        });
+        return out;
+    };
+    let Some((catalog, _marker_line)) = catalog_rows(readme) else {
+        out.push(Finding {
+            rule: RULE,
+            file: "README.md".to_string(),
+            line: 1,
+            message: format!("missing `{BEGIN}` / `{END}` markers around the metric catalog"),
+            snippet: String::new(),
+        });
+        return out;
+    };
+    for (name, (file, lineno, raw)) in &emitted {
+        if !catalog.iter().any(|(n, _, _)| n == name) {
+            out.push(Finding {
+                rule: RULE,
+                file: file.clone(),
+                line: *lineno,
+                message: format!("metric `{name}` is not documented in the README metric catalog"),
+                snippet: raw.clone(),
+            });
+        }
+    }
+    for (name, lineno, raw) in &catalog {
+        if !emitted.contains_key(name) {
+            out.push(Finding {
+                rule: RULE,
+                file: "README.md".to_string(),
+                line: *lineno,
+                message: format!("catalog metric `{name}` has no emission site in the code"),
+                snippet: raw.trim().to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Metric name strings (literals or `format!` templates) passed as the first
+/// argument of a `counter_add` / `gauge_set` / `observe` call on this line.
+fn metric_names(line: &Line) -> Vec<String> {
+    let chars: Vec<char> = line.code.chars().collect();
+    let mut out = Vec::new();
+    for call in CALLS {
+        for pos in word_positions(&line.code, call) {
+            let mut j = pos + call.len();
+            if chars.get(j) != Some(&'(') {
+                continue;
+            }
+            j += 1;
+            // Skip `&`, whitespace, and one `format!(` wrapper.
+            loop {
+                while chars.get(j).is_some_and(|c| *c == '&' || c.is_whitespace()) {
+                    j += 1;
+                }
+                let tail: String = chars[j.min(chars.len())..].iter().collect();
+                if let Some(rest) = tail.strip_prefix("format!") {
+                    j += "format!".len();
+                    if rest.trim_start().starts_with('(') {
+                        while chars.get(j).is_some_and(|c| c.is_whitespace()) {
+                            j += 1;
+                        }
+                        j += 1; // the `(`
+                        continue;
+                    }
+                }
+                break;
+            }
+            if chars.get(j) == Some(&'"') {
+                if let Some((_, s)) = line.strings.iter().find(|(col, _)| *col == j) {
+                    out.push(s.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Collapse `format!`-style `{…}` interpolations and catalog `<…>`
+/// placeholders to `<>` so both sides compare equal. `{{`/`}}` unescape to
+/// literal braces.
+fn normalize(name: &str) -> String {
+    let chars: Vec<char> = name.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '{' if chars.get(i + 1) == Some(&'{') => {
+                out.push('{');
+                i += 2;
+            }
+            '}' if chars.get(i + 1) == Some(&'}') => {
+                out.push('}');
+                i += 2;
+            }
+            '{' => {
+                while i < chars.len() && chars[i] != '}' {
+                    i += 1;
+                }
+                i += 1;
+                out.push_str("<>");
+            }
+            '<' => {
+                while i < chars.len() && chars[i] != '>' {
+                    i += 1;
+                }
+                i += 1;
+                out.push_str("<>");
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// One catalog row: (normalized name, 1-based README line, raw row text).
+type Row = (String, usize, String);
+
+/// Catalog rows between the markers. A row's metric name is its first cell,
+/// a backticked token.
+fn catalog_rows(readme: &str) -> Option<(Vec<Row>, usize)> {
+    let lines: Vec<&str> = readme.lines().collect();
+    let begin = lines.iter().position(|l| l.contains(BEGIN))?;
+    let end = lines.iter().position(|l| l.contains(END))?;
+    let mut rows = Vec::new();
+    for (i, raw) in lines.iter().enumerate().take(end).skip(begin + 1) {
+        let t = raw.trim_start();
+        if !t.starts_with('|') {
+            continue;
+        }
+        let Some(cell) = raw.split('|').map(str::trim).find(|c| !c.is_empty()) else { continue };
+        if let Some(inner) = cell.strip_prefix('`').and_then(|c| c.strip_suffix('`')) {
+            if !inner.is_empty() && !inner.contains(' ') {
+                rows.push((normalize(inner), i + 1, raw.to_string()));
+            }
+        }
+    }
+    Some((rows, begin + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::SourceFile;
+
+    fn line(src: &str) -> Line {
+        SourceFile::lex("x.rs", src).lines[0].clone()
+    }
+
+    #[test]
+    fn literal_and_format_first_args() {
+        assert_eq!(metric_names(&line("reg.counter_add(\"a.b\", 1);")), vec!["a.b"]);
+        assert_eq!(
+            metric_names(&line("reg.counter_add(&format!(\"w.{i}.steals\"), n);")),
+            vec!["w.{i}.steals"]
+        );
+        assert!(metric_names(&line("pub fn observe(name: &str, v: u64) {}")).is_empty());
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(normalize("w.{i}.steals"), "w.<>.steals");
+        assert_eq!(normalize("w.<worker>.steals"), "w.<>.steals");
+        assert_eq!(normalize("daemon.tenant.{}.gap"), "daemon.tenant.<>.gap");
+        assert_eq!(normalize("esc.{{x}}"), "esc.{x}");
+    }
+}

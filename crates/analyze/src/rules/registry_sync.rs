@@ -1,0 +1,241 @@
+//! `registry-sync`: the `SolverKind` registry and its documentation must
+//! agree. Every enum variant must appear in `SolverKind::ALL`, have a
+//! `name()` arm, be reachable from `from_str` (which iterates `ALL`), and
+//! appear in the README solver map — and vice versa: `ALL` entries,
+//! `from_str` alias targets, and README rows must all resolve to real
+//! variants/names. The README rows live between `<!-- solver-map:begin -->`
+//! and `<!-- solver-map:end -->` markers; rows marked "not a solver" are
+//! reference rows and exempt.
+
+use crate::lexer::SourceFile;
+use crate::report::Finding;
+use crate::rules::snippet;
+use crate::workspace::Workspace;
+use std::collections::BTreeMap;
+
+pub const RULE: &str = "registry-sync";
+
+const SOLVER_RS: &str = "crates/core/src/solver.rs";
+const BEGIN: &str = "<!-- solver-map:begin -->";
+const END: &str = "<!-- solver-map:end -->";
+
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let Some(file) = ws.file(SOLVER_RS) else { return Vec::new() };
+    let mut out = Vec::new();
+
+    let enum_block = find_block(file, "pub enum SolverKind");
+    let all_block = find_block(file, "pub const ALL");
+    let name_block = find_block(file, "pub fn name");
+    let from_str_block = find_block(file, "fn from_str");
+
+    // Variants declared in the enum: (name, 1-based line).
+    let mut variants: Vec<(String, usize)> = Vec::new();
+    if let Some((lo, hi)) = enum_block {
+        for i in lo..hi {
+            let t = file.lines[i].code.trim().trim_end_matches(',');
+            if !t.is_empty()
+                && t.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                && t.chars().all(|c| c.is_alphanumeric() || c == '_')
+            {
+                variants.push((t.to_string(), i + 1));
+            }
+        }
+    } else {
+        out.push(whole_file(file, "cannot find `pub enum SolverKind`"));
+    }
+
+    let all_refs = block_variant_refs(file, all_block);
+    let from_refs = block_variant_refs(file, from_str_block);
+
+    // name() arms: variant -> registry name string.
+    let mut names: BTreeMap<String, String> = BTreeMap::new();
+    if let Some((lo, hi)) = name_block {
+        for i in lo..hi {
+            let line = &file.lines[i];
+            if line.code.contains("=>") {
+                if let (Some(v), Some((_, s))) =
+                    (variant_refs(&line.code).into_iter().next(), line.strings.first())
+                {
+                    names.insert(v, s.clone());
+                }
+            }
+        }
+    } else {
+        out.push(whole_file(file, "cannot find `pub fn name`"));
+    }
+
+    let from_str_iterates_all =
+        from_str_block.is_some_and(|(lo, hi)| (lo..hi).any(|i| file.lines[i].code.contains("ALL")));
+    if from_str_block.is_some() && !from_str_iterates_all {
+        out.push(whole_file(
+            file,
+            "`from_str` does not consult `SolverKind::ALL` — new variants would be unparseable",
+        ));
+    }
+
+    for (v, lineno) in &variants {
+        if !all_refs.iter().any(|(r, _)| r == v) {
+            out.push(at(file, *lineno, format!("variant `{v}` is missing from `SolverKind::ALL`")));
+        }
+        if !names.contains_key(v) {
+            out.push(at(file, *lineno, format!("variant `{v}` has no `name()` arm")));
+        }
+    }
+    for (r, lineno) in all_refs.iter().chain(from_refs.iter()) {
+        if !variants.iter().any(|(v, _)| v == r) {
+            out.push(at(file, *lineno, format!("`SolverKind::{r}` is not a declared variant")));
+        }
+    }
+
+    // README side.
+    let Some(readme) = &ws.readme else {
+        out.push(whole_file(file, "README.md not found — the solver map cannot be checked"));
+        return out;
+    };
+    let Some((rows, marker_line)) = map_rows(readme) else {
+        out.push(Finding {
+            rule: RULE,
+            file: "README.md".to_string(),
+            line: 1,
+            message: format!("missing `{BEGIN}` / `{END}` markers around the solver map table"),
+            snippet: String::new(),
+        });
+        return out;
+    };
+    let registry_names: Vec<&String> = names.values().collect();
+    for (name, lineno, raw) in &rows {
+        if !registry_names.contains(&name) {
+            out.push(Finding {
+                rule: RULE,
+                file: "README.md".to_string(),
+                line: *lineno,
+                message: format!("README solver map lists `{name}`, which is not a registry name"),
+                snippet: raw.trim().to_string(),
+            });
+        }
+    }
+    for (v, name) in &names {
+        if !rows.iter().any(|(n, _, _)| n == name) {
+            out.push(Finding {
+                rule: RULE,
+                file: "README.md".to_string(),
+                line: marker_line,
+                message: format!(
+                    "registry name `{name}` (variant `{v}`) is missing from the README solver map"
+                ),
+                snippet: String::new(),
+            });
+        }
+    }
+    out
+}
+
+fn whole_file(file: &SourceFile, msg: &str) -> Finding {
+    Finding {
+        rule: RULE,
+        file: file.rel.clone(),
+        line: 1,
+        message: msg.to_string(),
+        snippet: String::new(),
+    }
+}
+
+fn at(file: &SourceFile, lineno: usize, message: String) -> Finding {
+    Finding {
+        rule: RULE,
+        file: file.rel.clone(),
+        line: lineno,
+        message,
+        snippet: snippet(file, lineno),
+    }
+}
+
+/// 0-based [start, end) line range of the brace block opened at/after the
+/// first line whose code contains `pat`.
+fn find_block(file: &SourceFile, pat: &str) -> Option<(usize, usize)> {
+    let start = file.lines.iter().position(|l| l.code.contains(pat))?;
+    let mut depth = 0i32;
+    let mut opened = false;
+    for (i, line) in file.lines.iter().enumerate().skip(start) {
+        for c in line.code.chars() {
+            match c {
+                '{' | '[' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+        }
+        if opened && depth <= 0 {
+            return Some((start, i + 1));
+        }
+    }
+    Some((start, file.lines.len()))
+}
+
+/// `SolverKind::Ident` references with line numbers inside a block.
+fn block_variant_refs(file: &SourceFile, block: Option<(usize, usize)>) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    if let Some((lo, hi)) = block {
+        for i in lo..hi {
+            for v in variant_refs(&file.lines[i].code) {
+                out.push((v, i + 1));
+            }
+        }
+    }
+    out
+}
+
+/// Every `SolverKind::Ident` (and bare `Self::Ident`) in a code line.
+fn variant_refs(code: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for pat in ["SolverKind::", "Self::"] {
+        let mut rest = code;
+        while let Some(at) = rest.find(pat) {
+            let tail = &rest[at + pat.len()..];
+            let ident: String =
+                tail.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+            if ident.chars().next().is_some_and(|c| c.is_ascii_uppercase()) && ident != "ALL" {
+                out.push(ident);
+            }
+            rest = &rest[at + pat.len()..];
+        }
+    }
+    out
+}
+
+/// One table row: (registry name, 1-based README line, raw row text).
+type Row = (String, usize, String);
+
+/// Solver-map rows between the markers. A row counts when one of its cells
+/// is exactly a backticked lowercase name; rows flagged "not a solver" are
+/// skipped.
+fn map_rows(readme: &str) -> Option<(Vec<Row>, usize)> {
+    let lines: Vec<&str> = readme.lines().collect();
+    let begin = lines.iter().position(|l| l.contains(BEGIN))?;
+    let end = lines.iter().position(|l| l.contains(END))?;
+    let mut rows = Vec::new();
+    for (i, raw) in lines.iter().enumerate().take(end).skip(begin + 1) {
+        if !raw.trim_start().starts_with('|') || raw.contains("not a solver") {
+            continue;
+        }
+        for cell in raw.split('|') {
+            if let Some(name) = exact_backtick_name(cell.trim()) {
+                rows.push((name, i + 1, raw.to_string()));
+                break;
+            }
+        }
+    }
+    Some((rows, begin + 1))
+}
+
+/// `` `name` `` where name is lowercase/digits/hyphen/plus — else None.
+fn exact_backtick_name(cell: &str) -> Option<String> {
+    let inner = cell.strip_prefix('`')?.strip_suffix('`')?;
+    let ok = !inner.is_empty()
+        && inner
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-' || c == '+');
+    ok.then(|| inner.to_string())
+}

@@ -1,0 +1,50 @@
+//! `unsafe-safety-comment`: every `unsafe` block, fn, impl, or trait must
+//! carry a `// SAFETY:` comment (same line or directly above); `unsafe fn`
+//! items may instead document the contract under a `# Safety` doc section.
+//! Bare `unsafe fn(…)` *pointer types* declare no new obligation and are
+//! ignored.
+
+use crate::lexer::word_positions;
+use crate::report::Finding;
+use crate::rules::{justified, snippet};
+use crate::workspace::Workspace;
+
+pub const RULE: &str = "unsafe-safety-comment";
+
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        for (lineno, line) in file.code_lines() {
+            for pos in word_positions(&line.code, "unsafe") {
+                let rest: String = line.code.chars().skip(pos + "unsafe".len()).collect();
+                let rest = rest.trim_start();
+                // `unsafe fn(` with no name is a function-pointer type, not a
+                // site with a discharged obligation.
+                let is_fn_ptr = rest
+                    .strip_prefix("fn")
+                    .map(|r| r.trim_start().starts_with('('))
+                    .unwrap_or(false);
+                if is_fn_ptr {
+                    continue;
+                }
+                let is_fn_item = rest.starts_with("fn") || rest.starts_with("extern");
+                let doc =
+                    if is_fn_item || rest.starts_with("trait") { Some("# Safety") } else { None };
+                if !justified(file, lineno - 1, "SAFETY:", doc) {
+                    out.push(Finding {
+                        rule: RULE,
+                        file: file.rel.clone(),
+                        line: lineno,
+                        message: "`unsafe` without a `// SAFETY:` comment (or `# Safety` doc \
+                                  section for fn items) explaining why the contract holds"
+                            .to_string(),
+                        snippet: snippet(file, lineno),
+                    });
+                }
+                // One finding per line is enough.
+                break;
+            }
+        }
+    }
+    out
+}

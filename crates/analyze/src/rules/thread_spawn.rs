@@ -1,0 +1,37 @@
+//! `no-thread-spawn`: all parallelism rides the work-stealing pool. Direct
+//! `std::thread::spawn` / `thread::Builder` use outside `vendor/rayon`
+//! bypasses `RAYON_NUM_THREADS`, the worker telemetry, and the determinism
+//! suite, so it is banned in production code (test modules are exempt —
+//! `std::thread::scope` harnesses are how the pool itself is exercised).
+
+use crate::report::Finding;
+use crate::rules::snippet;
+use crate::workspace::Workspace;
+
+pub const RULE: &str = "no-thread-spawn";
+
+const PATTERNS: [&str; 2] = ["thread::spawn", "thread::Builder"];
+
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if file.rel.starts_with("vendor/rayon/") {
+            continue;
+        }
+        for (lineno, line) in file.code_lines() {
+            if let Some(pat) = PATTERNS.iter().find(|p| line.code.contains(**p)) {
+                out.push(Finding {
+                    rule: RULE,
+                    file: file.rel.clone(),
+                    line: lineno,
+                    message: format!(
+                        "`{pat}` outside vendor/rayon — all parallelism must ride the \
+                         work-stealing pool (rayon::spawn / join / scope)"
+                    ),
+                    snippet: snippet(file, lineno),
+                });
+            }
+        }
+    }
+    out
+}

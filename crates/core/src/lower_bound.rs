@@ -39,6 +39,7 @@ pub fn lower_bound_multiproc(h: &Hypergraph) -> Result<u64> {
         let mut best_time = u64::MAX;
         let mut best_weight = u64::MAX;
         for hid in range {
+            // cast: u32 → u64 widening; hedge sizes always fit.
             let time = h.weight(hid) * h.hedge_size(hid) as u64;
             best_time = best_time.min(time);
             best_weight = best_weight.min(h.weight(hid));
@@ -47,7 +48,10 @@ pub fn lower_bound_multiproc(h: &Hypergraph) -> Result<u64> {
         single_task = single_task.max(best_weight);
     }
     let p = h.n_procs().max(1) as u128;
-    let averaged = total.div_ceil(p) as u64;
+    // Saturate rather than truncate: `total` is a u128 sum of u64 times, so
+    // the averaged bound can exceed u64 on adversarial inputs; u64::MAX is
+    // still a valid makespan floor (the PR 5 overflow class).
+    let averaged = u64::try_from(total.div_ceil(p)).unwrap_or(u64::MAX);
     Ok(averaged.max(single_task))
 }
 
@@ -60,6 +64,7 @@ pub fn lower_bound_multiproc_f64(h: &Hypergraph) -> Result<f64> {
             return Err(CoreError::UncoveredTask(t));
         }
         let best = range
+            // cast: u32 → u64 widening; hedge sizes always fit.
             .map(|hid| (h.weight(hid) * h.hedge_size(hid) as u64) as f64)
             .fold(f64::INFINITY, f64::min);
         total += best;
@@ -93,6 +98,7 @@ pub fn lower_bound_objective_multiproc(h: &Hypergraph, objective: Objective) -> 
             .expect("non-empty");
         total += best;
     }
+    // cast: u32 → u64 widening; processor counts always fit.
     Ok(balanced_score(objective, total, h.n_procs().max(1) as u64))
 }
 
@@ -110,6 +116,7 @@ pub fn lower_bound_objective_singleproc(g: &Bipartite, objective: Objective) -> 
         }
         total += range.map(|e| g.weight(e)).min().expect("non-empty") as u128;
     }
+    // cast: u32 → u64 widening; processor counts always fit.
     Ok(balanced_score(objective, total, g.n_right().max(1) as u64))
 }
 
@@ -138,7 +145,8 @@ pub fn lower_bound_singleproc(g: &Bipartite) -> Result<u64> {
         single_task = single_task.max(best);
     }
     let p = g.n_right().max(1) as u128;
-    Ok((total.div_ceil(p) as u64).max(single_task))
+    // Saturate rather than truncate — same argument as the MULTIPROC bound.
+    Ok(u64::try_from(total.div_ceil(p)).unwrap_or(u64::MAX).max(single_task))
 }
 
 #[cfg(test)]

@@ -153,6 +153,8 @@ impl Objective {
         let cost = |l: f64| match self {
             Objective::Makespan | Objective::WeightedLoad => l,
             Objective::FlowTime => l * (l + 1.0) / 2.0,
+            // cast: `i32::MAX as u32` is exact, and the min-clamp proves the
+            // following `as i32` is in range.
             Objective::LpNorm(p) => l.powi(p.min(i32::MAX as u32) as i32),
         };
         let delta = cost(load + add) - cost(load);

@@ -36,12 +36,14 @@ static TWO_PASS: AtomicBool = AtomicBool::new(false);
 /// one-pass entry points themselves are unaffected. The CLI exposes this
 /// as `solve --two-pass`.
 pub fn set_two_pass(enabled: bool) {
+    // ordering: Relaxed — a process-wide boolean toggle set before solves
+    // are dispatched; no data is published through it.
     TWO_PASS.store(enabled, Ordering::Relaxed);
 }
 
 /// Whether the two-pass `StreamingGreedy` refinement is enabled.
 pub fn two_pass_enabled() -> bool {
-    TWO_PASS.load(Ordering::Relaxed)
+    TWO_PASS.load(Ordering::Relaxed) // ordering: see set_two_pass
 }
 
 /// One-pass streaming greedy over a bipartite (`SINGLEPROC`) edge stream.

@@ -481,16 +481,11 @@ impl Daemon {
         let mut queue_depth = 0usize;
         let mut violations = 0i64;
         for st in self.statuses() {
-            obs::gauge_set(&format!("daemon.tenant.{}.gap", st.tenant), clamp(st.gap.0));
-            obs::gauge_set(&format!("daemon.tenant.{}.score", st.tenant), clamp(st.score.0));
-            obs::gauge_set(
-                &format!("daemon.tenant.{}.lower_bound", st.tenant),
-                clamp(st.lower_bound.0),
-            );
-            obs::gauge_set(
-                &format!("daemon.tenant.{}.queue_depth", st.tenant),
-                st.queue_depth as i64,
-            );
+            let t = st.tenant;
+            obs::gauge_set(&format!("daemon.tenant.{t}.gap"), clamp(st.gap.0));
+            obs::gauge_set(&format!("daemon.tenant.{t}.score"), clamp(st.score.0));
+            obs::gauge_set(&format!("daemon.tenant.{t}.lower_bound"), clamp(st.lower_bound.0));
+            obs::gauge_set(&format!("daemon.tenant.{t}.queue_depth"), st.queue_depth as i64);
             obs::observe("daemon.tenant.gap", st.gap.0.min(u64::MAX as u128) as u64);
             queue_depth += st.queue_depth;
             violations += i64::from(!st.slo_ok);

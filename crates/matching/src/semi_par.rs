@@ -91,6 +91,9 @@ struct ParState {
 
 impl ParState {
     fn load(&self, u: u32) -> u32 {
+        // ordering: Relaxed — load words are only written phase-sequentially
+        // (all workers joined) or under a claimed processor; the claim CAS
+        // Acquire/Release pair publishes them across workers.
         self.loads[u as usize].load(Ordering::Relaxed)
     }
 }
@@ -179,6 +182,8 @@ pub fn optimal_semi_assignment_par(g: &Bipartite) -> SemiAssignment {
             if du >= found_level {
                 break;
             }
+            // ordering: Relaxed — BFS runs between phases; the par_iter join
+            // already ordered every worker's list edits before this read.
             let mut t = state.list_head[u as usize].load(Ordering::Relaxed);
             while t != NONE {
                 for &w in g.neighbors(t) {
@@ -192,7 +197,7 @@ pub fn optimal_semi_assignment_par(g: &Bipartite) -> SemiAssignment {
                         queue.push(w);
                     }
                 }
-                t = state.list_next[t as usize].load(Ordering::Relaxed);
+                t = state.list_next[t as usize].load(Ordering::Relaxed); // ordering: as above
             }
         }
         if found_level == u32::MAX {
@@ -204,6 +209,8 @@ pub fn optimal_semi_assignment_par(g: &Bipartite) -> SemiAssignment {
         let sources: Vec<u32> =
             (0..n2 as u32).filter(|&u| rdist[u as usize] == 0 && state.load(u) == l_max).collect();
         for c in &state.claim {
+            // ordering: Relaxed — phase-sequential reset; the fork into
+            // par_iter publishes it to the workers.
             c.store(FREE, Ordering::Relaxed);
         }
         let threads = rayon::current_num_threads();
@@ -233,7 +240,7 @@ pub fn optimal_semi_assignment_par(g: &Bipartite) -> SemiAssignment {
             // round sequentially with fresh claims: the level graph still
             // holds a source→target path, so this flips at least once.
             for c in &state.claim {
-                c.store(FREE, Ordering::Relaxed);
+                c.store(FREE, Ordering::Relaxed); // ordering: as the reset above
             }
             fallback_rounds += 1;
             phase_flips = extract_sequential(g, &state, &rdist, &sources, l_max);
@@ -252,12 +259,14 @@ pub fn optimal_semi_assignment_par(g: &Bipartite) -> SemiAssignment {
         obs::counter_add("hk_semi.phases", phases as u64);
         obs::counter_add("hk_semi.paths_extracted", flips);
         obs::counter_add("hk_semi.bfs_levels", bfs_levels);
+        // ordering: Relaxed — read after every phase joined; counts final.
         obs::counter_add("hk_semi.par.cas_failures", state.cas_failures.load(Ordering::Relaxed));
         obs::counter_add("hk_semi.par.fallback_rounds", fallback_rounds);
     }
     SemiAssignment {
+        // ordering: Relaxed — single-threaded unload after the final join.
         task_to_proc: state.task_to_proc.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
-        loads: state.loads.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+        loads: state.loads.iter().map(|a| a.load(Ordering::Relaxed)).collect(), // ordering: as above
         phases,
         flips,
     }
@@ -300,18 +309,25 @@ fn claim_dfs(
         return false;
     }
     if s.claim[src as usize]
+        // ordering: Acquire on success pairs with the Release that last freed
+        // or dead-marked this claim, publishing the owner's list/load edits;
+        // Relaxed on failure — losers never touch the protected data.
         .compare_exchange(FREE, HELD, Ordering::Acquire, Ordering::Relaxed)
         .is_err()
     {
         if obs::enabled() {
+            // ordering: Relaxed — statistics counter, read after the joins.
             s.cas_failures.fetch_add(1, Ordering::Relaxed);
         }
         return false; // dead-marked by an earlier walk of our own chunk
     }
     stack.clear();
+    // ordering: Relaxed — `src` is HELD by us; the claim CAS Acquire above
+    // ordered the previous owner's edits (same for every load/store on
+    // claimed processors below).
     let h = s.list_head[src as usize].load(Ordering::Relaxed);
     if h != NONE {
-        s.lookahead[h as usize].store(0, Ordering::Relaxed);
+        s.lookahead[h as usize].store(0, Ordering::Relaxed); // ordering: under claim
     }
     stack.push((src, h));
     while let Some(&(u, mut tcur)) = stack.last() {
@@ -319,12 +335,13 @@ fn claim_dfs(
         let mut next_proc = NONE;
         while tcur != NONE {
             let nbrs = g.neighbors(tcur);
-            let mut k = s.lookahead[tcur as usize].load(Ordering::Relaxed) as usize;
+            let mut k = s.lookahead[tcur as usize].load(Ordering::Relaxed) as usize; // ordering: under claim
             while k < nbrs.len() {
                 let w = nbrs[k];
                 k += 1;
                 if rdist[w as usize] == du + 1 {
                     if s.claim[w as usize]
+                        // ordering: as the source claim CAS above
                         .compare_exchange(FREE, HELD, Ordering::Acquire, Ordering::Relaxed)
                         .is_ok()
                     {
@@ -335,44 +352,49 @@ fn claim_dfs(
                         break;
                     }
                     if obs::enabled() {
+                        // ordering: Relaxed — statistics counter.
                         s.cas_failures.fetch_add(1, Ordering::Relaxed);
                     }
                 }
             }
-            s.lookahead[tcur as usize].store(k as u32, Ordering::Relaxed);
+            s.lookahead[tcur as usize].store(k as u32, Ordering::Relaxed); // ordering: under claim
             if next_proc != NONE {
                 break;
             }
-            tcur = s.list_next[tcur as usize].load(Ordering::Relaxed);
+            tcur = s.list_next[tcur as usize].load(Ordering::Relaxed); // ordering: under claim
             if tcur != NONE {
-                s.lookahead[tcur as usize].store(0, Ordering::Relaxed);
+                s.lookahead[tcur as usize].store(0, Ordering::Relaxed); // ordering: under claim
             }
         }
         stack.last_mut().expect("loop invariant").1 = tcur;
         if next_proc == NONE {
             // Every task of `u` is exhausted: nothing below `u` reaches a
             // target this phase.
+            // ordering: Release — publishes the exhausted lookahead cursors
+            // to whichever worker next observes this claim word.
             s.claim[u as usize].store(DEAD, Ordering::Release);
             stack.pop();
             continue;
         }
         let w = next_proc;
-        s.pred[w as usize].store(tcur, Ordering::Relaxed);
-        // Re-check the target condition *after* claiming: another flip
-        // may have raised `w`'s load since the BFS. A former target that
-        // filled up is walked through as a plain intermediate, exactly as
-        // in the sequential engine.
+        s.pred[w as usize].store(tcur, Ordering::Relaxed); // ordering: under claim of `w`
+                                                           // Re-check the target condition *after* claiming: another flip
+                                                           // may have raised `w`'s load since the BFS. A former target that
+                                                           // filled up is walked through as a plain intermediate, exactly as
+                                                           // in the sequential engine.
         if s.load(w) + 2 <= l_max {
             flip_path(s, rdist, w);
+            // ordering: Release — hands the processor (and the flip's list
+            // and load edits) to the next claimant's Acquire CAS.
             s.claim[w as usize].store(FREE, Ordering::Release);
             for &(p, _) in stack.iter() {
-                s.claim[p as usize].store(FREE, Ordering::Release);
+                s.claim[p as usize].store(FREE, Ordering::Release); // ordering: as above
             }
             return true;
         }
-        let h = s.list_head[w as usize].load(Ordering::Relaxed);
+        let h = s.list_head[w as usize].load(Ordering::Relaxed); // ordering: under claim
         if h != NONE {
-            s.lookahead[h as usize].store(0, Ordering::Relaxed);
+            s.lookahead[h as usize].store(0, Ordering::Relaxed); // ordering: under claim
         }
         stack.push((w, h));
     }
@@ -384,13 +406,15 @@ fn claim_dfs(
 /// unit of load from the level-0 source onto the target.
 fn flip_path(s: &ParState, rdist: &[u32], mut w: u32) {
     loop {
+        // ordering: Relaxed throughout — every processor on the path is HELD
+        // by this worker; the Release on the claim words publishes the edits.
         let t = s.pred[w as usize].load(Ordering::Relaxed);
-        let u = s.task_to_proc[t as usize].load(Ordering::Relaxed);
+        let u = s.task_to_proc[t as usize].load(Ordering::Relaxed); // ordering: under claim
         unlink(s, u, t);
         link_front(s, w, t);
-        s.task_to_proc[t as usize].store(w, Ordering::Relaxed);
-        s.loads[u as usize].fetch_sub(1, Ordering::Relaxed);
-        s.loads[w as usize].fetch_add(1, Ordering::Relaxed);
+        s.task_to_proc[t as usize].store(w, Ordering::Relaxed); // ordering: under claim
+        s.loads[u as usize].fetch_sub(1, Ordering::Relaxed); // ordering: under claim
+        s.loads[w as usize].fetch_add(1, Ordering::Relaxed); // ordering: under claim
         if rdist[u as usize] == 0 {
             return; // reached the source
         }
@@ -400,26 +424,30 @@ fn flip_path(s: &ParState, rdist: &[u32], mut w: u32) {
 
 /// Pushes task `t` onto claimed processor `u`'s intrusive assigned list.
 fn link_front(s: &ParState, u: u32, t: u32) {
+    // ordering: Relaxed throughout — `u` is HELD by the caller; publication
+    // rides the claim word's Release/Acquire (see `claim_dfs`).
     let h = s.list_head[u as usize].load(Ordering::Relaxed);
-    s.list_next[t as usize].store(h, Ordering::Relaxed);
-    s.list_prev[t as usize].store(NONE, Ordering::Relaxed);
+    s.list_next[t as usize].store(h, Ordering::Relaxed); // ordering: under claim
+    s.list_prev[t as usize].store(NONE, Ordering::Relaxed); // ordering: under claim
     if h != NONE {
-        s.list_prev[h as usize].store(t, Ordering::Relaxed);
+        s.list_prev[h as usize].store(t, Ordering::Relaxed); // ordering: under claim
     }
-    s.list_head[u as usize].store(t, Ordering::Relaxed);
+    s.list_head[u as usize].store(t, Ordering::Relaxed); // ordering: under claim
 }
 
 /// Removes task `t` from claimed processor `u`'s intrusive assigned list.
 fn unlink(s: &ParState, u: u32, t: u32) {
+    // ordering: Relaxed throughout — `u` is HELD by the caller; publication
+    // rides the claim word's Release/Acquire (see `claim_dfs`).
     let prev = s.list_prev[t as usize].load(Ordering::Relaxed);
-    let next = s.list_next[t as usize].load(Ordering::Relaxed);
+    let next = s.list_next[t as usize].load(Ordering::Relaxed); // ordering: under claim
     if prev == NONE {
-        s.list_head[u as usize].store(next, Ordering::Relaxed);
+        s.list_head[u as usize].store(next, Ordering::Relaxed); // ordering: under claim
     } else {
-        s.list_next[prev as usize].store(next, Ordering::Relaxed);
+        s.list_next[prev as usize].store(next, Ordering::Relaxed); // ordering: under claim
     }
     if next != NONE {
-        s.list_prev[next as usize].store(prev, Ordering::Relaxed);
+        s.list_prev[next as usize].store(prev, Ordering::Relaxed); // ordering: under claim
     }
 }
 

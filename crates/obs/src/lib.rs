@@ -148,6 +148,8 @@ static RECORDER: RwLock<Option<Arc<dyn Recorder>>> = RwLock::new(None);
 /// under the default [`Noop`] configuration.
 #[inline]
 pub fn enabled() -> bool {
+    // ordering: Relaxed — a hint flag; installers flip it under the RwLock
+    // and a stale read merely skips (or no-ops) one event.
     ENABLED.load(Ordering::Relaxed)
 }
 
@@ -155,7 +157,7 @@ pub fn enabled() -> bool {
 /// one (if any). [`enabled()`] latches `recorder.enabled()`.
 pub fn install(recorder: Arc<dyn Recorder>) -> Option<Arc<dyn Recorder>> {
     let mut slot = RECORDER.write().unwrap();
-    ENABLED.store(recorder.enabled(), Ordering::Relaxed);
+    ENABLED.store(recorder.enabled(), Ordering::Relaxed); // ordering: hint; RwLock orders
     slot.replace(recorder)
 }
 
@@ -163,7 +165,7 @@ pub fn install(recorder: Arc<dyn Recorder>) -> Option<Arc<dyn Recorder>> {
 /// returns it.
 pub fn uninstall() -> Option<Arc<dyn Recorder>> {
     let mut slot = RECORDER.write().unwrap();
-    ENABLED.store(false, Ordering::Relaxed);
+    ENABLED.store(false, Ordering::Relaxed); // ordering: hint; RwLock orders
     slot.take()
 }
 
@@ -205,6 +207,8 @@ pub fn observe(name: &str, value: u64) {
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
+    // ordering: Relaxed — a unique-id ticket; only atomicity matters, no
+    // cross-thread data is published through it.
     static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
 }
 

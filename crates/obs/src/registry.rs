@@ -22,6 +22,8 @@ pub struct Counter {
 impl Counter {
     /// Adds `delta` to the counter.
     pub fn add(&self, delta: u64) {
+        // ordering: Relaxed — a monotone telemetry count; it synchronizes
+        // nothing and renderers tolerate an in-flight lag.
         self.v.fetch_add(delta, Ordering::Relaxed);
     }
 
@@ -32,7 +34,7 @@ impl Counter {
 
     /// Current value.
     pub fn get(&self) -> u64 {
-        self.v.load(Ordering::Relaxed)
+        self.v.load(Ordering::Relaxed) // ordering: telemetry read; lag is fine
     }
 }
 
@@ -45,17 +47,18 @@ pub struct Gauge {
 impl Gauge {
     /// Overwrites the gauge.
     pub fn set(&self, value: i64) {
-        self.v.store(value, Ordering::Relaxed);
+        self.v.store(value, Ordering::Relaxed); // ordering: telemetry write; last-write-wins
     }
 
     /// Adjusts the gauge by `delta`.
     pub fn add(&self, delta: i64) {
+        // ordering: Relaxed — telemetry adjustment; synchronizes nothing.
         self.v.fetch_add(delta, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> i64 {
-        self.v.load(Ordering::Relaxed)
+        self.v.load(Ordering::Relaxed) // ordering: telemetry read; lag is fine
     }
 }
 
@@ -101,19 +104,22 @@ pub fn bucket_le(i: usize) -> u64 {
 impl Histogram {
     /// Records one observation.
     pub fn observe(&self, value: u64) {
+        // ordering: Relaxed — the three words are telemetry; a renderer may
+        // see a count/sum/bucket triple mid-update and that is accepted
+        // (documented: snapshots are not atomic across fields).
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(value, Ordering::Relaxed);
-        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed); // ordering: telemetry
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed); // ordering: telemetry
     }
 
     /// Number of observations.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.count.load(Ordering::Relaxed) // ordering: telemetry read; lag is fine
     }
 
     /// Sum of all observations (wrapping on overflow).
     pub fn sum(&self) -> u64 {
-        self.sum.load(Ordering::Relaxed)
+        self.sum.load(Ordering::Relaxed) // ordering: telemetry read; lag is fine
     }
 
     /// The non-empty buckets as `(inclusive upper bound, count)` pairs in
@@ -121,7 +127,7 @@ impl Histogram {
     pub fn buckets(&self) -> Vec<(u64, u64)> {
         (0..HISTOGRAM_BUCKETS)
             .filter_map(|i| {
-                let c = self.buckets[i].load(Ordering::Relaxed);
+                let c = self.buckets[i].load(Ordering::Relaxed); // ordering: telemetry read
                 (c > 0).then(|| (bucket_le(i), c))
             })
             .collect()

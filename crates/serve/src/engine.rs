@@ -1649,4 +1649,31 @@ mod tests {
             assert_eq!(snap.matching.makespan(&snap.hypergraph), e.bottleneck());
         }
     }
+
+    /// The Miri CI subset: drives [`SyncSlice`]'s raw-pointer sharing under
+    /// the same disjointness argument `parallel_local_sweeps` relies on, on
+    /// plain scoped threads so the interpreter checks the aliasing claims.
+    #[test]
+    fn miri_sync_slice_disjoint_writes_are_race_free() {
+        let mut data = vec![0u64; 8];
+        {
+            let view = SyncSlice::new(&mut data);
+            std::thread::scope(|s| {
+                let v = &view;
+                s.spawn(move || {
+                    for i in 0..4 {
+                        // SAFETY: this thread writes indices 0..4 exclusively.
+                        unsafe { *v.get(i) = i as u64 + 1 };
+                    }
+                });
+                s.spawn(move || {
+                    for i in 4..8 {
+                        // SAFETY: this thread writes indices 4..8 exclusively.
+                        unsafe { *v.get(i) = i as u64 + 1 };
+                    }
+                });
+            });
+        }
+        assert_eq!(data, (1..=8).collect::<Vec<u64>>());
+    }
 }

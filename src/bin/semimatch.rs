@@ -30,6 +30,11 @@ use semimatch::solver::{solve_with as solve_kind_with, Problem, Solver, SolverCl
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `analyze` owns its exit-code contract (0 clean / 1 findings / 2
+    // usage), so it bypasses the Result-based dispatch below.
+    if args.first().map(String::as_str) == Some("analyze") {
+        return ExitCode::from(semimatch::analyze::cli_main(&args[1..]).clamp(0, 255) as u8);
+    }
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
@@ -79,6 +84,11 @@ usage:
                                 multiplexed workload: sharded event router,
                                 bounded per-tenant queues, migration budgets
                                 and per-tenant optimality-gap SLO reporting)
+  semimatch analyze             [--root DIR] [--baseline FILE | --no-baseline]
+                                [--format text|json]
+                                (workspace-native static analysis: unsafe/
+                                ordering/cast audits plus registry and metric
+                                doc-sync; exits 0 clean, 1 on findings)
   semimatch dot                 FILE.{hg,bg} [--out FILE.dot]
 
 KIND is any solver registry name (see `semimatch solvers`).

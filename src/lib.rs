@@ -58,6 +58,7 @@
 //! println!("{}", s.gantt(&inst));
 //! ```
 
+pub use semimatch_analyze as analyze;
 pub use semimatch_core as core;
 pub use semimatch_daemon as daemon;
 pub use semimatch_gen as gen;

@@ -1,0 +1,8 @@
+pub fn score(total: u128) -> u64 {
+    total as u64
+}
+
+pub fn width(n: u32) -> u64 {
+    // cast: u32 → u64 widening always fits.
+    n as u64
+}

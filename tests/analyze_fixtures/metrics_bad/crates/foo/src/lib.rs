@@ -1,0 +1,4 @@
+pub fn publish(reg: &Registry, w: usize) {
+    reg.counter_add("fix.events", 1);
+    reg.observe(&format!("fix.worker.{w}.ns"), 7);
+}

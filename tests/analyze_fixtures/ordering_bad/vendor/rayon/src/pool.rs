@@ -1,0 +1,20 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Stats {
+    hits: AtomicU64,
+}
+
+impl Stats {
+    pub fn hit(&self) -> u64 {
+        self.hits.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub fn read(&self) -> u64 {
+        self.hits.load(Ordering::Acquire)
+    }
+
+    pub fn read_justified(&self) -> u64 {
+        // ordering: Acquire pairs with the Release in a hypothetical writer.
+        self.hits.load(Ordering::Acquire)
+    }
+}

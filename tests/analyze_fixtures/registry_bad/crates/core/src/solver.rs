@@ -1,0 +1,25 @@
+#[derive(Clone, Copy)]
+pub enum SolverKind {
+    Basic,
+    Sorted,
+    Orphan,
+}
+
+impl SolverKind {
+    pub const ALL: [SolverKind; 2] = [SolverKind::Basic, SolverKind::Sorted];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverKind::Basic => "basic",
+            SolverKind::Sorted => "sorted",
+            SolverKind::Orphan => "orphan",
+        }
+    }
+}
+
+impl std::str::FromStr for SolverKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        SolverKind::ALL.iter().copied().find(|k| k.name() == s).ok_or_else(|| s.to_string())
+    }
+}

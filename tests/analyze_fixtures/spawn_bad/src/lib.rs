@@ -1,0 +1,4 @@
+pub fn fanout() -> i32 {
+    let h = std::thread::spawn(|| 1 + 1);
+    h.join().unwrap()
+}

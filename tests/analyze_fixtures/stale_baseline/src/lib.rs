@@ -1,0 +1,3 @@
+pub fn peek(xs: &[u64]) -> u64 {
+    unsafe { *xs.as_ptr() }
+}

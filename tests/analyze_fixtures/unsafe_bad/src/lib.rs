@@ -1,0 +1,8 @@
+pub fn read_first(xs: &[u64]) -> u64 {
+    unsafe { *xs.as_ptr() }
+}
+
+pub fn read_last(xs: &[u64]) -> u64 {
+    // SAFETY: the caller guarantees `xs` is non-empty.
+    unsafe { *xs.as_ptr().add(xs.len() - 1) }
+}

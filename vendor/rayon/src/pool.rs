@@ -60,7 +60,12 @@ impl JobRef {
         std::ptr::eq(self.ptr, other.ptr)
     }
 
-    /// Runs the job. See the struct-level safety contract.
+    /// Runs the job.
+    ///
+    /// # Safety
+    ///
+    /// Callable at most once per job, and only while the publisher keeps the
+    /// pointee alive and pinned (the struct-level [`JobRef`] contract).
     pub(crate) unsafe fn execute(self) {
         (self.execute_fn)(self.ptr)
     }
@@ -80,11 +85,15 @@ impl Latch {
 
     /// Non-blocking completion check.
     pub(crate) fn probe(&self) -> bool {
+        // ordering: Acquire — pairs with `set`'s Release so a true probe
+        // makes the job's result slot visible to the waiter.
         self.done.load(Ordering::Acquire)
     }
 
     /// Marks the latch set and wakes every blocked waiter.
     fn set(&self) {
+        // ordering: Release — publishes the result written just before the
+        // latch flips; pairs with `probe`'s Acquire.
         self.done.store(true, Ordering::Release);
         // Lock/unlock pairs with the waiters' re-check under the lock, so
         // a wakeup between their probe and their wait cannot be lost.
@@ -131,13 +140,24 @@ where
         StackJob { f: UnsafeCell::new(Some(f)), result: UnsafeCell::new(None), latch: Latch::new() }
     }
 
-    /// The type-erased handle. Publishing it activates the safety contract
-    /// described on [`JobRef`].
+    /// The type-erased handle.
+    ///
+    /// # Safety
+    ///
+    /// Publishing the returned handle activates the [`JobRef`] contract: the
+    /// caller must keep `self` alive and pinned until the latch is set, and
+    /// must let the handle execute at most once.
     unsafe fn as_job_ref(&self) -> JobRef {
         JobRef { ptr: self as *const Self as *const (), execute_fn: Self::execute_erased }
     }
 
     /// Runs the closure, stores the result, sets the latch.
+    ///
+    /// # Safety
+    ///
+    /// `this` must point at a live `StackJob<F, R>` whose closure has not
+    /// been taken, and no other thread may touch the job concurrently (the
+    /// deque guarantees a job is popped or stolen exactly once).
     unsafe fn execute_erased(this: *const ()) {
         let this = &*(this as *const Self);
         let f = (*this.f.get()).take().expect("job executed twice");
@@ -278,14 +298,16 @@ impl Registry {
             workers: self
                 .worker_stats
                 .iter()
+                // ordering: Relaxed — monotonic statistics; a snapshot may
+                // lag in-flight bumps and that is fine for telemetry.
                 .map(|w| WorkerStats {
-                    tasks_executed: w.tasks_executed.load(Ordering::Relaxed),
-                    steals: w.steals.load(Ordering::Relaxed),
-                    injector_pops: w.injector_pops.load(Ordering::Relaxed),
-                    sleeps: w.sleeps.load(Ordering::Relaxed),
+                    tasks_executed: w.tasks_executed.load(Ordering::Relaxed), // ordering: stats
+                    steals: w.steals.load(Ordering::Relaxed),                 // ordering: stats
+                    injector_pops: w.injector_pops.load(Ordering::Relaxed),   // ordering: stats
+                    sleeps: w.sleeps.load(Ordering::Relaxed),                 // ordering: stats
                 })
                 .collect(),
-            wakes: self.wakes.load(Ordering::Relaxed),
+            wakes: self.wakes.load(Ordering::Relaxed), // ordering: stats
         }
     }
 
@@ -307,6 +329,9 @@ impl Registry {
 
     /// Pushes onto `worker`'s own deque (LIFO end).
     fn push_local(&self, worker: usize, job: JobRef) {
+        // ordering: SeqCst — `pending` and `sleepers` form a Dekker-style
+        // sleep/wake protocol with `idle_wait`; both sides must agree on a
+        // single total order or a worker can park while work exists.
         self.pending.fetch_add(1, Ordering::SeqCst);
         self.deques[worker].lock().unwrap().push_back(job);
         self.notify();
@@ -314,14 +339,16 @@ impl Registry {
 
     /// Pushes onto the global injector (from non-pool threads).
     fn inject(&self, job: JobRef) {
-        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.pending.fetch_add(1, Ordering::SeqCst); // ordering: see push_local
         self.injector.lock().unwrap().push_back(job);
         self.notify();
     }
 
     fn notify(&self) {
+        // ordering: SeqCst — the sleeper check must not be reordered before
+        // the pending bump in the callers (see push_local).
         if self.sleepers.load(Ordering::SeqCst) > 0 {
-            self.wakes.fetch_add(1, Ordering::Relaxed);
+            self.wakes.fetch_add(1, Ordering::Relaxed); // ordering: stats counter
             let _guard = self.sleep_lock.lock().unwrap();
             self.sleep_cv.notify_all();
         }
@@ -335,7 +362,7 @@ impl Registry {
         if deque.back().is_some_and(|j| j.same_job(job)) {
             deque.pop_back();
             drop(deque);
-            self.pending.fetch_sub(1, Ordering::SeqCst);
+            self.pending.fetch_sub(1, Ordering::SeqCst); // ordering: see push_local
             true
         } else {
             false
@@ -347,24 +374,24 @@ impl Registry {
     fn find_work(&self, worker: usize) -> Option<JobRef> {
         let stats = &self.worker_stats[worker];
         if let Some(job) = self.deques[worker].lock().unwrap().pop_back() {
-            self.pending.fetch_sub(1, Ordering::SeqCst);
-            stats.tasks_executed.fetch_add(1, Ordering::Relaxed);
+            self.pending.fetch_sub(1, Ordering::SeqCst); // ordering: see push_local
+            stats.tasks_executed.fetch_add(1, Ordering::Relaxed); // ordering: stats counter
             return Some(job);
         }
         let n = self.deques.len();
         for offset in 1..n {
             let victim = (worker + offset) % n;
             if let Some(job) = self.deques[victim].lock().unwrap().pop_front() {
-                self.pending.fetch_sub(1, Ordering::SeqCst);
-                stats.tasks_executed.fetch_add(1, Ordering::Relaxed);
-                stats.steals.fetch_add(1, Ordering::Relaxed);
+                self.pending.fetch_sub(1, Ordering::SeqCst); // ordering: see push_local
+                stats.tasks_executed.fetch_add(1, Ordering::Relaxed); // ordering: stats counter
+                stats.steals.fetch_add(1, Ordering::Relaxed); // ordering: stats counter
                 return Some(job);
             }
         }
         if let Some(job) = self.injector.lock().unwrap().pop_front() {
-            self.pending.fetch_sub(1, Ordering::SeqCst);
-            stats.tasks_executed.fetch_add(1, Ordering::Relaxed);
-            stats.injector_pops.fetch_add(1, Ordering::Relaxed);
+            self.pending.fetch_sub(1, Ordering::SeqCst); // ordering: see push_local
+            stats.tasks_executed.fetch_add(1, Ordering::Relaxed); // ordering: stats counter
+            stats.injector_pops.fetch_add(1, Ordering::Relaxed); // ordering: stats counter
             return Some(job);
         }
         None
@@ -374,13 +401,17 @@ impl Registry {
     /// under the lock closes the race with [`Registry::notify`]; a bounded
     /// timeout bounds the damage of any missed edge case.
     fn idle_wait(&self, worker: usize) {
+        // ordering: SeqCst — the Dekker partner of push_local/notify: the
+        // sleeper registration must be globally ordered against the
+        // publisher's pending bump, else both sides can miss each other.
         self.sleepers.fetch_add(1, Ordering::SeqCst);
         let guard = self.sleep_lock.lock().unwrap();
+        // ordering: SeqCst — re-check under the lock in the same total order.
         if self.pending.load(Ordering::SeqCst) == 0 && !self.terminate.load(Ordering::SeqCst) {
-            self.worker_stats[worker].sleeps.fetch_add(1, Ordering::Relaxed);
+            self.worker_stats[worker].sleeps.fetch_add(1, Ordering::Relaxed); // ordering: stats counter
             let _ = self.sleep_cv.wait_timeout(guard, Duration::from_millis(10)).unwrap();
         }
-        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        self.sleepers.fetch_sub(1, Ordering::SeqCst); // ordering: see the registration above
     }
 }
 
@@ -390,6 +421,9 @@ fn worker_main(registry: Arc<Registry>, index: usize) {
     WORKER.with(|w| {
         *w.borrow_mut() = Some(WorkerCtx { registry: Arc::clone(&registry), index });
     });
+    // ordering: SeqCst — termination takes part in the same sleep/wake total
+    // order as `pending`/`sleepers` (see push_local), so a worker cannot
+    // park past shutdown.
     while !registry.terminate.load(Ordering::SeqCst) {
         match registry.find_work(index) {
             // SAFETY: publishers keep stack jobs alive until their latch
@@ -657,6 +691,8 @@ pub fn global_pool_stats() -> Option<PoolStats> {
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
+        // ordering: SeqCst — joins the sleep/wake total order so every
+        // worker's next `terminate` check (see worker_main) observes it.
         self.registry.terminate.store(true, Ordering::SeqCst);
         {
             let _guard = self.registry.sleep_lock.lock().unwrap();
@@ -665,5 +701,70 @@ impl Drop for ThreadPool {
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `miri_`-prefixed tests are the Miri CI subset: they exercise the
+    /// unsafe publication primitives (latch handoff, type-erased stack
+    /// jobs) on plain `std::thread::scope` threads, with no pool machinery,
+    /// so the interpreter checks the raw-pointer contracts directly.
+    #[test]
+    fn miri_latch_publishes_result_to_probing_thread() {
+        struct Slot(UnsafeCell<u64>);
+        // SAFETY: the writer finishes with the slot before setting the
+        // latch, and the reader only dereferences after a true probe; the
+        // latch's Release/Acquire pair orders the two accesses.
+        unsafe impl Sync for Slot {}
+        let latch = Latch::new();
+        let slot = Slot(UnsafeCell::new(0u64));
+        std::thread::scope(|s| {
+            let (latch, slot) = (&latch, &slot);
+            s.spawn(move || {
+                // SAFETY: nobody reads the slot until the latch is set.
+                unsafe { *slot.0.get() = 42 };
+                latch.set();
+            });
+            latch.wait_blocking();
+            assert!(latch.probe());
+            // SAFETY: probe() returned true, so the write above is visible
+            // and the writer no longer touches the slot.
+            assert_eq!(unsafe { *slot.0.get() }, 42);
+        });
+    }
+
+    #[test]
+    fn miri_stack_job_erased_handoff_executes_once() {
+        let job = StackJob::new(|| 6u64 * 7);
+        // SAFETY: the job outlives the scope below, and exactly one spawned
+        // thread executes the handle exactly once — the JobRef contract.
+        let job_ref = unsafe { job.as_job_ref() };
+        struct SendRef(JobRef);
+        // SAFETY: JobRef is a plain (pointer, fn) pair; moving it to the
+        // executing thread is the whole point of the handle, and the pointee
+        // (`job`) is Sync and pinned on this stack frame for the duration.
+        unsafe impl Send for SendRef {}
+        let send = SendRef(job_ref);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                let SendRef(r) = send;
+                // SAFETY: first and only execution; the publisher keeps the
+                // job alive until the latch below is observed set.
+                unsafe { r.execute() };
+            });
+        });
+        assert!(job.latch.probe());
+        assert_eq!(job.into_result().expect("job closure does not panic"), 42);
+    }
+
+    #[test]
+    fn miri_stack_job_inline_execution_and_panic_capture() {
+        let job = StackJob::new(|| -> u64 { panic!("intentional") });
+        job.execute_inline();
+        assert!(job.latch.probe());
+        assert!(job.into_result().is_err(), "panic must surface as Err, not abort");
     }
 }
